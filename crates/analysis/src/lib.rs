@@ -1,0 +1,39 @@
+//! # chlm-analysis
+//!
+//! Measurement analysis for the CHLM experiments:
+//!
+//! * [`stats`] — summary statistics with confidence intervals,
+//! * [`regression`] — least-squares fits of measured overhead against the
+//!   candidate scaling classes `{log²n, log n, √n, n, 1}`, which is how the
+//!   experiments *verify* the paper's Θ-claims (shape, not constants),
+//! * [`theory`] — the paper's closed-form machinery (eqs. 1–24) as code,
+//!   used to print predicted-vs-measured columns,
+//! * [`markov`] — the birth–death chain of Fig. 3 and the binomial voting
+//!   model used to predict ALCA state occupancy,
+//! * [`trend`] — Spearman/permutation trend tests backing the Θ(1)
+//!   verdicts,
+//! * [`table`] — plain-text table/CSV rendering for the experiment
+//!   binaries.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use chlm_analysis::regression::{best_fit, ModelClass};
+//!
+//! // Which scaling class generated this series?
+//! let sizes = [128.0, 256.0, 512.0, 1024.0, 2048.0];
+//! let ys: Vec<f64> = sizes.iter().map(|&n: &f64| 2.0 * n.ln() * n.ln()).collect();
+//! let fits = best_fit(&sizes, &ys);
+//! assert_eq!(fits[0].class, ModelClass::Log2N);
+//! ```
+
+pub mod markov;
+pub mod regression;
+pub mod stats;
+pub mod table;
+pub mod theory;
+pub mod trend;
+
+pub use regression::{best_fit, fit_model, FitResult, ModelClass};
+pub use stats::Summary;

@@ -1,0 +1,160 @@
+//! Nonparametric trend testing.
+//!
+//! The Θ(1) verdicts (f₀ flat in n, E22's message locality) shouldn't rest
+//! on an eyeballed spread threshold alone. [`spearman_rho`] measures
+//! monotonic association between size and metric, and
+//! [`permutation_p_value`] turns it into a significance level by shuffling
+//! the metric values (exact for tiny samples, Monte-Carlo above that,
+//! deterministic seed). A flat series shows |ρ| near 0 with a large
+//! p-value; a genuine growth trend shows ρ → 1 with a small one.
+
+use chlm_geom::SimRng;
+
+/// Average ranks, with ties sharing the mean rank (midrank method).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mid;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation ρ ∈ [-1, 1]. Returns 0 for degenerate input
+/// (fewer than 2 points or zero rank variance).
+pub fn spearman_rho(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let a = rx[i] - mean;
+        let b = ry[i] - mean;
+        cov += a * b;
+        vx += a * a;
+        vy += b * b;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Two-sided permutation p-value for the observed Spearman ρ: the
+/// probability that a random pairing of `ys` to `xs` yields |ρ| at least
+/// as large. Uses `shuffles` Monte-Carlo permutations with a fixed seed
+/// (deterministic); includes the identity permutation so p > 0 always.
+pub fn permutation_p_value(xs: &[f64], ys: &[f64], shuffles: usize, seed: u64) -> f64 {
+    assert!(shuffles > 0);
+    let observed = spearman_rho(xs, ys).abs();
+    let mut rng = SimRng::seed_from(seed);
+    let mut perm = ys.to_vec();
+    let mut at_least = 1usize; // identity permutation counts
+    for _ in 0..shuffles {
+        rng.shuffle(&mut perm);
+        if spearman_rho(xs, &perm).abs() >= observed - 1e-12 {
+            at_least += 1;
+        }
+    }
+    at_least as f64 / (shuffles + 1) as f64
+}
+
+/// Combined verdict helper: is `ys` (indexed by sizes `xs`) statistically
+/// flat? Returns `(rho, p_value, flat)` where `flat` means the trend is
+/// not significant at the given `alpha` **or** its magnitude is small
+/// (|ρ| < 0.5 can happen with p < α on long, gently drifting series —
+/// treat only strong, significant trends as growth).
+pub fn flatness_test(xs: &[f64], ys: &[f64], alpha: f64) -> (f64, f64, bool) {
+    let rho = spearman_rho(xs, ys);
+    let p = permutation_p_value(xs, ys, 10_000, 0xF1A7);
+    (rho, p, p >= alpha || rho.abs() < 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 5.0]);
+        assert_eq!(r, vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn rho_perfect_monotone() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let up = [2.0, 3.0, 5.0, 8.0, 13.0];
+        let down = [9.0, 7.0, 4.0, 2.0, 1.0];
+        assert!((spearman_rho(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_zero_for_constant() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(spearman_rho(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn p_value_small_for_long_monotone_series() {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
+        let p = permutation_p_value(&xs, &ys, 5000, 1);
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn p_value_large_for_noise() {
+        // Deterministic pseudo-noise with no monotone relation to xs.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..10)
+            .map(|i| ((i * 37 + 11) % 10) as f64)
+            .collect();
+        let p = permutation_p_value(&xs, &ys, 5000, 2);
+        assert!(p > 0.1, "p = {p}");
+    }
+
+    #[test]
+    fn flatness_verdicts() {
+        let xs = [128.0, 256.0, 512.0, 1024.0, 2048.0];
+        let flat = [12.2, 12.9, 12.5, 12.7, 12.4];
+        let (_, _, is_flat) = flatness_test(&xs, &flat, 0.05);
+        assert!(is_flat);
+        // 5 points of strict growth: ρ = 1, p = 2/5! ≈ 0.0167 < 0.05, and
+        // |ρ| ≥ 0.5 → not flat.
+        let grow = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let (rho, p, is_flat2) = flatness_test(&xs, &grow, 0.05);
+        assert!((rho - 1.0).abs() < 1e-12);
+        assert!(p < 0.05, "p = {p}");
+        assert!(!is_flat2);
+    }
+
+    #[test]
+    fn deterministic_p_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        assert_eq!(
+            permutation_p_value(&xs, &ys, 1000, 7),
+            permutation_p_value(&xs, &ys, 1000, 7)
+        );
+    }
+}

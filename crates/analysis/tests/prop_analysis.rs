@@ -1,0 +1,109 @@
+//! Property-based tests for the analysis kernels.
+
+use chlm_analysis::markov::{
+    binomial_occupancy, rank_mixture_occupancy, stationary_birth_death, total_variation,
+};
+use chlm_analysis::regression::{best_fit, fit_model, relative_spread, ModelClass};
+use chlm_analysis::stats::{percentile, OnlineStats, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn summary_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn online_matches_batch(xs in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!((o.mean() - s.mean).abs() < 1e-6);
+        prop_assert!((o.variance() - s.variance).abs() < 1e-3 * (1.0 + s.variance));
+    }
+
+    #[test]
+    fn online_merge_associative(a in proptest::collection::vec(-1e3f64..1e3, 1..50),
+                                b in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let mut oa = OnlineStats::new();
+        for &x in &a { oa.push(x); }
+        let mut ob = OnlineStats::new();
+        for &x in &b { ob.push(x); }
+        oa.merge(&ob);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let s = Summary::of(&all).unwrap();
+        prop_assert!((oa.mean() - s.mean).abs() < 1e-6);
+        prop_assert_eq!(oa.count() as usize, all.len());
+    }
+
+    #[test]
+    fn percentile_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let p25 = percentile(&xs, 25.0).unwrap();
+        let p50 = percentile(&xs, 50.0).unwrap();
+        let p75 = percentile(&xs, 75.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        prop_assert_eq!(percentile(&xs, 0.0).unwrap(),
+                        xs.iter().copied().fold(f64::MAX, f64::min));
+    }
+
+    #[test]
+    fn fit_recovers_noisy_coefficients(a in 0.5f64..10.0, b in -5.0f64..5.0, noise in 0.0f64..0.02) {
+        let xs: Vec<f64> = (7..14).map(|e| (1u64 << e) as f64).collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| {
+            let jitter = 1.0 + noise * (if i % 2 == 0 { 1.0 } else { -1.0 });
+            (a * ModelClass::Log2N.basis(x) + b) * jitter
+        }).collect();
+        let fit = fit_model(ModelClass::Log2N, &xs, &ys);
+        prop_assert!((fit.a - a).abs() / a < 0.2, "a {} vs {}", fit.a, a);
+        prop_assert!(fit.r2 > 0.95);
+    }
+
+    #[test]
+    fn best_fit_returns_all_classes_sorted(
+        ys in proptest::collection::vec(0.1f64..100.0, 5..10)
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| (100 * (i + 1)) as f64).collect();
+        let fits = best_fit(&xs, &ys);
+        prop_assert_eq!(fits.len(), 5);
+        for w in fits.windows(2) {
+            prop_assert!(w[0].r2 >= w[1].r2);
+        }
+    }
+
+    #[test]
+    fn spread_nonnegative_and_zero_iff_flat(ys in proptest::collection::vec(1.0f64..100.0, 1..30)) {
+        let s = relative_spread(&ys);
+        prop_assert!(s >= 0.0);
+        let flat = vec![ys[0]; ys.len()];
+        prop_assert_eq!(relative_spread(&flat), 0.0);
+    }
+
+    #[test]
+    fn birth_death_is_distribution(rates in proptest::collection::vec((0.01f64..10.0, 0.01f64..10.0), 1..30)) {
+        let lambda: Vec<f64> = rates.iter().map(|r| r.0).collect();
+        let mu: Vec<f64> = rates.iter().map(|r| r.1).collect();
+        let pi = stationary_birth_death(&lambda, &mu);
+        prop_assert_eq!(pi.len(), lambda.len() + 1);
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(pi.iter().all(|&p| p >= 0.0));
+        // Detailed balance holds.
+        for s in 0..lambda.len() {
+            prop_assert!((pi[s] * lambda[s] - pi[s + 1] * mu[s]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn occupancy_models_are_distributions(d in 1usize..20, q in 0.0f64..1.0) {
+        let b = binomial_occupancy(d, q);
+        prop_assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let m = rank_mixture_occupancy(d, 64);
+        prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(total_variation(&b, &m) <= 1.0 + 1e-12);
+        prop_assert_eq!(total_variation(&m, &m), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench: full LCA hierarchy construction (elect + recurse) and
+//! the max-min d-hop alternative, across sizes.
+
+use chlm_cluster::maxmin::MaxMinHierarchy;
+use chlm_cluster::{Hierarchy, HierarchyOptions};
+use chlm_geom::{Disk, SimRng};
+use chlm_graph::unit_disk::build_unit_disk;
+use chlm_graph::Graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn setup(n: usize) -> (Vec<u64>, Graph) {
+    let density = 1.25;
+    let rtx = chlm_geom::rtx_for_degree(9.0, density);
+    let mut rng = SimRng::seed_from(n as u64);
+    let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+    let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+    (rng.permutation(n), build_unit_disk(&pts, rtx))
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_build");
+    for &n in &[256usize, 1024, 4096] {
+        let (ids, g) = setup(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("lca", n), &(), |b, _| {
+            b.iter(|| Hierarchy::build(&ids, &g, HierarchyOptions::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("maxmin_d2", n), &(), |b, _| {
+            b.iter(|| MaxMinHierarchy::build(&ids, &g, 2, usize::MAX));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

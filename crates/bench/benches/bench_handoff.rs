@@ -1,0 +1,70 @@
+//! Criterion bench: the LM pipeline pieces — server-assignment
+//! computation, assignment diffing, and ledger recording.
+
+use chlm_cluster::address::AddressBook;
+use chlm_cluster::{Hierarchy, HierarchyOptions};
+use chlm_geom::{Disk, Point, SimRng};
+use chlm_graph::unit_disk::build_unit_disk;
+use chlm_lm::handoff::HandoffLedger;
+use chlm_lm::server::{LmAssignment, SelectionRule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct Scenario {
+    h_before: Hierarchy,
+    h_after: Hierarchy,
+    positions: Vec<Point>,
+    rtx: f64,
+}
+
+fn setup(n: usize) -> Scenario {
+    let density = 1.25;
+    let rtx = chlm_geom::rtx_for_degree(9.0, density);
+    let mut rng = SimRng::seed_from(n as u64);
+    let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+    let mut pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+    let ids = rng.permutation(n);
+    let h_before = Hierarchy::build(&ids, &build_unit_disk(&pts, rtx), HierarchyOptions::default());
+    // Nudge everyone a tick's worth.
+    for p in &mut pts {
+        use chlm_geom::Region;
+        let heading = Point::unit(rng.range_f64(0.0, std::f64::consts::TAU));
+        *p = region.clamp(*p + heading * (rtx / 10.0));
+    }
+    let h_after = Hierarchy::build(&ids, &build_unit_disk(&pts, rtx), HierarchyOptions::default());
+    Scenario { h_before, h_after, positions: pts, rtx }
+}
+
+fn bench_handoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lm_handoff");
+    for &n in &[256usize, 1024] {
+        let s = setup(n);
+        group.bench_with_input(BenchmarkId::new("assignment", n), &(), |b, _| {
+            b.iter(|| LmAssignment::compute(&s.h_after, SelectionRule::Hrw));
+        });
+        let before = LmAssignment::compute(&s.h_before, SelectionRule::Hrw);
+        let after = LmAssignment::compute(&s.h_after, SelectionRule::Hrw);
+        group.bench_with_input(BenchmarkId::new("diff", n), &(), |b, _| {
+            b.iter(|| before.diff(&after));
+        });
+        let host_changes = before.diff(&after);
+        let addr_changes =
+            AddressBook::capture(&s.h_before).diff(&AddressBook::capture(&s.h_after));
+        group.bench_with_input(BenchmarkId::new("ledger_record", n), &(), |b, _| {
+            b.iter(|| {
+                let mut ledger = HandoffLedger::new();
+                ledger.record(
+                    &host_changes,
+                    &addr_changes,
+                    |x, y| s.positions[x as usize].dist(s.positions[y as usize]) / s.rtx,
+                    n,
+                    0.1,
+                );
+                ledger
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_handoff);
+criterion_main!(benches);

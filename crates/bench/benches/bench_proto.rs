@@ -1,0 +1,45 @@
+//! Criterion bench: packet-level protocol execution — event queue churn
+//! and hop-by-hop forwarding throughput.
+
+use chlm_geom::{Disk, SimRng};
+use chlm_graph::unit_disk::build_unit_disk;
+use chlm_proto::message::{LmMessage, Packet};
+use chlm_proto::network::PacketNetwork;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_proto(c: &mut Criterion) {
+    let density = 1.25;
+    let rtx = chlm_geom::rtx_for_degree(9.0, density);
+    let mut group = c.benchmark_group("packet_network");
+    for &n in &[256usize, 1024] {
+        let mut rng = SimRng::seed_from(n as u64);
+        let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, rtx);
+        let packets: Vec<Packet> = (0..200)
+            .map(|i| Packet {
+                src: (i * 7) % n as u32,
+                dst: (i * 13 + 5) % n as u32,
+                msg: LmMessage::Transfer {
+                    subject: i as u32 % n as u32,
+                    level: 2,
+                },
+                sent_at: 0.0,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(200));
+        group.bench_with_input(BenchmarkId::new("route_200_packets", n), &(), |b, _| {
+            b.iter(|| {
+                let mut net = PacketNetwork::new(&g, 0.001);
+                for &p in &packets {
+                    net.send(p);
+                }
+                net.run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proto);
+criterion_main!(benches);

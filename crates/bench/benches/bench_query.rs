@@ -1,0 +1,57 @@
+//! Criterion bench: CHLM location-query resolution and hierarchical path
+//! computation.
+
+use chlm_cluster::{Hierarchy, HierarchyOptions};
+use chlm_geom::{Disk, SimRng};
+use chlm_graph::unit_disk::build_unit_disk;
+use chlm_lm::query::resolve;
+use chlm_lm::server::{LmAssignment, SelectionRule};
+use chlm_routing::hierarchical_path;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_query(c: &mut Criterion) {
+    let density = 1.25;
+    let rtx = chlm_geom::rtx_for_degree(9.0, density);
+    let mut group = c.benchmark_group("query_and_route");
+    for &n in &[512usize, 2048] {
+        let mut rng = SimRng::seed_from(n as u64);
+        let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, rtx);
+        let ids = rng.permutation(n);
+        let h = Hierarchy::build(&ids, &g, HierarchyOptions::default());
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        let pairs: Vec<(u32, u32)> = (0..64)
+            .map(|_| (rng.index(n) as u32, rng.index(n) as u32))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("resolve_64", n), &(), |b, _| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for &(s, t) in &pairs {
+                    if let Some(q) = resolve(&h, &a, s, t, |x, y| {
+                        pts[x as usize].dist(pts[y as usize]) / rtx
+                    }) {
+                        total += q.packets;
+                    }
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical_path_8", n), &(), |b, _| {
+            b.iter(|| {
+                let mut hops = 0u32;
+                for &(s, t) in pairs.iter().take(8) {
+                    if let Some(p) = hierarchical_path(&h, s, t) {
+                        hops += p.hops;
+                    }
+                }
+                hops
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: analysis kernels — model fitting and the birth-death
+//! stationary solver (cheap, but they run inside every experiment binary).
+
+use chlm_analysis::markov::stationary_birth_death;
+use chlm_analysis::regression::{best_fit, ModelClass};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_analysis(c: &mut Criterion) {
+    let xs: Vec<f64> = (7..18).map(|e| (1u64 << e) as f64).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| 2.0 * ModelClass::Log2N.basis(x) + 0.7)
+        .collect();
+    c.bench_function("best_fit_5_classes", |b| {
+        b.iter(|| best_fit(&xs, &ys));
+    });
+
+    let lambda: Vec<f64> = (0..64).map(|s| (64 - s) as f64 * 0.3).collect();
+    let mu: Vec<f64> = (0..64).map(|s| (s + 1) as f64 * 0.7).collect();
+    c.bench_function("birth_death_64_states", |b| {
+        b.iter(|| stationary_birth_death(&lambda, &mu));
+    });
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench (ablation): spatial index choice for neighbor queries —
+//! hash grid vs quadtree vs brute force — and BFS vs Euclidean hop oracle.
+
+use chlm_geom::{Disk, QuadTree, SimRng, SpatialGrid};
+use chlm_graph::unit_disk::{build_unit_disk, build_unit_disk_brute};
+use chlm_sim::oracle::DistanceOracle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_indexes(c: &mut Criterion) {
+    let density = 1.25;
+    let rtx = chlm_geom::rtx_for_degree(9.0, density);
+    let mut group = c.benchmark_group("spatial_index");
+    for &n in &[512usize, 2048] {
+        let mut rng = SimRng::seed_from(n as u64);
+        let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("grid_build_query", n), &(), |b, _| {
+            b.iter(|| {
+                let grid = SpatialGrid::build(&pts, rtx);
+                let mut total = 0usize;
+                for (i, &p) in pts.iter().enumerate().step_by(8) {
+                    grid.for_each_within(&pts, p, rtx, |_| total += i % 2);
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("quadtree_build_query", n), &(), |b, _| {
+            b.iter(|| {
+                let tree = QuadTree::build(&pts);
+                let mut total = 0usize;
+                for (i, &p) in pts.iter().enumerate().step_by(8) {
+                    tree.for_each_within(&pts, p, rtx, |_| total += i % 2);
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("unit_disk_grid", n), &(), |b, _| {
+            b.iter(|| build_unit_disk(&pts, rtx));
+        });
+        if n <= 512 {
+            group.bench_with_input(BenchmarkId::new("unit_disk_brute", n), &(), |b, _| {
+                b.iter(|| build_unit_disk_brute(&pts, rtx));
+            });
+        }
+
+        // Hop-oracle ablation on the same topology.
+        let g = build_unit_disk(&pts, rtx);
+        group.bench_with_input(BenchmarkId::new("oracle_bfs_100pairs", n), &(), |b, _| {
+            b.iter(|| {
+                let mut o = DistanceOracle::bfs(&g, &pts, rtx);
+                let mut acc = 0.0;
+                for i in 0..100u32 {
+                    acc += o.hops(i % n as u32, (i * 37) % n as u32);
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("oracle_euclid_100pairs", n), &(), |b, _| {
+            b.iter(|| {
+                let mut o = DistanceOracle::euclidean(&g, &pts, rtx, 1.3);
+                let mut acc = 0.0;
+                for i in 0..100u32 {
+                    acc += o.hops(i % n as u32, (i * 37) % n as u32);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: unit-disk graph construction across sizes — the
+//! hot path of every simulation tick.
+
+use chlm_geom::{Disk, SimRng};
+use chlm_graph::unit_disk::build_unit_disk;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_unit_disk(c: &mut Criterion) {
+    let density = 1.25;
+    let rtx = chlm_geom::rtx_for_degree(9.0, density);
+    let mut group = c.benchmark_group("unit_disk_build");
+    for &n in &[256usize, 1024, 4096] {
+        let mut rng = SimRng::seed_from(n as u64);
+        let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| build_unit_disk(pts, rtx));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_disk);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! E18 (methodology validation): analytical accounting vs executed packets.
+//!
+//! The φ/γ numbers everywhere else come from the analytical ledger
+//! (entries × hop-oracle). Here we *execute* the same handoff workload as
+//! real packets over the topology and compare: under the BFS oracle the
+//! two must agree exactly; the Euclidean oracle (used for large sweeps)
+//! should sit within a few percent. Also reports handoff delivery latency,
+//! which the analytical pipeline cannot see.
+
+use chlm_analysis::table::{fnum, TextTable};
+use chlm_bench::{banner, env_usize};
+use chlm_cluster::address::AddressBook;
+use chlm_cluster::{Hierarchy, HierarchyOptions};
+use chlm_geom::{Disk, SimRng};
+use chlm_graph::traversal::{bfs_distances, UNREACHABLE};
+use chlm_graph::unit_disk::build_unit_disk;
+use chlm_graph::NodeIdx;
+use chlm_lm::server::{LmAssignment, SelectionRule};
+use chlm_mobility::{MobilityModel, RandomWaypoint};
+use chlm_proto::protocol::execute_handoff;
+use std::collections::HashMap;
+
+fn main() {
+    banner("E18", "packet-level validation of the handoff accounting");
+    let n = env_usize("CHLM_MAX_N", 1024).min(512);
+    let density = 1.25;
+    let rtx = chlm_geom::rtx_for_degree(9.0, density);
+    let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+    let mut t = TextTable::new(vec![
+        "tick",
+        "entries moved",
+        "executed pkts",
+        "bfs ledger pkts",
+        "euclid ledger pkts",
+        "euclid err %",
+        "mean latency (ms)",
+    ]);
+
+    let mut rng = SimRng::seed_from(18_000);
+    let ids = rng.permutation(n);
+    let mut mob = RandomWaypoint::deployed(region, n, 2.0, 40.0, &mut rng);
+    let opts = HierarchyOptions::default();
+    let h0 = Hierarchy::build(&ids, &build_unit_disk(mob.positions(), rtx), opts);
+    let mut a_prev = LmAssignment::compute(&h0, SelectionRule::Hrw);
+    let mut b_prev = AddressBook::capture(&h0);
+
+    let mut total_exec = 0u64;
+    let mut total_bfs = 0.0;
+    let mut total_euclid = 0.0;
+    for tick in 0..12 {
+        mob.step(rtx / 4.0);
+        let positions = mob.positions().to_vec();
+        let g = build_unit_disk(&positions, rtx);
+        let h = Hierarchy::build(&ids, &g, opts);
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        let b = AddressBook::capture(&h);
+        let host_changes = a_prev.diff(&a);
+        let addr_changes = b_prev.diff(&b);
+
+        // Analytical pricing with both oracles (dropping cross-partition
+        // pairs to match the packet network).
+        let mut cache: HashMap<NodeIdx, Vec<u32>> = HashMap::new();
+        let mut bfs_hops = |x: NodeIdx, y: NodeIdx| -> f64 {
+            if x == y {
+                return 0.0;
+            }
+            let d = cache.entry(x).or_insert_with(|| bfs_distances(&g, x));
+            if d[y as usize] == UNREACHABLE {
+                0.0
+            } else {
+                d[y as usize] as f64
+            }
+        };
+        let euclid = |x: NodeIdx, y: NodeIdx| -> f64 {
+            if x == y {
+                0.0
+            } else {
+                (positions[x as usize].dist(positions[y as usize]) / rtx * 1.3).max(1.0)
+            }
+        };
+        let changed: std::collections::HashSet<(NodeIdx, u16)> =
+            addr_changes.iter().map(|c| (c.node, c.level)).collect();
+        let mut bfs_total = 0.0;
+        let mut euclid_total = 0.0;
+        for hc in &host_changes {
+            bfs_total += bfs_hops(hc.old_host, hc.new_host);
+            euclid_total += euclid(hc.old_host, hc.new_host);
+            if changed.contains(&(hc.subject, hc.level)) {
+                bfs_total += bfs_hops(hc.subject, hc.new_host);
+                euclid_total += euclid(hc.subject, hc.new_host);
+            }
+        }
+
+        let stats = execute_handoff(&g, &host_changes, &addr_changes, 0.001);
+        total_exec += stats.net.transmissions;
+        total_bfs += bfs_total;
+        total_euclid += euclid_total;
+        let err = if bfs_total > 0.0 {
+            (euclid_total - bfs_total) / bfs_total * 100.0
+        } else {
+            0.0
+        };
+        t.row(vec![
+            format!("{tick}"),
+            format!("{}", host_changes.len()),
+            format!("{}", stats.net.transmissions),
+            fnum(bfs_total),
+            fnum(euclid_total),
+            fnum(err),
+            fnum(stats.mean_latency() * 1000.0),
+        ]);
+
+        a_prev = a;
+        b_prev = b;
+    }
+    println!("{}", t.render());
+    assert_eq!(
+        total_exec as f64, total_bfs,
+        "executed transmissions must equal the BFS-oracle ledger"
+    );
+    println!("VALIDATED: executed transmissions == BFS-oracle analytical count ({total_exec} packets)");
+    println!(
+        "Euclidean oracle aggregate error vs ground truth: {:+.1}%",
+        (total_euclid - total_bfs) / total_bfs * 100.0
+    );
+}

@@ -1,0 +1,139 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one row of DESIGN.md's experiment index
+//! (`cargo run -p chlm-bench --release --bin exp_…`). Scale knobs come from
+//! the environment so the same binaries serve quick smoke runs and the
+//! full EXPERIMENTS.md regeneration:
+//!
+//! * `CHLM_MAX_N`  — largest network size in sweeps (default 1024),
+//! * `CHLM_SEEDS`  — replications per point (default 6),
+//! * `CHLM_DURATION` — measured seconds per replication (default 8),
+//! * `CHLM_THREADS` — worker threads (default: available parallelism).
+
+use chlm_analysis::regression::{best_fit, class_is_competitive, FitResult, ModelClass};
+use chlm_analysis::table::{fnum, TextTable};
+use chlm_core::experiment::MetricSeries;
+use chlm_sim::SimConfig;
+
+/// Read a `usize` env knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read an `f64` env knob.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The sweep sizes for scaling experiments: 128 doubling up to
+/// `CHLM_MAX_N`.
+pub fn sweep_sizes() -> Vec<usize> {
+    chlm_core::scenario::scaling_sizes(env_usize("CHLM_MAX_N", 1024))
+}
+
+/// Replications per sweep point.
+pub fn replications() -> usize {
+    env_usize("CHLM_SEEDS", 6)
+}
+
+/// Worker threads.
+pub fn threads() -> usize {
+    env_usize(
+        "CHLM_THREADS",
+        std::thread::available_parallelism().map_or(4, |p| p.get()),
+    )
+}
+
+/// The standard mobile configuration used by the sweeps.
+///
+/// Warmup scales with the region-crossing time (`radius / μ`) so the
+/// random-waypoint process is equally mixed at every size — otherwise the
+/// spatial distribution (and with it mean degree and f₀) drifts with `n`
+/// and confounds the scaling fits.
+pub fn standard_config(n: usize) -> SimConfig {
+    let mut cfg = SimConfig::builder(n)
+        .duration(env_f64("CHLM_DURATION", 8.0))
+        .warmup(env_f64("CHLM_WARMUP", 6.0))
+        .build();
+    let crossing = cfg.region_radius() / cfg.speed;
+    cfg.warmup = cfg.warmup.max(2.0 * crossing);
+    cfg
+}
+
+/// Print one metric series as a table with confidence intervals.
+pub fn print_series(series: &[&MetricSeries]) {
+    assert!(!series.is_empty());
+    let mut headers = vec!["n".to_string()];
+    for s in series {
+        headers.push(s.name.clone());
+        headers.push(format!("{}_ci95", s.name));
+    }
+    let mut t = TextTable::new(headers);
+    for (i, &n) in series[0].sizes.iter().enumerate() {
+        let mut row = vec![format!("{}", n as usize)];
+        for s in series {
+            row.push(fnum(s.means[i]));
+            row.push(fnum(s.ci95[i]));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+}
+
+/// Fit all scaling classes to a series, print the ranking, and state
+/// whether `claimed` is the winner or statistically competitive.
+pub fn print_fits(series: &MetricSeries, claimed: ModelClass) -> Vec<FitResult> {
+    let (xs, ys) = series.xy();
+    let fits = best_fit(xs, ys);
+    println!("scaling fits for `{}` (best first):", series.name);
+    for f in &fits {
+        println!("  {:<10} r2 = {:+.4}  (a = {:.4}, b = {:.4})", f.class.name(), f.r2, f.a, f.b);
+    }
+    let verdict = if fits[0].class == claimed {
+        "CLAIM HOLDS (best fit)"
+    } else if class_is_competitive(&fits, claimed, 0.05) {
+        "CLAIM HOLDS (within noise of best)"
+    } else {
+        "CLAIM NOT SUPPORTED at these sizes"
+    };
+    println!("paper claims {} -> {verdict}\n", claimed.name());
+    fits
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, what: &str) {
+    println!("== {id}: {what} ==");
+    println!(
+        "sizes {:?}, {} replications, {}s measured, {} threads\n",
+        sweep_sizes(),
+        replications(),
+        env_f64("CHLM_DURATION", 8.0),
+        threads()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_usize("CHLM_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_f64("CHLM_DOES_NOT_EXIST", 1.5), 1.5);
+        assert!(threads() >= 1);
+        assert!(!sweep_sizes().is_empty());
+    }
+
+    #[test]
+    fn standard_config_sane() {
+        let cfg = standard_config(128);
+        assert_eq!(cfg.n, 128);
+        assert!(cfg.duration > 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Classification of cluster-reorganization events.
+//!
+//! §5.2 of the paper enumerates seven event classes that trigger handoff
+//! for a level-k cluster:
+//!
+//! * **(i)** a level-k link forms where an endpoint is a level-(k+1) node,
+//! * **(ii)** a level-k link breaks where an endpoint was a level-(k+1) node,
+//! * **(iii)** a node becomes a level-k node because an *existing*
+//!   level-(k-1) node switched its vote to it (elector migration),
+//! * **(iv)** a node loses level-k status because an existing elector
+//!   switched away (elector migration),
+//! * **(v)** a node becomes a level-k node because a *newly elected*
+//!   level-(k-1) node voted for it (recursive election),
+//! * **(vi)** a node loses level-k status because its elector itself ceased
+//!   to be a level-(k-1) node (recursive rejection — the "domino effect"),
+//! * **(vii)** a level-k neighbor of an existing level-k node is promoted to
+//!   level-(k+1) clusterhead.
+//!
+//! The paper also observes that the *converse* of (vii) — a neighboring
+//! level-(k+1) cluster ceasing to exist — incurs **no** handoff; we count
+//! those occurrences separately (`converse_vii`) so experiment E10 can
+//! verify the claim's premise is exercised.
+
+use crate::Hierarchy;
+use chlm_graph::NodeIdx;
+use std::collections::{HashMap, HashSet};
+
+/// One classified reorganization event. `level` is the paper's `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReorgEvent {
+    /// (i) — level-`level` link `(u, v)` formed; an endpoint is a
+    /// level-(k+1) node.
+    LinkFormed { level: u16, u: NodeIdx, v: NodeIdx },
+    /// (ii) — level-`level` link `(u, v)` broken; an endpoint was a
+    /// level-(k+1) node.
+    LinkBroken { level: u16, u: NodeIdx, v: NodeIdx },
+    /// (iii) — `head` newly became a level-`level` node; `elector` is a
+    /// pre-existing level-(k-1) node that switched its vote to it.
+    ElectedByMigration { level: u16, head: NodeIdx, elector: NodeIdx },
+    /// (iv) — `head` lost level-`level` status; `elector` still exists and
+    /// switched its vote away.
+    RejectedByMigration { level: u16, head: NodeIdx, elector: NodeIdx },
+    /// (v) — `head` newly became a level-`level` node; `elector` is itself a
+    /// brand-new level-(k-1) node.
+    ElectedRecursive { level: u16, head: NodeIdx, elector: NodeIdx },
+    /// (vi) — `head` lost level-`level` status because every elector
+    /// vanished from level k-1 (recursive rejection).
+    RejectedRecursive { level: u16, head: NodeIdx, elector: NodeIdx },
+    /// (vii) — `neighbor` (a level-`level` node) must hand off because its
+    /// level-`level` neighbor `new_head` was promoted to level-(k+1).
+    NeighborPromoted { level: u16, new_head: NodeIdx, neighbor: NodeIdx },
+}
+
+impl ReorgEvent {
+    /// Event class index 0..7 in paper order (i)..(vii).
+    pub fn class(&self) -> usize {
+        match self {
+            ReorgEvent::LinkFormed { .. } => 0,
+            ReorgEvent::LinkBroken { .. } => 1,
+            ReorgEvent::ElectedByMigration { .. } => 2,
+            ReorgEvent::RejectedByMigration { .. } => 3,
+            ReorgEvent::ElectedRecursive { .. } => 4,
+            ReorgEvent::RejectedRecursive { .. } => 5,
+            ReorgEvent::NeighborPromoted { .. } => 6,
+        }
+    }
+
+    /// The paper's level `k` of the event.
+    pub fn level(&self) -> u16 {
+        match *self {
+            ReorgEvent::LinkFormed { level, .. }
+            | ReorgEvent::LinkBroken { level, .. }
+            | ReorgEvent::ElectedByMigration { level, .. }
+            | ReorgEvent::RejectedByMigration { level, .. }
+            | ReorgEvent::ElectedRecursive { level, .. }
+            | ReorgEvent::RejectedRecursive { level, .. }
+            | ReorgEvent::NeighborPromoted { level, .. } => level,
+        }
+    }
+
+    /// Roman-numeral label, for reports.
+    pub fn label(&self) -> &'static str {
+        ["i", "ii", "iii", "iv", "v", "vi", "vii"][self.class()]
+    }
+}
+
+/// Per-level, per-class event counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// `counts[level][class]`; level index is the paper's `k` (index 0
+    /// unused so that `counts[k]` is level k).
+    pub counts: Vec<[u64; 7]>,
+    /// Occurrences of the converse of (vii): a level-(k+1) neighbor cluster
+    /// ceased to exist (no handoff incurred).
+    pub converse_vii: Vec<u64>,
+}
+
+impl EventCounts {
+    pub fn with_levels(max_level: usize) -> Self {
+        EventCounts {
+            counts: vec![[0; 7]; max_level + 1],
+            converse_vii: vec![0; max_level + 1],
+        }
+    }
+
+    fn bump(&mut self, ev: &ReorgEvent) {
+        let k = ev.level() as usize;
+        if k >= self.counts.len() {
+            self.counts.resize(k + 1, [0; 7]);
+            self.converse_vii.resize(k + 1, 0);
+        }
+        self.counts[k][ev.class()] += 1;
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &EventCounts) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), [0; 7]);
+            self.converse_vii.resize(other.converse_vii.len(), 0);
+        }
+        for (k, row) in other.counts.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                self.counts[k][c] += v;
+            }
+        }
+        for (k, v) in other.converse_vii.iter().enumerate() {
+            self.converse_vii[k] += v;
+        }
+    }
+
+    /// Total events at level k across all classes.
+    pub fn level_total(&self, k: usize) -> u64 {
+        self.counts.get(k).map_or(0, |row| row.iter().sum())
+    }
+
+    /// Total events across all levels and classes.
+    pub fn grand_total(&self) -> u64 {
+        self.counts.iter().map(|row| row.iter().sum::<u64>()).sum()
+    }
+}
+
+/// Level-k edge set keyed by physical endpoint ids (`u < v`).
+fn phys_edges(h: &Hierarchy, k: usize) -> HashSet<(NodeIdx, NodeIdx)> {
+    match h.levels.get(k) {
+        None => HashSet::new(),
+        Some(level) => level
+            .graph
+            .edges()
+            .map(|(a, b)| {
+                let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
+                (pa.min(pb), pa.max(pb))
+            })
+            .collect(),
+    }
+}
+
+/// Physical-id set of level-k nodes.
+fn phys_nodes(h: &Hierarchy, k: usize) -> HashSet<NodeIdx> {
+    match h.levels.get(k) {
+        None => HashSet::new(),
+        Some(level) => level.nodes.iter().copied().collect(),
+    }
+}
+
+/// Vote map at level k: physical node -> physical vote target.
+fn phys_votes(h: &Hierarchy, k: usize) -> HashMap<NodeIdx, NodeIdx> {
+    match h.levels.get(k) {
+        None => HashMap::new(),
+        Some(level) => level
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, level.nodes[level.vote[i] as usize]))
+            .collect(),
+    }
+}
+
+/// Classify every reorganization event between two hierarchy snapshots.
+///
+/// Returns the event list and per-level counters. Levels are the paper's
+/// `k ∈ {1, …}`: an event at level `k` concerns the level-k node set (the
+/// heads elected at level k-1) and the level-k topology.
+pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, EventCounts) {
+    assert_eq!(old.node_count(), new.node_count());
+    let max_depth = old.depth().max(new.depth());
+    let mut events = Vec::new();
+    let mut counts = EventCounts::with_levels(max_depth);
+
+    for k in 1..max_depth {
+        let old_nodes = phys_nodes(old, k);
+        let new_nodes = phys_nodes(new, k);
+        let old_prev_nodes = phys_nodes(old, k - 1);
+        let new_prev_nodes = phys_nodes(new, k - 1);
+        let old_votes_prev = phys_votes(old, k - 1);
+        let new_votes_prev = phys_votes(new, k - 1);
+
+        // --- (i)/(ii): level-k link churn with a level-(k+1) endpoint ---
+        // Endpoints must exist at level k in both snapshots (births/deaths
+        // are covered by (iii)-(vii)).
+        let old_edges = phys_edges(old, k);
+        let new_edges = phys_edges(new, k);
+        let upper_old = phys_nodes(old, k + 1);
+        let upper_new = phys_nodes(new, k + 1);
+        for &(u, v) in new_edges.difference(&old_edges) {
+            if old_nodes.contains(&u)
+                && old_nodes.contains(&v)
+                && new_nodes.contains(&u)
+                && new_nodes.contains(&v)
+                && (upper_new.contains(&u) || upper_new.contains(&v))
+            {
+                let ev = ReorgEvent::LinkFormed { level: k as u16, u, v };
+                counts.bump(&ev);
+                events.push(ev);
+            }
+        }
+        for &(u, v) in old_edges.difference(&new_edges) {
+            if old_nodes.contains(&u)
+                && old_nodes.contains(&v)
+                && new_nodes.contains(&u)
+                && new_nodes.contains(&v)
+                && (upper_old.contains(&u) || upper_old.contains(&v))
+            {
+                let ev = ReorgEvent::LinkBroken { level: k as u16, u, v };
+                counts.bump(&ev);
+                events.push(ev);
+            }
+        }
+
+        // --- (iii)/(v): level-k node births ---
+        for &head in new_nodes.difference(&old_nodes) {
+            // Electors of `head` among new level-(k-1) nodes.
+            let electors: Vec<NodeIdx> = new_votes_prev
+                .iter()
+                .filter(|&(&u, &t)| t == head && u != head)
+                .map(|(&u, _)| u)
+                .collect();
+            // An elector that existed at level k-1 before and voted
+            // elsewhere means migration-driven election (iii); an elector
+            // that is itself brand new means recursive election (v).
+            // Use the minimum qualifying elector so classification is
+            // independent of hash-map iteration order (determinism).
+            let migrating = electors
+                .iter()
+                .filter(|&&u| old_prev_nodes.contains(&u) && old_votes_prev.get(&u) != Some(&head))
+                .min();
+            let ev = if let Some(&u) = migrating {
+                ReorgEvent::ElectedByMigration { level: k as u16, head, elector: u }
+            } else if let Some(&u) = electors.iter().filter(|&&u| !old_prev_nodes.contains(&u)).min() {
+                ReorgEvent::ElectedRecursive { level: k as u16, head, elector: u }
+            } else {
+                // Only a self-vote (singleton head): the head itself must be
+                // new at level k-1 or have lost its superior neighbor —
+                // attribute to migration of the head itself.
+                ReorgEvent::ElectedByMigration { level: k as u16, head, elector: head }
+            };
+            counts.bump(&ev);
+            events.push(ev);
+        }
+
+        // --- (iv)/(vi): level-k node deaths ---
+        for &head in old_nodes.difference(&new_nodes) {
+            let old_electors: Vec<NodeIdx> = old_votes_prev
+                .iter()
+                .filter(|&(&u, &t)| t == head && u != head)
+                .map(|(&u, _)| u)
+                .collect();
+            let surviving = old_electors
+                .iter()
+                .filter(|&&u| new_prev_nodes.contains(&u))
+                .min();
+            let ev = if let Some(&u) = surviving {
+                ReorgEvent::RejectedByMigration { level: k as u16, head, elector: u }
+            } else if let Some(&u) = old_electors.iter().min() {
+                ReorgEvent::RejectedRecursive { level: k as u16, head, elector: u }
+            } else {
+                // Was a singleton (self-vote only) head; the head itself
+                // vanished from level k-1 or gained a superior neighbor.
+                ReorgEvent::RejectedByMigration { level: k as u16, head, elector: head }
+            };
+            counts.bump(&ev);
+            events.push(ev);
+        }
+
+        // --- (vii): neighbor promoted to level-(k+1) ---
+        if let Some(new_level) = new.levels.get(k) {
+            for &promoted in upper_new.difference(&upper_old) {
+                // `promoted` is a level-(k+1) node now; each of its level-k
+                // neighbors that also existed before does handoff with the
+                // new cluster.
+                if let Some(local) = new_level.local(promoted) {
+                    for &nb in new_level.graph.neighbors(local) {
+                        let nb_phys = new_level.nodes[nb as usize];
+                        if old_nodes.contains(&nb_phys) {
+                            let ev = ReorgEvent::NeighborPromoted {
+                                level: k as u16,
+                                new_head: promoted,
+                                neighbor: nb_phys,
+                            };
+                            counts.bump(&ev);
+                            events.push(ev);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- converse of (vii): upper-level cluster death (no handoff) ---
+        for _ in upper_old.difference(&upper_new) {
+            counts.converse_vii[k] += 1;
+        }
+    }
+    (events, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyOptions;
+    use chlm_graph::Graph;
+
+    fn hierarchy(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
+        let ids: Vec<u64> = (0..n as u64).collect();
+        Hierarchy::build(&ids, &Graph::from_edges(n, edges), HierarchyOptions::default())
+    }
+
+    #[test]
+    fn no_change_no_events() {
+        let h = hierarchy(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (3, 4), (6, 7)]);
+        let (evs, counts) = classify_events(&h, &h.clone());
+        assert!(evs.is_empty());
+        assert_eq!(counts.grand_total(), 0);
+    }
+
+    #[test]
+    fn head_birth_by_migration_is_iii() {
+        // Before: 1-2 (1 votes 2; 2 head). Node 3 isolated head; node 0
+        // attaches to 1? Let's make an existing elector switch votes:
+        // before: 0 votes 4 (edge 0-4). after: 0-4 broken, 0-3 formed → 0
+        // votes 3 → node 3 becomes a head by 0's migration.
+        let before = hierarchy(5, &[(0, 4), (3, 1)]); // 3 votes 3 (head via self+elector 1)
+        // make node 3 NOT a head before: give 3 a bigger neighbor 4? then 3
+        // votes 4. before: edges (0,4),(3,4): 3 votes 4, 0 votes 4. 4 head.
+        let before = {
+            let _ = before;
+            hierarchy(5, &[(0, 4), (3, 4)])
+        };
+        // after: 0 leaves 4, joins 3: edges (0,3),(3,4). Now 0 votes 3
+        // (3 > 0, 4 not adjacent to 0) → 3 becomes level-1 head.
+        let after = hierarchy(5, &[(0, 3), (3, 4)]);
+        let (evs, counts) = classify_events(&before, &after);
+        assert!(
+            evs.iter().any(|e| matches!(
+                e,
+                ReorgEvent::ElectedByMigration { level: 1, head: 3, elector: 0 }
+            )),
+            "events: {evs:?}"
+        );
+        assert!(counts.counts[1][2] >= 1);
+    }
+
+    #[test]
+    fn head_death_by_migration_is_iv() {
+        // Reverse of the previous scenario.
+        let before = hierarchy(5, &[(0, 3), (3, 4)]);
+        let after = hierarchy(5, &[(0, 4), (3, 4)]);
+        let (evs, _) = classify_events(&before, &after);
+        assert!(
+            evs.iter().any(|e| matches!(
+                e,
+                ReorgEvent::RejectedByMigration { level: 1, head: 3, elector: 0 }
+            )),
+            "events: {evs:?}"
+        );
+    }
+
+    #[test]
+    fn link_churn_with_head_endpoint_counts_i_ii() {
+        // Level-1 link between heads 4 and 3 (clusters {0,4},{... }).
+        // before: 0-4, 1-3 and bridge 0-1 → level-1 edge (4,3).
+        let before = hierarchy(5, &[(0, 4), (1, 3), (0, 1)]);
+        // after: bridge broken → level-1 edge gone.
+        let after = hierarchy(5, &[(0, 4), (1, 3)]);
+        let (evs, counts) = classify_events(&before, &after);
+        // The level-1 nodes 3,4 persist; one of them is a level-2 node.
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e, ReorgEvent::LinkBroken { level: 1, .. })),
+            "events: {evs:?}"
+        );
+        assert_eq!(counts.counts[1][1], 1);
+        // And the reverse direction produces (i).
+        let (evs2, counts2) = classify_events(&after, &before);
+        assert!(evs2
+            .iter()
+            .any(|e| matches!(e, ReorgEvent::LinkFormed { level: 1, .. })));
+        assert_eq!(counts2.counts[1][0], 1);
+    }
+
+    #[test]
+    fn merge_and_totals() {
+        let mut a = EventCounts::with_levels(2);
+        let ev = ReorgEvent::LinkFormed { level: 1, u: 0, v: 1 };
+        a.bump(&ev);
+        let mut b = EventCounts::with_levels(4);
+        b.bump(&ReorgEvent::NeighborPromoted { level: 3, new_head: 2, neighbor: 5 });
+        a.merge(&b);
+        assert_eq!(a.level_total(1), 1);
+        assert_eq!(a.level_total(3), 1);
+        assert_eq!(a.grand_total(), 2);
+    }
+
+    #[test]
+    fn labels_and_classes_align() {
+        let ev = ReorgEvent::RejectedRecursive { level: 2, head: 0, elector: 1 };
+        assert_eq!(ev.class(), 5);
+        assert_eq!(ev.label(), "vi");
+        assert_eq!(ev.level(), 2);
+    }
+}

@@ -1,0 +1,545 @@
+//! # chlm-cluster
+//!
+//! Clustering substrate: the Linked Cluster Algorithm (LCA) election rule of
+//! Baker & Ephremides [1], applied recursively to produce the multi-level
+//! clustered hierarchy the paper analyzes (§2), plus the machinery to *diff*
+//! consecutive hierarchies and classify the reorganization events (i)–(vii)
+//! of §5.2.
+//!
+//! ## Election rule (§2.2)
+//!
+//! A level-k node `v` is elected level-k clusterhead by a node `u` when `v`
+//! has the largest node ID in the closed neighborhood of `u` (that is,
+//! `u ∪ N_k(u)`). Every node therefore casts exactly one *vote* — for the
+//! largest-ID node it can hear (possibly itself) — and the level-(k+1) node
+//! set is the image of the vote map. This matches the paper's Fig. 1: node
+//! 97 is a head because it is the largest in its own neighborhood; node 68
+//! is a head because it is the largest in node 63's neighborhood even
+//! though 68 is not the largest in its own.
+//!
+//! ## Recursion
+//!
+//! Level-(k+1) nodes are the elected level-k heads; two level-(k+1) nodes
+//! are adjacent iff their level-k clusters contain adjacent level-k nodes
+//! (cluster adjacency). Recursion continues until no further aggregation
+//! occurs; for a connected graph it always reaches a single top-level node
+//! because the minimum-ID node of any non-trivial component is never
+//! elected, so the node set strictly shrinks.
+//!
+//! The paper's *asynchronous* LCA (ALCA) reacts to individual link-state
+//! changes. Because the LCA fixed point is a pure function of the current
+//! topology and the node IDs, recomputing it each simulation tick and
+//! diffing consecutive hierarchies reproduces exactly the event stream an
+//! asynchronous implementation observes at tick granularity (see
+//! DESIGN.md, "Asynchrony").
+
+//!
+//! ## Example
+//!
+//! ```
+//! use chlm_cluster::{Hierarchy, HierarchyOptions};
+//! use chlm_geom::{Disk, SimRng};
+//! use chlm_graph::unit_disk::build_unit_disk;
+//!
+//! let region = Disk::centered(10.0);
+//! let mut rng = SimRng::seed_from(63);
+//! let points = chlm_geom::region::deploy_uniform(&region, 150, &mut rng);
+//! let graph = build_unit_disk(&points, 2.0);
+//! let ids = rng.permutation(150);
+//! let h = Hierarchy::build(&ids, &graph, HierarchyOptions::default());
+//! // Every node has a hierarchical address up the clusterhead chain.
+//! let addr = h.address(0);
+//! assert_eq!(addr[0], 0);
+//! assert_eq!(addr.len(), h.depth());
+//! ```
+
+pub mod address;
+pub mod events;
+pub mod maintenance;
+pub mod maxmin;
+pub mod metrics;
+pub mod render;
+pub mod state;
+
+pub use address::{AddressBook, AddrChangeKind};
+pub use events::{classify_events, EventCounts, ReorgEvent};
+pub use metrics::LevelStats;
+pub use state::StateTracker;
+
+use chlm_graph::{Graph, NodeIdx};
+use std::collections::HashMap;
+
+/// Stable election identity of a physical node. The LCA elects the largest.
+/// IDs are assigned as a random permutation so they are independent of
+/// geometry.
+pub type ElectionId = u64;
+
+/// One level of the clustered hierarchy.
+///
+/// `nodes[i]` is the *physical* index of the i-th level-k node; all other
+/// per-node vectors are indexed by this local index `i`.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// Physical indices of the level-k nodes, in discovery order.
+    pub nodes: Vec<NodeIdx>,
+    /// Physical index -> local index.
+    pub index_of: HashMap<NodeIdx, u32>,
+    /// Level-k topology over local indices.
+    pub graph: Graph,
+    /// Vote of each level-k node: the local index of the largest-ID node in
+    /// its closed neighborhood. The vote target is this node's level-(k+1)
+    /// clusterhead.
+    pub vote: Vec<u32>,
+    /// Number of *neighbors* (excluding self) voting for each node — the
+    /// ALCA state of Fig. 3.
+    pub elector_count: Vec<u32>,
+    /// Whether each node received at least one vote (i.e. is a level-(k+1)
+    /// node).
+    pub is_head: Vec<bool>,
+}
+
+impl Level {
+    /// Number of level-k nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Local index of the given physical node at this level, if present.
+    pub fn local(&self, phys: NodeIdx) -> Option<u32> {
+        self.index_of.get(&phys).copied()
+    }
+
+    /// Physical index of the head this node votes for.
+    pub fn head_of(&self, local: u32) -> NodeIdx {
+        self.nodes[self.vote[local as usize] as usize]
+    }
+
+    /// Iterate `(local, physical)` pairs of the heads elected at this level.
+    pub fn heads(&self) -> impl Iterator<Item = (u32, NodeIdx)> + '_ {
+        self.is_head
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h)
+            .map(|(i, _)| (i as u32, self.nodes[i]))
+    }
+}
+
+/// Options controlling hierarchy construction.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyOptions {
+    /// Hard cap on the number of clustering levels (counting level 0).
+    /// `usize::MAX` means "until convergence".
+    pub max_levels: usize,
+    /// Stop recursing when a level fails to shrink the node count by at
+    /// least this factor (`|V_k| / |V_{k+1}| < min_reduction` ⇒ stop).
+    ///
+    /// `1.0` (the default) disables the check: recursion runs to the
+    /// per-component LCA fixpoint. The paper assumes a *connected* graph
+    /// with arity `α_k = Θ(1) > 1`; on momentarily-disconnected mobile
+    /// networks, isolated fringe components otherwise inflate the
+    /// hierarchy with degenerate near-unit-arity levels that aggregate
+    /// nothing. Deployments cap levels when aggregation stalls; the
+    /// simulator uses `1.25` (see `chlm-sim`).
+    pub min_reduction: f64,
+}
+
+impl Default for HierarchyOptions {
+    fn default() -> Self {
+        HierarchyOptions {
+            max_levels: usize::MAX,
+            min_reduction: 1.0,
+        }
+    }
+}
+
+/// The full clustered hierarchy over a physical topology.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// `levels[0]` is the physical level; `levels[k].nodes` are the level-k
+    /// nodes (the heads elected at level k-1).
+    pub levels: Vec<Level>,
+    /// Election IDs of the physical nodes (index = physical index).
+    pub ids: Vec<ElectionId>,
+}
+
+impl Hierarchy {
+    /// Build the LCA hierarchy over `graph0` with election identities `ids`.
+    ///
+    /// # Panics
+    /// If `ids.len() != graph0.node_count()` or IDs are not distinct.
+    pub fn build(ids: &[ElectionId], graph0: &Graph, opts: HierarchyOptions) -> Self {
+        assert_eq!(ids.len(), graph0.node_count(), "one ID per node");
+        debug_assert!(
+            {
+                let mut sorted = ids.to_vec();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "election IDs must be distinct"
+        );
+        let n = graph0.node_count();
+        let mut levels: Vec<Level> = Vec::new();
+        // Level 0: local == physical.
+        let mut cur_nodes: Vec<NodeIdx> = (0..n as NodeIdx).collect();
+        let mut cur_graph = graph0.clone();
+        loop {
+            let level = elect(&cur_nodes, &cur_graph, ids);
+            let heads: Vec<u32> = (0..level.len() as u32)
+                .filter(|&i| level.is_head[i as usize])
+                .collect();
+            let reduced = heads.len() < level.len()
+                && (heads.len() as f64) * opts.min_reduction <= level.len() as f64;
+            let next = if reduced && levels.len() + 1 < opts.max_levels {
+                Some(build_next_level(&level, &heads))
+            } else {
+                None
+            };
+            levels.push(level);
+            match next {
+                Some((nodes, graph)) => {
+                    cur_nodes = nodes;
+                    cur_graph = graph;
+                }
+                None => break,
+            }
+        }
+        Hierarchy {
+            levels,
+            ids: ids.to_vec(),
+        }
+    }
+
+    /// Number of levels, counting level 0. The paper's `L` (highest cluster
+    /// level) is `depth() - 1`.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of physical nodes.
+    pub fn node_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The hierarchical address of physical node `v`: `addr[k]` is the
+    /// physical index of the head of the level-k cluster containing `v`
+    /// (`addr[0] == v`). Length equals `depth()`.
+    pub fn address(&self, v: NodeIdx) -> Vec<NodeIdx> {
+        let mut addr = Vec::with_capacity(self.depth());
+        addr.push(v);
+        let mut cur = v;
+        for level in &self.levels {
+            if addr.len() == self.depth() {
+                break;
+            }
+            let local = level.local(cur).expect("address chain broken");
+            cur = level.head_of(local);
+            addr.push(cur);
+        }
+        addr
+    }
+
+    /// All addresses, as an `n × depth()` row-major matrix.
+    pub fn addresses(&self) -> Vec<Vec<NodeIdx>> {
+        (0..self.node_count() as NodeIdx)
+            .map(|v| self.address(v))
+            .collect()
+    }
+
+    /// The level-(k-1) member clusters of the level-k cluster headed by
+    /// physical node `head`. For `k == 0` this is just the node itself.
+    ///
+    /// Returns physical indices of the level-(k-1) nodes whose vote target
+    /// is `head`.
+    pub fn members(&self, k: usize, head: NodeIdx) -> Vec<NodeIdx> {
+        assert!(k >= 1 && k < self.depth() + 1, "level out of range");
+        let level = &self.levels[k - 1];
+        let head_local = level
+            .local(head)
+            .unwrap_or_else(|| panic!("{head} is not a level-{} node", k - 1));
+        level
+            .vote
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == head_local)
+            .map(|(i, _)| level.nodes[i])
+            .collect()
+    }
+
+    /// Check internal invariants (test helper): every vote targets the
+    /// largest-ID closed neighbor, head flags match vote image, every
+    /// non-final level's heads equal the next level's node set.
+    pub fn check_invariants(&self) {
+        for (k, level) in self.levels.iter().enumerate() {
+            level.graph.check_invariants();
+            assert_eq!(level.nodes.len(), level.vote.len());
+            assert_eq!(level.nodes.len(), level.is_head.len());
+            for (i, &phys) in level.nodes.iter().enumerate() {
+                assert_eq!(level.index_of[&phys], i as u32);
+                // Vote is the max-ID closed neighbor.
+                let mut best = i as u32;
+                let mut best_id = self.ids[phys as usize];
+                for &nb in level.graph.neighbors(i as u32) {
+                    let nb_id = self.ids[level.nodes[nb as usize] as usize];
+                    if nb_id > best_id {
+                        best_id = nb_id;
+                        best = nb;
+                    }
+                }
+                assert_eq!(level.vote[i], best, "vote mismatch at level {k} node {i}");
+            }
+            // Head flags = vote image; elector counts match.
+            let mut got = vec![0u32; level.len()];
+            for (i, &t) in level.vote.iter().enumerate() {
+                if i as u32 != t {
+                    got[t as usize] += 1;
+                }
+            }
+            for i in 0..level.len() {
+                assert_eq!(level.elector_count[i], got[i]);
+                let voted = got[i] > 0 || level.vote[i] == i as u32;
+                assert_eq!(level.is_head[i], voted, "head flag mismatch");
+            }
+            if k + 1 < self.levels.len() {
+                let mut heads: Vec<NodeIdx> = level.heads().map(|(_, p)| p).collect();
+                heads.sort_unstable();
+                let mut next: Vec<NodeIdx> = self.levels[k + 1].nodes.clone();
+                next.sort_unstable();
+                assert_eq!(heads, next, "level {} heads != level {} nodes", k, k + 1);
+            }
+        }
+    }
+}
+
+/// Run one LCA election round over the given level topology.
+fn elect(nodes: &[NodeIdx], graph: &Graph, ids: &[ElectionId]) -> Level {
+    let m = nodes.len();
+    assert_eq!(graph.node_count(), m);
+    let mut vote = vec![0u32; m];
+    for i in 0..m {
+        let mut best = i as u32;
+        let mut best_id = ids[nodes[i] as usize];
+        for &nb in graph.neighbors(i as u32) {
+            let nb_id = ids[nodes[nb as usize] as usize];
+            if nb_id > best_id {
+                best_id = nb_id;
+                best = nb;
+            }
+        }
+        vote[i] = best;
+    }
+    let mut elector_count = vec![0u32; m];
+    let mut is_head = vec![false; m];
+    for (i, &t) in vote.iter().enumerate() {
+        if i as u32 == t {
+            // Self-vote: the node is the largest in its own closed
+            // neighborhood and declares itself head.
+            is_head[i] = true;
+        } else {
+            elector_count[t as usize] += 1;
+            is_head[t as usize] = true;
+        }
+    }
+    let index_of = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    Level {
+        nodes: nodes.to_vec(),
+        index_of,
+        graph: graph.clone(),
+        vote,
+        elector_count,
+        is_head,
+    }
+}
+
+/// Build the node list and cluster-adjacency graph of the next level from
+/// an elected level.
+fn build_next_level(level: &Level, heads: &[u32]) -> (Vec<NodeIdx>, Graph) {
+    // Map: local index at this level -> local index of its head in `heads`.
+    let mut head_rank = HashMap::with_capacity(heads.len());
+    for (r, &h) in heads.iter().enumerate() {
+        head_rank.insert(h, r as u32);
+    }
+    let cluster_of: Vec<u32> = level
+        .vote
+        .iter()
+        .map(|&t| head_rank[&t])
+        .collect();
+    let mut g = Graph::with_nodes(heads.len());
+    for (u, v) in level.graph.edges() {
+        let (cu, cv) = (cluster_of[u as usize], cluster_of[v as usize]);
+        if cu != cv {
+            g.add_edge(cu, cv);
+        }
+    }
+    let nodes: Vec<NodeIdx> = heads.iter().map(|&h| level.nodes[h as usize]).collect();
+    (nodes, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny helper: hierarchy over an explicit edge list with ids equal to
+    /// the node index (so "largest index wins").
+    fn h(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let g = Graph::from_edges(n, edges);
+        Hierarchy::build(&ids, &g, HierarchyOptions::default())
+    }
+
+    #[test]
+    fn single_node() {
+        let hy = h(1, &[]);
+        assert_eq!(hy.depth(), 1);
+        assert!(hy.levels[0].is_head[0]); // self-vote
+        assert_eq!(hy.address(0), vec![0]);
+        hy.check_invariants();
+    }
+
+    #[test]
+    fn triangle_elects_max() {
+        let hy = h(3, &[(0, 1), (1, 2), (0, 2)]);
+        // Everyone votes for 2; single head; depth 2.
+        assert_eq!(hy.depth(), 2);
+        assert_eq!(hy.levels[1].nodes, vec![2]);
+        assert_eq!(hy.address(0), vec![0, 2]);
+        assert_eq!(hy.address(2), vec![2, 2]);
+        hy.check_invariants();
+    }
+
+    #[test]
+    fn paper_style_two_heads() {
+        // Path 3-1-2 by id: node ids = indices. Edges (3,1),(1,2):
+        // 3 votes 3; 1 votes 3; 2 votes 2 → heads {3, 2}.
+        let hy = h(4, &[(3, 1), (1, 2)]); // node 0 isolated
+        let l0 = &hy.levels[0];
+        assert!(l0.is_head[3] && l0.is_head[2]);
+        assert!(!l0.is_head[1]);
+        assert!(l0.is_head[0]); // isolated node is its own head
+        // Level 1: nodes {0,2,3}; edge (2,3) via 1∈cluster(3) adjacent to 2.
+        let l1 = &hy.levels[1];
+        let mut nodes = l1.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 2, 3]);
+        let (a, b) = (l1.local(2).unwrap(), l1.local(3).unwrap());
+        assert!(l1.graph.has_edge(a, b));
+        hy.check_invariants();
+    }
+
+    #[test]
+    fn connected_graph_converges_to_single_top() {
+        // A 10-node path.
+        let edges: Vec<_> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let hy = h(10, &edges);
+        assert_eq!(hy.levels.last().unwrap().len(), 1);
+        hy.check_invariants();
+        // All addresses end at the same top head.
+        let top = hy.levels.last().unwrap().nodes[0];
+        for v in 0..10 {
+            let a = hy.address(v);
+            assert_eq!(a.len(), hy.depth());
+            assert_eq!(*a.last().unwrap(), top);
+        }
+    }
+
+    #[test]
+    fn disconnected_components_each_keep_a_head() {
+        let hy = h(6, &[(0, 1), (2, 3)]); // components {0,1}, {2,3}, {4}, {5}
+        let top = hy.levels.last().unwrap();
+        // Top level: one head per component; 4 components.
+        assert_eq!(top.len(), 4);
+        hy.check_invariants();
+    }
+
+    #[test]
+    fn min_id_node_never_head_in_component() {
+        let edges: Vec<_> = (0..19u32).map(|i| (i, i + 1)).collect();
+        let hy = h(20, &edges);
+        assert!(!hy.levels[0].is_head[0], "min-ID node elected?!");
+    }
+
+    #[test]
+    fn members_partition_level() {
+        let edges: Vec<_> = (0..29u32).map(|i| (i, i + 1)).collect();
+        let hy = h(30, &edges);
+        for k in 1..hy.depth() {
+            let mut all: Vec<NodeIdx> = Vec::new();
+            for &head in &hy.levels[k].nodes {
+                // NB: a head is not necessarily a member of its own cluster
+                // (paper Fig. 1: node 68 is a head elected by 63 while 68's
+                // own vote goes to a larger neighbor).
+                all.extend(hy.members(k, head));
+            }
+            all.sort_unstable();
+            let mut expect = hy.levels[k - 1].nodes.clone();
+            expect.sort_unstable();
+            assert_eq!(all, expect, "level {k} members don't partition");
+        }
+    }
+
+    #[test]
+    fn max_levels_cap_respected() {
+        let edges: Vec<_> = (0..63u32).map(|i| (i, i + 1)).collect();
+        let ids: Vec<u64> = (0..64).collect();
+        let g = Graph::from_edges(64, &edges);
+        let hy = Hierarchy::build(
+            &ids,
+            &g,
+            HierarchyOptions {
+                max_levels: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(hy.depth(), 3);
+        hy.check_invariants();
+    }
+
+    #[test]
+    fn min_reduction_stops_degenerate_tail() {
+        // Two far components: a 9-node path and an isolated node. Without
+        // the stall check the isolated node rides up every level.
+        let edges: Vec<_> = (0..8u32).map(|i| (i, i + 1)).collect();
+        let ids: Vec<u64> = (0..10).collect();
+        let g = Graph::from_edges(10, &edges);
+        let free = Hierarchy::build(&ids, &g, HierarchyOptions::default());
+        let capped = Hierarchy::build(
+            &ids,
+            &g,
+            HierarchyOptions {
+                max_levels: usize::MAX,
+                min_reduction: 1.5,
+            },
+        );
+        capped.check_invariants();
+        assert!(capped.depth() <= free.depth());
+        // Every retained level actually aggregated by ≥ 1.5x.
+        for w in capped.levels.windows(2) {
+            assert!(w[0].len() as f64 / w[1].len() as f64 >= 1.5);
+        }
+    }
+
+    #[test]
+    fn elector_count_matches_fig3_extremes() {
+        // Star: center 5 with leaves 0..5 (ids = indices). Center is max:
+        // every leaf votes center; center votes itself.
+        let edges: Vec<_> = (0..5u32).map(|i| (i, 5)).collect();
+        let hy = h(6, &edges);
+        let l0 = &hy.levels[0];
+        assert_eq!(l0.elector_count[5], 5); // highest ID: state = n_{k,v}
+        assert_eq!(l0.elector_count[0], 0); // lowest ID: state = 0 always
+    }
+
+    #[test]
+    #[should_panic]
+    fn id_count_mismatch_panics() {
+        let g = Graph::with_nodes(3);
+        Hierarchy::build(&[1, 2], &g, HierarchyOptions::default());
+    }
+}

@@ -1,0 +1,142 @@
+//! Cluster-maintenance overhead model.
+//!
+//! The paper's conclusion (§6) leans on its companion work [16] for the
+//! claim that *cluster maintenance* — the beaconing that keeps each level's
+//! topology and election state current — costs only `Θ(log |V|)` packet
+//! transmissions per node per second. The standard scheme prices as
+//! follows: level-k nodes exchange level-k HELLO/link-state beacons with
+//! their level-k neighbors; a level-k beacon travels `Θ(h_k)` level-0 hops,
+//! but is needed only at rate `Θ(1/h_k)` (level-k topology changes that
+//! slowly, §5.3.1), so **each level costs `Θ(d_k)` per level-k node** — and
+//! spreading a level's cost over the `c_k` members it serves, each physical
+//! node pays `Θ(1)` per level, `Θ(L) = Θ(log |V|)` total.
+//!
+//! [`price_maintenance`] evaluates that model on a *measured* hierarchy
+//! (its real `|V_k|`, `d_k`, `h_k`), so experiment E20 can check the
+//! resulting per-node total against the log-growth claim without assuming
+//! the idealized uniform arity.
+
+use crate::metrics::LevelStats;
+
+/// Per-level maintenance pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceCost {
+    /// Level index `k ≥ 1`.
+    pub level: usize,
+    /// Beacon rate per level-k node (Hz): `beacon_rate_0 / h_k`.
+    pub beacon_rate: f64,
+    /// Packet transmissions per beacon: `d_k · h_k` (one copy to each
+    /// level-k neighbor, each over `h_k` level-0 hops).
+    pub packets_per_beacon: f64,
+    /// Total level-k maintenance packets per second, network-wide.
+    pub level_packets_per_second: f64,
+    /// Same, amortized per physical node.
+    pub per_node_per_second: f64,
+}
+
+/// Price cluster maintenance on measured level statistics.
+///
+/// `beacon_rate_0` is the level-0 HELLO rate (Hz); higher levels beacon at
+/// `beacon_rate_0 / h_k` (their topology changes `Θ(1/h_k)` as slowly —
+/// §5.3.1). Level 0 uses `h_0 = 1`.
+///
+/// Returns one entry per level plus the per-node total.
+pub fn price_maintenance(stats: &[LevelStats], beacon_rate_0: f64) -> (Vec<MaintenanceCost>, f64) {
+    assert!(beacon_rate_0 > 0.0 && beacon_rate_0.is_finite());
+    assert!(!stats.is_empty());
+    let n = stats[0].nodes as f64;
+    let mut out = Vec::with_capacity(stats.len());
+    let mut total = 0.0;
+    for s in stats {
+        let h_k = if s.level == 0 {
+            1.0
+        } else {
+            // Prefer the measured intra-cluster hop count; fall back to the
+            // eq.-(3) sqrt estimate when a level was unmeasurable.
+            s.intra_cluster_hops.unwrap_or_else(|| s.aggregation.sqrt()).max(1.0)
+        };
+        let beacon_rate = beacon_rate_0 / h_k;
+        let packets_per_beacon = s.mean_degree * h_k;
+        let level_packets = beacon_rate * packets_per_beacon * s.nodes as f64;
+        let per_node = level_packets / n;
+        total += per_node;
+        out.push(MaintenanceCost {
+            level: s.level,
+            beacon_rate,
+            packets_per_beacon,
+            level_packets_per_second: level_packets,
+            per_node_per_second: per_node,
+        });
+    }
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::level_stats;
+    use crate::{Hierarchy, HierarchyOptions};
+    use chlm_geom::SimRng;
+    use chlm_graph::unit_disk::build_unit_disk;
+
+    fn stats_for(n: usize, seed: u64) -> Vec<LevelStats> {
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.25);
+        let region = chlm_geom::Disk::centered(radius);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, chlm_geom::rtx_for_degree(9.0, 1.25));
+        let ids = rng.permutation(n);
+        let h = Hierarchy::build(&ids, &g, HierarchyOptions::default());
+        level_stats(&h, 6, &mut rng)
+    }
+
+    #[test]
+    fn per_level_costs_are_bounded_and_positive() {
+        let stats = stats_for(400, 1);
+        let (costs, total) = price_maintenance(&stats, 1.0);
+        assert_eq!(costs.len(), stats.len());
+        assert!(total > 0.0);
+        // Level 0 dominates (everyone beacons at full rate with full degree)
+        // and every level's per-node cost is at most the level-0 cost times
+        // a small constant — the "each level is Θ(1)" shape.
+        let level0 = costs[0].per_node_per_second;
+        for c in &costs[1..] {
+            assert!(
+                c.per_node_per_second < level0 * 2.0,
+                "level {} per-node cost {} vs level-0 {}",
+                c.level,
+                c.per_node_per_second,
+                level0
+            );
+        }
+    }
+
+    #[test]
+    fn amortization_identity() {
+        // Σ per-node costs × n == Σ level totals.
+        let stats = stats_for(300, 2);
+        let (costs, total) = price_maintenance(&stats, 2.0);
+        let sum_levels: f64 = costs.iter().map(|c| c.level_packets_per_second).sum();
+        assert!((total * 300.0 - sum_levels).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beacon_rate_scales_model() {
+        let stats = stats_for(200, 3);
+        let (_, t1) = price_maintenance(&stats, 1.0);
+        let (_, t3) = price_maintenance(&stats, 3.0);
+        assert!((t3 / t1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_grows_slowly_with_n() {
+        // 8x nodes: maintenance per node should grow far less than 2x
+        // (log-growth claim at the shape level).
+        let (_, small) = price_maintenance(&stats_for(200, 4), 1.0);
+        let (_, large) = price_maintenance(&stats_for(1600, 4), 1.0);
+        assert!(
+            large / small < 2.0,
+            "maintenance grew {small} -> {large} for 8x nodes"
+        );
+    }
+}

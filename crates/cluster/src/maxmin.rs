@@ -1,0 +1,342 @@
+//! Max-min d-hop clustering (Amis, Prakash, Vuong & Huynh, INFOCOM 2000).
+//!
+//! The paper cites max-min d-cluster formation [8] as the scalable
+//! generalization of the LCA (`d = 1` reduces to an asynchronous LCA). We
+//! implement it as the clustering ablation (experiment E15): compared with
+//! the LCA it elects fewer, farther-spaced heads (larger α), trading
+//! per-level arity against hierarchy depth and stability.
+//!
+//! ## Algorithm
+//!
+//! 2d synchronous flooding rounds:
+//! 1. **Floodmax** (d rounds): each node propagates the largest ID heard so
+//!    far over its closed neighborhood.
+//! 2. **Floodmin** (d rounds): each node then propagates the *smallest*
+//!    of the floodmax winners.
+//!
+//! Head selection rules, per node `v` (in order):
+//! 1. if `v` received its own ID back in the floodmin phase, `v` is a head
+//!    (it dominates some node that nothing larger dominates);
+//! 2. otherwise, if some ID occurs in both `v`'s floodmax and floodmin
+//!    round logs (a *node pair*), the minimum such ID is `v`'s head;
+//! 3. otherwise `v`'s head is the floodmax winner.
+//!
+//! Affiliation then follows nearest-head (≤ d hops for connected inputs,
+//! with the head's ID breaking ties), which is what cluster membership
+//! needs; isolated corner cases fall back to self-heading.
+
+use crate::ElectionId;
+use chlm_graph::traversal::UNREACHABLE;
+use chlm_graph::{Graph, NodeIdx};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Result of one max-min election round over a single topology level.
+#[derive(Debug, Clone)]
+pub struct MaxMinElection {
+    /// Whether each node is a clusterhead.
+    pub is_head: Vec<bool>,
+    /// Local index of the head each node affiliates with (`head_of[h] == h`
+    /// for heads).
+    pub head_of: Vec<u32>,
+}
+
+/// Run max-min d-hop head election over `graph`; `ids[i]` is the election
+/// identity of local node `i`.
+pub fn maxmin_elect(ids: &[ElectionId], graph: &Graph, d: usize) -> MaxMinElection {
+    assert_eq!(ids.len(), graph.node_count());
+    assert!(d >= 1, "d must be at least 1");
+    let n = ids.len();
+    if n == 0 {
+        return MaxMinElection {
+            is_head: Vec::new(),
+            head_of: Vec::new(),
+        };
+    }
+
+    // Floodmax rounds (log every round's value per node).
+    let mut max_log: Vec<Vec<ElectionId>> = vec![Vec::with_capacity(d); n];
+    let mut cur: Vec<ElectionId> = ids.to_vec();
+    for _ in 0..d {
+        let mut next = cur.clone();
+        for u in 0..n {
+            for &v in graph.neighbors(u as NodeIdx) {
+                next[u] = next[u].max(cur[v as usize]);
+            }
+        }
+        cur = next;
+        for (u, log) in max_log.iter_mut().enumerate() {
+            log.push(cur[u]);
+        }
+    }
+    let floodmax_winner = cur.clone();
+
+    // Floodmin rounds.
+    let mut min_log: Vec<Vec<ElectionId>> = vec![Vec::with_capacity(d); n];
+    for _ in 0..d {
+        let mut next = cur.clone();
+        for u in 0..n {
+            for &v in graph.neighbors(u as NodeIdx) {
+                next[u] = next[u].min(cur[v as usize]);
+            }
+        }
+        cur = next;
+        for (u, log) in min_log.iter_mut().enumerate() {
+            log.push(cur[u]);
+        }
+    }
+
+    // Head selection rules. The *chosen head id* per node guides
+    // affiliation preference; actual membership is fixed afterwards.
+    let id_index: HashMap<ElectionId, u32> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i as u32))
+        .collect();
+    let mut is_head = vec![false; n];
+    for u in 0..n {
+        // Rule 1: own id seen in floodmin.
+        if min_log[u].contains(&ids[u]) {
+            is_head[u] = true;
+            continue;
+        }
+        // Rule 2: node pair (min such id is u's head — mark that node).
+        let maxes: HashSet<ElectionId> = max_log[u].iter().copied().collect();
+        let pair = min_log[u]
+            .iter()
+            .copied()
+            .filter(|id| maxes.contains(id))
+            .min();
+        let head_id = pair.unwrap_or(floodmax_winner[u]); // Rule 3 fallback
+        if let Some(&h) = id_index.get(&head_id) {
+            is_head[h as usize] = true;
+        }
+    }
+    // Guarantee coverage: every node must be within d hops of a head; the
+    // rules ensure this for connected graphs, and isolated nodes head
+    // themselves.
+    let head_of = affiliate(ids, graph, &mut is_head, d);
+    MaxMinElection { is_head, head_of }
+}
+
+/// Assign every node to its nearest head (ties broken by larger head ID).
+/// Nodes farther than `d` hops from any head (possible in degenerate
+/// components) promote themselves.
+fn affiliate(ids: &[ElectionId], graph: &Graph, is_head: &mut [bool], d: usize) -> Vec<u32> {
+    let n = ids.len();
+    let mut head_of = vec![u32::MAX; n];
+    loop {
+        // Multi-source BFS carrying the best (dist, head-id) label.
+        let mut dist = vec![UNREACHABLE; n];
+        let mut label = vec![u32::MAX; n];
+        let mut q = VecDeque::new();
+        for u in 0..n {
+            if is_head[u] {
+                dist[u] = 0;
+                label[u] = u as u32;
+                q.push_back(u as NodeIdx);
+            }
+        }
+        // BFS by increasing distance; on equal distance prefer larger head id.
+        while let Some(u) = q.pop_front() {
+            let du = dist[u as usize];
+            for &v in graph.neighbors(u) {
+                let dv = du + 1;
+                let better = dist[v as usize] == UNREACHABLE
+                    || dv < dist[v as usize]
+                    || (dv == dist[v as usize]
+                        && ids[label[u as usize] as usize] > ids[label[v as usize] as usize]);
+                if better {
+                    let first_visit = dist[v as usize] == UNREACHABLE;
+                    dist[v as usize] = dv;
+                    label[v as usize] = label[u as usize];
+                    if first_visit {
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        // Promote any uncovered node (unreachable or > d hops) and retry.
+        let mut promoted = false;
+        for u in 0..n {
+            if dist[u] == UNREACHABLE || dist[u] as usize > d {
+                is_head[u] = true;
+                promoted = true;
+            }
+        }
+        if !promoted {
+            for u in 0..n {
+                head_of[u] = label[u];
+            }
+            return head_of;
+        }
+    }
+}
+
+/// One level of a max-min hierarchy.
+#[derive(Debug, Clone)]
+pub struct MmLevel {
+    /// Physical indices of this level's nodes.
+    pub nodes: Vec<NodeIdx>,
+    /// Topology over local indices.
+    pub graph: Graph,
+    pub election: MaxMinElection,
+}
+
+/// A recursively-built max-min d-hop hierarchy, shaped like
+/// [`crate::Hierarchy`] but with max-min elections at each level.
+#[derive(Debug, Clone)]
+pub struct MaxMinHierarchy {
+    pub levels: Vec<MmLevel>,
+    pub d: usize,
+}
+
+impl MaxMinHierarchy {
+    /// Build recursively until no further aggregation (or `max_levels`).
+    pub fn build(ids: &[ElectionId], graph0: &Graph, d: usize, max_levels: usize) -> Self {
+        assert_eq!(ids.len(), graph0.node_count());
+        let mut levels = Vec::new();
+        let mut nodes: Vec<NodeIdx> = (0..ids.len() as NodeIdx).collect();
+        let mut graph = graph0.clone();
+        loop {
+            let local_ids: Vec<ElectionId> =
+                nodes.iter().map(|&p| ids[p as usize]).collect();
+            let election = maxmin_elect(&local_ids, &graph, d);
+            let heads: Vec<u32> = (0..nodes.len() as u32)
+                .filter(|&i| election.is_head[i as usize])
+                .collect();
+            let reduced = heads.len() < nodes.len();
+            let level = MmLevel {
+                nodes: nodes.clone(),
+                graph: graph.clone(),
+                election,
+            };
+            let done = !reduced || levels.len() + 1 >= max_levels || heads.len() <= 1;
+            // Build next level topology: cluster adjacency.
+            if !done {
+                let mut rank = HashMap::new();
+                for (r, &h) in heads.iter().enumerate() {
+                    rank.insert(h, r as u32);
+                }
+                let mut g = Graph::with_nodes(heads.len());
+                for (u, v) in level.graph.edges() {
+                    let cu = rank[&level.election.head_of[u as usize]];
+                    let cv = rank[&level.election.head_of[v as usize]];
+                    if cu != cv {
+                        g.add_edge(cu, cv);
+                    }
+                }
+                let next_nodes: Vec<NodeIdx> =
+                    heads.iter().map(|&h| level.nodes[h as usize]).collect();
+                levels.push(level);
+                nodes = next_nodes;
+                graph = g;
+            } else {
+                levels.push(level);
+                break;
+            }
+        }
+        MaxMinHierarchy { levels, d }
+    }
+
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Physical head set at level 0 (for stability comparisons).
+    pub fn head_set(&self) -> HashSet<NodeIdx> {
+        let l = &self.levels[0];
+        l.election
+            .is_head
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h)
+            .map(|(i, _)| l.nodes[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<ElectionId> {
+        (0..n as u64).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = maxmin_elect(&[], &Graph::with_nodes(0), 2);
+        assert!(e.is_head.is_empty());
+        let e1 = maxmin_elect(&[5], &Graph::with_nodes(1), 2);
+        assert!(e1.is_head[0]);
+        assert_eq!(e1.head_of[0], 0);
+    }
+
+    #[test]
+    fn d1_star_elects_center() {
+        let edges: Vec<_> = (0..4u32).map(|i| (i, 4)).collect();
+        let g = Graph::from_edges(5, &edges);
+        let e = maxmin_elect(&ids(5), &g, 1);
+        assert!(e.is_head[4]);
+        for u in 0..4 {
+            assert_eq!(e.head_of[u], 4);
+        }
+    }
+
+    #[test]
+    fn every_node_within_d_hops_of_head() {
+        // Long path with d = 2.
+        let edges: Vec<_> = (0..29u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(30, &edges);
+        let e = maxmin_elect(&ids(30), &g, 2);
+        let heads: Vec<NodeIdx> = (0..30u32).filter(|&i| e.is_head[i as usize]).collect();
+        assert!(!heads.is_empty());
+        let dist = chlm_graph::traversal::multi_source_bfs(&g, &heads);
+        assert!(dist.iter().all(|&d| d <= 2), "coverage hole: {dist:?}");
+        // Affiliation consistency.
+        for u in 0..30usize {
+            let h = e.head_of[u] as usize;
+            assert!(e.is_head[h], "node {u} affiliated to non-head {h}");
+        }
+    }
+
+    #[test]
+    fn larger_d_elects_fewer_heads() {
+        let edges: Vec<_> = (0..59u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(60, &edges);
+        let h1 = maxmin_elect(&ids(60), &g, 1)
+            .is_head
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        let h3 = maxmin_elect(&ids(60), &g, 3)
+            .is_head
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        assert!(h3 < h1, "d=3 heads {h3} !< d=1 heads {h1}");
+    }
+
+    #[test]
+    fn hierarchy_builds_and_shrinks() {
+        let edges: Vec<_> = (0..49u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(50, &edges);
+        let h = MaxMinHierarchy::build(&ids(50), &g, 2, usize::MAX);
+        assert!(h.depth() >= 2);
+        for w in h.levels.windows(2) {
+            assert!(w[1].nodes.len() < w[0].nodes.len());
+        }
+    }
+
+    #[test]
+    fn disconnected_components_covered() {
+        let g = Graph::from_edges(6, &[(0, 1), (3, 4)]);
+        let e = maxmin_elect(&ids(6), &g, 2);
+        for u in 0..6usize {
+            let h = e.head_of[u] as usize;
+            assert!(e.is_head[h]);
+        }
+        // Isolated nodes head themselves.
+        assert!(e.is_head[2] && e.is_head[5]);
+    }
+}

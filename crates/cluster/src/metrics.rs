@@ -1,0 +1,208 @@
+//! Hierarchy statistics: the paper's notation made measurable.
+//!
+//! For each level `k` we report `|V_k|`, `|E_k|`, the arity
+//! `α_k = |V_{k-1}|/|V_k|`, the aggregation factor `c_k = |V|/|V_k|`
+//! (eq. 2), the mean level-k degree `d_k`, and the measured mean
+//! intra-cluster hop count `h_k`, which eq. (3) predicts to be
+//! `Θ(√c_k)`.
+
+use crate::Hierarchy;
+use chlm_geom::SimRng;
+use chlm_graph::traversal::{bfs_distances, UNREACHABLE};
+use chlm_graph::NodeIdx;
+
+/// Per-level summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// Level index `k` (0 = physical).
+    pub level: usize,
+    /// `|V_k|`.
+    pub nodes: usize,
+    /// `|E_k|`.
+    pub edges: usize,
+    /// `α_k = |V_{k-1}| / |V_k|` (0 for level 0).
+    pub arity: f64,
+    /// `c_k = |V| / |V_k|`.
+    pub aggregation: f64,
+    /// Mean level-k degree `d_k`.
+    pub mean_degree: f64,
+    /// Measured mean hop count (in level-0 hops) between members of the
+    /// same level-k cluster; `None` at level 0 or when unmeasurable.
+    pub intra_cluster_hops: Option<f64>,
+}
+
+/// Compute [`LevelStats`] for every level of `h`.
+///
+/// `hop_samples` bounds the number of BFS sources used per level for the
+/// `h_k` measurement (0 disables it).
+pub fn level_stats(h: &Hierarchy, hop_samples: usize, rng: &mut SimRng) -> Vec<LevelStats> {
+    let n = h.node_count();
+    let mut out = Vec::with_capacity(h.depth());
+    for k in 0..h.depth() {
+        let level = &h.levels[k];
+        let arity = if k == 0 {
+            0.0
+        } else {
+            h.levels[k - 1].len() as f64 / level.len() as f64
+        };
+        let intra = if k == 0 || hop_samples == 0 {
+            None
+        } else {
+            intra_cluster_hops(h, k, hop_samples, rng)
+        };
+        out.push(LevelStats {
+            level: k,
+            nodes: level.len(),
+            edges: level.graph.edge_count(),
+            arity,
+            aggregation: n as f64 / level.len() as f64,
+            mean_degree: level.graph.mean_degree(),
+            intra_cluster_hops: intra,
+        });
+    }
+    out
+}
+
+/// Mean level-0 hop distance between random pairs of *physical* members of
+/// the same level-k cluster, sampled over up to `samples` clusters.
+///
+/// A level-k cluster's physical membership is the set of level-0 nodes
+/// whose level-k address component is the cluster head.
+pub fn intra_cluster_hops(
+    h: &Hierarchy,
+    k: usize,
+    samples: usize,
+    rng: &mut SimRng,
+) -> Option<f64> {
+    assert!(k >= 1 && k < h.depth());
+    let n = h.node_count();
+    // Physical membership per level-k head.
+    let addresses = h.addresses();
+    let mut members: std::collections::HashMap<NodeIdx, Vec<NodeIdx>> =
+        std::collections::HashMap::new();
+    for v in 0..n as NodeIdx {
+        members
+            .entry(addresses[v as usize][k])
+            .or_default()
+            .push(v);
+    }
+    let mut heads: Vec<NodeIdx> = members
+        .keys()
+        .copied()
+        .filter(|head| members[head].len() >= 2)
+        .collect();
+    // Sort so sampling below is independent of hash-map iteration order.
+    heads.sort_unstable();
+    if heads.is_empty() {
+        return None;
+    }
+    let g0 = &h.levels[0].graph;
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for s in 0..samples {
+        let head = heads[s % heads.len()];
+        let mem = &members[&head];
+        let src = mem[rng.index(mem.len())];
+        let dist = bfs_distances(g0, src);
+        for &v in mem {
+            if v != src && dist[v as usize] != UNREACHABLE {
+                total += dist[v as usize] as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+/// Render level statistics as an aligned ASCII table (used by E1).
+pub fn format_stats_table(stats: &[LevelStats]) -> String {
+    let mut s = String::new();
+    s.push_str("level |V_k|    |E_k|    alpha_k  c_k      d_k      h_k\n");
+    for st in stats {
+        let hk = st
+            .intra_cluster_hops
+            .map_or("  -  ".to_string(), |v| format!("{v:5.2}"));
+        s.push_str(&format!(
+            "{:5} {:8} {:8} {:8.2} {:8.2} {:8.2} {}\n",
+            st.level, st.nodes, st.edges, st.arity, st.aggregation, st.mean_degree, hk
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyOptions;
+    use chlm_graph::unit_disk::build_unit_disk;
+    use chlm_graph::Graph;
+
+    fn random_hierarchy(n: usize, seed: u64) -> Hierarchy {
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, chlm_geom::rtx_for_degree(8.0, 1.0));
+        let ids = rng.permutation(n);
+        Hierarchy::build(&ids, &g, HierarchyOptions::default())
+    }
+
+    #[test]
+    fn stats_shape_and_identities() {
+        let h = random_hierarchy(300, 1);
+        let mut rng = SimRng::seed_from(2);
+        let stats = level_stats(&h, 4, &mut rng);
+        assert_eq!(stats.len(), h.depth());
+        assert_eq!(stats[0].nodes, 300);
+        assert_eq!(stats[0].arity, 0.0);
+        for k in 1..stats.len() {
+            // α_k · |V_k| = |V_{k-1}| (eq. 1b)
+            let lhs = stats[k].arity * stats[k].nodes as f64;
+            assert!((lhs - stats[k - 1].nodes as f64).abs() < 1e-9);
+            // c_k = Π α_j (eq. 2a)
+            let prod: f64 = stats[1..=k].iter().map(|s| s.arity).product();
+            assert!((stats[k].aggregation - prod).abs() / prod < 1e-9);
+            // levels shrink
+            assert!(stats[k].nodes < stats[k - 1].nodes);
+        }
+    }
+
+    #[test]
+    fn intra_hops_grow_with_level() {
+        let h = random_hierarchy(600, 3);
+        let mut rng = SimRng::seed_from(4);
+        let stats = level_stats(&h, 8, &mut rng);
+        // h_k should be (weakly) increasing in k where measured.
+        let hs: Vec<f64> = stats
+            .iter()
+            .filter_map(|s| s.intra_cluster_hops)
+            .collect();
+        assert!(hs.len() >= 2, "need at least two measurable levels");
+        for w in hs.windows(2) {
+            assert!(w[1] >= w[0] * 0.8, "h_k not growing: {hs:?}");
+        }
+    }
+
+    #[test]
+    fn table_formatting_contains_rows() {
+        let h = random_hierarchy(120, 5);
+        let mut rng = SimRng::seed_from(6);
+        let stats = level_stats(&h, 2, &mut rng);
+        let table = format_stats_table(&stats);
+        assert!(table.lines().count() == stats.len() + 1);
+        assert!(table.contains("alpha_k"));
+    }
+
+    #[test]
+    fn single_node_hierarchy_stats() {
+        let h = Hierarchy::build(&[7], &Graph::with_nodes(1), HierarchyOptions::default());
+        let mut rng = SimRng::seed_from(0);
+        let stats = level_stats(&h, 4, &mut rng);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].nodes, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Textual rendering of a clustered hierarchy — the paper's Fig. 1 as
+//! ASCII. Used by experiment E1 and the `location_query` example to show
+//! the nested election structure at a glance.
+
+use crate::Hierarchy;
+use chlm_graph::NodeIdx;
+use std::fmt::Write as _;
+
+/// Render the hierarchy as an indented tree: each top-level head, its
+/// member clusters, recursively down to level-0 nodes. `max_nodes` caps
+/// the number of level-0 leaves printed per cluster (0 = unlimited).
+pub fn render_tree(h: &Hierarchy, max_nodes: usize) -> String {
+    let mut out = String::new();
+    let top_level = h.depth() - 1;
+    let mut tops: Vec<NodeIdx> = h.levels[top_level].nodes.clone();
+    tops.sort_unstable();
+    for head in tops {
+        render_cluster(h, top_level, head, 0, max_nodes, &mut out);
+    }
+    out
+}
+
+fn render_cluster(
+    h: &Hierarchy,
+    level: usize,
+    head: NodeIdx,
+    indent: usize,
+    max_nodes: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    let id = h.ids[head as usize];
+    let _ = writeln!(out, "{pad}L{level} cluster {head} (id {id})");
+    if level == 0 {
+        return;
+    }
+    let mut members = h.members(level, head);
+    members.sort_unstable();
+    if level == 1 {
+        // Leaves: print compactly on one line.
+        let shown: Vec<String> = members
+            .iter()
+            .take(if max_nodes == 0 { members.len() } else { max_nodes })
+            .map(|m| m.to_string())
+            .collect();
+        let suffix = if max_nodes != 0 && members.len() > max_nodes {
+            format!(" … ({} total)", members.len())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "{pad}  members: [{}]{}", shown.join(", "), suffix);
+    } else {
+        for m in members {
+            render_cluster(h, level - 1, m, indent + 1, max_nodes, out);
+        }
+    }
+}
+
+/// One-line-per-level summary: `level k: m nodes, heads …`.
+pub fn render_levels(h: &Hierarchy) -> String {
+    let mut out = String::new();
+    for (k, level) in h.levels.iter().enumerate() {
+        let mut heads: Vec<NodeIdx> = level.heads().map(|(_, p)| p).collect();
+        heads.sort_unstable();
+        let preview: Vec<String> = heads.iter().take(12).map(|p| p.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "level {k}: {} nodes, {} edges, heads -> [{}{}]",
+            level.len(),
+            level.graph.edge_count(),
+            preview.join(", "),
+            if heads.len() > 12 { ", …" } else { "" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyOptions;
+    use chlm_graph::Graph;
+
+    fn h(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
+        let ids: Vec<u64> = (0..n as u64).collect();
+        Hierarchy::build(&ids, &Graph::from_edges(n, edges), HierarchyOptions::default())
+    }
+
+    #[test]
+    fn tree_contains_every_top_head() {
+        let hy = h(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
+        let tree = render_tree(&hy, 0);
+        for &head in &hy.levels.last().unwrap().nodes {
+            assert!(tree.contains(&format!("cluster {head} ")), "missing {head}\n{tree}");
+        }
+    }
+
+    #[test]
+    fn leaf_cap_respected() {
+        let edges: Vec<_> = (0..9u32).map(|i| (i, 9)).collect(); // star of 10
+        let hy = h(10, &edges);
+        let tree = render_tree(&hy, 3);
+        assert!(tree.contains("… (9 total)") || tree.contains("members:"));
+    }
+
+    #[test]
+    fn levels_summary_shape() {
+        let hy = h(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]);
+        let s = render_levels(&hy);
+        assert_eq!(s.lines().count(), hy.depth());
+        assert!(s.starts_with("level 0: 6 nodes"));
+    }
+}

@@ -1,0 +1,212 @@
+//! The ALCA state machine of Fig. 3, made measurable.
+//!
+//! The ALCA *state* of a level-k node is the number of its level-k
+//! neighbors currently electing it as clusterhead. The paper's Fig. 3
+//! models this as a birth–death chain with transitions only between
+//! adjacent states; states 0 and 1 are *critical* (the clusterhead status
+//! can only flip while in state 0 or 1, respectively), and
+//!
+//! * `p_j` — the probability a level-j node sits in state 1 — drives the
+//!   recursive-rejection analysis (eqs. 15–24), and
+//! * `q_1 > ε > 0` (eq. 22) is the assumption the paper explicitly defers
+//!   to simulation. Experiment E11 measures it with this tracker.
+
+use crate::Hierarchy;
+use chlm_graph::NodeIdx;
+use std::collections::HashMap;
+
+/// Accumulates the empirical ALCA state distribution per level, and counts
+/// state transitions to check the adjacent-transition property at tick
+/// granularity.
+#[derive(Debug, Clone, Default)]
+pub struct StateTracker {
+    /// `occupancy[k][s]` = node-ticks observed in state `s` at level `k`.
+    occupancy: Vec<Vec<u64>>,
+    /// Per-level counts of per-tick state jumps by magnitude:
+    /// `[0]` no change, `[1]` ±1, `[2]` ≥ ±2.
+    jumps: Vec<[u64; 3]>,
+    /// Last observed state per (level, physical node).
+    last: HashMap<(usize, NodeIdx), u32>,
+    ticks: u64,
+}
+
+impl StateTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one hierarchy snapshot.
+    pub fn observe(&mut self, h: &Hierarchy) {
+        self.ticks += 1;
+        for (k, level) in h.levels.iter().enumerate() {
+            if self.occupancy.len() <= k {
+                self.occupancy.push(Vec::new());
+                self.jumps.push([0; 3]);
+            }
+            for (i, &phys) in level.nodes.iter().enumerate() {
+                let s = level.elector_count[i];
+                let occ = &mut self.occupancy[k];
+                if occ.len() <= s as usize {
+                    occ.resize(s as usize + 1, 0);
+                }
+                occ[s as usize] += 1;
+                if let Some(prev) = self.last.insert((k, phys), s) {
+                    let jump = prev.abs_diff(s);
+                    let slot = (jump.min(2)) as usize;
+                    self.jumps[k][slot] += 1;
+                }
+            }
+        }
+        // Drop stale entries for nodes that left a level, so re-entry does
+        // not register a spurious jump.
+        self.last.retain(|&(k, phys), _| {
+            h.levels
+                .get(k)
+                .is_some_and(|level| level.index_of.contains_key(&phys))
+        });
+    }
+
+    /// Number of levels with observations.
+    pub fn level_count(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Empirical state distribution at level `k` (sums to 1), or `None` if
+    /// unobserved.
+    pub fn distribution(&self, k: usize) -> Option<Vec<f64>> {
+        let occ = self.occupancy.get(k)?;
+        let total: u64 = occ.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(occ.iter().map(|&c| c as f64 / total as f64).collect())
+    }
+
+    /// Empirical `p_k` = P(state == 1) at level `k` — the probability a
+    /// level-k node is *critical* (eq. 15 notation).
+    pub fn p_state1(&self, k: usize) -> Option<f64> {
+        self.distribution(k).map(|d| d.get(1).copied().unwrap_or(0.0))
+    }
+
+    /// The paper's `q_j` chain probabilities for rejection cascades
+    /// stopping after `j` levels, computed from measured `p` values at the
+    /// given level `k` (eq. 15a):
+    ///
+    /// `q_j = (1 - p_{k-j-1}) · Π_{i=1..j} p_{k-i}` for `j < k-1`, and
+    /// `q_{k-1} = Π p_{k-i}`.
+    pub fn q_chain(&self, k: usize) -> Option<Vec<f64>> {
+        if k < 2 {
+            return None;
+        }
+        let p: Vec<f64> = (0..k).map(|j| self.p_state1(j).unwrap_or(0.0)).collect();
+        let mut q = Vec::with_capacity(k - 1);
+        for j in 1..k {
+            let prod: f64 = (1..=j).map(|i| p[k - i]).product();
+            let val = if j < k - 1 {
+                (1.0 - p[k - j - 1]) * prod
+            } else {
+                prod
+            };
+            q.push(val);
+        }
+        Some(q)
+    }
+
+    /// Fraction of per-tick state changes that moved by more than one state
+    /// — the tick-granularity violation rate of Fig. 3's adjacent-
+    /// transition property (should approach 0 as the tick shrinks).
+    pub fn multi_jump_fraction(&self, k: usize) -> Option<f64> {
+        let j = self.jumps.get(k)?;
+        let changes = j[1] + j[2];
+        if changes == 0 {
+            None
+        } else {
+            Some(j[2] as f64 / changes as f64)
+        }
+    }
+
+    /// Total observation ticks.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyOptions;
+    use chlm_graph::Graph;
+
+    fn hierarchy(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
+        let ids: Vec<u64> = (0..n as u64).collect();
+        Hierarchy::build(&ids, &Graph::from_edges(n, edges), HierarchyOptions::default())
+    }
+
+    #[test]
+    fn occupancy_star() {
+        // Star center 5, leaves 0..5: center in state 5, leaves in state 0.
+        let edges: Vec<_> = (0..5u32).map(|i| (i, 5)).collect();
+        let h = hierarchy(6, &edges);
+        let mut t = StateTracker::new();
+        t.observe(&h);
+        let d = t.distribution(0).unwrap();
+        assert!((d[0] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((d[5] - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(t.p_state1(0), Some(0.0));
+    }
+
+    #[test]
+    fn jumps_detected() {
+        // Tick 1: path 0-2 (2 elected by 0 → state 1).
+        // Tick 2: star 0-2,1-2 (state 2) → jump of 1.
+        // Tick 3: 2 isolated (state 0) → jump of 2.
+        let h1 = hierarchy(3, &[(0, 2)]);
+        let h2 = hierarchy(3, &[(0, 2), (1, 2)]);
+        let h3 = hierarchy(3, &[]);
+        let mut t = StateTracker::new();
+        t.observe(&h1);
+        t.observe(&h2);
+        t.observe(&h3);
+        let frac = t.multi_jump_fraction(0).unwrap();
+        assert!((frac - 0.5).abs() < 1e-12, "frac = {frac}");
+    }
+
+    #[test]
+    fn p1_measures_critical_nodes() {
+        // Path 0-2: node 2 has exactly one elector.
+        let h = hierarchy(3, &[(0, 2)]);
+        let mut t = StateTracker::new();
+        t.observe(&h);
+        // States: node 0 → 0 electors, node 1 → 0, node 2 → 1.
+        assert!((t.p_state1(0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_chain_matches_formula() {
+        let mut t = StateTracker::new();
+        // Fabricate occupancy: level 0 p=0.5, level 1 p=0.25, level 2 p=0.1.
+        t.occupancy = vec![
+            vec![1, 1],          // p0 = 0.5
+            vec![3, 1],          // p1 = 0.25
+            vec![9, 1],          // p2 = 0.1
+        ];
+        t.jumps = vec![[0; 3]; 3];
+        let q = t.q_chain(3).unwrap();
+        // k=3: q1 = (1-p1)*p2 = 0.75*0.1; q2 = p2*p1 = 0.025.
+        assert!((q[0] - 0.075).abs() < 1e-12);
+        assert!((q[1] - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn departed_nodes_do_not_fake_jumps() {
+        let h1 = hierarchy(4, &[(0, 1), (2, 3)]);
+        let h2 = hierarchy(4, &[]); // level-1 membership changes entirely
+        let mut t = StateTracker::new();
+        t.observe(&h1);
+        t.observe(&h2);
+        t.observe(&h1);
+        // No panic, occupancy accumulated across 3 ticks at level 0.
+        let total: u64 = t.occupancy[0].iter().sum();
+        assert_eq!(total, 12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # chlm-core
+//!
+//! High-level facade over the CHLM workspace: a prelude, canned scenario
+//! builders, and the sweep/summarize helpers that every experiment binary
+//! and example is built from.
+//!
+//! ```
+//! use chlm_core::prelude::*;
+//!
+//! let cfg = SimConfig::builder(128).duration(3.0).warmup(0.5).seed(7).build();
+//! let report = run_simulation(&cfg);
+//! assert!(report.phi_total() >= 0.0);
+//! ```
+
+pub mod experiment;
+pub mod scenario;
+
+/// Everything a downstream user typically needs.
+pub mod prelude {
+    pub use crate::experiment::{summarize_metric, sweep, MetricSeries, SweepPoint};
+    pub use crate::scenario::{default_config, scaling_sizes};
+    pub use chlm_analysis::regression::{best_fit, class_is_competitive, ModelClass};
+    pub use chlm_analysis::stats::Summary;
+    pub use chlm_cluster::{Hierarchy, HierarchyOptions};
+    pub use chlm_graph::unit_disk::build_unit_disk;
+    pub use chlm_graph::Graph;
+    pub use chlm_lm::server::{LmAssignment, SelectionRule};
+    pub use chlm_mobility::MobilityModel;
+    pub use chlm_sim::{
+        run_replications, run_simulation, HopMetric, MobilityKind, SimConfig, SimReport,
+        Simulation,
+    };
+}
+
+pub use prelude::*;

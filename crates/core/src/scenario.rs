@@ -1,0 +1,47 @@
+//! Canned experiment scenarios.
+//!
+//! Every experiment in EXPERIMENTS.md uses these shared defaults so that
+//! results are comparable across experiments: fixed density 1.25 nodes per
+//! unit area, target mean degree 9 (comfortably above the
+//! connectivity threshold [2, 3]), node speed 2 m/s, random waypoint.
+
+use chlm_sim::SimConfig;
+
+/// The standard size ladder for scaling sweeps (powers of two, fixed
+/// density so area grows with `n` per §1.2).
+pub fn scaling_sizes(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut n = 128usize;
+    while n <= max {
+        out.push(n);
+        n *= 2;
+    }
+    out
+}
+
+/// The shared default configuration for `n` nodes: experiment binaries
+/// override duration / seeds / mobility as needed.
+pub fn default_config(n: usize) -> SimConfig {
+    SimConfig::builder(n)
+        .duration(20.0)
+        .warmup(10.0)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_double_up_to_max() {
+        assert_eq!(scaling_sizes(1024), vec![128, 256, 512, 1024]);
+        assert_eq!(scaling_sizes(100), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn default_config_valid() {
+        let cfg = default_config(256);
+        assert_eq!(cfg.n, 256);
+        assert!(cfg.duration > 0.0);
+    }
+}

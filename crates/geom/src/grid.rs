@@ -1,0 +1,239 @@
+//! Uniform spatial hash grid.
+//!
+//! The unit-disk graph builder must find, for each node, all nodes within
+//! `R_TX`. With the cell size set to the query radius, each query inspects
+//! at most the 3x3 block of cells around the query point, so a full graph
+//! rebuild is `O(n · d)` expected for fixed density — this is what keeps the
+//! per-tick cost of the simulator linear in `n`.
+
+use crate::point::Point;
+
+/// Spatial hash grid over a set of points with a fixed cell size.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    inv_cell: f64,
+    min: Point,
+    cols: usize,
+    rows: usize,
+    /// CSR layout: `starts[c]..starts[c+1]` indexes into `items` for cell c.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+    n_points: usize,
+}
+
+impl SpatialGrid {
+    /// Build a grid over `points` with the given `cell` size (normally the
+    /// query radius). Handles the empty set.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        if points.is_empty() {
+            return SpatialGrid {
+                cell,
+                inv_cell: 1.0 / cell,
+                min: Point::ORIGIN,
+                cols: 1,
+                rows: 1,
+                starts: vec![0, 0],
+                items: Vec::new(),
+                n_points: 0,
+            };
+        }
+        let mut min = points[0];
+        let mut max = points[0];
+        for p in points {
+            debug_assert!(p.is_finite(), "non-finite point in grid");
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        let inv_cell = 1.0 / cell;
+        let cols = (((max.x - min.x) * inv_cell).floor() as usize) + 1;
+        let rows = (((max.y - min.y) * inv_cell).floor() as usize) + 1;
+        let n_cells = cols * rows;
+
+        // Counting sort into CSR: one pass to count, one to place.
+        let mut starts = vec![0u32; n_cells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = ((p.x - min.x) * inv_cell).floor() as usize;
+            let cy = ((p.y - min.y) * inv_cell).floor() as usize;
+            cy.min(rows - 1) * cols + cx.min(cols - 1)
+        };
+        for p in points {
+            starts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..n_cells {
+            starts[c + 1] += starts[c];
+        }
+        let mut cursor = starts.clone();
+        let mut items = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        SpatialGrid {
+            cell,
+            inv_cell,
+            min,
+            cols,
+            rows,
+            starts,
+            items,
+            n_points: points.len(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Cell size used at construction.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    #[inline]
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.min.x) * self.inv_cell).floor();
+        let cy = ((p.y - self.min.y) * self.inv_cell).floor();
+        (
+            (cx.max(0.0) as usize).min(self.cols - 1),
+            (cy.max(0.0) as usize).min(self.rows - 1),
+        )
+    }
+
+    /// Visit indices of all points within `radius` of `q` (inclusive).
+    ///
+    /// `radius` must be ≤ the cell size for the 3x3 block scan to be
+    /// complete; this is asserted. Visits include the query point itself if
+    /// it is one of the indexed points.
+    pub fn for_each_within<F: FnMut(u32)>(&self, points: &[Point], q: Point, radius: f64, mut f: F) {
+        assert!(
+            radius <= self.cell * (1.0 + 1e-9),
+            "query radius {radius} exceeds cell size {}",
+            self.cell
+        );
+        if self.n_points == 0 {
+            return;
+        }
+        let (cx, cy) = self.cell_coords(q);
+        let r_sq = radius * radius;
+        let x0 = cx.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y0 = cy.saturating_sub(1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for gy in y0..=y1 {
+            for gx in x0..=x1 {
+                let c = gy * self.cols + gx;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &i in &self.items[lo..hi] {
+                    if points[i as usize].dist_sq(q) <= r_sq {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect indices of all points within `radius` of `q`.
+    pub fn query_within(&self, points: &[Point], q: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(points, q, radius, |i| out.push(i));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{deploy_uniform, Disk};
+    use crate::rng::SimRng;
+
+    fn brute_force(points: &[Point], q: Point, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist_sq(q) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_grid_queries_nothing() {
+        let g = SpatialGrid::build(&[], 1.0);
+        assert!(g.is_empty());
+        assert!(g.query_within(&[], Point::ORIGIN, 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let g = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(g.query_within(&pts, Point::ORIGIN, 1.0), vec![0]);
+        assert!(g.query_within(&pts, Point::new(5.0, 5.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let d = Disk::centered(10.0);
+        let mut rng = SimRng::seed_from(5);
+        let pts = deploy_uniform(&d, 400, &mut rng);
+        let r = 1.3;
+        let g = SpatialGrid::build(&pts, r);
+        for qi in 0..pts.len() {
+            let mut got = g.query_within(&pts, pts[qi], r);
+            got.sort_unstable();
+            let want = brute_force(&pts, pts[qi], r);
+            assert_eq!(got, want, "mismatch at query {qi}");
+        }
+    }
+
+    #[test]
+    fn query_radius_smaller_than_cell_ok() {
+        let d = Disk::centered(10.0);
+        let mut rng = SimRng::seed_from(6);
+        let pts = deploy_uniform(&d, 200, &mut rng);
+        let g = SpatialGrid::build(&pts, 2.0);
+        for qi in (0..pts.len()).step_by(7) {
+            let mut got = g.query_within(&pts, pts[qi], 1.0);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&pts, pts[qi], 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_radius_panics() {
+        let pts = vec![Point::ORIGIN];
+        let g = SpatialGrid::build(&pts, 1.0);
+        g.query_within(&pts, Point::ORIGIN, 2.0);
+    }
+
+    #[test]
+    fn query_from_far_outside_bounds() {
+        let pts = vec![Point::ORIGIN, Point::new(1.0, 1.0)];
+        let g = SpatialGrid::build(&pts, 1.0);
+        // Far-away queries must not panic or wrap.
+        assert!(g.query_within(&pts, Point::new(-100.0, 50.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn collinear_points_degenerate_bbox() {
+        // All points on a horizontal line: rows collapses to 1.
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, 3.0)).collect();
+        let g = SpatialGrid::build(&pts, 1.5);
+        let mut got = g.query_within(&pts, Point::new(10.0, 3.0), 1.5);
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&pts, Point::new(10.0, 3.0), 1.5));
+    }
+}

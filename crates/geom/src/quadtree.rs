@@ -1,0 +1,203 @@
+//! Point-region quadtree.
+//!
+//! Alternative spatial index to [`crate::SpatialGrid`], kept for the spatial
+//! index ablation bench (`bench_spatial_index`) and for radius queries whose
+//! radius exceeds the grid cell size. Supports arbitrary-radius circular
+//! range queries.
+
+use crate::point::Point;
+use crate::region::Rect;
+
+const LEAF_CAPACITY: usize = 16;
+const MAX_DEPTH: usize = 24;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Indices into the point slice the tree was built over.
+        items: Vec<u32>,
+    },
+    Internal {
+        /// Children in [SW, SE, NW, NE] order; boxed to keep `Node` small.
+        children: Box<[Node; 4]>,
+    },
+}
+
+/// A static quadtree over a point set.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    root: Node,
+    bounds: Rect,
+    n_points: usize,
+}
+
+impl QuadTree {
+    /// Build over `points`. Points must be finite. Duplicate points are
+    /// allowed; depth is capped so pathological inputs cannot recurse
+    /// unboundedly.
+    pub fn build(points: &[Point]) -> Self {
+        let bounds = if points.is_empty() {
+            Rect::square(1.0)
+        } else {
+            let mut min = points[0];
+            let mut max = points[0];
+            for p in points {
+                debug_assert!(p.is_finite());
+                min.x = min.x.min(p.x);
+                min.y = min.y.min(p.y);
+                max.x = max.x.max(p.x);
+                max.y = max.y.max(p.y);
+            }
+            // Pad so the bounds are non-degenerate even for collinear input.
+            let pad = 1e-9 + 1e-9 * (max - min).norm();
+            Rect::new(min - Point::new(pad, pad), max + Point::new(pad, pad))
+        };
+        let all: Vec<u32> = (0..points.len() as u32).collect();
+        let root = Self::build_node(points, all, bounds, 0);
+        QuadTree {
+            root,
+            bounds,
+            n_points: points.len(),
+        }
+    }
+
+    fn build_node(points: &[Point], items: Vec<u32>, bounds: Rect, depth: usize) -> Node {
+        let c0 = bounds.center();
+        let splittable =
+            c0.x > bounds.min.x && c0.x < bounds.max.x && c0.y > bounds.min.y && c0.y < bounds.max.y;
+        if items.len() <= LEAF_CAPACITY || depth >= MAX_DEPTH || !splittable {
+            return Node::Leaf { items };
+        }
+        let quads = bounds.quadrants();
+        let mut buckets: [Vec<u32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        let c = bounds.center();
+        for i in items {
+            let p = points[i as usize];
+            let qi = match (p.x >= c.x, p.y >= c.y) {
+                (false, false) => 0,
+                (true, false) => 1,
+                (false, true) => 2,
+                (true, true) => 3,
+            };
+            buckets[qi].push(i);
+        }
+        let [b0, b1, b2, b3] = buckets;
+        let children = Box::new([
+            Self::build_node(points, b0, quads[0], depth + 1),
+            Self::build_node(points, b1, quads[1], depth + 1),
+            Self::build_node(points, b2, quads[2], depth + 1),
+            Self::build_node(points, b3, quads[3], depth + 1),
+        ]);
+        Node::Internal { children }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Visit indices of all points within `radius` of `q` (inclusive).
+    pub fn for_each_within<F: FnMut(u32)>(&self, points: &[Point], q: Point, radius: f64, mut f: F) {
+        assert!(radius >= 0.0 && radius.is_finite());
+        Self::query_node(&self.root, self.bounds, points, q, radius, &mut f);
+    }
+
+    fn query_node<F: FnMut(u32)>(
+        node: &Node,
+        bounds: Rect,
+        points: &[Point],
+        q: Point,
+        radius: f64,
+        f: &mut F,
+    ) {
+        if !bounds.intersects_circle(q, radius) {
+            return;
+        }
+        match node {
+            Node::Leaf { items } => {
+                let r_sq = radius * radius;
+                for &i in items {
+                    if points[i as usize].dist_sq(q) <= r_sq {
+                        f(i);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                let quads = bounds.quadrants();
+                for (child, quad) in children.iter().zip(quads.iter()) {
+                    Self::query_node(child, *quad, points, q, radius, f);
+                }
+            }
+        }
+    }
+
+    /// Collect indices of all points within `radius` of `q`.
+    pub fn query_within(&self, points: &[Point], q: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(points, q, radius, |i| out.push(i));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{deploy_uniform, Disk};
+    use crate::rng::SimRng;
+
+    fn brute_force(points: &[Point], q: Point, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist_sq(q) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = QuadTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.query_within(&[], Point::ORIGIN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_various_radii() {
+        let d = Disk::centered(10.0);
+        let mut rng = SimRng::seed_from(9);
+        let pts = deploy_uniform(&d, 500, &mut rng);
+        let t = QuadTree::build(&pts);
+        for &r in &[0.0, 0.5, 1.7, 4.0, 25.0] {
+            for qi in (0..pts.len()).step_by(13) {
+                let mut got = t.query_within(&pts, pts[qi], r);
+                got.sort_unstable();
+                assert_eq!(got, brute_force(&pts, pts[qi], r), "r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_no_infinite_recursion() {
+        let pts = vec![Point::new(1.0, 1.0); 100];
+        let t = QuadTree::build(&pts);
+        assert_eq!(t.query_within(&pts, Point::new(1.0, 1.0), 0.1).len(), 100);
+    }
+
+    #[test]
+    fn large_radius_returns_all() {
+        let d = Disk::centered(3.0);
+        let mut rng = SimRng::seed_from(10);
+        let pts = deploy_uniform(&d, 64, &mut rng);
+        let t = QuadTree::build(&pts);
+        assert_eq!(t.query_within(&pts, Point::ORIGIN, 100.0).len(), 64);
+    }
+}

@@ -1,0 +1,142 @@
+//! Whole-graph summary metrics used by the experiments.
+
+use crate::traversal::{bfs_distances, UNREACHABLE};
+use crate::{Graph, NodeIdx};
+use chlm_geom::SimRng;
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    /// Count of isolated (degree-0) nodes.
+    pub isolated: usize,
+}
+
+/// Compute degree statistics. Returns `None` for the empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut isolated = 0usize;
+    for u in 0..n as NodeIdx {
+        let d = g.degree(u);
+        min = min.min(d);
+        max = max.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    Some(DegreeStats {
+        min,
+        max,
+        mean: g.mean_degree(),
+        isolated,
+    })
+}
+
+/// Estimate the mean shortest-path hop count between connected pairs by
+/// sampling `samples` BFS sources. Kleinrock & Silvester's result [2] gives
+/// `h = Θ(sqrt(|V|))` for fixed-density 2-D networks — experiment E4 checks
+/// the hierarchical generalization (eq. (3)).
+///
+/// Returns `None` if the graph has no connected pair.
+pub fn mean_hop_count_sampled(g: &Graph, samples: usize, rng: &mut SimRng) -> Option<f64> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for _ in 0..samples {
+        let src = rng.index(n) as NodeIdx;
+        let dist = bfs_distances(g, src);
+        for (v, &d) in dist.iter().enumerate() {
+            if v as NodeIdx != src && d != UNREACHABLE {
+                total += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+/// Exact mean pairwise hop count (all-pairs BFS) — `O(n·(n+m))`, for tests
+/// and small graphs only.
+pub fn mean_hop_count_exact(g: &Graph) -> Option<f64> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for src in 0..n as NodeIdx {
+        let dist = bfs_distances(g, src);
+        for (v, &d) in dist.iter().enumerate() {
+            if (v as NodeIdx) > src && d != UNREACHABLE {
+                total += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_stats_basic() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3)]);
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.isolated, 1);
+        assert!((s.mean - 1.2).abs() < 1e-12);
+        assert!(degree_stats(&Graph::with_nodes(0)).is_none());
+    }
+
+    #[test]
+    fn exact_hops_on_path() {
+        // Path 0-1-2: pairs (0,1)=1, (0,2)=2, (1,2)=1 → mean 4/3.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let m = mean_hop_count_exact(&g).unwrap();
+        assert!((m - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_close_to_exact() {
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)],
+        );
+        let exact = mean_hop_count_exact(&g).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        // Sampling with sources covering the whole cycle: symmetric, so even
+        // few samples land on the exact value.
+        let approx = mean_hop_count_sampled(&g, 8, &mut rng).unwrap();
+        assert!((exact - approx).abs() < 0.3, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn no_pairs_returns_none() {
+        let g = Graph::with_nodes(3); // all isolated
+        assert!(mean_hop_count_exact(&g).is_none());
+        let mut rng = SimRng::seed_from(0);
+        assert!(mean_hop_count_sampled(&g, 4, &mut rng).is_none());
+        assert!(mean_hop_count_exact(&Graph::with_nodes(1)).is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Breadth-first search, connected components, and hop-count utilities.
+//!
+//! Hop counts are the paper's unit of communication cost: a handoff message
+//! between two level-0 nodes costs one packet transmission per hop on the
+//! level-0 shortest path.
+
+use crate::{Graph, NodeIdx};
+use std::collections::VecDeque;
+
+/// Sentinel for "unreachable" in distance vectors.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS hop distances from `src` to every node (`UNREACHABLE` if disconnected).
+pub fn bfs_distances(g: &Graph, src: NodeIdx) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between `src` and `dst`, early-exiting once `dst` is settled.
+/// Returns `None` if disconnected.
+pub fn hop_distance(g: &Graph, src: NodeIdx, dst: NodeIdx) -> Option<u32> {
+    if src == dst {
+        return Some(0);
+    }
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                if v == dst {
+                    return Some(du + 1);
+                }
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// One shortest path from `src` to `dst` (inclusive of both endpoints), or
+/// `None` if disconnected.
+pub fn shortest_path(g: &Graph, src: NodeIdx, dst: NodeIdx) -> Option<Vec<NodeIdx>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent: Vec<NodeIdx> = vec![NodeIdx::MAX; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    let mut q = VecDeque::new();
+    seen[src as usize] = true;
+    q.push_back(src);
+    'outer: while let Some(u) = q.pop_front() {
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = u;
+                if v == dst {
+                    break 'outer;
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    if !seen[dst as usize] {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+/// Component ids are dense in `0..count` in order of first discovery.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut q = VecDeque::new();
+    for s in 0..n as NodeIdx {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    q.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// True iff the graph is connected (the paper assumes `G` connected, §1.2).
+/// The empty graph is vacuously connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() == 0 || connected_components(g).1 == 1
+}
+
+/// Node indices of the largest connected component (ties broken by lowest
+/// component id). The simulator restricts measurement to this set when
+/// mobility momentarily disconnects the graph.
+pub fn largest_component(g: &Graph) -> Vec<NodeIdx> {
+    let (comp, count) = connected_components(g);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    comp.iter()
+        .enumerate()
+        .filter(|(_, &c)| c == best)
+        .map(|(i, _)| i as NodeIdx)
+        .collect()
+}
+
+/// Multi-source BFS: hop distance from each node to its nearest source.
+/// Used to compute distances to clusterheads.
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeIdx]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut q = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            q.push_back(s);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity-based diameter lower bound via double-sweep BFS — cheap and
+/// usually tight on unit-disk graphs.
+pub fn diameter_lower_bound(g: &Graph) -> u32 {
+    if g.node_count() == 0 {
+        return 0;
+    }
+    let d0 = bfs_distances(g, 0);
+    let (far, _) = d0
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .unwrap();
+    let d1 = bfs_distances(g, far as NodeIdx);
+    d1.iter().filter(|&&d| d != UNREACHABLE).copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as NodeIdx - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hop_distance_and_unreachable() {
+        let mut g = path_graph(4);
+        assert_eq!(hop_distance(&g, 0, 3), Some(3));
+        assert_eq!(hop_distance(&g, 2, 2), Some(0));
+        g.remove_edge(1, 2);
+        assert_eq!(hop_distance(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn shortest_path_is_valid_and_shortest() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)]);
+        let p = shortest_path(&g, 0, 5).unwrap();
+        assert_eq!(p.len() as u32 - 1, hop_distance(&g, 0, 5).unwrap());
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 5);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_disconnected_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(shortest_path(&g, 0, 3).is_none());
+        assert_eq!(shortest_path(&g, 1, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path_graph(6)));
+        assert!(is_connected(&Graph::with_nodes(0)));
+    }
+
+    #[test]
+    fn largest_component_picks_biggest() {
+        let g = Graph::from_edges(7, &[(0, 1), (2, 3), (3, 4), (4, 2), (5, 6)]);
+        let lc = largest_component(&g);
+        assert_eq!(lc, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_source_distances() {
+        let g = path_graph(7);
+        let d = multi_source_bfs(&g, &[0, 6]);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+        let none = multi_source_bfs(&g, &[]);
+        assert!(none.iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        assert_eq!(diameter_lower_bound(&path_graph(10)), 9);
+    }
+}

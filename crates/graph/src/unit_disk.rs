@@ -1,0 +1,99 @@
+//! Unit-disk graph construction.
+//!
+//! An undirected edge `(u, v)` exists iff `dist(u, v) <= R_TX` — exactly the
+//! bidirectional link model assumed in §1.2 of the paper. Construction uses
+//! a spatial hash grid with cell size `R_TX`, giving expected `O(n·d)` work
+//! at fixed density.
+
+use crate::{Graph, NodeIdx};
+use chlm_geom::{Point, SpatialGrid};
+
+/// Build the unit-disk graph over `positions` with transmission radius
+/// `rtx`. Deterministic: adjacency lists come out sorted.
+pub fn build_unit_disk(positions: &[Point], rtx: f64) -> Graph {
+    assert!(rtx > 0.0 && rtx.is_finite(), "R_TX must be positive");
+    let n = positions.len();
+    let mut g = Graph::with_nodes(n);
+    if n < 2 {
+        return g;
+    }
+    let grid = SpatialGrid::build(positions, rtx);
+    let mut nbrs: Vec<NodeIdx> = Vec::new();
+    for u in 0..n as NodeIdx {
+        nbrs.clear();
+        grid.for_each_within(positions, positions[u as usize], rtx, |v| {
+            // Each unordered pair is handled once, by its lower endpoint.
+            if v > u {
+                nbrs.push(v);
+            }
+        });
+        for &v in &nbrs {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Brute-force `O(n^2)` reference construction, used by tests and the
+/// spatial-index ablation bench.
+pub fn build_unit_disk_brute(positions: &[Point], rtx: f64) -> Graph {
+    assert!(rtx > 0.0 && rtx.is_finite());
+    let n = positions.len();
+    let r_sq = rtx * rtx;
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if positions[u].dist_sq(positions[v]) <= r_sq {
+                g.add_edge(u as NodeIdx, v as NodeIdx);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chlm_geom::region::{deploy_uniform, Disk};
+    use chlm_geom::SimRng;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(build_unit_disk(&[], 1.0).node_count(), 0);
+        let g = build_unit_disk(&[Point::ORIGIN], 1.0);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn two_nodes_threshold() {
+        let a = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        assert_eq!(build_unit_disk(&a, 1.0).edge_count(), 1); // boundary inclusive
+        assert_eq!(build_unit_disk(&a, 0.999).edge_count(), 0);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let disk = Disk::centered(12.0);
+        for seed in 0..5 {
+            let mut rng = SimRng::seed_from(seed);
+            let pts = deploy_uniform(&disk, 300, &mut rng);
+            let fast = build_unit_disk(&pts, 1.4);
+            let slow = build_unit_disk_brute(&pts, 1.4);
+            assert_eq!(fast, slow, "seed {seed}");
+            fast.check_invariants();
+        }
+    }
+
+    #[test]
+    fn degree_scales_with_rtx_squared() {
+        let disk = Disk::centered(20.0);
+        let mut rng = SimRng::seed_from(1);
+        let pts = deploy_uniform(&disk, 2000, &mut rng);
+        let d1 = build_unit_disk(&pts, 1.0).mean_degree();
+        let d2 = build_unit_disk(&pts, 2.0).mean_degree();
+        // Doubling R_TX should roughly quadruple degree (border effects shave a bit).
+        let ratio = d2 / d1;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+}

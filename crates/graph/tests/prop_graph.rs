@@ -1,0 +1,126 @@
+//! Property-based tests for the graph substrate.
+
+use chlm_graph::dijkstra::dijkstra;
+use chlm_graph::dynamics::LinkDiff;
+use chlm_graph::traversal::{
+    bfs_distances, connected_components, hop_distance, shortest_path, UNREACHABLE,
+};
+use chlm_graph::unit_disk::{build_unit_disk, build_unit_disk_brute};
+use chlm_graph::{Graph, NodeIdx, UnionFind};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeIdx, 0..n as NodeIdx), 0..3 * n)
+            .prop_map(move |pairs| {
+                let edges: Vec<_> = pairs.into_iter().filter(|(u, v)| u != v).collect();
+                Graph::from_edges(n, &edges)
+            })
+    })
+}
+
+fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<chlm_geom::Point>> {
+    proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 0..max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| chlm_geom::Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_invariants_hold(g in arb_graph(40)) {
+        g.check_invariants();
+    }
+
+    #[test]
+    fn unit_disk_fast_equals_brute(pts in arb_points(120), rtx in 0.5f64..6.0) {
+        let fast = build_unit_disk(&pts, rtx);
+        let slow = build_unit_disk_brute(&pts, rtx);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn bfs_distance_is_metric_like(g in arb_graph(30)) {
+        // d(u,u) = 0 and d satisfies the edge-relaxation property:
+        // |d(u) - d(v)| <= 1 for every edge (u,v) reachable from the source.
+        let d = bfs_distances(&g, 0);
+        prop_assert_eq!(d[0], 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                // one endpoint reachable implies the other is too
+                prop_assert!(du == UNREACHABLE && dv == UNREACHABLE);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_consistent_with_hop_distance(g in arb_graph(25)) {
+        let n = g.node_count() as NodeIdx;
+        for dst in 0..n.min(6) {
+            match (shortest_path(&g, 0, dst), hop_distance(&g, 0, dst)) {
+                (Some(p), Some(h)) => {
+                    prop_assert_eq!(p.len() as u32, h + 1);
+                    for w in p.windows(2) {
+                        prop_assert!(g.has_edge(w[0], w[1]));
+                    }
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "inconsistent: {:?} vs {:?}", a.is_some(), b),
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_equal_bfs(g in arb_graph(25)) {
+        let (d, _) = dijkstra(&g, 0, |_, _| 1.0);
+        let b = bfs_distances(&g, 0);
+        for i in 0..g.node_count() {
+            if b[i] == UNREACHABLE {
+                prop_assert!(d[i].is_infinite());
+            } else {
+                prop_assert_eq!(d[i] as u32, b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_matches_components(g in arb_graph(30)) {
+        let mut uf = UnionFind::new(g.node_count());
+        for (u, v) in g.edges() {
+            uf.union(u, v);
+        }
+        let (comp, count) = connected_components(&g);
+        prop_assert_eq!(uf.set_count(), count);
+        for u in 0..g.node_count() as u32 {
+            prop_assert_eq!(uf.same_set(0, u), comp[0] == comp[u as usize]);
+        }
+    }
+
+    #[test]
+    fn diff_roundtrip_reconstructs(old in arb_graph(25), extra in proptest::collection::vec((0u32..25, 0u32..25), 0..20)) {
+        // Apply the diff to `old` and check we obtain `new`.
+        let n = old.node_count();
+        let mut new = old.clone();
+        for (u, v) in extra {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v {
+                if !new.add_edge(u, v) {
+                    new.remove_edge(u, v);
+                }
+            }
+        }
+        let diff = LinkDiff::between(&old, &new);
+        let mut rebuilt = old.clone();
+        for &(u, v) in &diff.down {
+            prop_assert!(rebuilt.remove_edge(u, v));
+        }
+        for &(u, v) in &diff.up {
+            prop_assert!(rebuilt.add_edge(u, v));
+        }
+        prop_assert_eq!(rebuilt, new);
+    }
+}

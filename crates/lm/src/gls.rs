@@ -1,0 +1,519 @@
+//! The Grid Location Service (GLS) baseline (Li et al., MobiCom 2000; §3.1
+//! and Fig. 2 of the paper).
+//!
+//! GLS overlays the deployment area with a square divided recursively into
+//! four: *order-1* squares are the smallest (side `l`), the whole area is
+//! the order-`L+1` square. A node `v` recruits location servers with
+//! decreasing density at increasing distance: for each order `i ≥ 2`, one
+//! server in each of the **three sibling** order-(i-1) squares of `v`'s own
+//! order-(i-1) square within its order-i square. Server selection uses the
+//! eq.-(5) successor rule (least ID greater than `v`, circular), which *is*
+//! balanced here because candidate squares contain arbitrary ID mixes.
+//!
+//! Costs modelled (per the GLS paper's behavior, adapted to our packet ×
+//! hop unit):
+//!
+//! * **updates** — `v` refreshes its order-i servers each time it moves
+//!   `2^(i-2) · l` since the last order-i update (feature (c): near servers
+//!   hear often, far servers rarely);
+//! * **handoff transfers** — when the selected server for an entry changes
+//!   (the old server moved away, or `v` crossed a grid boundary), the entry
+//!   travels old → new server.
+
+use crate::hash::mod_successor_select;
+use chlm_cluster::ElectionId;
+use chlm_geom::{Point, Rect};
+use chlm_graph::NodeIdx;
+use std::collections::HashMap;
+
+/// The recursive grid of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridHierarchy {
+    /// The order-`orders` square covering everything.
+    pub root: Rect,
+    /// Number of square orders (≥ 2); order 1 squares have side
+    /// `root.side / 2^(orders-1)`.
+    pub orders: usize,
+}
+
+impl GridHierarchy {
+    /// Build a grid whose root square covers `bounds` and whose order-1
+    /// squares have side ≥ `smallest_side`.
+    pub fn covering(bounds: Rect, smallest_side: f64) -> Self {
+        assert!(smallest_side > 0.0);
+        let extent = bounds.width().max(bounds.height());
+        let mut orders = 1usize;
+        let mut side = smallest_side;
+        while side < extent {
+            side *= 2.0;
+            orders += 1;
+        }
+        let root = Rect::new(
+            bounds.min,
+            Point::new(bounds.min.x + side, bounds.min.y + side),
+        );
+        GridHierarchy { root, orders }
+    }
+
+    /// Side length of an order-`i` square.
+    pub fn side(&self, order: usize) -> f64 {
+        assert!(order >= 1 && order <= self.orders);
+        self.root.width() / (1 << (self.orders - order)) as f64
+    }
+
+    /// Cell coordinates of `p` at the given order.
+    pub fn cell(&self, p: Point, order: usize) -> (u32, u32) {
+        let s = self.side(order);
+        let nx = (1u64 << (self.orders - order)) as f64;
+        let cx = ((p.x - self.root.min.x) / s).floor().clamp(0.0, nx - 1.0);
+        let cy = ((p.y - self.root.min.y) / s).floor().clamp(0.0, nx - 1.0);
+        (cx as u32, cy as u32)
+    }
+
+    /// The three sibling order-`order` cells of the given cell inside its
+    /// parent order-(order+1) square.
+    pub fn siblings(&self, cell: (u32, u32), order: usize) -> [(u32, u32); 3] {
+        assert!(order < self.orders, "root square has no siblings");
+        let base = (cell.0 & !1, cell.1 & !1);
+        let mut out = [(0, 0); 3];
+        let mut idx = 0;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                let c = (base.0 + dx, base.1 + dy);
+                if c != cell {
+                    out[idx] = c;
+                    idx += 1;
+                }
+            }
+        }
+        debug_assert_eq!(idx, 3);
+        out
+    }
+}
+
+/// Server table: for each node, `orders - 1` bands of up to three servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlsAssignment {
+    n: usize,
+    /// Bands per node (band `b` covers order `b + 2` in paper numbering).
+    bands: usize,
+    /// Row-major `n × bands × 3`; `NodeIdx::MAX` marks "sibling square
+    /// empty, no server".
+    servers: Vec<NodeIdx>,
+}
+
+/// Sentinel for an empty sibling square.
+pub const NO_SERVER: NodeIdx = NodeIdx::MAX;
+
+impl GlsAssignment {
+    /// Compute the full server table for the given positions and IDs.
+    pub fn compute(
+        grid: &GridHierarchy,
+        positions: &[Point],
+        ids: &[ElectionId],
+    ) -> Self {
+        assert_eq!(positions.len(), ids.len());
+        let n = positions.len();
+        let bands = grid.orders.saturating_sub(1);
+        let id_space = n.max(1) as u64;
+        // Occupancy per order 1..orders-1: cell -> member nodes.
+        let mut occupancy: Vec<HashMap<(u32, u32), Vec<NodeIdx>>> =
+            Vec::with_capacity(bands);
+        for order in 1..grid.orders {
+            let mut map: HashMap<(u32, u32), Vec<NodeIdx>> = HashMap::new();
+            for (v, &p) in positions.iter().enumerate() {
+                map.entry(grid.cell(p, order)).or_default().push(v as NodeIdx);
+            }
+            occupancy.push(map);
+        }
+        let mut servers = vec![NO_SERVER; n * bands * 3];
+        let mut cand_ids: Vec<ElectionId> = Vec::new();
+        for v in 0..n {
+            for band in 0..bands {
+                let order = band + 1; // sibling squares live at this order
+                let cell = grid.cell(positions[v], order);
+                let sibs = grid.siblings(cell, order);
+                for (s, &sib) in sibs.iter().enumerate() {
+                    let slot = (v * bands + band) * 3 + s;
+                    if let Some(members) = occupancy[order - 1].get(&sib) {
+                        cand_ids.clear();
+                        cand_ids.extend(members.iter().map(|&m| ids[m as usize]));
+                        let pick = mod_successor_select(ids[v], &cand_ids, id_space);
+                        servers[slot] = members[pick];
+                    }
+                }
+            }
+        }
+        GlsAssignment { n, bands, servers }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    pub fn band_count(&self) -> usize {
+        self.bands
+    }
+
+    /// Servers of `v` in band `b` (order `b + 2`); entries may be
+    /// [`NO_SERVER`].
+    pub fn servers(&self, v: NodeIdx, band: usize) -> &[NodeIdx] {
+        let base = (v as usize * self.bands + band) * 3;
+        &self.servers[base..base + 3]
+    }
+
+    /// Number of entries each node stores (server load).
+    pub fn entries_hosted(&self) -> Vec<u32> {
+        let mut count = vec![0u32; self.n];
+        for &s in &self.servers {
+            if s != NO_SERVER {
+                count[s as usize] += 1;
+            }
+        }
+        count
+    }
+
+    /// Diff against a newer assignment: `(subject, band, old, new)` for
+    /// every changed slot.
+    pub fn diff(&self, new: &GlsAssignment) -> Vec<(NodeIdx, usize, NodeIdx, NodeIdx)> {
+        assert_eq!(self.n, new.n);
+        assert_eq!(self.bands, new.bands, "grids must match to diff");
+        let mut out = Vec::new();
+        for v in 0..self.n {
+            for band in 0..self.bands {
+                let a = self.servers(v as NodeIdx, band);
+                let b = new.servers(v as NodeIdx, band);
+                for s in 0..3 {
+                    if a[s] != b[s] {
+                        out.push((v as NodeIdx, band, a[s], b[s]));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+
+/// Resolve a GLS location query.
+///
+/// GLS routes a query for `target` through successively coarser grid
+/// orders: starting from the requester's own position, at each order `i`
+/// the query is forwarded to the node that *would be* `target`'s server
+/// for the requester's sibling set — in our (already simplified, see the
+/// module docs) model we resolve at the lowest order whose square
+/// contains both endpoints, asking `target`'s server in that shared
+/// square's band. Costs: request hops to the answering server, plus the
+/// reply back.
+///
+/// Returns `None` when no server of the target exists in the shared
+/// structure (e.g. all sibling squares empty — only in near-degenerate
+/// deployments).
+pub fn gls_resolve<H: FnMut(NodeIdx, NodeIdx) -> f64>(
+    grid: &GridHierarchy,
+    assignment: &GlsAssignment,
+    positions: &[Point],
+    requester: NodeIdx,
+    target: NodeIdx,
+    mut hop: H,
+) -> Option<f64> {
+    if requester == target {
+        return Some(0.0);
+    }
+    // Lowest order whose square contains both endpoints.
+    let mut shared_order = None;
+    for order in 1..=grid.orders {
+        if grid.cell(positions[requester as usize], order)
+            == grid.cell(positions[target as usize], order)
+        {
+            shared_order = Some(order);
+            break;
+        }
+    }
+    let shared = shared_order?;
+    if shared == 1 {
+        // Same order-1 square: everyone there knows everyone (the GLS
+        // analog of level-1 cluster knowledge).
+        return Some(0.0);
+    }
+    // The target keeps servers in the three sibling squares of its
+    // order-(shared-1) square; the requester lives in one of those
+    // siblings, so its square holds a server for the target.
+    let band = shared - 2; // band b covers order b + 2
+    if band >= assignment.band_count() {
+        return None;
+    }
+    let req_cell = grid.cell(positions[requester as usize], shared - 1);
+    let tgt_cell = grid.cell(positions[target as usize], shared - 1);
+    let sibs = grid.siblings(tgt_cell, shared - 1);
+    let server = sibs
+        .iter()
+        .position(|&c| c == req_cell)
+        .map(|slot| assignment.servers(target, band)[slot])
+        .filter(|&s| s != NO_SERVER)
+        .or_else(|| {
+            // Requester not in a sibling slot with a live server: fall back
+            // to any of the target's servers in this band.
+            assignment
+                .servers(target, band)
+                .iter()
+                .copied()
+                .find(|&s| s != NO_SERVER)
+        })?;
+    Some(hop(requester, server) + hop(server, requester))
+}
+
+/// Running GLS cost tracker: distance-triggered updates plus transfer
+/// costs from assignment churn.
+#[derive(Debug, Clone)]
+pub struct GlsTracker {
+    grid: GridHierarchy,
+    last_update_pos: Vec<Point>, // n × bands
+    prev: Option<GlsAssignment>,
+    /// Accumulated packet transmissions.
+    pub update_packets: f64,
+    pub transfer_packets: f64,
+    pub node_seconds: f64,
+}
+
+impl GlsTracker {
+    pub fn new(grid: GridHierarchy, positions: &[Point]) -> Self {
+        let bands = grid.orders.saturating_sub(1);
+        let mut last = Vec::with_capacity(positions.len() * bands);
+        for &p in positions {
+            for _ in 0..bands {
+                last.push(p);
+            }
+        }
+        GlsTracker {
+            grid,
+            last_update_pos: last,
+            prev: None,
+            update_packets: 0.0,
+            transfer_packets: 0.0,
+            node_seconds: 0.0,
+        }
+    }
+
+    /// Observe one tick.
+    pub fn observe<H: FnMut(NodeIdx, NodeIdx) -> f64>(
+        &mut self,
+        positions: &[Point],
+        ids: &[ElectionId],
+        mut hop: H,
+        dt: f64,
+    ) {
+        let bands = self.grid.orders.saturating_sub(1);
+        let assignment = GlsAssignment::compute(&self.grid, positions, ids);
+        // Transfer costs for server churn.
+        if let Some(prev) = &self.prev {
+            for (subject, _band, old, new) in prev.diff(&assignment) {
+                match (old == NO_SERVER, new == NO_SERVER) {
+                    (false, false) => self.transfer_packets += hop(old, new),
+                    (true, false) => self.transfer_packets += hop(subject, new),
+                    _ => {} // entries expire silently (GLS timeout behavior)
+                }
+            }
+        }
+        // Distance-triggered updates (feature (c)).
+        let l = self.grid.side(1);
+        for (v, &p) in positions.iter().enumerate() {
+            for band in 0..bands {
+                let slot = v * bands + band;
+                let threshold = l * (1u64 << band) as f64;
+                if p.dist(self.last_update_pos[slot]) >= threshold {
+                    self.last_update_pos[slot] = p;
+                    for &s in assignment.servers(v as NodeIdx, band) {
+                        if s != NO_SERVER {
+                            self.update_packets += hop(v as NodeIdx, s);
+                        }
+                    }
+                }
+            }
+        }
+        self.prev = Some(assignment);
+        self.node_seconds += positions.len() as f64 * dt;
+    }
+
+    /// Total LM maintenance packet transmissions per node per second.
+    pub fn overhead_per_node_per_second(&self) -> f64 {
+        if self.node_seconds == 0.0 {
+            0.0
+        } else {
+            (self.update_packets + self.transfer_packets) / self.node_seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chlm_geom::{Region, SimRng};
+
+    fn square_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let r = Rect::square(side);
+        let mut rng = SimRng::seed_from(seed);
+        chlm_geom::region::deploy_uniform(&r, n, &mut rng)
+    }
+
+    #[test]
+    fn grid_covering_geometry() {
+        let g = GridHierarchy::covering(Rect::square(100.0), 10.0);
+        assert!(g.root.width() >= 100.0);
+        assert!(g.side(1) >= 10.0);
+        assert_eq!(g.side(g.orders), g.root.width());
+        // Sides double per order.
+        for o in 1..g.orders {
+            assert!((g.side(o + 1) / g.side(o) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cells_nest() {
+        let g = GridHierarchy::covering(Rect::square(80.0), 5.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..200 {
+            let p = Rect::square(80.0).sample(&mut rng);
+            for o in 1..g.orders {
+                let child = g.cell(p, o);
+                let parent = g.cell(p, o + 1);
+                assert_eq!((child.0 / 2, child.1 / 2), parent);
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_are_three_distinct_cells_in_parent() {
+        let g = GridHierarchy::covering(Rect::square(64.0), 4.0);
+        let cell = (3u32, 5u32);
+        let sibs = g.siblings(cell, 1);
+        assert_eq!(sibs.len(), 3);
+        for s in sibs {
+            assert_ne!(s, cell);
+            assert_eq!((s.0 / 2, s.1 / 2), (cell.0 / 2, cell.1 / 2));
+        }
+    }
+
+    #[test]
+    fn assignment_servers_live_in_sibling_squares() {
+        let pts = square_points(300, 100.0, 2);
+        let ids: Vec<u64> = (0..300).collect();
+        let g = GridHierarchy::covering(Rect::square(100.0), 12.0);
+        let a = GlsAssignment::compute(&g, &pts, &ids);
+        for v in 0..300u32 {
+            for band in 0..a.band_count() {
+                let order = band + 1;
+                let own = g.cell(pts[v as usize], order);
+                let sibs = g.siblings(own, order);
+                for (i, &s) in a.servers(v, band).iter().enumerate() {
+                    if s != NO_SERVER {
+                        assert_eq!(g.cell(pts[s as usize], order), sibs[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_density_decays_with_distance() {
+        // Feature (b): more servers near v than far. Count servers within
+        // r vs beyond: band widths double, so per-area density must fall.
+        let pts = square_points(2000, 128.0, 3);
+        let ids: Vec<u64> = (0..2000).collect();
+        let g = GridHierarchy::covering(Rect::square(128.0), 8.0);
+        let a = GlsAssignment::compute(&g, &pts, &ids);
+        // Average server distance per band should grow.
+        let mut band_means = Vec::new();
+        for band in 0..a.band_count() {
+            let mut total = 0.0;
+            let mut cnt = 0usize;
+            for v in 0..2000u32 {
+                for &s in a.servers(v, band) {
+                    if s != NO_SERVER {
+                        total += pts[v as usize].dist(pts[s as usize]);
+                        cnt += 1;
+                    }
+                }
+            }
+            if cnt > 0 {
+                band_means.push(total / cnt as f64);
+            }
+        }
+        assert!(band_means.len() >= 3);
+        for w in band_means.windows(2) {
+            assert!(w[1] > w[0], "server distance not growing: {band_means:?}");
+        }
+    }
+
+    #[test]
+    fn gls_query_same_square_free_and_self_free() {
+        let pts = square_points(200, 80.0, 11);
+        let ids: Vec<u64> = (0..200).collect();
+        let g = GridHierarchy::covering(Rect::square(80.0), 10.0);
+        let a = GlsAssignment::compute(&g, &pts, &ids);
+        assert_eq!(gls_resolve(&g, &a, &pts, 5, 5, |_, _| 1.0), Some(0.0));
+        // Find two nodes in the same order-1 square.
+        'outer: for u in 0..200u32 {
+            for v in (u + 1)..200u32 {
+                if g.cell(pts[u as usize], 1) == g.cell(pts[v as usize], 1) {
+                    assert_eq!(gls_resolve(&g, &a, &pts, u, v, |_, _| 1.0), Some(0.0));
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gls_query_resolves_across_grid() {
+        let pts = square_points(400, 100.0, 12);
+        let ids: Vec<u64> = (0..400).collect();
+        let g = GridHierarchy::covering(Rect::square(100.0), 8.0);
+        let a = GlsAssignment::compute(&g, &pts, &ids);
+        let mut resolved = 0;
+        for u in (0..400u32).step_by(13) {
+            for v in (0..400u32).step_by(17) {
+                if u == v {
+                    continue;
+                }
+                if let Some(cost) = gls_resolve(&g, &a, &pts, u, v, |a, b| {
+                    pts[a as usize].dist(pts[b as usize])
+                }) {
+                    assert!(cost >= 0.0);
+                    resolved += 1;
+                }
+            }
+        }
+        assert!(resolved > 100, "only {resolved} queries resolved");
+    }
+
+    #[test]
+    fn tracker_static_nodes_cost_nothing_after_first_tick() {
+        let pts = square_points(100, 50.0, 4);
+        let ids: Vec<u64> = (0..100).collect();
+        let g = GridHierarchy::covering(Rect::square(50.0), 6.0);
+        let mut t = GlsTracker::new(g, &pts);
+        for _ in 0..5 {
+            t.observe(&pts, &ids, |_, _| 1.0, 1.0);
+        }
+        assert_eq!(t.transfer_packets, 0.0);
+        assert_eq!(t.update_packets, 0.0);
+        assert_eq!(t.node_seconds, 500.0);
+    }
+
+    #[test]
+    fn tracker_charges_updates_when_moving() {
+        let mut pts = square_points(150, 60.0, 5);
+        let ids: Vec<u64> = (0..150).collect();
+        let g = GridHierarchy::covering(Rect::square(60.0), 6.0);
+        let mut t = GlsTracker::new(g, &pts);
+        t.observe(&pts, &ids, |_, _| 1.0, 1.0);
+        // Move everyone substantially.
+        for p in &mut pts {
+            p.x = (p.x + 20.0).min(59.9);
+            p.y = (p.y + 15.0).min(59.9);
+        }
+        t.observe(&pts, &ids, |_, _| 1.0, 1.0);
+        assert!(t.update_packets > 0.0, "no updates charged");
+        assert!(t.overhead_per_node_per_second() > 0.0);
+    }
+}

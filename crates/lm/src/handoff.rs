@@ -1,0 +1,310 @@
+//! Handoff accounting: turning assignment diffs into the paper's φ_k / γ_k.
+//!
+//! Overhead unit (matching the paper): **packet transmissions** — each LM
+//! entry moved between two nodes costs one packet per level-0 hop on the
+//! path between them. Per §4 a migrating node transfers `Θ(log |V|)`
+//! entries over `Θ(h_k)` hops; per §5 a reorganizing level-k cluster moves
+//! `Θ(c_k)` nodes' entries. Both arise *naturally* here from diffing the
+//! server assignment before/after a topology change; nothing is assumed
+//! about magnitudes, so measurements genuinely test the paper's bounds.
+//!
+//! Attribution of each moved entry to **migration** (φ) or
+//! **reorganization** (γ) follows the cascade rule of
+//! [`chlm_cluster::address`]:
+//!
+//! 1. if the *subject*'s level-k address changed, the entry moved because
+//!    the subject changed clusters — classify by the subject's change kind;
+//! 2. otherwise, if the old or new *host* changed its own address at some
+//!    level ≤ k, the entry moved because the host moved within/out of the
+//!    subtree — classify by the host's lowest-level change;
+//! 3. otherwise the candidate structure itself was reorganized — γ.
+
+use crate::server::HostChange;
+use chlm_cluster::address::{AddrChange, AddrChangeKind};
+use chlm_graph::NodeIdx;
+use std::collections::HashMap;
+
+/// Per-level handoff cost accumulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelCost {
+    /// Packet transmissions attributed to node migration (φ_k numerator).
+    pub migration_packets: f64,
+    /// Packet transmissions attributed to cluster reorganization (γ_k).
+    pub reorg_packets: f64,
+    /// Entry-movement events attributed to migration.
+    pub migration_events: u64,
+    /// Entry-movement events attributed to reorganization.
+    pub reorg_events: u64,
+}
+
+impl LevelCost {
+    pub fn total_packets(&self) -> f64 {
+        self.migration_packets + self.reorg_packets
+    }
+}
+
+/// Handoff costs accumulated over one or more ticks, indexed by level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HandoffLedger {
+    /// `per_level[k]` holds the level-k costs (indices 0 and 1 stay empty).
+    pub per_level: Vec<LevelCost>,
+    /// Node-seconds of exposure, for per-node-per-second normalization.
+    pub node_seconds: f64,
+}
+
+impl HandoffLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn level_mut(&mut self, k: usize) -> &mut LevelCost {
+        if self.per_level.len() <= k {
+            self.per_level.resize(k + 1, LevelCost::default());
+        }
+        &mut self.per_level[k]
+    }
+
+    /// Record one tick's worth of handoff.
+    ///
+    /// * `host_changes` — assignment diff for the tick,
+    /// * `addr_changes` — address diff for the tick (classification input),
+    /// * `hop` — hop-distance oracle between two physical nodes,
+    /// * `n`, `dt` — exposure bookkeeping.
+    pub fn record<H: FnMut(NodeIdx, NodeIdx) -> f64>(
+        &mut self,
+        host_changes: &[HostChange],
+        addr_changes: &[AddrChange],
+        mut hop: H,
+        n: usize,
+        dt: f64,
+    ) {
+        // Index address changes: (node, exact level) -> kind, and
+        // node -> lowest changed level (for host-side attribution).
+        let mut exact: HashMap<(NodeIdx, u16), AddrChangeKind> = HashMap::new();
+        let mut lowest: HashMap<NodeIdx, (u16, AddrChangeKind)> = HashMap::new();
+        for c in addr_changes {
+            exact.insert((c.node, c.level), c.kind);
+            lowest
+                .entry(c.node)
+                .and_modify(|e| {
+                    if c.level < e.0 {
+                        *e = (c.level, c.kind);
+                    }
+                })
+                .or_insert((c.level, c.kind));
+        }
+        let host_kind = |node: NodeIdx, k: u16| -> Option<AddrChangeKind> {
+            lowest
+                .get(&node)
+                .filter(|&&(lvl, _)| lvl <= k)
+                .map(|&(_, kind)| kind)
+        };
+
+        for hc in host_changes {
+            let k = hc.level;
+            let kind = exact
+                .get(&(hc.subject, k))
+                .copied()
+                .or_else(|| host_kind(hc.old_host, k))
+                .or_else(|| host_kind(hc.new_host, k))
+                .unwrap_or(AddrChangeKind::Reorganization);
+
+            // Transfer: the entry travels old_host -> new_host.
+            let mut packets = hop(hc.old_host, hc.new_host);
+            // Registration: when the subject itself changed its level-k
+            // cluster it must (re)register with the new server.
+            if exact.contains_key(&(hc.subject, k)) {
+                packets += hop(hc.subject, hc.new_host);
+            }
+            let slot = self.level_mut(k as usize);
+            match kind {
+                AddrChangeKind::Migration => {
+                    slot.migration_packets += packets;
+                    slot.migration_events += 1;
+                }
+                AddrChangeKind::Reorganization => {
+                    slot.reorg_packets += packets;
+                    slot.reorg_events += 1;
+                }
+            }
+        }
+        self.node_seconds += n as f64 * dt;
+    }
+
+    /// Merge another ledger (e.g. from a parallel replication).
+    pub fn merge(&mut self, other: &HandoffLedger) {
+        if other.per_level.len() > self.per_level.len() {
+            self.per_level
+                .resize(other.per_level.len(), LevelCost::default());
+        }
+        for (k, c) in other.per_level.iter().enumerate() {
+            let s = &mut self.per_level[k];
+            s.migration_packets += c.migration_packets;
+            s.reorg_packets += c.reorg_packets;
+            s.migration_events += c.migration_events;
+            s.reorg_events += c.reorg_events;
+        }
+        self.node_seconds += other.node_seconds;
+    }
+
+    /// φ_k — migration-handoff packet transmissions per node per second at
+    /// level `k`.
+    pub fn phi(&self, k: usize) -> f64 {
+        if self.node_seconds == 0.0 {
+            return 0.0;
+        }
+        self.per_level
+            .get(k)
+            .map_or(0.0, |c| c.migration_packets / self.node_seconds)
+    }
+
+    /// γ_k — reorganization-handoff packet transmissions per node per
+    /// second at level `k`.
+    pub fn gamma(&self, k: usize) -> f64 {
+        if self.node_seconds == 0.0 {
+            return 0.0;
+        }
+        self.per_level
+            .get(k)
+            .map_or(0.0, |c| c.reorg_packets / self.node_seconds)
+    }
+
+    /// φ — total migration overhead per node per second (eq. 6c).
+    pub fn phi_total(&self) -> f64 {
+        (0..self.per_level.len()).map(|k| self.phi(k)).sum()
+    }
+
+    /// γ — total reorganization overhead per node per second (eq. 11).
+    pub fn gamma_total(&self) -> f64 {
+        (0..self.per_level.len()).map(|k| self.gamma(k)).sum()
+    }
+
+    /// Highest level with any recorded cost.
+    pub fn max_level(&self) -> usize {
+        self.per_level.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hc(subject: NodeIdx, level: u16, old: NodeIdx, new: NodeIdx) -> HostChange {
+        HostChange {
+            subject,
+            level,
+            old_host: old,
+            new_host: new,
+        }
+    }
+
+    fn ac(node: NodeIdx, level: u16, kind: AddrChangeKind) -> AddrChange {
+        AddrChange {
+            node,
+            level,
+            old_head: 0,
+            new_head: 1,
+            kind,
+        }
+    }
+
+    /// Unit hop metric: every pair is 1 hop apart (self = 0).
+    fn unit_hop(a: NodeIdx, b: NodeIdx) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    #[test]
+    fn empty_diff_costs_nothing() {
+        let mut l = HandoffLedger::new();
+        l.record(&[], &[], unit_hop, 10, 1.0);
+        assert_eq!(l.phi_total(), 0.0);
+        assert_eq!(l.gamma_total(), 0.0);
+        assert_eq!(l.node_seconds, 10.0);
+    }
+
+    #[test]
+    fn subject_migration_classified_phi() {
+        let mut l = HandoffLedger::new();
+        let changes = [hc(5, 2, 7, 9)];
+        let addrs = [ac(5, 2, AddrChangeKind::Migration)];
+        l.record(&changes, &addrs, unit_hop, 10, 1.0);
+        // transfer (1 hop) + registration (1 hop) = 2 packets at level 2.
+        assert!((l.phi(2) - 0.2).abs() < 1e-12); // 2 packets / 10 node-seconds
+        assert_eq!(l.gamma(2), 0.0);
+        assert_eq!(l.per_level[2].migration_events, 1);
+    }
+
+    #[test]
+    fn subject_reorg_classified_gamma() {
+        let mut l = HandoffLedger::new();
+        let changes = [hc(5, 3, 7, 9)];
+        let addrs = [ac(5, 3, AddrChangeKind::Reorganization)];
+        l.record(&changes, &addrs, unit_hop, 1, 1.0);
+        assert_eq!(l.phi(3), 0.0);
+        assert!((l.gamma(3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_side_attribution_uses_lowest_level() {
+        // Old host 7 migrated at level 1; subject 5 did not change. Entry
+        // movement at level 3 must classify as Migration via host rule, and
+        // cost only the transfer (no registration).
+        let mut l = HandoffLedger::new();
+        let changes = [hc(5, 3, 7, 9)];
+        let addrs = [ac(7, 1, AddrChangeKind::Migration)];
+        l.record(&changes, &addrs, unit_hop, 1, 1.0);
+        assert!((l.phi(3) - 1.0).abs() < 1e-12);
+        assert_eq!(l.gamma(3), 0.0);
+    }
+
+    #[test]
+    fn host_change_above_k_does_not_attribute() {
+        // Host changed its address only at level 5; an entry at level 3
+        // cannot have moved because of that — falls through to γ.
+        let mut l = HandoffLedger::new();
+        let changes = [hc(5, 3, 7, 9)];
+        let addrs = [ac(7, 5, AddrChangeKind::Migration)];
+        l.record(&changes, &addrs, unit_hop, 1, 1.0);
+        assert_eq!(l.phi(3), 0.0);
+        assert!(l.gamma(3) > 0.0);
+    }
+
+    #[test]
+    fn default_is_reorganization() {
+        let mut l = HandoffLedger::new();
+        l.record(&[hc(5, 2, 7, 9)], &[], unit_hop, 1, 1.0);
+        assert_eq!(l.phi(2), 0.0);
+        assert!((l.gamma(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = HandoffLedger::new();
+        a.record(
+            &[hc(1, 2, 3, 4)],
+            &[ac(1, 2, AddrChangeKind::Migration)],
+            unit_hop,
+            2,
+            1.0,
+        );
+        let mut b = HandoffLedger::new();
+        b.record(&[hc(2, 4, 5, 6)], &[], unit_hop, 2, 1.0);
+        a.merge(&b);
+        assert_eq!(a.node_seconds, 4.0);
+        assert!(a.phi_total() > 0.0);
+        assert!(a.gamma_total() > 0.0);
+        assert_eq!(a.max_level(), 4);
+    }
+
+    #[test]
+    fn distance_weighted_costs() {
+        // 3-hop transfer, no registration.
+        let mut l = HandoffLedger::new();
+        l.record(&[hc(0, 2, 1, 2)], &[], |_, _| 3.0, 1, 2.0);
+        assert!((l.gamma(2) - 1.5).abs() < 1e-12); // 3 packets / 2 node-sec
+    }
+}

@@ -1,0 +1,321 @@
+//! The distributed LM server assignment.
+//!
+//! For every subject node `v` and every hierarchy level `k ≥ 2`, CHLM
+//! designates one level-0 node inside `v`'s level-k cluster as the
+//! *level-k LM server of v* (§3.2). The designation walks down the
+//! hierarchy: hash-select a member level-(k-1) cluster of `v`'s level-k
+//! cluster, then a member of that, … until a level-0 node is reached —
+//! exactly the paper's worked example (node 63 → level-1 cluster 59 →
+//! node 33 as its level-2 server).
+//!
+//! Level 1 needs no server (complete intra-cluster topology knowledge),
+//! and level 0 is the node itself.
+
+use crate::hash::{hrw_select_weighted, mod_successor_select};
+use chlm_cluster::Hierarchy;
+use chlm_graph::NodeIdx;
+
+/// Which hashing rule selects among member clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionRule {
+    /// Highest-random-weight hashing (the crate default; balanced).
+    Hrw,
+    /// GLS's eq. (5) successor rule, kept for the E14 inequity ablation.
+    ModSuccessor {
+        /// Size of the circular ID space (the network's `|V|` for
+        /// permutation IDs).
+        id_space: u64,
+    },
+}
+
+/// One subject's server change between two assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostChange {
+    pub subject: NodeIdx,
+    /// Hierarchy level of the entry (`2..depth`).
+    pub level: u16,
+    /// Previous host (== `subject` if the entry did not exist before).
+    pub old_host: NodeIdx,
+    /// New host (== `subject` if the entry no longer exists).
+    pub new_host: NodeIdx,
+}
+
+/// Complete server-assignment table: host of every `(subject, level)` LM
+/// entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmAssignment {
+    n: usize,
+    depth: usize,
+    /// Row-major `n × depth`; slots for `k < 2` hold the subject itself.
+    hosts: Vec<NodeIdx>,
+}
+
+impl LmAssignment {
+    /// Compute the assignment for hierarchy `h` under `rule`.
+    pub fn compute(h: &Hierarchy, rule: SelectionRule) -> Self {
+        let n = h.node_count();
+        let depth = h.depth();
+        // Pre-group cluster members once per level:
+        // members[j][head_local_at_level_j] = local level-j indices voting
+        // for that head.
+        let mut members: Vec<Vec<Vec<u32>>> = Vec::with_capacity(depth);
+        for level in &h.levels {
+            let mut g: Vec<Vec<u32>> = vec![Vec::new(); level.len()];
+            for (i, &t) in level.vote.iter().enumerate() {
+                g[t as usize].push(i as u32);
+            }
+            members.push(g);
+        }
+        // Subtree sizes (level-0 descendants) per level-j node; these weight
+        // the hash so per-node server load is equitable (§3.2's requirement).
+        let mut subtree: Vec<Vec<f64>> = Vec::with_capacity(depth);
+        subtree.push(vec![1.0; h.levels[0].len()]);
+        for j in 1..depth {
+            let level = &h.levels[j];
+            let prev = &h.levels[j - 1];
+            let sizes: Vec<f64> = level
+                .nodes
+                .iter()
+                .map(|&head| {
+                    let head_local = prev.local(head).expect("head missing below");
+                    members[j - 1][head_local as usize]
+                        .iter()
+                        .map(|&m| subtree[j - 1][m as usize])
+                        .sum()
+                })
+                .collect();
+            subtree.push(sizes);
+        }
+        let mut hosts = Vec::with_capacity(n * depth);
+        let mut cand_ids: Vec<u64> = Vec::new();
+        let mut cand_weighted: Vec<(u64, f64)> = Vec::new();
+        for v in 0..n as NodeIdx {
+            let addr = h.address(v);
+            let subject_id = h.ids[v as usize];
+            for k in 0..depth {
+                if k < 2 {
+                    hosts.push(v);
+                    continue;
+                }
+                // Walk from v's level-k cluster head down to a level-0 node.
+                let mut head_phys = addr[k];
+                for j in (0..k).rev() {
+                    let level = &h.levels[j];
+                    let head_local = level
+                        .local(head_phys)
+                        .expect("cluster head missing at its own level");
+                    let mem = &members[j][head_local as usize];
+                    debug_assert!(!mem.is_empty(), "head with no electors");
+                    let salt = ((k as u64) << 32) | j as u64;
+                    let pick = match rule {
+                        SelectionRule::Hrw => {
+                            cand_weighted.clear();
+                            cand_weighted.extend(mem.iter().map(|&m| {
+                                (
+                                    h.ids[level.nodes[m as usize] as usize],
+                                    subtree[j][m as usize],
+                                )
+                            }));
+                            hrw_select_weighted(subject_id, &cand_weighted, salt)
+                        }
+                        SelectionRule::ModSuccessor { id_space } => {
+                            cand_ids.clear();
+                            cand_ids.extend(
+                                mem.iter().map(|&m| h.ids[level.nodes[m as usize] as usize]),
+                            );
+                            // Salt the subject so distinct (k, j) steps don't
+                            // always chase the same successor.
+                            mod_successor_select(
+                                subject_id.wrapping_add(salt),
+                                &cand_ids,
+                                id_space,
+                            )
+                        }
+                    };
+                    head_phys = level.nodes[mem[pick] as usize];
+                }
+                hosts.push(head_phys);
+            }
+        }
+        LmAssignment { n, depth, hosts }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Host of subject `v`'s level-`k` entry, or `None` when the level
+    /// carries no entry (k < 2 or k ≥ depth).
+    pub fn host(&self, v: NodeIdx, k: usize) -> Option<NodeIdx> {
+        if k < 2 || k >= self.depth {
+            return None;
+        }
+        Some(self.hosts[v as usize * self.depth + k])
+    }
+
+    /// Number of LM entries each node hosts (index = physical node).
+    /// The paper's claim: the mean is `Θ(log |V|)` (one entry per subject
+    /// per level ≥ 2, spread evenly).
+    pub fn entries_hosted(&self) -> Vec<u32> {
+        let mut count = vec![0u32; self.n];
+        for v in 0..self.n {
+            for k in 2..self.depth {
+                count[self.hosts[v * self.depth + k] as usize] += 1;
+            }
+        }
+        count
+    }
+
+    /// Total number of LM entries in the system: `n · (depth - 2)`.
+    pub fn entry_count(&self) -> usize {
+        self.n * self.depth.saturating_sub(2)
+    }
+
+    /// Diff two assignments over the same node set. Entries appearing /
+    /// disappearing because the hierarchy depth changed are reported with
+    /// the subject itself standing in for the missing side.
+    ///
+    /// # Panics
+    /// If node counts differ.
+    pub fn diff(&self, new: &LmAssignment) -> Vec<HostChange> {
+        assert_eq!(self.n, new.n, "assignments over different node sets");
+        let max_depth = self.depth.max(new.depth);
+        let mut out = Vec::new();
+        for v in 0..self.n as NodeIdx {
+            for k in 2..max_depth {
+                let old = self.host(v, k);
+                let newh = new.host(v, k);
+                match (old, newh) {
+                    (Some(a), Some(b)) if a != b => out.push(HostChange {
+                        subject: v,
+                        level: k as u16,
+                        old_host: a,
+                        new_host: b,
+                    }),
+                    (Some(a), None) if a != v => out.push(HostChange {
+                        subject: v,
+                        level: k as u16,
+                        old_host: a,
+                        new_host: v,
+                    }),
+                    (None, Some(b)) if b != v => out.push(HostChange {
+                        subject: v,
+                        level: k as u16,
+                        old_host: v,
+                        new_host: b,
+                    }),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chlm_cluster::HierarchyOptions;
+    use chlm_geom::SimRng;
+    use chlm_graph::unit_disk::build_unit_disk;
+
+    fn random_hierarchy(n: usize, seed: u64) -> Hierarchy {
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, chlm_geom::rtx_for_degree(9.0, 1.0));
+        let ids = rng.permutation(n);
+        Hierarchy::build(&ids, &g, HierarchyOptions::default())
+    }
+
+    #[test]
+    fn hosts_live_in_subject_cluster() {
+        let h = random_hierarchy(250, 1);
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        let addrs = h.addresses();
+        for v in 0..250u32 {
+            for k in 2..h.depth() {
+                let host = a.host(v, k).unwrap();
+                // The host's level-k head must equal the subject's level-k
+                // head: the server lives inside the subject's level-k cluster.
+                assert_eq!(
+                    addrs[host as usize][k], addrs[v as usize][k],
+                    "v={v} k={k} host={host}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_entries_below_level_2() {
+        let h = random_hierarchy(100, 2);
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        assert!(a.host(0, 0).is_none());
+        assert!(a.host(0, 1).is_none());
+        assert!(a.host(0, 99).is_none());
+    }
+
+    #[test]
+    fn entry_count_is_n_times_levels() {
+        let h = random_hierarchy(150, 3);
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        let total: u64 = a.entries_hosted().iter().map(|&c| c as u64).sum();
+        assert_eq!(total as usize, a.entry_count());
+        assert_eq!(a.entry_count(), 150 * (h.depth() - 2));
+    }
+
+    #[test]
+    fn hrw_load_bounded() {
+        // Each node hosts Θ(log n) entries; check the max is within a small
+        // multiple of the mean (clusters are finite, so perfect balance is
+        // impossible, but HRW should avoid the mod rule's pile-ups).
+        let h = random_hierarchy(400, 4);
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        let counts = a.entries_hosted();
+        let mean = a.entry_count() as f64 / 400.0;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / mean < 8.0, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn mod_rule_more_skewed_than_hrw() {
+        let h = random_hierarchy(400, 5);
+        let hrw = LmAssignment::compute(&h, SelectionRule::Hrw);
+        let modr = LmAssignment::compute(&h, SelectionRule::ModSuccessor { id_space: 400 });
+        let max_of = |a: &LmAssignment| *a.entries_hosted().iter().max().unwrap();
+        assert!(
+            max_of(&modr) >= max_of(&hrw),
+            "expected eq.(5) rule at least as skewed: {} vs {}",
+            max_of(&modr),
+            max_of(&hrw)
+        );
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let h = random_hierarchy(120, 6);
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        let b = LmAssignment::compute(&h, SelectionRule::Hrw);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_diff_empty_and_diff_detects() {
+        let h = random_hierarchy(120, 7);
+        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+        assert!(a.diff(&a.clone()).is_empty());
+        let h2 = random_hierarchy(120, 8); // different deployment entirely
+        let b = LmAssignment::compute(&h2, SelectionRule::Hrw);
+        let d = a.diff(&b);
+        assert!(!d.is_empty());
+        for c in &d {
+            assert!(c.level >= 2);
+            assert_ne!(c.old_host, c.new_host);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! # chlm-mobility
+//!
+//! Mobility models for the CHLM MANET simulator.
+//!
+//! The paper's analysis (§1.2) assumes the **random waypoint** model of
+//! Broch et al. [4] with zero pause time and node speed `μ` m/s:
+//! each node repeatedly picks a uniformly random destination in the
+//! deployment region and travels to it in a straight line at speed `μ`.
+//! [`RandomWaypoint`] implements exactly this, including the well-known
+//! steady-state initialization fix (without it, early measurements are
+//! biased because the uniform initial placement is *not* the RWP stationary
+//! distribution).
+//!
+//! For the mobility ablation (experiment E16) the crate also provides
+//! [`RandomDirection`], [`RandomWalk`], [`Rpgm`] (reference-point group
+//! mobility, the group-mobility pattern motivating HSR [11]), and
+//! [`StaticModel`].
+//!
+//! All models implement [`MobilityModel`]: the simulator owns positions and
+//! asks the model to advance them by `dt` seconds per tick.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use chlm_geom::{Disk, Region, SimRng};
+//! use chlm_mobility::{MobilityModel, RandomWaypoint};
+//!
+//! let region = Disk::centered(20.0);
+//! let mut rng = SimRng::seed_from(1);
+//! let mut model = RandomWaypoint::deployed(region, 50, 2.0, 0.0, &mut rng);
+//! for _ in 0..10 {
+//!     model.step(0.5); // μ·dt = 1 m per tick
+//! }
+//! assert!(model.positions().iter().all(|&p| region.contains(p)));
+//! ```
+
+pub mod direction;
+pub mod rpgm;
+pub mod stats;
+pub mod trace;
+pub mod walk;
+pub mod waypoint;
+
+pub use direction::RandomDirection;
+pub use rpgm::Rpgm;
+pub use stats::{relative_speed_mean, LinkDurationEstimate};
+pub use trace::{MobilityTrace, TracePlayer};
+pub use walk::RandomWalk;
+pub use waypoint::RandomWaypoint;
+
+use chlm_geom::Point;
+
+/// A mobility process over `n` nodes confined to a region.
+pub trait MobilityModel {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current positions (length `len()`).
+    fn positions(&self) -> &[Point];
+
+    /// Advance the process by `dt` seconds.
+    fn step(&mut self, dt: f64);
+
+    /// Nominal node speed μ (m/s); 0 for static models.
+    fn speed(&self) -> f64;
+}
+
+/// A node that never moves; useful for purely structural experiments
+/// (hierarchy statistics, routing-table sizes).
+#[derive(Debug, Clone)]
+pub struct StaticModel {
+    positions: Vec<Point>,
+}
+
+impl StaticModel {
+    pub fn new(positions: Vec<Point>) -> Self {
+        StaticModel { positions }
+    }
+}
+
+impl MobilityModel for StaticModel {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+    fn step(&mut self, _dt: f64) {}
+    fn speed(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_model_never_moves() {
+        let pts = vec![Point::new(1.0, 2.0), Point::new(-3.0, 0.5)];
+        let mut m = StaticModel::new(pts.clone());
+        m.step(100.0);
+        assert_eq!(m.positions(), &pts[..]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.speed(), 0.0);
+        assert!(!m.is_empty());
+    }
+}

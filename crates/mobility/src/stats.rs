@@ -1,0 +1,129 @@
+//! Mobility statistics: relative speed and link-duration estimates.
+//!
+//! §1.2 of the paper claims the mean duration of a level-0 link under RWP +
+//! unit-disk is `Θ(R_TX / μ)`; these helpers measure the empirical
+//! constants behind that claim (used by experiment E5 and by the theory
+//! module's calibration).
+
+use crate::MobilityModel;
+use chlm_geom::Point;
+
+/// Mean relative speed between node pairs, estimated over one tick:
+/// `|Δ(p_i - p_j)| / dt` averaged over sampled pairs.
+///
+/// For independent RWP walkers with speed μ and uniformly random headings,
+/// the mean relative speed is about `4μ/π ≈ 1.27 μ`.
+pub fn relative_speed_mean<M: MobilityModel>(model: &mut M, dt: f64, max_pairs: usize) -> f64 {
+    assert!(dt > 0.0);
+    let before = model.positions().to_vec();
+    model.step(dt);
+    let after = model.positions();
+    let n = before.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    'outer: for i in 0..n {
+        for j in (i + 1)..n {
+            let rel_before = before[i] - before[j];
+            let rel_after = after[i] - after[j];
+            total += (rel_after - rel_before).norm() / dt;
+            count += 1;
+            if count >= max_pairs {
+                break 'outer;
+            }
+        }
+    }
+    total / count as f64
+}
+
+/// Closed-form estimate of the mean link lifetime for two nodes moving with
+/// mean relative speed `v_rel` under the unit-disk model with radius `rtx`.
+///
+/// A standard chord-length argument gives mean lifetime
+/// `E[T] ≈ (π/2) · rtx / v_rel` (mean chord of a disk of radius `rtx` is
+/// `π·rtx/2`). The paper only needs the `Θ(R_TX/μ)` scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDurationEstimate {
+    pub rtx: f64,
+    pub v_rel: f64,
+}
+
+impl LinkDurationEstimate {
+    pub fn new(rtx: f64, v_rel: f64) -> Self {
+        assert!(rtx > 0.0 && v_rel > 0.0);
+        LinkDurationEstimate { rtx, v_rel }
+    }
+
+    /// Predicted mean link lifetime in seconds.
+    pub fn mean_lifetime(&self) -> f64 {
+        std::f64::consts::FRAC_PI_2 * self.rtx / self.v_rel
+    }
+
+    /// Predicted per-node link state change frequency `f_0` (events per node
+    /// per second): each node has `d` links on average; each link generates
+    /// 2 events per lifetime cycle (up + down) shared by 2 endpoints.
+    pub fn f0(&self, mean_degree: f64) -> f64 {
+        assert!(mean_degree >= 0.0);
+        mean_degree / self.mean_lifetime()
+    }
+}
+
+/// Mean displacement of all nodes over one call to `step(dt)` — sanity
+/// metric used in tests and the mobility ablation.
+pub fn mean_displacement<M: MobilityModel>(model: &mut M, dt: f64) -> f64 {
+    let before: Vec<Point> = model.positions().to_vec();
+    model.step(dt);
+    let after = model.positions();
+    if before.is_empty() {
+        return 0.0;
+    }
+    before
+        .iter()
+        .zip(after)
+        .map(|(a, b)| a.dist(*b))
+        .sum::<f64>()
+        / before.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waypoint::RandomWaypoint;
+    use chlm_geom::{Disk, SimRng};
+
+    #[test]
+    fn relative_speed_near_4_over_pi_mu() {
+        let region = Disk::centered(200.0); // huge region: few waypoint hits
+        let mut rng = SimRng::seed_from(1);
+        let mut m = RandomWaypoint::deployed(region, 300, 2.0, 50.0, &mut rng);
+        let v = relative_speed_mean(&mut m, 0.1, 20_000);
+        let expect = 4.0 * 2.0 / std::f64::consts::PI;
+        assert!((v - expect).abs() / expect < 0.1, "v = {v}, expect = {expect}");
+    }
+
+    #[test]
+    fn link_duration_scales_with_rtx_over_v() {
+        let a = LinkDurationEstimate::new(1.0, 1.0);
+        let b = LinkDurationEstimate::new(2.0, 1.0);
+        let c = LinkDurationEstimate::new(1.0, 2.0);
+        assert!((b.mean_lifetime() / a.mean_lifetime() - 2.0).abs() < 1e-12);
+        assert!((c.mean_lifetime() / a.mean_lifetime() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f0_proportional_to_degree() {
+        let e = LinkDurationEstimate::new(1.0, 1.0);
+        assert!((e.f0(6.0) / e.f0(3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_displacement_bounded_by_speed() {
+        let region = Disk::centered(50.0);
+        let mut rng = SimRng::seed_from(2);
+        let mut m = RandomWaypoint::deployed(region, 100, 3.0, 0.0, &mut rng);
+        let d = mean_displacement(&mut m, 0.5);
+        assert!(d > 0.0 && d <= 1.5 + 1e-9, "d = {d}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Mobility trace recording and replay.
+//!
+//! Any [`MobilityModel`] can be recorded into a [`MobilityTrace`] (a dense
+//! `ticks × nodes` position matrix) and replayed later with [`TracePlayer`].
+//! This decouples expensive experiments from mobility generation and lets a
+//! scenario be replayed bit-identically across protocol variants — the
+//! standard methodology for "same mobility, different protocol" comparisons
+//! such as E13 (CHLM vs GLS).
+
+use crate::MobilityModel;
+use chlm_geom::Point;
+
+/// A recorded mobility trace: positions of `n` nodes at `ticks` instants
+/// spaced `dt` seconds apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityTrace {
+    n: usize,
+    dt: f64,
+    speed: f64,
+    /// Row-major: frame t occupies `[t*n .. (t+1)*n]`.
+    frames: Vec<Point>,
+}
+
+impl MobilityTrace {
+    /// Record `ticks` frames from `model`, stepping `dt` between frames.
+    /// The first frame is the model's state *before* any stepping.
+    pub fn record<M: MobilityModel>(model: &mut M, ticks: usize, dt: f64) -> Self {
+        assert!(ticks > 0, "need at least one frame");
+        assert!(dt > 0.0 && dt.is_finite());
+        let n = model.len();
+        let mut frames = Vec::with_capacity(ticks * n);
+        frames.extend_from_slice(model.positions());
+        for _ in 1..ticks {
+            model.step(dt);
+            frames.extend_from_slice(model.positions());
+        }
+        MobilityTrace {
+            n,
+            dt,
+            speed: model.speed(),
+            frames,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    pub fn tick_count(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            self.frames.len() / self.n
+        }
+    }
+
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Positions at frame `t`.
+    ///
+    /// # Panics
+    /// If `t` is out of range.
+    pub fn frame(&self, t: usize) -> &[Point] {
+        assert!(t < self.tick_count(), "frame {t} out of range");
+        &self.frames[t * self.n..(t + 1) * self.n]
+    }
+
+    /// Replay this trace as a [`MobilityModel`].
+    pub fn player(&self) -> TracePlayer<'_> {
+        TracePlayer {
+            trace: self,
+            cursor: 0,
+            fractional: 0.0,
+            positions: self.frame(0).to_vec(),
+        }
+    }
+}
+
+/// Replays a [`MobilityTrace`] as a mobility model. Stepping by arbitrary
+/// `dt` advances through frames (positions snap to the nearest earlier
+/// frame; sub-frame interpolation is linear). Past the final frame the
+/// player holds the last positions.
+#[derive(Debug, Clone)]
+pub struct TracePlayer<'a> {
+    trace: &'a MobilityTrace,
+    cursor: usize,
+    fractional: f64,
+    positions: Vec<Point>,
+}
+
+impl TracePlayer<'_> {
+    fn refresh(&mut self) {
+        let last = self.trace.tick_count() - 1;
+        if self.cursor >= last {
+            self.positions.copy_from_slice(self.trace.frame(last));
+            return;
+        }
+        let a = self.trace.frame(self.cursor);
+        let b = self.trace.frame(self.cursor + 1);
+        let t = self.fractional;
+        for (out, (&pa, &pb)) in self.positions.iter_mut().zip(a.iter().zip(b.iter())) {
+            *out = pa.lerp(pb, t);
+        }
+    }
+}
+
+impl MobilityModel for TracePlayer<'_> {
+    fn len(&self) -> usize {
+        self.trace.node_count()
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn step(&mut self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite());
+        let advance = dt / self.trace.dt();
+        self.fractional += advance;
+        while self.fractional >= 1.0 {
+            self.fractional -= 1.0;
+            self.cursor += 1;
+        }
+        let last = self.trace.tick_count() - 1;
+        if self.cursor >= last {
+            self.cursor = last;
+            self.fractional = 0.0;
+        }
+        self.refresh();
+    }
+
+    fn speed(&self) -> f64 {
+        self.trace.speed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waypoint::RandomWaypoint;
+    use chlm_geom::{Disk, SimRng};
+
+    fn record_trace(seed: u64, ticks: usize) -> MobilityTrace {
+        let region = Disk::centered(30.0);
+        let mut rng = SimRng::seed_from(seed);
+        let mut m = RandomWaypoint::deployed(region, 20, 2.0, 0.0, &mut rng);
+        MobilityTrace::record(&mut m, ticks, 0.5)
+    }
+
+    #[test]
+    fn record_shape() {
+        let t = record_trace(1, 10);
+        assert_eq!(t.node_count(), 20);
+        assert_eq!(t.tick_count(), 10);
+        assert_eq!(t.frame(0).len(), 20);
+        assert_eq!(t.frame(9).len(), 20);
+    }
+
+    #[test]
+    fn replay_matches_frames_exactly() {
+        let t = record_trace(2, 8);
+        let mut p = t.player();
+        assert_eq!(p.positions(), t.frame(0));
+        for f in 1..8 {
+            p.step(0.5);
+            assert_eq!(p.positions(), t.frame(f), "frame {f}");
+        }
+    }
+
+    #[test]
+    fn replay_interpolates_half_frames() {
+        let t = record_trace(3, 4);
+        let mut p = t.player();
+        p.step(0.25); // half a frame
+        let expect: Vec<_> = t
+            .frame(0)
+            .iter()
+            .zip(t.frame(1))
+            .map(|(a, b)| a.lerp(*b, 0.5))
+            .collect();
+        for (got, want) in p.positions().iter().zip(&expect) {
+            assert!(got.dist(*want) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn replay_holds_after_end() {
+        let t = record_trace(4, 3);
+        let mut p = t.player();
+        p.step(100.0);
+        assert_eq!(p.positions(), t.frame(2));
+        p.step(1.0);
+        assert_eq!(p.positions(), t.frame(2));
+    }
+
+    #[test]
+    fn recording_same_seed_identical() {
+        assert_eq!(record_trace(5, 6), record_trace(5, 6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ticks_panics() {
+        let region = Disk::centered(5.0);
+        let mut rng = SimRng::seed_from(0);
+        let mut m = RandomWaypoint::deployed(region, 2, 1.0, 0.0, &mut rng);
+        MobilityTrace::record(&mut m, 0, 0.5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Random-walk (Brownian-like) mobility.
+//!
+//! Each tick, every node takes a step of length `speed·dt` in a fresh
+//! uniformly random heading, clamped to the region. The extreme of
+//! *uncorrelated* motion: relative to RWP it maximizes direction churn at
+//! equal nominal speed, which stresses the link-state event rate (E16).
+
+use crate::MobilityModel;
+use chlm_geom::{Disk, Point, Region, SimRng};
+
+/// Per-tick random-heading walker.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    region: Disk,
+    speed: f64,
+    positions: Vec<Point>,
+    rng: SimRng,
+}
+
+impl RandomWalk {
+    pub fn new(region: Disk, positions: Vec<Point>, speed: f64, rng: SimRng) -> Self {
+        assert!(speed > 0.0 && speed.is_finite());
+        for p in &positions {
+            assert!(region.contains(*p));
+        }
+        RandomWalk {
+            region,
+            speed,
+            positions,
+            rng,
+        }
+    }
+
+    pub fn deployed(region: Disk, n: usize, speed: f64, rng: &mut SimRng) -> Self {
+        let positions = chlm_geom::region::deploy_uniform(&region, n, rng);
+        RandomWalk::new(region, positions, speed, rng.fork(0x77A1_4B00))
+    }
+
+    pub fn region(&self) -> Disk {
+        self.region
+    }
+}
+
+impl MobilityModel for RandomWalk {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn step(&mut self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite());
+        let d = self.speed * dt;
+        for p in &mut self.positions {
+            let heading = Point::unit(self.rng.range_f64(0.0, std::f64::consts::TAU));
+            *p = self.region.clamp(*p + heading * d);
+        }
+    }
+
+    fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_region_and_moves() {
+        let region = Disk::centered(20.0);
+        let mut rng = SimRng::seed_from(1);
+        let mut m = RandomWalk::deployed(region, 50, 2.0, &mut rng);
+        let before = m.positions().to_vec();
+        for _ in 0..100 {
+            m.step(0.4);
+            assert!(m.positions().iter().all(|&p| region.contains(p)));
+        }
+        let moved = before
+            .iter()
+            .zip(m.positions())
+            .filter(|(a, b)| a.dist(**b) > 0.5)
+            .count();
+        assert!(moved > 40);
+    }
+
+    #[test]
+    fn step_length_exact_inside() {
+        let region = Disk::centered(100.0);
+        let rng = SimRng::seed_from(2);
+        let mut m = RandomWalk::new(region, vec![Point::ORIGIN], 3.0, rng);
+        let before = m.positions()[0];
+        m.step(0.5);
+        let after = m.positions()[0];
+        assert!((before.dist(after) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diffusive_spread_slower_than_ballistic() {
+        // Over t seconds, RMS displacement of a random walk grows ~ sqrt(t),
+        // far below the ballistic bound speed*t.
+        let region = Disk::centered(500.0);
+        let rng = SimRng::seed_from(3);
+        let n = 200;
+        let mut m = RandomWalk::new(region, vec![Point::ORIGIN; n], 1.0, rng);
+        let steps = 400;
+        for _ in 0..steps {
+            m.step(1.0);
+        }
+        let rms = (m
+            .positions()
+            .iter()
+            .map(|p| p.norm_sq())
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        let ballistic = steps as f64;
+        assert!(rms < ballistic * 0.2, "rms = {rms}");
+        assert!(rms > 5.0, "rms suspiciously small: {rms}");
+    }
+}

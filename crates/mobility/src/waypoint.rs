@@ -1,0 +1,208 @@
+//! Random waypoint mobility (Broch et al. [4]) with zero pause time.
+//!
+//! Each node travels in a straight line at speed μ towards a waypoint drawn
+//! uniformly from the deployment disk; on arrival it immediately draws a new
+//! waypoint. This is exactly the model the paper analyzes (§1.2), which
+//! makes mean link lifetime `Θ(R_TX/μ)` and `f_0 = Θ(1)` (eq. (4)).
+
+use crate::MobilityModel;
+use chlm_geom::{Disk, Point, Region, SimRng};
+
+#[derive(Debug, Clone)]
+struct Walker {
+    pos: Point,
+    target: Point,
+}
+
+/// Random-waypoint process over a circular deployment region.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    region: Disk,
+    speed: f64,
+    walkers: Vec<Walker>,
+    rng: SimRng,
+    positions: Vec<Point>,
+}
+
+impl RandomWaypoint {
+    /// Start from the given positions with fresh random waypoints.
+    ///
+    /// # Panics
+    /// If `speed` is not positive and finite or a position lies outside the
+    /// region.
+    pub fn new(region: Disk, positions: Vec<Point>, speed: f64, rng: SimRng) -> Self {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        let mut rng = rng;
+        let walkers: Vec<Walker> = positions
+            .iter()
+            .map(|&pos| {
+                assert!(region.contains(pos), "initial position outside region");
+                Walker {
+                    pos,
+                    target: region.sample(&mut rng),
+                }
+            })
+            .collect();
+        RandomWaypoint {
+            region,
+            speed,
+            positions: positions.clone(),
+            walkers,
+            rng,
+        }
+    }
+
+    /// Deploy `n` nodes uniformly and warm the process towards its
+    /// stationary regime by advancing `warmup_seconds` before time zero.
+    ///
+    /// RWP's stationary spatial distribution is denser in the middle of the
+    /// region than the uniform deployment, and initial speeds/legs are
+    /// biased; discarding a warmup transient is the standard fix. A warmup
+    /// of a few region-crossing times (`region.radius / speed`) suffices.
+    pub fn deployed(region: Disk, n: usize, speed: f64, warmup_seconds: f64, rng: &mut SimRng) -> Self {
+        let positions = chlm_geom::region::deploy_uniform(&region, n, rng);
+        let mut m = RandomWaypoint::new(region, positions, speed, rng.fork(0x5757_5050));
+        if warmup_seconds > 0.0 {
+            // Advance in leg-resolution steps; exact step size is irrelevant
+            // because motion between waypoints is deterministic.
+            let step = (region.radius / speed / 10.0).max(1e-6);
+            let mut t = 0.0;
+            while t < warmup_seconds {
+                m.step(step.min(warmup_seconds - t));
+                t += step;
+            }
+        }
+        m
+    }
+
+    /// The deployment region.
+    pub fn region(&self) -> Disk {
+        self.region
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn step(&mut self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite());
+        for (w, out) in self.walkers.iter_mut().zip(self.positions.iter_mut()) {
+            let mut remaining = self.speed * dt;
+            // A node may pass through several waypoints within one tick.
+            while remaining > 0.0 {
+                let gap = w.pos.dist(w.target);
+                if gap > remaining {
+                    let dir = (w.target - w.pos) / gap;
+                    w.pos += dir * remaining;
+                    break;
+                }
+                remaining -= gap;
+                w.pos = w.target;
+                w.target = self.region.sample(&mut self.rng);
+            }
+            // Guard against numerical drift out of the region.
+            w.pos = self.region.clamp(w.pos);
+            *out = w.pos;
+        }
+    }
+
+    fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize, seed: u64) -> RandomWaypoint {
+        let region = Disk::centered(50.0);
+        let mut rng = SimRng::seed_from(seed);
+        RandomWaypoint::deployed(region, n, 2.0, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn positions_stay_in_region() {
+        let mut m = setup(100, 1);
+        let region = m.region();
+        for _ in 0..200 {
+            m.step(0.7);
+            assert!(m.positions().iter().all(|&p| region.contains(p)));
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed() {
+        let mut m = setup(50, 2);
+        let before = m.positions().to_vec();
+        m.step(1.5);
+        for (a, b) in before.iter().zip(m.positions()) {
+            assert!(a.dist(*b) <= 2.0 * 1.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nodes_actually_move() {
+        let mut m = setup(20, 3);
+        let before = m.positions().to_vec();
+        m.step(5.0);
+        let moved = before
+            .iter()
+            .zip(m.positions())
+            .filter(|(a, b)| a.dist(**b) > 1.0)
+            .count();
+        assert!(moved > 15, "only {moved} nodes moved");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = setup(30, 9);
+        let mut b = setup(30, 9);
+        for _ in 0..50 {
+            a.step(0.3);
+            b.step(0.3);
+        }
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut m = setup(10, 4);
+        let before = m.positions().to_vec();
+        m.step(0.0);
+        assert_eq!(m.positions(), &before[..]);
+    }
+
+    #[test]
+    fn long_tick_crosses_waypoints() {
+        // dt long enough that every node passes multiple waypoints; must
+        // terminate and stay inside.
+        let mut m = setup(10, 5);
+        m.step(1000.0);
+        let region = m.region();
+        assert!(m.positions().iter().all(|&p| region.contains(p)));
+    }
+
+    #[test]
+    fn warmup_shifts_mass_towards_center() {
+        // RWP stationary density is center-heavy: after warmup, mean distance
+        // from center should drop relative to uniform (which is 2R/3).
+        let region = Disk::centered(30.0);
+        let mut rng = SimRng::seed_from(7);
+        let warm = RandomWaypoint::deployed(region, 800, 2.0, 200.0, &mut rng);
+        let mean_r: f64 = warm
+            .positions()
+            .iter()
+            .map(|p| p.dist(region.center))
+            .sum::<f64>()
+            / 800.0;
+        let uniform_mean = 2.0 * 30.0 / 3.0;
+        assert!(mean_r < uniform_mean * 0.97, "mean_r = {mean_r}");
+    }
+}

@@ -1,0 +1,56 @@
+//! # chlm-proto
+//!
+//! Packet-level execution of the CHLM location-management protocol.
+//!
+//! The analytical pipeline (`chlm-sim` + `chlm-lm`) *prices* handoff as
+//! entries × hops. This crate closes the loop by actually **sending the
+//! messages**: a discrete-event engine delivers each protocol packet hop by
+//! hop over the unit-disk topology, counting real transmissions and
+//! measuring delivery latency. Experiment E18 checks that the executed
+//! transmission count matches the ledger's analytical count (they must
+//! agree exactly under the BFS hop oracle), which validates the accounting
+//! behind every φ/γ result.
+//!
+//! Components:
+//!
+//! * [`dalca`] — the asynchronous LCA as a real message-passing protocol
+//!   (convergence to the centralized fixpoint is asserted, validating the
+//!   simulator's tick-diff emulation),
+//! * [`events::EventQueue`] — deterministic discrete-event queue,
+//! * [`message`] — the LM message vocabulary (TRANSFER / REGISTER / QUERY /
+//!   REPLY),
+//! * [`network::PacketNetwork`] — hop-by-hop forwarding with per-hop delay
+//!   and transmission counting,
+//! * [`protocol`] — generates the message workload implied by a hierarchy
+//!   change (assignment diff) or a query batch, executes it, and reports
+//!   [`protocol::MessageStats`].
+
+//!
+//! ## Example
+//!
+//! ```
+//! use chlm_graph::Graph;
+//! use chlm_proto::message::{LmMessage, Packet};
+//! use chlm_proto::network::PacketNetwork;
+//!
+//! // A 4-hop path; one REGISTER packet end to end.
+//! let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+//! let mut net = PacketNetwork::new(&g, 0.001);
+//! net.send(Packet { src: 0, dst: 4, sent_at: 0.0,
+//!                   msg: LmMessage::Register { subject: 0, level: 2 } });
+//! let stats = net.run();
+//! assert_eq!(stats.delivered, 1);
+//! assert_eq!(stats.transmissions, 4);
+//! ```
+
+pub mod dalca;
+pub mod events;
+pub mod message;
+pub mod network;
+pub mod protocol;
+
+pub use dalca::Dalca;
+pub use events::EventQueue;
+pub use message::{LmMessage, Packet};
+pub use network::PacketNetwork;
+pub use protocol::{execute_handoff, execute_queries, MessageStats};

@@ -1,0 +1,52 @@
+//! The LM protocol message vocabulary.
+
+use chlm_graph::NodeIdx;
+
+/// One location-management protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmMessage {
+    /// Move one LM entry (for `subject`'s level-`level` record) from the
+    /// old server to the new one (handoff transfer).
+    Transfer { subject: NodeIdx, level: u16 },
+    /// `subject` (re)registers its level-`level` record with its server.
+    Register { subject: NodeIdx, level: u16 },
+    /// Ask a server for `target`'s address.
+    Query { requester: NodeIdx, target: NodeIdx },
+    /// The server's answer to a query.
+    Reply { requester: NodeIdx, target: NodeIdx },
+}
+
+impl LmMessage {
+    /// Short wire-format tag, for traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LmMessage::Transfer { .. } => "XFER",
+            LmMessage::Register { .. } => "REG",
+            LmMessage::Query { .. } => "QRY",
+            LmMessage::Reply { .. } => "RPL",
+        }
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    pub src: NodeIdx,
+    pub dst: NodeIdx,
+    pub msg: LmMessage,
+    /// Time the packet entered the network.
+    pub sent_at: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags() {
+        assert_eq!(LmMessage::Transfer { subject: 1, level: 2 }.tag(), "XFER");
+        assert_eq!(LmMessage::Register { subject: 1, level: 2 }.tag(), "REG");
+        assert_eq!(LmMessage::Query { requester: 0, target: 1 }.tag(), "QRY");
+        assert_eq!(LmMessage::Reply { requester: 0, target: 1 }.tag(), "RPL");
+    }
+}

@@ -1,0 +1,235 @@
+//! Hierarchical packet forwarding.
+//!
+//! The path to a destination is computed cluster-by-cluster: from the
+//! current node, find the lowest level `k` at which the current node and
+//! the destination share a cluster, then forward along the shortest
+//! level-0 path to the nearest member of the destination's level-(k-1)
+//! cluster inside it. Entering that cluster strictly lowers the shared
+//! level, so the walk terminates in at most `depth` legs.
+
+use chlm_cluster::Hierarchy;
+use chlm_graph::traversal::{bfs_distances, shortest_path, UNREACHABLE};
+use chlm_graph::NodeIdx;
+use std::collections::VecDeque;
+
+/// Result of routing one packet hierarchically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathOutcome {
+    /// The full level-0 node sequence, source to destination inclusive.
+    pub path: Vec<NodeIdx>,
+    /// Hop count of the hierarchical path.
+    pub hops: u32,
+    /// Hop count of the true shortest path.
+    pub shortest: u32,
+    /// `hops / shortest` (1.0 when equal; 1.0 for zero-hop paths).
+    pub stretch: f64,
+    /// Number of cluster-descent legs taken.
+    pub legs: u32,
+}
+
+/// Route from `s` to `t` using only hierarchical-address information.
+/// Returns `None` if `s` and `t` are disconnected.
+pub fn hierarchical_path(h: &Hierarchy, s: NodeIdx, t: NodeIdx) -> Option<PathOutcome> {
+    let g0 = &h.levels[0].graph;
+    let addr_t = h.address(t);
+    let shortest_len = {
+        if s == t {
+            0
+        } else {
+            let d = bfs_distances(g0, s);
+            if d[t as usize] == UNREACHABLE {
+                return None;
+            }
+            d[t as usize]
+        }
+    };
+
+    let mut path: Vec<NodeIdx> = vec![s];
+    let mut cur = s;
+    let mut legs = 0u32;
+    // Strictly decreasing shared-level guard; also a hard iteration cap.
+    let mut prev_common = usize::MAX;
+    while cur != t {
+        let addr_c = h.address(cur);
+        let common = (0..h.depth()).find(|&k| addr_c[k] == addr_t[k])
+            .expect("connected nodes share the top cluster");
+        assert!(
+            common < prev_common,
+            "hierarchical descent failed to make progress"
+        );
+        prev_common = common;
+        legs += 1;
+        debug_assert!(common >= 1, "common == 0 implies cur == t");
+        // Waypoint set: level-0 nodes whose level-(common-1) head is the
+        // destination's — i.e. the destination's level-(common-1) cluster.
+        let target_level = common - 1;
+        let leg_path = bfs_to_cluster(h, cur, target_level, addr_t[target_level])?;
+        // Append (skipping the duplicated first node).
+        path.extend_from_slice(&leg_path[1..]);
+        cur = *path.last().unwrap();
+    }
+    let hops = (path.len() - 1) as u32;
+    let stretch = if shortest_len == 0 {
+        1.0
+    } else {
+        hops as f64 / shortest_len as f64
+    };
+    Some(PathOutcome {
+        path,
+        hops,
+        shortest: shortest_len,
+        stretch,
+        legs,
+    })
+}
+
+/// BFS from `src` to the nearest level-0 node whose level-`level` address
+/// component equals `head` (for `level == 0`: the node `head` itself).
+/// Returns the path inclusive of both ends.
+fn bfs_to_cluster(
+    h: &Hierarchy,
+    src: NodeIdx,
+    level: usize,
+    head: NodeIdx,
+) -> Option<Vec<NodeIdx>> {
+    let g0 = &h.levels[0].graph;
+    if level == 0 {
+        return shortest_path(g0, src, head);
+    }
+    let in_target = |v: NodeIdx| h.address(v).get(level).copied() == Some(head);
+    if in_target(src) {
+        return Some(vec![src]);
+    }
+    let n = g0.node_count();
+    let mut parent = vec![NodeIdx::MAX; n];
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::new();
+    seen[src as usize] = true;
+    q.push_back(src);
+    let mut goal: Option<NodeIdx> = None;
+    'bfs: while let Some(u) = q.pop_front() {
+        for &v in g0.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = u;
+                if in_target(v) {
+                    goal = Some(v);
+                    break 'bfs;
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    let goal = goal?;
+    let mut p = vec![goal];
+    let mut cur = goal;
+    while cur != src {
+        cur = parent[cur as usize];
+        p.push(cur);
+    }
+    p.reverse();
+    Some(p)
+}
+
+/// Mean stretch over sampled connected pairs; `None` when no pair connects.
+pub fn mean_stretch(h: &Hierarchy, pairs: &[(NodeIdx, NodeIdx)]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &(s, t) in pairs {
+        if let Some(out) = hierarchical_path(h, s, t) {
+            total += out.stretch;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chlm_cluster::HierarchyOptions;
+    use chlm_geom::SimRng;
+    use chlm_graph::unit_disk::build_unit_disk;
+    use chlm_graph::Graph;
+
+    fn random_hierarchy(n: usize, seed: u64) -> Hierarchy {
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, chlm_geom::rtx_for_degree(9.0, 1.0));
+        let ids = rng.permutation(n);
+        Hierarchy::build(&ids, &g, HierarchyOptions::default())
+    }
+
+    #[test]
+    fn path_to_self() {
+        let h = random_hierarchy(50, 1);
+        let out = hierarchical_path(&h, 7, 7).unwrap();
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.path, vec![7]);
+        assert_eq!(out.stretch, 1.0);
+    }
+
+    #[test]
+    fn paths_are_valid_walks_ending_at_destination() {
+        let h = random_hierarchy(250, 2);
+        let g0 = &h.levels[0].graph;
+        let mut rng = SimRng::seed_from(3);
+        let mut tested = 0;
+        while tested < 40 {
+            let s = rng.index(250) as NodeIdx;
+            let t = rng.index(250) as NodeIdx;
+            match hierarchical_path(&h, s, t) {
+                None => continue,
+                Some(out) => {
+                    assert_eq!(*out.path.first().unwrap(), s);
+                    assert_eq!(*out.path.last().unwrap(), t);
+                    for w in out.path.windows(2) {
+                        assert!(g0.has_edge(w[0], w[1]), "broken hop {w:?}");
+                    }
+                    assert!(out.hops >= out.shortest);
+                    assert!(out.stretch >= 1.0 - 1e-12);
+                    tested += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_is_modest_on_unit_disk_graphs() {
+        let h = random_hierarchy(400, 4);
+        let mut rng = SimRng::seed_from(5);
+        let pairs: Vec<_> = (0..60)
+            .map(|_| (rng.index(400) as NodeIdx, rng.index(400) as NodeIdx))
+            .collect();
+        let stretch = mean_stretch(&h, &pairs).unwrap();
+        assert!(stretch < 2.0, "mean stretch {stretch} too large");
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let ids = vec![2u64, 1, 4, 3];
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let h = Hierarchy::build(&ids, &g, HierarchyOptions::default());
+        assert!(hierarchical_path(&h, 0, 3).is_none());
+        assert!(hierarchical_path(&h, 0, 1).is_some());
+    }
+
+    #[test]
+    fn legs_bounded_by_depth() {
+        let h = random_hierarchy(300, 6);
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..30 {
+            let s = rng.index(300) as NodeIdx;
+            let t = rng.index(300) as NodeIdx;
+            if let Some(out) = hierarchical_path(&h, s, t) {
+                assert!(out.legs as usize <= h.depth());
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # chlm-routing
+//!
+//! Strict hierarchical routing over the clustered hierarchy (§2.1 of the
+//! paper, after Kleinrock & Kamoun [7] and Steenstrup [14]).
+//!
+//! Forwarding decisions use only the **hierarchical address** of the
+//! destination: a node knows routes to (a) every level-0 member of its own
+//! level-1 cluster and (b) every sibling level-k member cluster of each of
+//! its ancestor clusters. A packet for destination `t` is forwarded toward
+//! `t`'s highest cluster *not yet entered*, descending one level each time
+//! it crosses into the right cluster — clusterheads are **not** relay
+//! bottlenecks (§2.1: "forwarding of user packets need not be directed
+//! through clusterheads").
+//!
+//! The price of the `O(Σ_k α_k) = O(log |V|)`-entry tables is path
+//! *stretch* relative to true shortest paths; [`forward::hierarchical_path`]
+//! measures it with free BFS legs, [`nexthop::NextHopTable`] implements the
+//! deployable table-driven form (legs confined to the parent cluster —
+//! without that scoping a packet can oscillate between branches, the
+//! classic strict-hierarchical-routing pitfall), and [`tables`] counts the
+//! entries against the flat link-state baseline (experiment E17).
+
+//!
+//! ## Example
+//!
+//! ```
+//! use chlm_cluster::{Hierarchy, HierarchyOptions};
+//! use chlm_geom::{Disk, SimRng};
+//! use chlm_graph::unit_disk::build_unit_disk;
+//! use chlm_routing::{compare_tables, hierarchical_path};
+//!
+//! let region = Disk::centered(10.0);
+//! let mut rng = SimRng::seed_from(9);
+//! let points = chlm_geom::region::deploy_uniform(&region, 150, &mut rng);
+//! let graph = build_unit_disk(&points, 2.2);
+//! let ids = rng.permutation(150);
+//! let h = Hierarchy::build(&ids, &graph, HierarchyOptions::default());
+//!
+//! let cmp = compare_tables(&h);
+//! assert!(cmp.mean_hierarchical() < cmp.flat as f64);
+//! if let Some(route) = hierarchical_path(&h, 0, 149) {
+//!     assert!(route.stretch >= 1.0);
+//! }
+//! ```
+
+pub mod forward;
+pub mod nexthop;
+pub mod tables;
+
+pub use forward::{hierarchical_path, PathOutcome};
+pub use nexthop::NextHopTable;
+pub use tables::{compare_tables, flat_table_size, hierarchical_table_sizes, TableComparison};

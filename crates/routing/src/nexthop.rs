@@ -1,0 +1,344 @@
+//! Table-driven strict hierarchical forwarding.
+//!
+//! [`crate::forward::hierarchical_path`] computes each leg with a global
+//! BFS — fine for measurement, but a real node holds a **routing table**
+//! and makes a per-packet decision from it. This module builds exactly the
+//! table §2.1 describes for every node:
+//!
+//! * one entry per level-0 member of the node's level-1 cluster, and
+//! * one entry per *sibling member cluster* of each ancestor cluster
+//!   (keyed by the sibling's head),
+//!
+//! each entry holding the next hop toward the nearest level-0 node of the
+//! target cluster. Forwarding then uses only the destination's
+//! hierarchical address and the local table — and, because every entry
+//! follows a BFS gradient toward its target set, each leg strictly
+//! decreases the distance to the set and the descent terminates.
+
+use crate::forward::PathOutcome;
+use chlm_cluster::Hierarchy;
+use chlm_graph::traversal::{bfs_distances, UNREACHABLE};
+use chlm_graph::NodeIdx;
+use std::collections::{HashMap, VecDeque};
+
+/// All nodes' routing tables for one hierarchy snapshot.
+#[derive(Debug, Clone)]
+pub struct NextHopTable {
+    /// `tables[u]` maps `(level, cluster_head)` → next hop from `u`.
+    /// Level 0 entries are keyed by the destination node itself.
+    tables: Vec<HashMap<(u16, NodeIdx), NodeIdx>>,
+    /// Physical membership of every cluster, for leg-target tests.
+    addresses: Vec<Vec<NodeIdx>>,
+}
+
+impl NextHopTable {
+    /// Build every node's table.
+    ///
+    /// Cost: one multi-source BFS per cluster (`O(Σ_k |V_k| · (n + m))`) —
+    /// meant for protocol-fidelity tests and moderate sizes, not the inner
+    /// simulation loop (which uses the diff-based accounting instead).
+    pub fn build(h: &Hierarchy) -> Self {
+        let n = h.node_count();
+        let g0 = &h.levels[0].graph;
+        let addresses = h.addresses();
+        let mut tables: Vec<HashMap<(u16, NodeIdx), NodeIdx>> =
+            vec![HashMap::new(); n];
+
+        // For every cluster (level k ≥ 1, head H): gradient next hops toward
+        // the cluster's level-0 member set, installed at the nodes that need
+        // an entry for it (members of the parent cluster outside H's).
+        for k in 1..h.depth() {
+            // Member sets at level k, grouped by head.
+            let mut members: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+            for v in 0..n as NodeIdx {
+                members.entry(addresses[v as usize][k]).or_default().push(v);
+            }
+            for (&head, mem) in &members {
+                // The parent of cluster (k, head) is the head's *vote at
+                // level k* — NOT the head's own level-0 address chain (a
+                // head need not be a member of its own cluster; cf. the
+                // paper's node 68).
+                let parent = if k + 1 < h.depth() {
+                    let level = &h.levels[k];
+                    level
+                        .local(head)
+                        .map(|local| level.head_of(local))
+                } else {
+                    None // top level: no parent
+                };
+                // Multi-source BFS from the member set, CONFINED to the
+                // parent cluster's membership: a leg toward a sibling
+                // cluster must not leave the common parent, or a node
+                // outside it would re-target a coarser cluster and the
+                // packet could oscillate between branches (strict
+                // hierarchical routing's classic pitfall).
+                let in_scope = |v: NodeIdx| -> bool {
+                    match parent {
+                        Some(p) => addresses[v as usize].get(k + 1) == Some(&p),
+                        None => true, // top level: whole graph
+                    }
+                };
+                let mut dist = vec![UNREACHABLE; n];
+                let mut next = vec![NodeIdx::MAX; n];
+                let mut q = VecDeque::new();
+                for &s in mem {
+                    dist[s as usize] = 0;
+                    q.push_back(s);
+                }
+                while let Some(u) = q.pop_front() {
+                    for &v in g0.neighbors(u) {
+                        if dist[v as usize] == UNREACHABLE && in_scope(v) {
+                            dist[v as usize] = dist[u as usize] + 1;
+                            next[v as usize] = u;
+                            q.push_back(v);
+                        }
+                    }
+                }
+                // Install entries at nodes in the same level-(k+1) cluster
+                // but a different level-k cluster (the siblings that §2.1
+                // says keep an entry for this cluster). For the top level,
+                // everyone connected keeps an entry.
+                for u in 0..n as NodeIdx {
+                    let au = &addresses[u as usize];
+                    if au[k] == head {
+                        continue; // own cluster: routed at a lower level
+                    }
+                    let same_parent = match (au.get(k + 1), parent) {
+                        (Some(&p), Some(cluster_parent)) => p == cluster_parent,
+                        _ => k + 1 >= h.depth(),
+                    };
+                    if same_parent && next[u as usize] != NodeIdx::MAX {
+                        tables[u as usize].insert((k as u16, head), next[u as usize]);
+                    }
+                }
+            }
+        }
+        // Level-0 entries: routes to every member of the node's level-1
+        // cluster (complete intra-cluster knowledge).
+        if h.depth() >= 2 {
+            let mut members1: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+            for v in 0..n as NodeIdx {
+                members1.entry(addresses[v as usize][1]).or_default().push(v);
+            }
+            for mem in members1.values() {
+                for &dst in mem {
+                    let dist = bfs_distances(g0, dst);
+                    for &u in mem {
+                        if u == dst {
+                            continue;
+                        }
+                        // First hop from u toward dst: any neighbor one step
+                        // closer.
+                        if dist[u as usize] == UNREACHABLE {
+                            continue;
+                        }
+                        let hop = g0
+                            .neighbors(u)
+                            .iter()
+                            .copied()
+                            .find(|&w| dist[w as usize] + 1 == dist[u as usize]);
+                        if let Some(hop) = hop {
+                            tables[u as usize].insert((0, dst), hop);
+                        }
+                    }
+                }
+            }
+        }
+        NextHopTable { tables, addresses }
+    }
+
+    /// Number of entries in `u`'s table.
+    pub fn entries(&self, u: NodeIdx) -> usize {
+        self.tables[u as usize].len()
+    }
+
+    /// Test/debug helper: raw table lookup.
+    #[doc(hidden)]
+    pub fn debug_lookup(&self, u: NodeIdx, level: u16, head: NodeIdx) -> Option<NodeIdx> {
+        self.tables[u as usize].get(&(level, head)).copied()
+    }
+
+    /// Route a packet from `s` to `t` using only per-node tables and `t`'s
+    /// hierarchical address. Returns `None` when no route exists.
+    pub fn route(&self, h: &Hierarchy, s: NodeIdx, t: NodeIdx) -> Option<PathOutcome> {
+        let g0 = &h.levels[0].graph;
+        let addr_t = &self.addresses[t as usize];
+        let shortest = {
+            if s == t {
+                0
+            } else {
+                let d = bfs_distances(g0, s);
+                if d[t as usize] == UNREACHABLE {
+                    return None;
+                }
+                d[t as usize]
+            }
+        };
+        let mut path = vec![s];
+        let mut cur = s;
+        let mut legs = 0u32;
+        let mut last_common = usize::MAX;
+        let cap = 4 * g0.node_count() + 16;
+        while cur != t {
+            let addr_c = &self.addresses[cur as usize];
+            let common = (0..h.depth()).find(|&k| addr_c[k] == addr_t[k])?;
+            debug_assert!(common >= 1);
+            if common < last_common {
+                legs += 1;
+                last_common = common;
+            }
+            let key = if common == 1 {
+                (0u16, t)
+            } else {
+                ((common - 1) as u16, addr_t[common - 1])
+            };
+            let next = *self.tables[cur as usize].get(&key)?;
+            path.push(next);
+            cur = next;
+            if path.len() > cap {
+                // Defensive: gradient routing cannot loop, but corrupt
+                // tables shouldn't hang the caller.
+                return None;
+            }
+        }
+        let hops = (path.len() - 1) as u32;
+        Some(PathOutcome {
+            stretch: if shortest == 0 {
+                1.0
+            } else {
+                hops as f64 / shortest as f64
+            },
+            path,
+            hops,
+            shortest,
+            legs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::hierarchical_path;
+    use chlm_cluster::HierarchyOptions;
+    use chlm_geom::{Disk, SimRng};
+    use chlm_graph::unit_disk::build_unit_disk;
+
+    fn random_hierarchy(n: usize, seed: u64) -> Hierarchy {
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.25);
+        let region = Disk::centered(radius);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, chlm_geom::rtx_for_degree(9.0, 1.25));
+        let ids = rng.permutation(n);
+        Hierarchy::build(&ids, &g, HierarchyOptions::default())
+    }
+
+    #[test]
+    fn table_routes_deliver_and_are_valid_walks() {
+        let h = random_hierarchy(200, 1);
+        let tables = NextHopTable::build(&h);
+        let g0 = &h.levels[0].graph;
+        let mut rng = SimRng::seed_from(2);
+        let mut routed = 0;
+        while routed < 30 {
+            let s = rng.index(200) as NodeIdx;
+            let t = rng.index(200) as NodeIdx;
+            match tables.route(&h, s, t) {
+                None => continue,
+                Some(out) => {
+                    assert_eq!(*out.path.first().unwrap(), s);
+                    assert_eq!(*out.path.last().unwrap(), t);
+                    for w in out.path.windows(2) {
+                        assert!(g0.has_edge(w[0], w[1]));
+                    }
+                    assert!(out.hops >= out.shortest);
+                    routed += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_routes_subset_of_bfs_leg_routes() {
+        // Table routing confines legs to the parent cluster, so it can
+        // fail where the free-leg BFS router succeeds (internally
+        // disconnected parent) — but never vice versa, and the vast
+        // majority of connected pairs must route both ways.
+        let h = random_hierarchy(150, 3);
+        let tables = NextHopTable::build(&h);
+        let mut both = 0;
+        let mut bfs_only = 0;
+        for s in (0..150u32).step_by(7) {
+            for t in (0..150u32).step_by(5) {
+                let a = tables.route(&h, s, t).is_some();
+                let b = hierarchical_path(&h, s, t).is_some();
+                assert!(!(a && !b), "table routed where bfs could not: s={s} t={t}");
+                if a && b {
+                    both += 1;
+                } else if b {
+                    bfs_only += 1;
+                }
+            }
+        }
+        assert!(both > 0);
+        assert!(
+            (bfs_only as f64) < 0.1 * (both + bfs_only) as f64,
+            "too many table failures: {bfs_only} of {}",
+            both + bfs_only
+        );
+    }
+
+    #[test]
+    fn table_stretch_close_to_bfs_leg_stretch() {
+        let h = random_hierarchy(250, 4);
+        let tables = NextHopTable::build(&h);
+        let mut rng = SimRng::seed_from(5);
+        let mut t_sum = 0.0;
+        let mut b_sum = 0.0;
+        let mut count = 0;
+        for _ in 0..40 {
+            let s = rng.index(250) as NodeIdx;
+            let t = rng.index(250) as NodeIdx;
+            if let (Some(tp), Some(bp)) = (tables.route(&h, s, t), hierarchical_path(&h, s, t)) {
+                t_sum += tp.stretch;
+                b_sum += bp.stretch;
+                count += 1;
+            }
+        }
+        assert!(count > 10);
+        let (tm, bm) = (t_sum / count as f64, b_sum / count as f64);
+        assert!(
+            (tm - bm).abs() < 0.4,
+            "table stretch {tm:.2} vs bfs-leg stretch {bm:.2}"
+        );
+    }
+
+    #[test]
+    fn table_sizes_match_accounting_module() {
+        // The entry counts built here should match (up to intra-cluster
+        // routes for unreachable members) the closed-form sizes used by
+        // E17's accounting.
+        let h = random_hierarchy(180, 6);
+        let tables = NextHopTable::build(&h);
+        let accounted = crate::tables::hierarchical_table_sizes(&h);
+        for u in 0..180u32 {
+            let built = tables.entries(u);
+            assert!(
+                built <= accounted[u as usize],
+                "node {u}: built {built} > accounted {}",
+                accounted[u as usize]
+            );
+            // Built tables can be smaller only due to disconnected members.
+        }
+    }
+
+    #[test]
+    fn self_route_trivial() {
+        let h = random_hierarchy(60, 7);
+        let tables = NextHopTable::build(&h);
+        let out = tables.route(&h, 5, 5).unwrap();
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.path, vec![5]);
+    }
+}

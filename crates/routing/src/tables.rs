@@ -1,0 +1,156 @@
+//! Routing-table size accounting.
+//!
+//! The point of hierarchical routing ([7], §2.1) is table compression: a
+//! node stores routes for the members of its level-1 cluster plus, for
+//! each ancestor level-k cluster, its sibling member clusters —
+//! `O(Σ_k α_k) = O(α · log |V|)` entries — instead of the flat link-state
+//! table's `|V|` entries. Experiment E17 regenerates this comparison.
+
+use chlm_cluster::Hierarchy;
+use chlm_graph::NodeIdx;
+
+/// Table sizes for one hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableComparison {
+    /// Per-node hierarchical table sizes.
+    pub hierarchical: Vec<usize>,
+    /// Flat table size (same for every node): `|V|`.
+    pub flat: usize,
+}
+
+impl TableComparison {
+    pub fn mean_hierarchical(&self) -> f64 {
+        if self.hierarchical.is_empty() {
+            0.0
+        } else {
+            self.hierarchical.iter().sum::<usize>() as f64 / self.hierarchical.len() as f64
+        }
+    }
+
+    pub fn max_hierarchical(&self) -> usize {
+        self.hierarchical.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Compression ratio `flat / mean(hierarchical)`.
+    pub fn compression(&self) -> f64 {
+        let m = self.mean_hierarchical();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.flat as f64 / m
+        }
+    }
+}
+
+/// Hierarchical routing-table size of every node: the number of distinct
+/// destinations/cluster entries the node must keep.
+///
+/// For node `v` with address `a`:
+/// * level 0: the level-0 members of `v`'s level-1 cluster (minus itself),
+/// * level `k ≥ 1`: the member level-(k-1)... sibling clusters: the level-k
+///   member clusters of `v`'s level-(k+1) cluster (minus its own).
+pub fn hierarchical_table_sizes(h: &Hierarchy) -> Vec<usize> {
+    let n = h.node_count();
+    let depth = h.depth();
+    // members_count[j][head_local at level j] = number of level-j electors.
+    let mut member_count: Vec<Vec<usize>> = Vec::with_capacity(depth);
+    for level in &h.levels {
+        let mut c = vec![0usize; level.len()];
+        for &t in &level.vote {
+            c[t as usize] += 1;
+        }
+        member_count.push(c);
+    }
+    let mut sizes = vec![0usize; n];
+    for v in 0..n as NodeIdx {
+        let addr = h.address(v);
+        let mut total = 0usize;
+        for k in 1..depth {
+            // Members of v's level-k cluster (they live at level k-1).
+            let level = &h.levels[k - 1];
+            let head_local = level.local(addr[k]).expect("head below its level");
+            let members = member_count[k - 1][head_local as usize];
+            // Entries for sibling members other than v's own branch. At
+            // k == 1 these are level-0 peers (exclude v itself).
+            total += members.saturating_sub(1);
+        }
+        sizes[v as usize] = total;
+    }
+    sizes
+}
+
+/// Flat link-state table size: one entry per other node.
+pub fn flat_table_size(h: &Hierarchy) -> usize {
+    h.node_count().saturating_sub(1)
+}
+
+/// Build the comparison for one hierarchy.
+pub fn compare_tables(h: &Hierarchy) -> TableComparison {
+    TableComparison {
+        hierarchical: hierarchical_table_sizes(h),
+        flat: flat_table_size(h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chlm_cluster::HierarchyOptions;
+    use chlm_geom::SimRng;
+    use chlm_graph::unit_disk::build_unit_disk;
+
+    fn random_hierarchy(n: usize, seed: u64) -> Hierarchy {
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, chlm_geom::rtx_for_degree(9.0, 1.0));
+        let ids = rng.permutation(n);
+        Hierarchy::build(&ids, &g, HierarchyOptions::default())
+    }
+
+    #[test]
+    fn hierarchical_tables_much_smaller_than_flat() {
+        let h = random_hierarchy(600, 1);
+        let cmp = compare_tables(&h);
+        assert_eq!(cmp.flat, 599);
+        assert!(cmp.mean_hierarchical() > 0.0);
+        assert!(
+            cmp.compression() > 3.0,
+            "compression only {}",
+            cmp.compression()
+        );
+        assert!(cmp.max_hierarchical() < cmp.flat);
+    }
+
+    #[test]
+    fn compression_grows_with_n() {
+        let c1 = compare_tables(&random_hierarchy(200, 2)).compression();
+        let c2 = compare_tables(&random_hierarchy(1000, 2)).compression();
+        assert!(c2 > c1, "compression should grow with n: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn table_entries_scale_like_alpha_log_n() {
+        // Mean table size should be far below sqrt-scaling: compare n and
+        // 4n — flat grows 4x, hierarchical should grow well under 2x.
+        let m1 = compare_tables(&random_hierarchy(250, 3)).mean_hierarchical();
+        let m2 = compare_tables(&random_hierarchy(1000, 3)).mean_hierarchical();
+        assert!(
+            m2 / m1 < 2.2,
+            "hierarchical tables grow too fast: {m1} -> {m2}"
+        );
+    }
+
+    #[test]
+    fn singleton_network() {
+        let h = Hierarchy::build(
+            &[5],
+            &chlm_graph::Graph::with_nodes(1),
+            HierarchyOptions::default(),
+        );
+        let cmp = compare_tables(&h);
+        assert_eq!(cmp.flat, 0);
+        assert_eq!(cmp.hierarchical, vec![0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Simulation configuration.
+
+use chlm_lm::server::SelectionRule;
+
+/// Which mobility process drives the nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityKind {
+    /// Random waypoint, zero pause (the paper's model, §1.2).
+    Waypoint,
+    /// Random direction with exponential heading epochs.
+    Direction { mean_epoch: f64 },
+    /// Per-tick random-heading walk.
+    Walk,
+    /// Reference-point group mobility.
+    Rpgm {
+        groups: usize,
+        group_radius: f64,
+        jitter_radius: f64,
+        jitter_speed: f64,
+    },
+    /// No movement (structural experiments).
+    Static,
+}
+
+/// How hop distances are priced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HopMetric {
+    /// Exact BFS on the level-0 graph (cached per source per tick).
+    /// Accurate; fine up to ~1–2k nodes.
+    Bfs,
+    /// `euclidean distance / R_TX × calibration`, with the calibration
+    /// ratio measured against BFS once at startup. Linear-time; used for
+    /// the largest sweeps (validated in `tests/` and `bench_spatial_index`).
+    EuclideanCalibrated,
+    /// Euclidean with a fixed calibration factor.
+    Euclidean(f64),
+}
+
+/// Full experiment configuration. Construct with [`SimConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Node count `|V|`.
+    pub n: usize,
+    /// Nodes per unit area (held fixed across sizes per §1.2).
+    pub density: f64,
+    /// Target mean degree; sets `R_TX` via the Poisson approximation.
+    pub target_degree: f64,
+    /// Node speed μ (m/s).
+    pub speed: f64,
+    /// Simulated duration in seconds (after warmup).
+    pub duration: f64,
+    /// Mobility warmup discarded before measurement starts (seconds).
+    pub warmup: f64,
+    /// Tick length; `None` derives `R_TX / (10 · μ)`.
+    pub dt: Option<f64>,
+    pub seed: u64,
+    pub mobility: MobilityKind,
+    pub hop_metric: HopMetric,
+    pub selection_rule: SelectionRule,
+    /// Cap on hierarchy levels (`usize::MAX` = until convergence).
+    pub max_levels: usize,
+    /// Stop adding hierarchy levels when a level shrinks the node count by
+    /// less than this factor. Kills the degenerate near-unit-arity tail
+    /// that disconnected fringe components otherwise produce under
+    /// mobility (the paper assumes a connected graph with α_k = Θ(1) > 1).
+    pub min_reduction: f64,
+    /// Also track GLS overhead on the same mobility (for E13).
+    pub track_gls: bool,
+    /// Sample this many random location queries at the end of the run.
+    pub query_samples: usize,
+}
+
+impl SimConfig {
+    /// Builder with the standard experiment defaults for `n` nodes.
+    pub fn builder(n: usize) -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig {
+                n,
+                density: 1.25,
+                target_degree: 9.0,
+                speed: 2.0,
+                duration: 30.0,
+                warmup: 20.0,
+                dt: None,
+                seed: 1,
+                mobility: MobilityKind::Waypoint,
+                hop_metric: HopMetric::EuclideanCalibrated,
+                selection_rule: SelectionRule::Hrw,
+                max_levels: usize::MAX,
+                min_reduction: 1.25,
+                track_gls: false,
+                query_samples: 0,
+            },
+        }
+    }
+
+    /// Transmission radius implied by the density and target degree.
+    pub fn rtx(&self) -> f64 {
+        chlm_geom::rtx_for_degree(self.target_degree, self.density)
+    }
+
+    /// Deployment-disk radius implied by `n` and density.
+    pub fn region_radius(&self) -> f64 {
+        chlm_geom::disk_radius_for_density(self.n, self.density)
+    }
+
+    /// Effective tick length.
+    pub fn tick(&self) -> f64 {
+        match self.dt {
+            Some(dt) => dt,
+            None => {
+                if self.speed > 0.0 {
+                    self.rtx() / (10.0 * self.speed)
+                } else {
+                    // Static runs: one tick per simulated second.
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Number of measured ticks.
+    pub fn tick_count(&self) -> usize {
+        (self.duration / self.tick()).ceil().max(1.0) as usize
+    }
+
+    fn validate(&self) {
+        assert!(self.n >= 1, "need at least one node");
+        assert!(self.density > 0.0);
+        assert!(self.target_degree > 0.0);
+        assert!(self.speed >= 0.0);
+        assert!(self.duration > 0.0);
+        assert!(self.warmup >= 0.0);
+        if let Some(dt) = self.dt {
+            assert!(dt > 0.0);
+        }
+        if let MobilityKind::Rpgm { groups, .. } = self.mobility {
+            assert!(groups >= 1 && groups <= self.n);
+        }
+        assert!(
+            self.speed > 0.0 || matches!(self.mobility, MobilityKind::Static),
+            "moving models need positive speed"
+        );
+    }
+}
+
+/// Fluent builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    pub fn density(mut self, d: f64) -> Self {
+        self.cfg.density = d;
+        self
+    }
+    pub fn target_degree(mut self, d: f64) -> Self {
+        self.cfg.target_degree = d;
+        self
+    }
+    pub fn speed(mut self, s: f64) -> Self {
+        self.cfg.speed = s;
+        self
+    }
+    pub fn duration(mut self, secs: f64) -> Self {
+        self.cfg.duration = secs;
+        self
+    }
+    pub fn warmup(mut self, secs: f64) -> Self {
+        self.cfg.warmup = secs;
+        self
+    }
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.cfg.dt = Some(dt);
+        self
+    }
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+    pub fn mobility(mut self, m: MobilityKind) -> Self {
+        self.cfg.mobility = m;
+        if matches!(m, MobilityKind::Static) {
+            self.cfg.speed = 0.0;
+        }
+        self
+    }
+    pub fn hop_metric(mut self, h: HopMetric) -> Self {
+        self.cfg.hop_metric = h;
+        self
+    }
+    pub fn selection_rule(mut self, r: SelectionRule) -> Self {
+        self.cfg.selection_rule = r;
+        self
+    }
+    pub fn max_levels(mut self, l: usize) -> Self {
+        self.cfg.max_levels = l;
+        self
+    }
+    /// See [`SimConfig::min_reduction`]; set to 1.0 for the faithful
+    /// unbounded LCA recursion.
+    pub fn min_reduction(mut self, r: f64) -> Self {
+        assert!(r >= 1.0);
+        self.cfg.min_reduction = r;
+        self
+    }
+    pub fn track_gls(mut self, yes: bool) -> Self {
+        self.cfg.track_gls = yes;
+        self
+    }
+    pub fn query_samples(mut self, q: usize) -> Self {
+        self.cfg.query_samples = q;
+        self
+    }
+
+    /// Finalize; panics on invalid combinations.
+    pub fn build(self) -> SimConfig {
+        self.cfg.validate();
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let cfg = SimConfig::builder(256).build();
+        assert_eq!(cfg.n, 256);
+        assert!(cfg.rtx() > 0.0);
+        assert!(cfg.region_radius() > cfg.rtx());
+        assert!(cfg.tick() > 0.0);
+        assert!(cfg.tick_count() >= 1);
+        // Default tick: node moves R_TX/10 per tick.
+        let per_tick = cfg.speed * cfg.tick();
+        assert!((per_tick - cfg.rtx() / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_preserved_across_sizes() {
+        let a = SimConfig::builder(256).build();
+        let b = SimConfig::builder(1024).build();
+        // Region area scales with n; R_TX fixed.
+        assert!((b.region_radius() / a.region_radius() - 2.0).abs() < 1e-9);
+        assert_eq!(a.rtx(), b.rtx());
+    }
+
+    #[test]
+    fn static_mobility_forces_zero_speed() {
+        let cfg = SimConfig::builder(10).mobility(MobilityKind::Static).build();
+        assert_eq!(cfg.speed, 0.0);
+        assert_eq!(cfg.tick(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_duration_rejected() {
+        let mut b = SimConfig::builder(10);
+        b = b.duration(0.0);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rpgm_groups_bounds_checked() {
+        SimConfig::builder(4)
+            .mobility(MobilityKind::Rpgm {
+                groups: 9,
+                group_radius: 1.0,
+                jitter_radius: 0.1,
+                jitter_speed: 0.1,
+            })
+            .build();
+    }
+}

@@ -1,0 +1,474 @@
+//! The tick loop.
+
+use crate::config::{HopMetric, MobilityKind, SimConfig};
+use crate::oracle::{calibrate, DistanceOracle};
+use crate::report::{LevelRates, SimReport, StateSummary};
+use chlm_cluster::address::{AddrChangeKind, AddressBook};
+use chlm_cluster::events::{classify_events, EventCounts};
+use chlm_cluster::metrics::level_stats;
+use chlm_cluster::{Hierarchy, HierarchyOptions, StateTracker};
+use chlm_geom::{Disk, SimRng};
+use chlm_graph::dynamics::{LinkDiff, LinkEventRate};
+use chlm_graph::unit_disk::build_unit_disk;
+use chlm_graph::NodeIdx;
+use chlm_lm::gls::{GlsTracker, GridHierarchy};
+use chlm_lm::handoff::HandoffLedger;
+use chlm_lm::query::mean_query_cost;
+use chlm_lm::server::LmAssignment;
+use chlm_mobility::{
+    MobilityModel, RandomDirection, RandomWalk, RandomWaypoint, Rpgm, StaticModel,
+};
+use std::collections::HashSet;
+
+/// One simulation instance. Construct with [`Simulation::new`], run with
+/// [`Simulation::run`] (or drive tick-by-tick with [`Simulation::step`]).
+pub struct Simulation {
+    cfg: SimConfig,
+    ids: Vec<u64>,
+    mobility: Box<dyn MobilityModel>,
+    rtx: f64,
+    calibration: f64,
+    rng: SimRng,
+    // Previous-tick snapshots.
+    hierarchy: Hierarchy,
+    book: AddressBook,
+    assignment: LmAssignment,
+    level_edges: Vec<HashSet<(NodeIdx, NodeIdx)>>,
+    level_nodes: Vec<HashSet<NodeIdx>>,
+    // Accumulators.
+    ledger: HandoffLedger,
+    rates: LevelRates,
+    events: EventCounts,
+    tracker: StateTracker,
+    link_rate: LinkEventRate,
+    gls: Option<GlsTracker>,
+    degree_sum: f64,
+    max_depth: usize,
+    ticks_done: usize,
+}
+
+fn build_mobility(cfg: &SimConfig, region: Disk, rng: &mut SimRng) -> Box<dyn MobilityModel> {
+    match cfg.mobility {
+        MobilityKind::Waypoint => Box::new(RandomWaypoint::deployed(
+            region, cfg.n, cfg.speed, 0.0, rng,
+        )),
+        MobilityKind::Direction { mean_epoch } => Box::new(RandomDirection::deployed(
+            region, cfg.n, cfg.speed, mean_epoch, rng,
+        )),
+        MobilityKind::Walk => Box::new(RandomWalk::deployed(region, cfg.n, cfg.speed, rng)),
+        MobilityKind::Rpgm {
+            groups,
+            group_radius,
+            jitter_radius,
+            jitter_speed,
+        } => Box::new(Rpgm::deployed(
+            region,
+            cfg.n,
+            groups,
+            cfg.speed,
+            group_radius,
+            jitter_radius,
+            jitter_speed,
+            rng,
+        )),
+        MobilityKind::Static => Box::new(StaticModel::new(chlm_geom::region::deploy_uniform(
+            &region, cfg.n, rng,
+        ))),
+    }
+}
+
+/// Level-k node sets keyed by physical index.
+fn physical_level_nodes(h: &Hierarchy) -> Vec<HashSet<NodeIdx>> {
+    h.levels
+        .iter()
+        .map(|level| level.nodes.iter().copied().collect())
+        .collect()
+}
+
+/// Level-k edge sets keyed by physical endpoints, for link-churn counting.
+fn physical_level_edges(h: &Hierarchy) -> Vec<HashSet<(NodeIdx, NodeIdx)>> {
+    h.levels
+        .iter()
+        .map(|level| {
+            level
+                .graph
+                .edges()
+                .map(|(a, b)| {
+                    let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
+                    (pa.min(pb), pa.max(pb))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl Simulation {
+    /// Set up a simulation: deploy, warm the mobility process up, build the
+    /// initial hierarchy and LM assignment, and calibrate the hop oracle.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = SimRng::seed_from(cfg.seed);
+        let region = Disk::centered(cfg.region_radius());
+        let rtx = cfg.rtx();
+        let ids = rng.fork(1).permutation(cfg.n);
+        let mut mobility = build_mobility(&cfg, region, &mut rng.fork(2).clone());
+
+        // Warmup: advance mobility before measurement starts, in tick-sized
+        // steps so per-tick models (random walk) behave identically.
+        let dt = cfg.tick();
+        if cfg.warmup > 0.0 && cfg.speed > 0.0 {
+            let steps = (cfg.warmup / dt).ceil() as usize;
+            for _ in 0..steps {
+                mobility.step(dt);
+            }
+        }
+
+        let graph = build_unit_disk(mobility.positions(), rtx);
+        let opts = HierarchyOptions {
+            max_levels: cfg.max_levels,
+            min_reduction: cfg.min_reduction,
+        };
+        let hierarchy = Hierarchy::build(&ids, &graph, opts);
+        let book = AddressBook::capture(&hierarchy);
+        let assignment = LmAssignment::compute(&hierarchy, cfg.selection_rule);
+        let level_edges = physical_level_edges(&hierarchy);
+        let level_nodes = physical_level_nodes(&hierarchy);
+        let calibration = match cfg.hop_metric {
+            HopMetric::Bfs => 1.0,
+            HopMetric::Euclidean(c) => c,
+            HopMetric::EuclideanCalibrated => {
+                calibrate(&graph, mobility.positions(), rtx, 12, &mut rng.fork(3))
+            }
+        };
+        let gls = cfg.track_gls.then(|| {
+            let (lo, hi) = {
+                use chlm_geom::Region;
+                region.bounding_box()
+            };
+            let bounds = chlm_geom::Rect::new(lo, hi);
+            GlsTracker::new(GridHierarchy::covering(bounds, rtx), mobility.positions())
+        });
+        let mut tracker = StateTracker::new();
+        tracker.observe(&hierarchy);
+        let max_depth = hierarchy.depth();
+
+        Simulation {
+            cfg,
+            ids,
+            mobility,
+            rtx,
+            calibration,
+            rng: rng.fork(4),
+            hierarchy,
+            book,
+            assignment,
+            level_edges,
+            level_nodes,
+            ledger: HandoffLedger::new(),
+            rates: LevelRates::default(),
+            events: EventCounts::with_levels(max_depth),
+            tracker,
+            link_rate: LinkEventRate::default(),
+            gls,
+            degree_sum: 0.0,
+            max_depth,
+            ticks_done: 0,
+        }
+    }
+
+    /// The configuration this simulation runs under.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current hierarchy snapshot.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Advance one tick, recording every counter.
+    pub fn step(&mut self) {
+        let dt = self.cfg.tick();
+        let n = self.cfg.n;
+        self.mobility.step(dt);
+        let positions = self.mobility.positions().to_vec();
+        let graph = build_unit_disk(&positions, self.rtx);
+        let opts = HierarchyOptions {
+            max_levels: self.cfg.max_levels,
+            min_reduction: self.cfg.min_reduction,
+        };
+        let hierarchy = Hierarchy::build(&self.ids, &graph, opts);
+        let book = AddressBook::capture(&hierarchy);
+        let assignment = LmAssignment::compute(&hierarchy, self.cfg.selection_rule);
+
+        // Level-0 link events (f_0).
+        let diff0 = LinkDiff::between(&self.hierarchy.levels[0].graph, &graph);
+        self.link_rate.record(&diff0, n, dt);
+
+        // Address changes: migration vs reorganization, per level.
+        let addr_changes = self.book.diff(&book);
+        for c in &addr_changes {
+            match c.kind {
+                AddrChangeKind::Migration => self.rates.add_migration(c.level as usize, 1),
+                AddrChangeKind::Reorganization => self.rates.add_reorg(c.level as usize, 1),
+            }
+        }
+
+        // Handoff packet accounting.
+        let host_changes = self.assignment.diff(&assignment);
+        {
+            let mut oracle = match self.cfg.hop_metric {
+                HopMetric::Bfs => DistanceOracle::bfs(&graph, &positions, self.rtx),
+                _ => DistanceOracle::euclidean(&graph, &positions, self.rtx, self.calibration),
+            };
+            self.ledger.record(
+                &host_changes,
+                &addr_changes,
+                |a, b| oracle.hops(a, b),
+                n,
+                dt,
+            );
+        }
+
+        // Level-k link churn and exposure (g_k, g'_k).
+        let new_level_edges = physical_level_edges(&hierarchy);
+        let new_level_nodes = physical_level_nodes(&hierarchy);
+        let depth = hierarchy.depth().max(self.hierarchy.depth());
+        for k in 1..depth {
+            let empty = HashSet::new();
+            let empty_nodes = HashSet::new();
+            let old = self.level_edges.get(k).unwrap_or(&empty);
+            let new = new_level_edges.get(k).unwrap_or(&empty);
+            let old_nodes = self.level_nodes.get(k).unwrap_or(&empty_nodes);
+            let cur_nodes = new_level_nodes.get(k).unwrap_or(&empty_nodes);
+            let mut churn = 0u64;
+            let mut persisting = 0u64;
+            for &(u, v) in old.symmetric_difference(new) {
+                churn += 1;
+                if old_nodes.contains(&u)
+                    && old_nodes.contains(&v)
+                    && cur_nodes.contains(&u)
+                    && cur_nodes.contains(&v)
+                {
+                    persisting += 1;
+                }
+            }
+            self.rates.add_link_events(k, churn, persisting);
+            let (edges, nodes) = hierarchy
+                .levels
+                .get(k)
+                .map_or((0, 0), |l| (l.graph.edge_count(), l.len()));
+            self.rates.add_exposure(k, edges, nodes, dt);
+        }
+        self.rates.node_seconds += n as f64 * dt;
+
+        // Reorganization-event taxonomy.
+        let (_, counts) = classify_events(&self.hierarchy, &hierarchy);
+        self.events.merge(&counts);
+
+        // ALCA states, GLS, degree.
+        self.tracker.observe(&hierarchy);
+        if let Some(gls) = &mut self.gls {
+            let rtx = self.rtx;
+            let calibration = self.calibration;
+            match self.cfg.hop_metric {
+                HopMetric::Bfs => {
+                    let mut oracle = DistanceOracle::bfs(&graph, &positions, rtx);
+                    gls.observe(&positions, &self.ids, |a, b| oracle.hops(a, b), dt);
+                }
+                _ => {
+                    let mut oracle = DistanceOracle::euclidean(&graph, &positions, rtx, calibration);
+                    gls.observe(&positions, &self.ids, |a, b| oracle.hops(a, b), dt);
+                }
+            }
+        }
+        self.degree_sum += graph.mean_degree();
+        self.max_depth = self.max_depth.max(hierarchy.depth());
+
+        self.hierarchy = hierarchy;
+        self.book = book;
+        self.assignment = assignment;
+        self.level_edges = new_level_edges;
+        self.level_nodes = new_level_nodes;
+        self.ticks_done += 1;
+    }
+
+    /// Run the configured number of ticks and produce the report.
+    pub fn run(mut self) -> SimReport {
+        let ticks = self.cfg.tick_count();
+        for _ in 0..ticks {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Produce the report from whatever has been simulated so far.
+    pub fn finish(mut self) -> SimReport {
+        let depth = self.hierarchy.depth();
+        let final_levels = level_stats(&self.hierarchy, 4, &mut self.rng);
+        // ALCA state summary.
+        let mut state = StateSummary::default();
+        for k in 0..self.tracker.level_count() {
+            state
+                .distributions
+                .push(self.tracker.distribution(k).unwrap_or_default());
+            state.p1.push(self.tracker.p_state1(k));
+            state
+                .multi_jump_fraction
+                .push(self.tracker.multi_jump_fraction(k));
+        }
+        // Query sampling on the final topology.
+        let mean_query_packets = if self.cfg.query_samples > 0 && self.cfg.n >= 2 {
+            let positions = self.mobility.positions().to_vec();
+            let graph = self.hierarchy.levels[0].graph.clone();
+            let pairs: Vec<(NodeIdx, NodeIdx)> = (0..self.cfg.query_samples)
+                .map(|_| {
+                    (
+                        self.rng.index(self.cfg.n) as NodeIdx,
+                        self.rng.index(self.cfg.n) as NodeIdx,
+                    )
+                })
+                .collect();
+            match self.cfg.hop_metric {
+                HopMetric::Bfs => {
+                    let mut oracle = DistanceOracle::bfs(&graph, &positions, self.rtx);
+                    mean_query_cost(&self.hierarchy, &self.assignment, &pairs, |a, b| {
+                        oracle.hops(a, b)
+                    })
+                }
+                _ => {
+                    let mut oracle =
+                        DistanceOracle::euclidean(&graph, &positions, self.rtx, self.calibration);
+                    mean_query_cost(&self.hierarchy, &self.assignment, &pairs, |a, b| {
+                        oracle.hops(a, b)
+                    })
+                }
+            }
+        } else {
+            None
+        };
+        let counts = self.assignment.entries_hosted();
+        let mean_entries_hosted = if counts.is_empty() {
+            0.0
+        } else {
+            counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64
+        };
+        let ticks = self.ticks_done.max(1) as f64;
+        SimReport {
+            n: self.cfg.n,
+            seed: self.cfg.seed,
+            dt: self.cfg.tick(),
+            rtx: self.rtx,
+            speed: self.cfg.speed,
+            mean_degree: self.degree_sum / ticks,
+            depth: self.max_depth.max(depth),
+            final_levels,
+            ledger: self.ledger,
+            f0: self.link_rate.per_node_per_second(),
+            rates: self.rates,
+            events: self.events,
+            state,
+            mean_query_packets,
+            gls_overhead: self.gls.as_ref().map(|g| g.overhead_per_node_per_second()),
+            mean_entries_hosted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(n: usize, seed: u64) -> SimConfig {
+        SimConfig::builder(n)
+            .duration(2.0)
+            .warmup(0.5)
+            .seed(seed)
+            .query_samples(10)
+            .build()
+    }
+
+    #[test]
+    fn small_run_produces_sane_report() {
+        let report = Simulation::new(quick_cfg(120, 1)).run();
+        assert_eq!(report.n, 120);
+        assert!(report.mean_degree > 3.0 && report.mean_degree < 20.0);
+        assert!(report.depth >= 2);
+        assert!(report.f0 > 0.0, "mobile nodes must flip links");
+        assert!(report.total_overhead() >= 0.0);
+        assert!(report.rates.node_seconds > 0.0);
+        assert_eq!(report.final_levels[0].nodes, 120);
+        assert!(report.mean_query_packets.is_some());
+        // Entries hosted mean = depth - 2 per node at the final tick.
+        assert!(report.mean_entries_hosted >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Simulation::new(quick_cfg(80, 7)).run();
+        let b = Simulation::new(quick_cfg(80, 7)).run();
+        assert_eq!(a.f0, b.f0);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.rates, b.rates);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(quick_cfg(80, 1)).run();
+        let b = Simulation::new(quick_cfg(80, 2)).run();
+        assert_ne!(a.f0, b.f0);
+    }
+
+    #[test]
+    fn static_network_has_zero_overhead() {
+        let cfg = SimConfig::builder(100)
+            .mobility(MobilityKind::Static)
+            .duration(5.0)
+            .warmup(0.0)
+            .seed(3)
+            .build();
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.f0, 0.0);
+        assert_eq!(report.total_overhead(), 0.0);
+        assert_eq!(report.events.grand_total(), 0);
+    }
+
+    #[test]
+    fn gls_tracking_produces_overhead() {
+        let cfg = SimConfig::builder(100)
+            .duration(3.0)
+            .warmup(0.5)
+            .seed(4)
+            .track_gls(true)
+            .build();
+        let report = Simulation::new(cfg).run();
+        let gls = report.gls_overhead.expect("GLS tracked");
+        assert!(gls > 0.0, "mobile GLS must cost something");
+    }
+
+    #[test]
+    fn single_node_run_does_not_panic() {
+        let cfg = SimConfig::builder(1)
+            .duration(1.0)
+            .warmup(0.0)
+            .seed(5)
+            .build();
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.depth, 1);
+        assert_eq!(report.total_overhead(), 0.0);
+    }
+
+    #[test]
+    fn bfs_and_euclidean_metrics_same_event_counts() {
+        // The hop metric prices packets but must not change which events
+        // occur.
+        let base = quick_cfg(90, 6);
+        let mut cfg_bfs = base.clone();
+        cfg_bfs.hop_metric = HopMetric::Bfs;
+        let a = Simulation::new(base).run();
+        let b = Simulation::new(cfg_bfs).run();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.rates, b.rates);
+        assert_eq!(a.f0, b.f0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # chlm-sim
+//!
+//! The discrete-time simulation engine behind every CHLM experiment.
+//!
+//! Each tick the engine: advances mobility by `Δt`, rebuilds the unit-disk
+//! graph, recomputes the LCA hierarchy, diffs addresses / LM server
+//! assignments / level-k topologies against the previous tick, and feeds
+//! the diffs to the measurement counters:
+//!
+//! * the [`chlm_lm::HandoffLedger`] (packet transmissions → φ_k, γ_k),
+//! * per-level migration counters (→ f_k, eq. 8),
+//! * per-level cluster-link churn counters (→ g_k and g'_k, eq. 14),
+//! * the reorganization-event taxonomy counts (events (i)–(vii), §5.2),
+//! * the ALCA state tracker (Fig. 3, p_j, q₁).
+//!
+//! `Δt` is chosen so a node moves `R_TX / 10` per tick, small enough that
+//! diff-based event extraction matches what an asynchronous protocol would
+//! observe (see DESIGN.md). All runs are deterministic in `(config, seed)`.
+//!
+//! [`runner::run_replications`] fans replications out across threads.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use chlm_sim::{run_simulation, SimConfig};
+//!
+//! let cfg = SimConfig::builder(64)
+//!     .duration(1.0)
+//!     .warmup(0.2)
+//!     .seed(7)
+//!     .build();
+//! let report = run_simulation(&cfg);
+//! assert_eq!(report.n, 64);
+//! assert!(report.f0 > 0.0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod oracle;
+pub mod report;
+pub mod runner;
+
+pub use config::{HopMetric, MobilityKind, SimConfig, SimConfigBuilder};
+pub use engine::Simulation;
+pub use report::{LevelRates, SimReport, StateSummary};
+pub use runner::run_replications;
+
+/// Run one simulation to completion and return its report — the simplest
+/// entry point (see the crate quickstart example).
+pub fn run_simulation(cfg: &SimConfig) -> SimReport {
+    Simulation::new(cfg.clone()).run()
+}

@@ -1,0 +1,223 @@
+//! Measurement report produced by one simulation run.
+
+use chlm_cluster::events::EventCounts;
+use chlm_cluster::metrics::LevelStats;
+use chlm_lm::handoff::HandoffLedger;
+
+/// Per-level event-rate counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelRates {
+    /// Migration address changes at each level (index = level k).
+    pub migration_events: Vec<u64>,
+    /// Reorganization (inherited) address changes at each level.
+    pub reorg_events: Vec<u64>,
+    /// Level-k cluster-link state change events (all causes).
+    pub link_events: Vec<u64>,
+    /// Level-k link changes whose endpoints both persist at level k across
+    /// the tick — the drift-driven churn eq. (14) models, excluding
+    /// election relabeling.
+    pub persisting_link_events: Vec<u64>,
+    /// Accumulated `|E_k| · dt` exposure per level.
+    pub link_seconds: Vec<f64>,
+    /// Accumulated `|V_k| · dt` exposure per level (level-k node-seconds).
+    pub level_node_seconds: Vec<f64>,
+    /// Total node-seconds (level 0).
+    pub node_seconds: f64,
+}
+
+impl LevelRates {
+    fn grow(&mut self, levels: usize) {
+        if self.migration_events.len() < levels {
+            self.migration_events.resize(levels, 0);
+            self.reorg_events.resize(levels, 0);
+            self.link_events.resize(levels, 0);
+            self.persisting_link_events.resize(levels, 0);
+            self.link_seconds.resize(levels, 0.0);
+            self.level_node_seconds.resize(levels, 0.0);
+        }
+    }
+
+    pub(crate) fn add_migration(&mut self, level: usize, count: u64) {
+        self.grow(level + 1);
+        self.migration_events[level] += count;
+    }
+
+    pub(crate) fn add_reorg(&mut self, level: usize, count: u64) {
+        self.grow(level + 1);
+        self.reorg_events[level] += count;
+    }
+
+    pub(crate) fn add_link_events(&mut self, level: usize, count: u64, persisting: u64) {
+        self.grow(level + 1);
+        self.link_events[level] += count;
+        self.persisting_link_events[level] += persisting;
+    }
+
+    pub(crate) fn add_exposure(&mut self, level: usize, edges: usize, nodes: usize, dt: f64) {
+        self.grow(level + 1);
+        self.link_seconds[level] += edges as f64 * dt;
+        self.level_node_seconds[level] += nodes as f64 * dt;
+    }
+
+    /// `f_k` — level-k migration events per (level-0) node per second.
+    pub fn f_k(&self, k: usize) -> f64 {
+        if self.node_seconds == 0.0 {
+            return 0.0;
+        }
+        self.migration_events.get(k).copied().unwrap_or(0) as f64 / self.node_seconds
+    }
+
+    /// `g_k` — level-k cluster-link state changes per node per second.
+    pub fn g_k(&self, k: usize) -> f64 {
+        if self.node_seconds == 0.0 {
+            return 0.0;
+        }
+        self.link_events.get(k).copied().unwrap_or(0) as f64 / self.node_seconds
+    }
+
+    /// `g'_k` — state changes per level-k cluster link per second
+    /// (all causes).
+    pub fn g_prime_k(&self, k: usize) -> f64 {
+        let ls = self.link_seconds.get(k).copied().unwrap_or(0.0);
+        if ls == 0.0 {
+            return 0.0;
+        }
+        self.link_events.get(k).copied().unwrap_or(0) as f64 / ls
+    }
+
+    /// Drift-driven `g'_k`: changes per level-k link per second counting
+    /// only links whose endpoints persist at level k across the tick —
+    /// eq. (14)'s quantity, free of election-relabeling churn.
+    pub fn g_prime_persisting_k(&self, k: usize) -> f64 {
+        let ls = self.link_seconds.get(k).copied().unwrap_or(0.0);
+        if ls == 0.0 {
+            return 0.0;
+        }
+        self.persisting_link_events.get(k).copied().unwrap_or(0) as f64 / ls
+    }
+
+    /// Highest level with any accumulators.
+    pub fn max_level(&self) -> usize {
+        self.migration_events.len().saturating_sub(1)
+    }
+
+    pub fn merge(&mut self, other: &LevelRates) {
+        self.grow(other.migration_events.len());
+        for (i, v) in other.migration_events.iter().enumerate() {
+            self.migration_events[i] += v;
+        }
+        for (i, v) in other.reorg_events.iter().enumerate() {
+            self.reorg_events[i] += v;
+        }
+        for (i, v) in other.link_events.iter().enumerate() {
+            self.link_events[i] += v;
+        }
+        for (i, v) in other.persisting_link_events.iter().enumerate() {
+            self.persisting_link_events[i] += v;
+        }
+        for (i, v) in other.link_seconds.iter().enumerate() {
+            self.link_seconds[i] += v;
+        }
+        for (i, v) in other.level_node_seconds.iter().enumerate() {
+            self.level_node_seconds[i] += v;
+        }
+        self.node_seconds += other.node_seconds;
+    }
+}
+
+/// Plain-data extract of the ALCA state tracker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateSummary {
+    /// Per level: empirical state distribution (index = state).
+    pub distributions: Vec<Vec<f64>>,
+    /// Per level: P(state == 1) — the paper's `p_j`.
+    pub p1: Vec<Option<f64>>,
+    /// Per level: fraction of per-tick state changes jumping ≥ 2 states.
+    pub multi_jump_fraction: Vec<Option<f64>>,
+}
+
+/// Everything one run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    pub n: usize,
+    pub seed: u64,
+    pub dt: f64,
+    pub rtx: f64,
+    pub speed: f64,
+    /// Mean level-0 degree averaged over ticks.
+    pub mean_degree: f64,
+    /// Maximum hierarchy depth observed.
+    pub depth: usize,
+    /// Level statistics captured at the final tick.
+    pub final_levels: Vec<LevelStats>,
+    /// Handoff packet accounting (φ_k, γ_k).
+    pub ledger: HandoffLedger,
+    /// Level-0 link events per node per second (eq. 4's f₀).
+    pub f0: f64,
+    /// Per-level migration / link-churn rates.
+    pub rates: LevelRates,
+    /// Reorganization-event taxonomy counts.
+    pub events: EventCounts,
+    /// ALCA state machine summary.
+    pub state: StateSummary,
+    /// Mean location-query cost (packets), when sampled.
+    pub mean_query_packets: Option<f64>,
+    /// GLS maintenance overhead per node per second, when tracked.
+    pub gls_overhead: Option<f64>,
+    /// Mean LM entries hosted per node at the final tick (Θ(log n) claim).
+    pub mean_entries_hosted: f64,
+}
+
+impl SimReport {
+    /// φ — total migration handoff overhead (packets/node/s).
+    pub fn phi_total(&self) -> f64 {
+        self.ledger.phi_total()
+    }
+
+    /// γ — total reorganization handoff overhead (packets/node/s).
+    pub fn gamma_total(&self) -> f64 {
+        self.ledger.gamma_total()
+    }
+
+    /// φ + γ — total LM handoff overhead.
+    pub fn total_overhead(&self) -> f64 {
+        self.phi_total() + self.gamma_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_normalization() {
+        let mut r = LevelRates::default();
+        r.add_migration(2, 10);
+        r.add_link_events(1, 4, 2);
+        r.add_exposure(1, 8, 4, 0.5);
+        r.node_seconds = 20.0;
+        assert!((r.f_k(2) - 0.5).abs() < 1e-12);
+        assert!((r.g_k(1) - 0.2).abs() < 1e-12);
+        assert!((r.g_prime_k(1) - 1.0).abs() < 1e-12);
+        assert!((r.g_prime_persisting_k(1) - 0.5).abs() < 1e-12);
+        assert_eq!(r.f_k(5), 0.0);
+        assert_eq!(r.g_prime_k(9), 0.0);
+    }
+
+    #[test]
+    fn rates_merge_adds() {
+        let mut a = LevelRates::default();
+        a.add_migration(1, 3);
+        a.node_seconds = 10.0;
+        let mut b = LevelRates::default();
+        b.add_migration(3, 7);
+        b.add_link_events(1, 2, 1);
+        b.node_seconds = 10.0;
+        a.merge(&b);
+        assert_eq!(a.migration_events[1], 3);
+        assert_eq!(a.migration_events[3], 7);
+        assert_eq!(a.link_events[1], 2);
+        assert_eq!(a.node_seconds, 20.0);
+        assert_eq!(a.max_level(), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's headline claim, end to end: LM handoff overhead grows only
+//! **polylogarithmically** in node count. Sweeps network sizes at fixed
+//! density, measures φ + γ, and fits the scaling classes
+//! {log²n, log n, √n, n, const}.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use chlm::analysis::table::{fnum, TextTable};
+use chlm::prelude::*;
+
+fn main() {
+    let sizes = [128usize, 256, 512, 1024];
+    let replications = 4;
+    println!(
+        "sweeping sizes {:?} with {} replications each (fixed density)...",
+        sizes, replications
+    );
+
+    let points = sweep(&sizes, replications, 1000, 4, |n| {
+        SimConfig::builder(n)
+            .duration(8.0)
+            .warmup(6.0)
+            .build()
+    });
+
+    let phi = summarize_metric(&points, "phi", |r| r.phi_total());
+    let gamma = summarize_metric(&points, "gamma", |r| r.gamma_total());
+    let total = summarize_metric(&points, "phi+gamma", |r| r.total_overhead());
+    let f0 = summarize_metric(&points, "f0", |r| r.f0);
+
+    let mut table = TextTable::new(vec!["n", "f0", "phi", "gamma", "phi+gamma", "ci95"]);
+    for i in 0..sizes.len() {
+        table.row(vec![
+            format!("{}", sizes[i]),
+            fnum(f0.means[i]),
+            fnum(phi.means[i]),
+            fnum(gamma.means[i]),
+            fnum(total.means[i]),
+            fnum(total.ci95[i]),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // Which shape fits the total overhead best?
+    let (xs, ys) = total.xy();
+    let fits = best_fit(xs, ys);
+    println!("scaling-class fits for phi+gamma (best first):");
+    for f in &fits {
+        println!("  {:<10} r2 = {:+.4}", f.class.name(), f.r2);
+    }
+    let polylog = class_is_competitive(&fits, ModelClass::Log2N, 0.05)
+        || class_is_competitive(&fits, ModelClass::LogN, 0.05);
+    println!(
+        "\npaper's claim (polylogarithmic growth): {}",
+        if polylog { "SUPPORTED" } else { "NOT SUPPORTED at these sizes" }
+    );
+    // f0 should be flat (eq. 4). R² cannot select a constant model (flat
+    // data has no explainable variance), so judge by relative spread.
+    let spread = chlm::analysis::regression::relative_spread(&f0.means);
+    println!(
+        "f0 flat in n (eq. 4): {} (spread {:.0}% of mean over an {:.0}x size range)",
+        if spread < 0.25 { "SUPPORTED" } else { "NOT SUPPORTED" },
+        spread * 100.0,
+        f0.sizes.last().unwrap() / f0.sizes.first().unwrap()
+    );
+}

@@ -1,0 +1,42 @@
+//! # chlm
+//!
+//! Clustered-Hierarchy Location Management (CHLM) for mobile ad hoc
+//! networks: a full Rust reproduction of
+//! *Sucec & Marsic, "Location Management Handoff Overhead in Hierarchically
+//! Organized Mobile Ad hoc Networks", IPPS 2002*.
+//!
+//! This facade crate re-exports the whole workspace. See the individual
+//! subsystem crates for details:
+//!
+//! * [`geom`] — geometry, deployment regions, spatial indexes
+//! * [`graph`] — unit-disk graphs, traversal, link dynamics
+//! * [`mobility`] — random waypoint and friends
+//! * [`cluster`] — ALCA clustering and the multi-level hierarchy
+//! * [`lm`] — CHLM location management and the GLS baseline
+//! * [`routing`] — strict hierarchical routing
+//! * [`proto`] — packet-level protocol execution (validation of the accounting)
+//! * [`sim`] — the discrete-time simulation engine
+//! * [`analysis`] — statistics, Θ-class fitting and the paper's formulas
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chlm::prelude::*;
+//!
+//! let cfg = SimConfig::builder(256).seed(7).duration(5.0).build();
+//! let report = run_simulation(&cfg);
+//! assert!(report.phi_total() >= 0.0);
+//! ```
+
+pub use chlm_analysis as analysis;
+pub use chlm_cluster as cluster;
+pub use chlm_core as core;
+pub use chlm_geom as geom;
+pub use chlm_graph as graph;
+pub use chlm_lm as lm;
+pub use chlm_mobility as mobility;
+pub use chlm_proto as proto;
+pub use chlm_routing as routing;
+pub use chlm_sim as sim;
+
+pub use chlm_core::prelude;

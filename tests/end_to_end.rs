@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: the full pipeline from deployment through
+//! mobility, clustering, location management and measurement.
+
+use chlm::prelude::*;
+
+fn quick(n: usize, seed: u64) -> SimConfig {
+    SimConfig::builder(n)
+        .duration(4.0)
+        .warmup(2.0)
+        .seed(seed)
+        .query_samples(20)
+        .build()
+}
+
+#[test]
+fn full_pipeline_determinism() {
+    let a = run_simulation(&quick(150, 11));
+    let b = run_simulation(&quick(150, 11));
+    assert_eq!(a.ledger, b.ledger);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.f0, b.f0);
+    assert_eq!(a.mean_query_packets, b.mean_query_packets);
+}
+
+#[test]
+fn overhead_grows_sublinearly() {
+    // 4x the nodes should cost far less than 4x the per-node overhead —
+    // the point of the whole paper. (Full statistical verification lives in
+    // the experiment binaries; this is the smoke-test version.)
+    let small: Vec<SimReport> = run_replications(&quick(128, 0), &[1, 2, 3], 3);
+    let large: Vec<SimReport> = run_replications(&quick(512, 0), &[1, 2, 3], 3);
+    let mean = |rs: &[SimReport]| {
+        rs.iter().map(|r| r.total_overhead()).sum::<f64>() / rs.len() as f64
+    };
+    let (s, l) = (mean(&small), mean(&large));
+    assert!(s > 0.0 && l > 0.0);
+    assert!(
+        l / s < 3.0,
+        "per-node overhead grew {l:.2}/{s:.2} = {:.2}x for 4x nodes",
+        l / s
+    );
+}
+
+#[test]
+fn f0_flat_in_network_size() {
+    // eq. (4): level-0 link-change frequency per node is Θ(1) in n.
+    let small = run_simulation(&quick(128, 5));
+    let large = run_simulation(&quick(512, 5));
+    let ratio = large.f0 / small.f0;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "f0 not flat: {} vs {} (ratio {ratio:.2})",
+        small.f0,
+        large.f0
+    );
+}
+
+#[test]
+fn entries_hosted_grow_logarithmically() {
+    // Mean LM entries per node = depth - 2 = Θ(log n).
+    let small = run_simulation(&quick(128, 6));
+    let large = run_simulation(&quick(512, 6));
+    assert!(large.mean_entries_hosted >= small.mean_entries_hosted);
+    assert!(
+        large.mean_entries_hosted <= small.mean_entries_hosted + 4.0,
+        "entries grew too fast: {} -> {}",
+        small.mean_entries_hosted,
+        large.mean_entries_hosted
+    );
+}
+
+#[test]
+fn faster_mobility_costs_more() {
+    let slow = run_simulation(&{
+        let mut c = quick(150, 8);
+        c.speed = 1.0;
+        c
+    });
+    let fast = run_simulation(&{
+        let mut c = quick(150, 8);
+        c.speed = 4.0;
+        c
+    });
+    assert!(fast.f0 > slow.f0, "f0: {} !> {}", fast.f0, slow.f0);
+    assert!(
+        fast.total_overhead() > slow.total_overhead(),
+        "overhead: {} !> {}",
+        fast.total_overhead(),
+        slow.total_overhead()
+    );
+}
+
+#[test]
+fn gls_and_chlm_both_tracked() {
+    let mut cfg = quick(150, 9);
+    cfg.track_gls = true;
+    let r = run_simulation(&cfg);
+    let gls = r.gls_overhead.unwrap();
+    assert!(gls > 0.0);
+    assert!(r.total_overhead() > 0.0);
+}
+
+#[test]
+fn selection_rule_changes_assignment_not_events() {
+    let base = quick(120, 10);
+    let hrw = run_simulation(&base);
+    let mut cfg = quick(120, 10);
+    cfg.selection_rule = SelectionRule::ModSuccessor { id_space: 120 };
+    let modr = run_simulation(&cfg);
+    // Same topology stream → identical event taxonomy and f0 …
+    assert_eq!(hrw.events, modr.events);
+    assert_eq!(hrw.f0, modr.f0);
+    // … but (generally) different handoff cost, since hosts differ.
+    // (Don't assert inequality strictly — tiny runs can coincide — but the
+    // ledgers must both be populated.)
+    assert!(hrw.total_overhead() > 0.0);
+    assert!(modr.total_overhead() > 0.0);
+}
+
+#[test]
+fn max_levels_caps_depth_and_entries() {
+    let mut cfg = quick(200, 12);
+    cfg.max_levels = 3;
+    let r = run_simulation(&cfg);
+    assert!(r.depth <= 3);
+    assert!(r.mean_entries_hosted <= 1.0 + 1e-9); // only level-2 entries
+}
