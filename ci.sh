@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full correctness gate, in the same order CI runs it. Any step failing
+# fails the script. Run from the workspace root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+step "cargo xtask lint"
+cargo xtask lint
+
+step "cargo test (workspace)"
+cargo test --workspace -q
+
+step "cargo xtask audit-determinism"
+cargo xtask audit-determinism
+
+printf '\nci.sh: all checks passed\n'

@@ -26,8 +26,9 @@ pub fn stationary_birth_death(lambda: &[f64], mu: &[f64]) -> Vec<f64> {
     for s in 0..m {
         assert!(lambda[s] >= 0.0 && lambda[s].is_finite());
         assert!(mu[s] >= 0.0 && mu[s].is_finite());
-        let prev = *pi.last().unwrap();
-        let next = if lambda[s] == 0.0 {
+        // audit: infallible because pi starts seeded with 1.0 above
+        let prev = *pi.last().expect("pi seeded non-empty");
+        let next = if lambda[s] <= 0.0 {
             0.0
         } else {
             assert!(mu[s] > 0.0, "absorbing upward transition at state {s}");

@@ -97,7 +97,7 @@ pub fn fit_model(class: ModelClass, xs: &[f64], ys: &[f64]) -> FitResult {
             cov += (t - mean_t) * (y - mean_y);
             var_t += (t - mean_t) * (t - mean_t);
         }
-        if var_t == 0.0 {
+        if var_t <= 0.0 {
             (0.0, mean_y)
         } else {
             let a = cov / var_t;
@@ -112,7 +112,7 @@ pub fn fit_model(class: ModelClass, xs: &[f64], ys: &[f64]) -> FitResult {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 {
+    let r2 = if ss_tot <= 0.0 {
         // Flat data: any model with zero residual is a perfect fit.
         if ss_res < 1e-12 {
             1.0

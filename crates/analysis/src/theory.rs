@@ -112,7 +112,7 @@ pub fn q1_fraction_lower_bound(p: &[f64], k: usize) -> f64 {
     let q = q_chain(p, k);
     let q1 = q[0];
     let pmax = p[..k].iter().copied().fold(0.0f64, f64::max);
-    if q1 == 0.0 {
+    if q1 <= 0.0 {
         0.0
     } else {
         q1 / (pmax * pmax + q1)
@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn aggregation_and_hops() {
-        let h = UniformHierarchy { alpha: 4.0, levels: 5 };
+        let h = UniformHierarchy {
+            alpha: 4.0,
+            levels: 5,
+        };
         assert_eq!(h.aggregation(0), 1.0);
         assert_eq!(h.aggregation(3), 64.0);
         assert_eq!(h.hop_count(2), 4.0);
@@ -150,7 +153,10 @@ mod tests {
     fn phi_k_flat_across_levels() {
         // The heart of §4: with f_k = f0/h_k, every level contributes
         // equally, so φ = L·f0·log n.
-        let h = UniformHierarchy { alpha: 6.0, levels: 6 };
+        let h = UniformHierarchy {
+            alpha: 6.0,
+            levels: 6,
+        };
         let per: Vec<f64> = (1..=6).map(|k| h.phi_k(k, 1.0, 1000)).collect();
         for w in per.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-9, "levels not flat: {per:?}");
@@ -161,7 +167,10 @@ mod tests {
 
     #[test]
     fn gamma_k_flat_across_levels() {
-        let h = UniformHierarchy { alpha: 6.0, levels: 5 };
+        let h = UniformHierarchy {
+            alpha: 6.0,
+            levels: 5,
+        };
         let per: Vec<f64> = (1..=5).map(|k| h.gamma_k(k, 1.0, 1000)).collect();
         for w in per.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-9);
@@ -172,9 +181,7 @@ mod tests {
     fn totals_scale_polylogarithmically() {
         // φ(n) at natural parameterization grows like log²n: the ratio
         // φ(n²)/φ(n) ≈ 4 (since log n² = 2 log n and L doubles).
-        let f = |n: usize| {
-            UniformHierarchy::for_network(n, 4.0).phi_total(1.0, n)
-        };
+        let f = |n: usize| UniformHierarchy::for_network(n, 4.0).phi_total(1.0, n);
         let r = f(4096 * 4096) / f(4096);
         assert!((r - 4.0).abs() < 0.8, "ratio = {r}");
     }
@@ -213,7 +220,10 @@ mod tests {
 
     #[test]
     fn t_r_bound_grows_with_level() {
-        let h = UniformHierarchy { alpha: 4.0, levels: 8 };
+        let h = UniformHierarchy {
+            alpha: 4.0,
+            levels: 8,
+        };
         let p = vec![0.2; 8];
         let t3 = t_r_lower_bound(&p, 3, &h);
         let t6 = t_r_lower_bound(&p, 6, &h);

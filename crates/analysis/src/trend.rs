@@ -52,7 +52,7 @@ pub fn spearman_rho(xs: &[f64], ys: &[f64]) -> f64 {
         vx += a * a;
         vy += b * b;
     }
-    if vx == 0.0 || vy == 0.0 {
+    if vx <= 0.0 || vy <= 0.0 {
         return 0.0;
     }
     cov / (vx * vy).sqrt()
@@ -126,9 +126,7 @@ mod tests {
     fn p_value_large_for_noise() {
         // Deterministic pseudo-noise with no monotone relation to xs.
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let ys: Vec<f64> = (0..10)
-            .map(|i| ((i * 37 + 11) % 10) as f64)
-            .collect();
+        let ys: Vec<f64> = (0..10).map(|i| ((i * 37 + 11) % 10) as f64).collect();
         let p = permutation_p_value(&xs, &ys, 5000, 2);
         assert!(p > 0.1, "p = {p}");
     }

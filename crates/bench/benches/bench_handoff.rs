@@ -23,15 +23,28 @@ fn setup(n: usize) -> Scenario {
     let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
     let mut pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
     let ids = rng.permutation(n);
-    let h_before = Hierarchy::build(&ids, &build_unit_disk(&pts, rtx), HierarchyOptions::default());
+    let h_before = Hierarchy::build(
+        &ids,
+        &build_unit_disk(&pts, rtx),
+        HierarchyOptions::default(),
+    );
     // Nudge everyone a tick's worth.
     for p in &mut pts {
         use chlm_geom::Region;
         let heading = Point::unit(rng.range_f64(0.0, std::f64::consts::TAU));
         *p = region.clamp(*p + heading * (rtx / 10.0));
     }
-    let h_after = Hierarchy::build(&ids, &build_unit_disk(&pts, rtx), HierarchyOptions::default());
-    Scenario { h_before, h_after, positions: pts, rtx }
+    let h_after = Hierarchy::build(
+        &ids,
+        &build_unit_disk(&pts, rtx),
+        HierarchyOptions::default(),
+    );
+    Scenario {
+        h_before,
+        h_after,
+        positions: pts,
+        rtx,
+    }
 }
 
 fn bench_handoff(c: &mut Criterion) {

@@ -21,7 +21,7 @@ fn bench_proto(c: &mut Criterion) {
                 src: (i * 7) % n as u32,
                 dst: (i * 13 + 5) % n as u32,
                 msg: LmMessage::Transfer {
-                    subject: i as u32 % n as u32,
+                    subject: i % n as u32,
                     level: 2,
                 },
                 sent_at: 0.0,

@@ -56,16 +56,20 @@ fn bench_indexes(c: &mut Criterion) {
                 acc
             });
         });
-        group.bench_with_input(BenchmarkId::new("oracle_euclid_100pairs", n), &(), |b, _| {
-            b.iter(|| {
-                let mut o = DistanceOracle::euclidean(&g, &pts, rtx, 1.3);
-                let mut acc = 0.0;
-                for i in 0..100u32 {
-                    acc += o.hops(i % n as u32, (i * 37) % n as u32);
-                }
-                acc
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oracle_euclid_100pairs", n),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut o = DistanceOracle::euclidean(&g, &pts, rtx, 1.3);
+                    let mut acc = 0.0;
+                    for i in 0..100u32 {
+                        acc += o.hops(i % n as u32, (i * 37) % n as u32);
+                    }
+                    acc
+                });
+            },
+        );
     }
     group.finish();
 }

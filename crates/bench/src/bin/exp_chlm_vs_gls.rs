@@ -82,8 +82,16 @@ fn main() {
         }
         qt.row(vec![
             format!("{n}"),
-            fnum(if chlm_n > 0 { chlm_sum / chlm_n as f64 } else { f64::NAN }),
-            fnum(if gls_n > 0 { gls_sum / gls_n as f64 } else { f64::NAN }),
+            fnum(if chlm_n > 0 {
+                chlm_sum / chlm_n as f64
+            } else {
+                f64::NAN
+            }),
+            fnum(if gls_n > 0 {
+                gls_sum / gls_n as f64
+            } else {
+                f64::NAN
+            }),
         ]);
     }
     println!("query cost on identical static snapshots (same pairs, same oracle):");

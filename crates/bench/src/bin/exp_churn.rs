@@ -12,11 +12,11 @@
 use chlm_analysis::regression::ModelClass;
 use chlm_analysis::table::{fnum, TextTable};
 use chlm_bench::{banner, print_fits, replications, sweep_sizes};
+use chlm_cluster::Hierarchy;
 use chlm_cluster::HierarchyOptions;
 use chlm_core::experiment::MetricSeries;
 use chlm_geom::{Disk, SimRng};
 use chlm_graph::unit_disk::build_unit_disk;
-use chlm_cluster::Hierarchy;
 use chlm_lm::churn::{birth_cost, death_cost};
 use chlm_lm::server::SelectionRule;
 
@@ -61,9 +61,7 @@ fn main() {
             let g = build_unit_disk(&pts, rtx);
             let ids = rng.permutation(n);
             let h = Hierarchy::build(&ids, &g, opts);
-            let hop = |a: u32, b: u32| {
-                (pts[a as usize].dist(pts[b as usize]) / rtx * 1.3).max(1.0)
-            };
+            let hop = |a: u32, b: u32| (pts[a as usize].dist(pts[b as usize]) / rtx * 1.3).max(1.0);
             for _ in 0..victims_per_rep {
                 let victim = rng.index(n) as u32;
                 let d = death_cost(&ids, &g, victim, SelectionRule::Hrw, opts, hop);

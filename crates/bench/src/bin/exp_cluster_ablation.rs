@@ -37,9 +37,19 @@ fn main() {
     let ids = rng.permutation(n);
     let mut mob = RandomWaypoint::deployed(region, n, speed, 30.0, &mut rng);
 
-    let mut lca = Churn { heads_sum: 0.0, depth_sum: 0.0, churn_events: 0, snapshots: 0 };
+    let mut lca = Churn {
+        heads_sum: 0.0,
+        depth_sum: 0.0,
+        churn_events: 0,
+        snapshots: 0,
+    };
     let mut mm: Vec<Churn> = (0..2)
-        .map(|_| Churn { heads_sum: 0.0, depth_sum: 0.0, churn_events: 0, snapshots: 0 })
+        .map(|_| Churn {
+            heads_sum: 0.0,
+            depth_sum: 0.0,
+            churn_events: 0,
+            snapshots: 0,
+        })
         .collect();
     let mut prev_lca: Option<HashSet<NodeIdx>> = None;
     let mut prev_mm: Vec<Option<HashSet<NodeIdx>>> = vec![None, None];

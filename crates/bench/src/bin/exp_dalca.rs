@@ -79,7 +79,11 @@ fn main() {
     );
     println!(
         "locality claim (O(1) messages per change, independent of |V|): {}",
-        if spread < 0.35 { "HOLDS" } else { "NOT SUPPORTED" }
+        if spread < 0.35 {
+            "HOLDS"
+        } else {
+            "NOT SUPPORTED"
+        }
     );
     println!("every run's quiescent votes/heads/elector-counts matched the");
     println!("centralized LCA exactly — the tick-diff emulation is faithful.");

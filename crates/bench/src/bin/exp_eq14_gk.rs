@@ -8,7 +8,10 @@ use chlm_bench::{banner, env_usize, replications, standard_config, threads};
 use chlm_core::experiment::sweep;
 
 fn main() {
-    banner("E8 / eq. (14)", "per-cluster-link state-change frequency g'_k");
+    banner(
+        "E8 / eq. (14)",
+        "per-cluster-link state-change frequency g'_k",
+    );
     let n = env_usize("CHLM_MAX_N", 1024).min(2048);
     let points = sweep(&[n], replications(), 8000, threads(), standard_config);
     let reports = &points[0].reports;
@@ -24,8 +27,7 @@ fn main() {
     ]);
     let mut products = Vec::new();
     for k in 1..=depth {
-        let gk: f64 =
-            reports.iter().map(|r| r.rates.g_k(k)).sum::<f64>() / reports.len() as f64;
+        let gk: f64 = reports.iter().map(|r| r.rates.g_k(k)).sum::<f64>() / reports.len() as f64;
         let gpk_all: f64 =
             reports.iter().map(|r| r.rates.g_prime_k(k)).sum::<f64>() / reports.len() as f64;
         let gpk: f64 = reports
@@ -81,7 +83,12 @@ fn main() {
             })
             .collect();
         let peak = drift.iter().copied().fold(f64::MIN, f64::max);
-        let tail = drift.iter().rev().find(|&&x| x > 0.0).copied().unwrap_or(0.0);
+        let tail = drift
+            .iter()
+            .rev()
+            .find(|&&x| x > 0.0)
+            .copied()
+            .unwrap_or(0.0);
         let verdict = if max / min < 4.0 {
             "HOLDS"
         } else if tail < peak / 2.0 {

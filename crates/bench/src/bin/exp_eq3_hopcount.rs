@@ -12,10 +12,20 @@ use chlm_geom::{Disk, SimRng};
 use chlm_graph::unit_disk::build_unit_disk;
 
 fn main() {
-    banner("E4 / eq. (3)", "intra-cluster hop count vs sqrt aggregation");
+    banner(
+        "E4 / eq. (3)",
+        "intra-cluster hop count vs sqrt aggregation",
+    );
     let density = 1.25;
     let rtx = chlm_geom::rtx_for_degree(9.0, density);
-    let mut t = TextTable::new(vec!["n", "level", "c_k", "sqrt(c_k)", "h_k", "h_k/sqrt(c_k)"]);
+    let mut t = TextTable::new(vec![
+        "n",
+        "level",
+        "c_k",
+        "sqrt(c_k)",
+        "h_k",
+        "h_k/sqrt(c_k)",
+    ]);
     let mut ratios = Vec::new();
 
     for &n in &sweep_sizes() {
@@ -51,6 +61,10 @@ fn main() {
     );
     println!(
         "eq. (3) claim (ratio ~ constant): {}",
-        if max / min < 3.0 { "HOLDS (spread < 3x across all levels/sizes)" } else { "WEAK" }
+        if max / min < 3.0 {
+            "HOLDS (spread < 3x across all levels/sizes)"
+        } else {
+            "WEAK"
+        }
     );
 }

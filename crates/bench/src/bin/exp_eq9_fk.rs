@@ -65,7 +65,11 @@ fn main() {
         );
         println!(
             "eq. (9) claim (f_k ∝ 1/h_k, i.e. product ~ constant): {}",
-            if max / min < 4.0 { "HOLDS" } else { "WEAK at the sparse top levels" }
+            if max / min < 4.0 {
+                "HOLDS"
+            } else {
+                "WEAK at the sparse top levels"
+            }
         );
     }
 }

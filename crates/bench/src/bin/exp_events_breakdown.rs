@@ -46,7 +46,10 @@ fn main() {
     println!("rates in events per node per 1000 s; conv(vii) as raw count:");
     println!("{}", t.render());
 
-    println!("class totals (raw events across {} node-seconds):", node_seconds as u64);
+    println!(
+        "class totals (raw events across {} node-seconds):",
+        node_seconds as u64
+    );
     for (c, label) in labels.iter().enumerate() {
         println!("  ({label:>3}): {}", class_totals[c]);
     }

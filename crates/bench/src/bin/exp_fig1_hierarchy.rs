@@ -52,7 +52,8 @@ fn main() {
             let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
             let g = build_unit_disk(&pts, rtx);
             let ids = rng.permutation(n);
-            depth_sum += (Hierarchy::build(&ids, &g, HierarchyOptions::default()).depth() - 1) as f64;
+            depth_sum +=
+                (Hierarchy::build(&ids, &g, HierarchyOptions::default()).depth() - 1) as f64;
         }
         let mean_depth = depth_sum / seeds as f64;
 

@@ -21,7 +21,11 @@ fn run_one(n: usize) {
     let grid = GridHierarchy::covering(bounds, rtx * 2.0);
     let a = GlsAssignment::compute(&grid, &pts, &ids);
 
-    println!("--- n = {n}: grid orders = {}, order-1 side = {:.2} ---", grid.orders, grid.side(1));
+    println!(
+        "--- n = {n}: grid orders = {}, order-1 side = {:.2} ---",
+        grid.orders,
+        grid.side(1)
+    );
     let mut t = TextTable::new(vec!["band", "order", "servers", "mean_dist", "square_side"]);
     for band in 0..a.band_count() {
         let mut total = 0.0;
@@ -48,7 +52,10 @@ fn run_one(n: usize) {
     let loads = a.entries_hosted();
     let mean = loads.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
     let max = *loads.iter().max().unwrap() as f64;
-    println!("server load: mean = {mean:.2}, max = {max}, max/mean = {:.2}\n", max / mean);
+    println!(
+        "server load: mean = {mean:.2}, max = {max}, max/mean = {:.2}\n",
+        max / mean
+    );
 
     // Unambiguity: recomputation yields the identical table.
     let b = GlsAssignment::compute(&grid, &pts, &ids);
@@ -57,7 +64,10 @@ fn run_one(n: usize) {
 }
 
 fn main() {
-    banner("E2 / Fig. 2", "GLS grid hierarchy: server geometry and load");
+    banner(
+        "E2 / Fig. 2",
+        "GLS grid hierarchy: server geometry and load",
+    );
     for n in [256usize, 1024] {
         run_one(n);
     }

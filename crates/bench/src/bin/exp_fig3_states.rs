@@ -12,7 +12,10 @@ use chlm_bench::{banner, env_usize, replications, standard_config, threads};
 use chlm_core::experiment::sweep;
 
 fn main() {
-    banner("E3 / Fig. 3", "ALCA state occupancy vs birth-death prediction");
+    banner(
+        "E3 / Fig. 3",
+        "ALCA state occupancy vs birth-death prediction",
+    );
     let n = env_usize("CHLM_MAX_N", 1024).min(1024);
     let points = sweep(&[n], replications(), 3000, threads(), standard_config);
     let reports = &points[0].reports;

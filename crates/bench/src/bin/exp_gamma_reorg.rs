@@ -7,7 +7,9 @@
 
 use chlm_analysis::regression::ModelClass;
 use chlm_analysis::table::{fnum, TextTable};
-use chlm_bench::{banner, print_fits, print_series, replications, standard_config, sweep_sizes, threads};
+use chlm_bench::{
+    banner, print_fits, print_series, replications, standard_config, sweep_sizes, threads,
+};
 use chlm_core::experiment::{summarize_metric, sweep};
 
 fn main() {
@@ -18,7 +20,6 @@ fn main() {
     let gamma = summarize_metric(&points, "gamma", |r| r.gamma_total());
     print_series(&[&gamma]);
     print_fits(&gamma, ModelClass::Log2N);
-
 
     // Fixed-level slice: γ_k across sizes. §5 prices each level at
     // Θ(g_k·c_k·h_k·log n) = Θ(log n) under eq. (14), so a *fixed* level's

@@ -31,7 +31,10 @@ fn gini(loads: &[u32]) -> f64 {
 }
 
 fn main() {
-    banner("E14 / §3.2", "server-selection hash ablation: HRW vs eq. (5)");
+    banner(
+        "E14 / §3.2",
+        "server-selection hash ablation: HRW vs eq. (5)",
+    );
     let density = 1.25;
     let rtx = chlm_geom::rtx_for_degree(9.0, density);
     let mut t = TextTable::new(vec![
@@ -51,11 +54,8 @@ fn main() {
         let h = Hierarchy::build(&ids, &g, HierarchyOptions::default());
 
         let hrw = LmAssignment::compute(&h, SelectionRule::Hrw).entries_hosted();
-        let modr = LmAssignment::compute(
-            &h,
-            SelectionRule::ModSuccessor { id_space: n as u64 },
-        )
-        .entries_hosted();
+        let modr = LmAssignment::compute(&h, SelectionRule::ModSuccessor { id_space: n as u64 })
+            .entries_hosted();
         let mean = hrw.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
         let ratio = |loads: &[u32]| *loads.iter().max().unwrap() as f64 / mean.max(1e-12);
         t.row(vec![

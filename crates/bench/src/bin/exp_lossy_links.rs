@@ -14,12 +14,15 @@ use chlm_cluster::{Hierarchy, HierarchyOptions};
 use chlm_geom::{Disk, SimRng};
 use chlm_graph::unit_disk::build_unit_disk;
 use chlm_lm::server::{LmAssignment, SelectionRule};
+use chlm_mobility::{MobilityModel, RandomWaypoint};
 use chlm_proto::message::{LmMessage, Packet};
 use chlm_proto::network::PacketNetwork;
-use chlm_mobility::{MobilityModel, RandomWaypoint};
 
 fn main() {
-    banner("E23 / extension", "handoff transmissions under per-hop loss");
+    banner(
+        "E23 / extension",
+        "handoff transmissions under per-hop loss",
+    );
     let n = env_usize("CHLM_MAX_N", 1024).min(512);
     let density = 1.25;
     let rtx = chlm_geom::rtx_for_degree(9.0, density);
@@ -43,7 +46,10 @@ fn main() {
     let changed: std::collections::HashSet<_> =
         addr_changes.iter().map(|c| (c.node, c.level)).collect();
 
-    println!("workload: {} entry transfers + registrations\n", host_changes.len());
+    println!(
+        "workload: {} entry transfers + registrations\n",
+        host_changes.len()
+    );
     let mut t = TextTable::new(vec![
         "loss %",
         "retries",
@@ -55,7 +61,14 @@ fn main() {
         "mean latency (ms)",
     ]);
     let mut baseline = 0u64;
-    for &(p, retries) in &[(0.0, 0u32), (0.05, 8), (0.1, 8), (0.2, 8), (0.3, 8), (0.3, 0)] {
+    for &(p, retries) in &[
+        (0.0, 0u32),
+        (0.05, 8),
+        (0.1, 8),
+        (0.2, 8),
+        (0.3, 8),
+        (0.3, 0),
+    ] {
         let mut net = PacketNetwork::new(&g2, 0.001);
         if p > 0.0 || retries > 0 {
             net = net.with_loss(p, retries, 99);
@@ -64,14 +77,20 @@ fn main() {
             net.send(Packet {
                 src: hc.old_host,
                 dst: hc.new_host,
-                msg: LmMessage::Transfer { subject: hc.subject, level: hc.level },
+                msg: LmMessage::Transfer {
+                    subject: hc.subject,
+                    level: hc.level,
+                },
                 sent_at: 0.0,
             });
             if changed.contains(&(hc.subject, hc.level)) {
                 net.send(Packet {
                     src: hc.subject,
                     dst: hc.new_host,
-                    msg: LmMessage::Register { subject: hc.subject, level: hc.level },
+                    msg: LmMessage::Register {
+                        subject: hc.subject,
+                        level: hc.level,
+                    },
                     sent_at: 0.0,
                 });
             }

@@ -46,7 +46,7 @@ fn main() {
         });
         let rs = &points[0].reports;
         let mean = |f: &dyn Fn(&chlm_sim::SimReport) -> f64| {
-            rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
+            rs.iter().map(f).sum::<f64>() / rs.len() as f64
         };
         t.row(vec![
             name.to_string(),

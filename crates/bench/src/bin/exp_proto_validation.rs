@@ -118,7 +118,9 @@ fn main() {
         total_exec as f64, total_bfs,
         "executed transmissions must equal the BFS-oracle ledger"
     );
-    println!("VALIDATED: executed transmissions == BFS-oracle analytical count ({total_exec} packets)");
+    println!(
+        "VALIDATED: executed transmissions == BFS-oracle analytical count ({total_exec} packets)"
+    );
     println!(
         "Euclidean oracle aggregate error vs ground truth: {:+.1}%",
         (total_euclid - total_bfs) / total_bfs * 100.0

@@ -14,7 +14,12 @@ use chlm_bench::{banner, print_series, replications, standard_config, sweep_size
 use chlm_core::experiment::{summarize_metric, sweep, SweepPoint};
 
 fn pooled_p(point: &SweepPoint) -> Vec<f64> {
-    let depth = point.reports.iter().map(|r| r.state.p1.len()).max().unwrap();
+    let depth = point
+        .reports
+        .iter()
+        .map(|r| r.state.p1.len())
+        .max()
+        .unwrap();
     (0..depth)
         .map(|k| {
             let ps: Vec<f64> = point
@@ -32,12 +37,23 @@ fn pooled_p(point: &SweepPoint) -> Vec<f64> {
 }
 
 fn main() {
-    banner("E11 / eq. (22)", "q1 quantification (the paper's future work)");
+    banner(
+        "E11 / eq. (22)",
+        "q1 quantification (the paper's future work)",
+    );
     let sizes = sweep_sizes();
     let points = sweep(&sizes, replications(), 11_000, threads(), standard_config);
 
     let mut t = TextTable::new(vec![
-        "n", "L", "p_0", "p_1", "p_2", "q_1(topk)", "Q(top k)", "q1/Q", "eq21b bound",
+        "n",
+        "L",
+        "p_0",
+        "p_1",
+        "p_2",
+        "q_1(topk)",
+        "Q(top k)",
+        "q1/Q",
+        "eq21b bound",
     ]);
     let mut q1_series = Vec::new();
     for point in &points {

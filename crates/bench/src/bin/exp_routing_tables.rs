@@ -16,7 +16,10 @@ use chlm_routing::nexthop::NextHopTable;
 use chlm_routing::tables::compare_tables;
 
 fn main() {
-    banner("E17 / §2.1", "hierarchical vs flat routing state, and stretch");
+    banner(
+        "E17 / §2.1",
+        "hierarchical vs flat routing state, and stretch",
+    );
     let density = 1.25;
     let rtx = chlm_geom::rtx_for_degree(9.0, density);
     let mut t = TextTable::new(vec![

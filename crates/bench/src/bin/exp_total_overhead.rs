@@ -4,7 +4,9 @@
 
 use chlm_analysis::regression::{fit_model, ModelClass};
 use chlm_analysis::table::{fnum, TextTable};
-use chlm_bench::{banner, print_fits, print_series, replications, standard_config, sweep_sizes, threads};
+use chlm_bench::{
+    banner, print_fits, print_series, replications, standard_config, sweep_sizes, threads,
+};
 use chlm_core::experiment::{summarize_metric, sweep};
 
 fn main() {

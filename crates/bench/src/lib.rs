@@ -93,7 +93,13 @@ pub fn print_fits(series: &MetricSeries, claimed: ModelClass) -> Vec<FitResult> 
     let fits = best_fit(xs, ys);
     println!("scaling fits for `{}` (best first):", series.name);
     for f in &fits {
-        println!("  {:<10} r2 = {:+.4}  (a = {:.4}, b = {:.4})", f.class.name(), f.r2, f.a, f.b);
+        println!(
+            "  {:<10} r2 = {:+.4}  (a = {:.4}, b = {:.4})",
+            f.class.name(),
+            f.r2,
+            f.a,
+            f.b
+        );
     }
     let verdict = if fits[0].class == claimed {
         "CLAIM HOLDS (best fit)"

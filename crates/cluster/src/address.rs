@@ -162,7 +162,11 @@ mod tests {
 
     fn hierarchy(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
         let ids: Vec<u64> = (0..n as u64).collect();
-        Hierarchy::build(&ids, &Graph::from_edges(n, edges), HierarchyOptions::default())
+        Hierarchy::build(
+            &ids,
+            &Graph::from_edges(n, edges),
+            HierarchyOptions::default(),
+        )
     }
 
     #[test]
@@ -239,9 +243,27 @@ mod tests {
     #[test]
     fn count_by_level_totals() {
         let changes = vec![
-            AddrChange { node: 0, level: 1, old_head: 1, new_head: 2, kind: AddrChangeKind::Migration },
-            AddrChange { node: 1, level: 2, old_head: 1, new_head: 2, kind: AddrChangeKind::Reorganization },
-            AddrChange { node: 2, level: 2, old_head: 3, new_head: 4, kind: AddrChangeKind::Migration },
+            AddrChange {
+                node: 0,
+                level: 1,
+                old_head: 1,
+                new_head: 2,
+                kind: AddrChangeKind::Migration,
+            },
+            AddrChange {
+                node: 1,
+                level: 2,
+                old_head: 1,
+                new_head: 2,
+                kind: AddrChangeKind::Reorganization,
+            },
+            AddrChange {
+                node: 2,
+                level: 2,
+                old_head: 3,
+                new_head: 4,
+                kind: AddrChangeKind::Migration,
+            },
         ];
         let counts = AddressBook::count_by_level(&changes, 3);
         assert_eq!(counts, vec![(1, 0), (1, 1)]);

@@ -1,0 +1,129 @@
+//! Canonical digests of simulation structures.
+//!
+//! `cargo xtask audit-determinism` verifies that two runs with the same
+//! `(config, seed)` produce bit-identical results. Comparing whole structs
+//! would need them to be serializable; instead each structure folds its
+//! canonical content into a 64-bit digest with a fixed traversal order, so
+//! any divergence — field values, vector lengths, even level ordering —
+//! changes the digest. The mixer is the splitmix64 finalizer, which is
+//! plenty for *detecting* divergence (this is not a cryptographic
+//! commitment).
+
+use crate::Hierarchy;
+use chlm_geom::rng::splitmix64;
+
+/// Order-sensitive 64-bit digest accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest(u64);
+
+impl Digest {
+    pub fn new(label: u64) -> Self {
+        Digest(splitmix64(label ^ 0x43_48_4C_4D_5F_44_47_53)) // "CHLM_DGS"
+    }
+
+    /// Fold one word into the digest.
+    pub fn word(&mut self, v: u64) -> &mut Self {
+        self.0 = splitmix64(self.0 ^ v);
+        self
+    }
+
+    /// Fold a float by exact bit pattern (so `-0.0` vs `0.0` and NaN
+    /// payloads are distinguished — any bit divergence must surface).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.word(v.to_bits())
+    }
+
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.word(v as u64)
+    }
+
+    /// Fold an optional float, distinguishing `None` from any value.
+    pub fn opt_f64(&mut self, v: Option<f64>) -> &mut Self {
+        match v {
+            None => self.word(0),
+            Some(x) => self.word(1).f64(x),
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        splitmix64(self.0)
+    }
+}
+
+/// Canonical digest of a hierarchy: every level's node list, votes, head
+/// flags, elector counts and (sorted) edge set, in level order.
+pub fn hierarchy_digest(h: &Hierarchy) -> u64 {
+    let mut d = Digest::new(1);
+    d.usize(h.depth());
+    for id in &h.ids {
+        d.word(*id);
+    }
+    for level in &h.levels {
+        d.usize(level.len());
+        for &p in &level.nodes {
+            d.word(p as u64);
+        }
+        for &v in &level.vote {
+            d.word(v as u64);
+        }
+        for &c in &level.elector_count {
+            d.word(c as u64);
+        }
+        for &f in &level.is_head {
+            d.word(f as u64);
+        }
+        let mut edges: Vec<(u32, u32)> = level
+            .graph
+            .edges()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        edges.sort_unstable();
+        for (a, b) in edges {
+            d.word(((a as u64) << 32) | b as u64);
+        }
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyOptions;
+    use chlm_graph::{Graph, NodeIdx};
+
+    fn h(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
+        let ids: Vec<u64> = (0..n as u64).collect();
+        Hierarchy::build(
+            &ids,
+            &Graph::from_edges(n, edges),
+            HierarchyOptions::default(),
+        )
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = h(10, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)]);
+        let b = h(10, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)]);
+        assert_eq!(hierarchy_digest(&a), hierarchy_digest(&b));
+    }
+
+    #[test]
+    fn digest_sees_structural_change() {
+        let a = h(10, &[(0, 1), (1, 2), (3, 4)]);
+        let b = h(10, &[(0, 1), (1, 2), (3, 5)]);
+        assert_ne!(hierarchy_digest(&a), hierarchy_digest(&b));
+        // Tampering with a single flag changes the digest too.
+        let mut c = h(10, &[(0, 1), (1, 2), (3, 4)]);
+        c.levels[0].elector_count[1] += 1;
+        assert_ne!(hierarchy_digest(&a), hierarchy_digest(&c));
+    }
+
+    #[test]
+    fn digest_floats_by_bits() {
+        let mut a = Digest::new(7);
+        a.f64(0.0);
+        let mut b = Digest::new(7);
+        b.f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -23,7 +23,10 @@
 
 use crate::Hierarchy;
 use chlm_graph::NodeIdx;
-use std::collections::{HashMap, HashSet};
+// Ordered containers, not hash containers: classify_events iterates the
+// set differences to *emit* events, so iteration order must be a pure
+// function of the contents (bit-reproducible runs and stable event lists).
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One classified reorganization event. `level` is the paper's `k`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,19 +39,39 @@ pub enum ReorgEvent {
     LinkBroken { level: u16, u: NodeIdx, v: NodeIdx },
     /// (iii) — `head` newly became a level-`level` node; `elector` is a
     /// pre-existing level-(k-1) node that switched its vote to it.
-    ElectedByMigration { level: u16, head: NodeIdx, elector: NodeIdx },
+    ElectedByMigration {
+        level: u16,
+        head: NodeIdx,
+        elector: NodeIdx,
+    },
     /// (iv) — `head` lost level-`level` status; `elector` still exists and
     /// switched its vote away.
-    RejectedByMigration { level: u16, head: NodeIdx, elector: NodeIdx },
+    RejectedByMigration {
+        level: u16,
+        head: NodeIdx,
+        elector: NodeIdx,
+    },
     /// (v) — `head` newly became a level-`level` node; `elector` is itself a
     /// brand-new level-(k-1) node.
-    ElectedRecursive { level: u16, head: NodeIdx, elector: NodeIdx },
+    ElectedRecursive {
+        level: u16,
+        head: NodeIdx,
+        elector: NodeIdx,
+    },
     /// (vi) — `head` lost level-`level` status because every elector
     /// vanished from level k-1 (recursive rejection).
-    RejectedRecursive { level: u16, head: NodeIdx, elector: NodeIdx },
+    RejectedRecursive {
+        level: u16,
+        head: NodeIdx,
+        elector: NodeIdx,
+    },
     /// (vii) — `neighbor` (a level-`level` node) must hand off because its
     /// level-`level` neighbor `new_head` was promoted to level-(k+1).
-    NeighborPromoted { level: u16, new_head: NodeIdx, neighbor: NodeIdx },
+    NeighborPromoted {
+        level: u16,
+        new_head: NodeIdx,
+        neighbor: NodeIdx,
+    },
 }
 
 impl ReorgEvent {
@@ -140,9 +163,9 @@ impl EventCounts {
 }
 
 /// Level-k edge set keyed by physical endpoint ids (`u < v`).
-fn phys_edges(h: &Hierarchy, k: usize) -> HashSet<(NodeIdx, NodeIdx)> {
+fn phys_edges(h: &Hierarchy, k: usize) -> BTreeSet<(NodeIdx, NodeIdx)> {
     match h.levels.get(k) {
-        None => HashSet::new(),
+        None => BTreeSet::new(),
         Some(level) => level
             .graph
             .edges()
@@ -155,17 +178,17 @@ fn phys_edges(h: &Hierarchy, k: usize) -> HashSet<(NodeIdx, NodeIdx)> {
 }
 
 /// Physical-id set of level-k nodes.
-fn phys_nodes(h: &Hierarchy, k: usize) -> HashSet<NodeIdx> {
+fn phys_nodes(h: &Hierarchy, k: usize) -> BTreeSet<NodeIdx> {
     match h.levels.get(k) {
-        None => HashSet::new(),
+        None => BTreeSet::new(),
         Some(level) => level.nodes.iter().copied().collect(),
     }
 }
 
 /// Vote map at level k: physical node -> physical vote target.
-fn phys_votes(h: &Hierarchy, k: usize) -> HashMap<NodeIdx, NodeIdx> {
+fn phys_votes(h: &Hierarchy, k: usize) -> BTreeMap<NodeIdx, NodeIdx> {
     match h.levels.get(k) {
-        None => HashMap::new(),
+        None => BTreeMap::new(),
         Some(level) => level
             .nodes
             .iter()
@@ -208,7 +231,11 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
                 && new_nodes.contains(&v)
                 && (upper_new.contains(&u) || upper_new.contains(&v))
             {
-                let ev = ReorgEvent::LinkFormed { level: k as u16, u, v };
+                let ev = ReorgEvent::LinkFormed {
+                    level: k as u16,
+                    u,
+                    v,
+                };
                 counts.bump(&ev);
                 events.push(ev);
             }
@@ -220,7 +247,11 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
                 && new_nodes.contains(&v)
                 && (upper_old.contains(&u) || upper_old.contains(&v))
             {
-                let ev = ReorgEvent::LinkBroken { level: k as u16, u, v };
+                let ev = ReorgEvent::LinkBroken {
+                    level: k as u16,
+                    u,
+                    v,
+                };
                 counts.bump(&ev);
                 events.push(ev);
             }
@@ -237,21 +268,37 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
             // An elector that existed at level k-1 before and voted
             // elsewhere means migration-driven election (iii); an elector
             // that is itself brand new means recursive election (v).
-            // Use the minimum qualifying elector so classification is
-            // independent of hash-map iteration order (determinism).
+            // Use the minimum qualifying elector so classification does
+            // not depend on container iteration order (determinism).
             let migrating = electors
                 .iter()
                 .filter(|&&u| old_prev_nodes.contains(&u) && old_votes_prev.get(&u) != Some(&head))
                 .min();
             let ev = if let Some(&u) = migrating {
-                ReorgEvent::ElectedByMigration { level: k as u16, head, elector: u }
-            } else if let Some(&u) = electors.iter().filter(|&&u| !old_prev_nodes.contains(&u)).min() {
-                ReorgEvent::ElectedRecursive { level: k as u16, head, elector: u }
+                ReorgEvent::ElectedByMigration {
+                    level: k as u16,
+                    head,
+                    elector: u,
+                }
+            } else if let Some(&u) = electors
+                .iter()
+                .filter(|&&u| !old_prev_nodes.contains(&u))
+                .min()
+            {
+                ReorgEvent::ElectedRecursive {
+                    level: k as u16,
+                    head,
+                    elector: u,
+                }
             } else {
                 // Only a self-vote (singleton head): the head itself must be
                 // new at level k-1 or have lost its superior neighbor —
                 // attribute to migration of the head itself.
-                ReorgEvent::ElectedByMigration { level: k as u16, head, elector: head }
+                ReorgEvent::ElectedByMigration {
+                    level: k as u16,
+                    head,
+                    elector: head,
+                }
             };
             counts.bump(&ev);
             events.push(ev);
@@ -269,13 +316,25 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
                 .filter(|&&u| new_prev_nodes.contains(&u))
                 .min();
             let ev = if let Some(&u) = surviving {
-                ReorgEvent::RejectedByMigration { level: k as u16, head, elector: u }
+                ReorgEvent::RejectedByMigration {
+                    level: k as u16,
+                    head,
+                    elector: u,
+                }
             } else if let Some(&u) = old_electors.iter().min() {
-                ReorgEvent::RejectedRecursive { level: k as u16, head, elector: u }
+                ReorgEvent::RejectedRecursive {
+                    level: k as u16,
+                    head,
+                    elector: u,
+                }
             } else {
                 // Was a singleton (self-vote only) head; the head itself
                 // vanished from level k-1 or gained a superior neighbor.
-                ReorgEvent::RejectedByMigration { level: k as u16, head, elector: head }
+                ReorgEvent::RejectedByMigration {
+                    level: k as u16,
+                    head,
+                    elector: head,
+                }
             };
             counts.bump(&ev);
             events.push(ev);
@@ -320,7 +379,11 @@ mod tests {
 
     fn hierarchy(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
         let ids: Vec<u64> = (0..n as u64).collect();
-        Hierarchy::build(&ids, &Graph::from_edges(n, edges), HierarchyOptions::default())
+        Hierarchy::build(
+            &ids,
+            &Graph::from_edges(n, edges),
+            HierarchyOptions::default(),
+        )
     }
 
     #[test]
@@ -338,8 +401,8 @@ mod tests {
         // before: 0 votes 4 (edge 0-4). after: 0-4 broken, 0-3 formed → 0
         // votes 3 → node 3 becomes a head by 0's migration.
         let before = hierarchy(5, &[(0, 4), (3, 1)]); // 3 votes 3 (head via self+elector 1)
-        // make node 3 NOT a head before: give 3 a bigger neighbor 4? then 3
-        // votes 4. before: edges (0,4),(3,4): 3 votes 4, 0 votes 4. 4 head.
+                                                      // make node 3 NOT a head before: give 3 a bigger neighbor 4? then 3
+                                                      // votes 4. before: edges (0,4),(3,4): 3 votes 4, 0 votes 4. 4 head.
         let before = {
             let _ = before;
             hierarchy(5, &[(0, 4), (3, 4)])
@@ -351,7 +414,11 @@ mod tests {
         assert!(
             evs.iter().any(|e| matches!(
                 e,
-                ReorgEvent::ElectedByMigration { level: 1, head: 3, elector: 0 }
+                ReorgEvent::ElectedByMigration {
+                    level: 1,
+                    head: 3,
+                    elector: 0
+                }
             )),
             "events: {evs:?}"
         );
@@ -367,7 +434,11 @@ mod tests {
         assert!(
             evs.iter().any(|e| matches!(
                 e,
-                ReorgEvent::RejectedByMigration { level: 1, head: 3, elector: 0 }
+                ReorgEvent::RejectedByMigration {
+                    level: 1,
+                    head: 3,
+                    elector: 0
+                }
             )),
             "events: {evs:?}"
         );
@@ -399,10 +470,18 @@ mod tests {
     #[test]
     fn merge_and_totals() {
         let mut a = EventCounts::with_levels(2);
-        let ev = ReorgEvent::LinkFormed { level: 1, u: 0, v: 1 };
+        let ev = ReorgEvent::LinkFormed {
+            level: 1,
+            u: 0,
+            v: 1,
+        };
         a.bump(&ev);
         let mut b = EventCounts::with_levels(4);
-        b.bump(&ReorgEvent::NeighborPromoted { level: 3, new_head: 2, neighbor: 5 });
+        b.bump(&ReorgEvent::NeighborPromoted {
+            level: 3,
+            new_head: 2,
+            neighbor: 5,
+        });
         a.merge(&b);
         assert_eq!(a.level_total(1), 1);
         assert_eq!(a.level_total(3), 1);
@@ -411,7 +490,11 @@ mod tests {
 
     #[test]
     fn labels_and_classes_align() {
-        let ev = ReorgEvent::RejectedRecursive { level: 2, head: 0, elector: 1 };
+        let ev = ReorgEvent::RejectedRecursive {
+            level: 2,
+            head: 0,
+            elector: 1,
+        };
         assert_eq!(ev.class(), 5);
         assert_eq!(ev.label(), "vi");
         assert_eq!(ev.level(), 2);

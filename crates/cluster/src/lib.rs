@@ -54,6 +54,8 @@
 //! ```
 
 pub mod address;
+pub mod audit;
+pub mod digest;
 pub mod events;
 pub mod maintenance;
 pub mod maxmin;
@@ -61,7 +63,9 @@ pub mod metrics;
 pub mod render;
 pub mod state;
 
-pub use address::{AddressBook, AddrChangeKind};
+pub use address::{AddrChangeKind, AddressBook};
+pub use audit::{audit_address_book, audit_hierarchy, ClusterViolation};
+pub use digest::hierarchy_digest;
 pub use events::{classify_events, EventCounts, ReorgEvent};
 pub use metrics::LevelStats;
 pub use state::StateTracker;
@@ -235,6 +239,7 @@ impl Hierarchy {
             if addr.len() == self.depth() {
                 break;
             }
+            // audit: infallible because build() inserts every head into the next level
             let local = level.local(cur).expect("address chain broken");
             cur = level.head_of(local);
             addr.push(cur);
@@ -366,11 +371,7 @@ fn build_next_level(level: &Level, heads: &[u32]) -> (Vec<NodeIdx>, Graph) {
     for (r, &h) in heads.iter().enumerate() {
         head_rank.insert(h, r as u32);
     }
-    let cluster_of: Vec<u32> = level
-        .vote
-        .iter()
-        .map(|&t| head_rank[&t])
-        .collect();
+    let cluster_of: Vec<u32> = level.vote.iter().map(|&t| head_rank[&t]).collect();
     let mut g = Graph::with_nodes(heads.len());
     for (u, v) in level.graph.edges() {
         let (cu, cv) = (cluster_of[u as usize], cluster_of[v as usize]);
@@ -423,7 +424,7 @@ mod tests {
         assert!(l0.is_head[3] && l0.is_head[2]);
         assert!(!l0.is_head[1]);
         assert!(l0.is_head[0]); // isolated node is its own head
-        // Level 1: nodes {0,2,3}; edge (2,3) via 1∈cluster(3) adjacent to 2.
+                                // Level 1: nodes {0,2,3}; edge (2,3) via 1∈cluster(3) adjacent to 2.
         let l1 = &hy.levels[1];
         let mut nodes = l1.nodes.clone();
         nodes.sort_unstable();

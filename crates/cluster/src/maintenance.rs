@@ -53,7 +53,9 @@ pub fn price_maintenance(stats: &[LevelStats], beacon_rate_0: f64) -> (Vec<Maint
         } else {
             // Prefer the measured intra-cluster hop count; fall back to the
             // eq.-(3) sqrt estimate when a level was unmeasurable.
-            s.intra_cluster_hops.unwrap_or_else(|| s.aggregation.sqrt()).max(1.0)
+            s.intra_cluster_hops
+                .unwrap_or_else(|| s.aggregation.sqrt())
+                .max(1.0)
         };
         let beacon_rate = beacon_rate_0 / h_k;
         let packets_per_beacon = s.mean_degree * h_k;

@@ -164,9 +164,7 @@ fn affiliate(ids: &[ElectionId], graph: &Graph, is_head: &mut [bool], d: usize) 
             }
         }
         if !promoted {
-            for u in 0..n {
-                head_of[u] = label[u];
-            }
+            head_of[..n].copy_from_slice(&label[..n]);
             return head_of;
         }
     }
@@ -198,8 +196,7 @@ impl MaxMinHierarchy {
         let mut nodes: Vec<NodeIdx> = (0..ids.len() as NodeIdx).collect();
         let mut graph = graph0.clone();
         loop {
-            let local_ids: Vec<ElectionId> =
-                nodes.iter().map(|&p| ids[p as usize]).collect();
+            let local_ids: Vec<ElectionId> = nodes.iter().map(|&p| ids[p as usize]).collect();
             let election = maxmin_elect(&local_ids, &graph, d);
             let heads: Vec<u32> = (0..nodes.len() as u32)
                 .filter(|&i| election.is_head[i as usize])

@@ -81,10 +81,7 @@ pub fn intra_cluster_hops(
     let mut members: std::collections::HashMap<NodeIdx, Vec<NodeIdx>> =
         std::collections::HashMap::new();
     for v in 0..n as NodeIdx {
-        members
-            .entry(addresses[v as usize][k])
-            .or_default()
-            .push(v);
+        members.entry(addresses[v as usize][k]).or_default().push(v);
     }
     let mut heads: Vec<NodeIdx> = members
         .keys()
@@ -177,10 +174,7 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         let stats = level_stats(&h, 8, &mut rng);
         // h_k should be (weakly) increasing in k where measured.
-        let hs: Vec<f64> = stats
-            .iter()
-            .filter_map(|s| s.intra_cluster_hops)
-            .collect();
+        let hs: Vec<f64> = stats.iter().filter_map(|s| s.intra_cluster_hops).collect();
         assert!(hs.len() >= 2, "need at least two measurable levels");
         for w in hs.windows(2) {
             assert!(w[1] >= w[0] * 0.8, "h_k not growing: {hs:?}");

@@ -40,7 +40,11 @@ fn render_cluster(
         // Leaves: print compactly on one line.
         let shown: Vec<String> = members
             .iter()
-            .take(if max_nodes == 0 { members.len() } else { max_nodes })
+            .take(if max_nodes == 0 {
+                members.len()
+            } else {
+                max_nodes
+            })
             .map(|m| m.to_string())
             .collect();
         let suffix = if max_nodes != 0 && members.len() > max_nodes {
@@ -83,7 +87,11 @@ mod tests {
 
     fn h(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
         let ids: Vec<u64> = (0..n as u64).collect();
-        Hierarchy::build(&ids, &Graph::from_edges(n, edges), HierarchyOptions::default())
+        Hierarchy::build(
+            &ids,
+            &Graph::from_edges(n, edges),
+            HierarchyOptions::default(),
+        )
     }
 
     #[test]
@@ -91,7 +99,10 @@ mod tests {
         let hy = h(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
         let tree = render_tree(&hy, 0);
         for &head in &hy.levels.last().unwrap().nodes {
-            assert!(tree.contains(&format!("cluster {head} ")), "missing {head}\n{tree}");
+            assert!(
+                tree.contains(&format!("cluster {head} ")),
+                "missing {head}\n{tree}"
+            );
         }
     }
 

@@ -13,7 +13,7 @@
 
 use crate::Hierarchy;
 use chlm_graph::NodeIdx;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Accumulates the empirical ALCA state distribution per level, and counts
 /// state transitions to check the adjacent-transition property at tick
@@ -26,7 +26,7 @@ pub struct StateTracker {
     /// `[0]` no change, `[1]` ±1, `[2]` ≥ ±2.
     jumps: Vec<[u64; 3]>,
     /// Last observed state per (level, physical node).
-    last: HashMap<(usize, NodeIdx), u32>,
+    last: BTreeMap<(usize, NodeIdx), u32>,
     ticks: u64,
 }
 
@@ -85,7 +85,8 @@ impl StateTracker {
     /// Empirical `p_k` = P(state == 1) at level `k` — the probability a
     /// level-k node is *critical* (eq. 15 notation).
     pub fn p_state1(&self, k: usize) -> Option<f64> {
-        self.distribution(k).map(|d| d.get(1).copied().unwrap_or(0.0))
+        self.distribution(k)
+            .map(|d| d.get(1).copied().unwrap_or(0.0))
     }
 
     /// The paper's `q_j` chain probabilities for rejection cascades
@@ -125,6 +126,18 @@ impl StateTracker {
         }
     }
 
+    /// Raw per-level jump counters `[no change, ±1, ≥ ±2]`, for invariant
+    /// auditing: the counters must reconcile exactly with the state diffs
+    /// of consecutive hierarchy snapshots.
+    pub fn jumps(&self, k: usize) -> Option<[u64; 3]> {
+        self.jumps.get(k).copied()
+    }
+
+    /// Number of levels with jump counters (equals [`Self::level_count`]).
+    pub fn jump_level_count(&self) -> usize {
+        self.jumps.len()
+    }
+
     /// Total observation ticks.
     pub fn ticks(&self) -> u64 {
         self.ticks
@@ -139,7 +152,11 @@ mod tests {
 
     fn hierarchy(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
         let ids: Vec<u64> = (0..n as u64).collect();
-        Hierarchy::build(&ids, &Graph::from_edges(n, edges), HierarchyOptions::default())
+        Hierarchy::build(
+            &ids,
+            &Graph::from_edges(n, edges),
+            HierarchyOptions::default(),
+        )
     }
 
     #[test]
@@ -186,9 +203,9 @@ mod tests {
         let mut t = StateTracker::new();
         // Fabricate occupancy: level 0 p=0.5, level 1 p=0.25, level 2 p=0.1.
         t.occupancy = vec![
-            vec![1, 1],          // p0 = 0.5
-            vec![3, 1],          // p1 = 0.25
-            vec![9, 1],          // p2 = 0.1
+            vec![1, 1], // p0 = 0.5
+            vec![3, 1], // p1 = 0.25
+            vec![9, 1], // p2 = 0.1
         ];
         t.jumps = vec![[0; 3]; 3];
         let q = t.q_chain(3).unwrap();

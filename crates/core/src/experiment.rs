@@ -14,6 +14,7 @@ impl SweepPoint {
     /// Summary of `metric` across this point's replications.
     pub fn summary<F: Fn(&SimReport) -> f64>(&self, metric: F) -> Summary {
         let xs: Vec<f64> = self.reports.iter().map(metric).collect();
+        // audit: infallible because run_replications always yields >= 1 report
         Summary::of(&xs).expect("sweep point with no replications")
     }
 }
@@ -102,6 +103,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn make_config_must_honor_size() {
-        sweep(&[10], 1, 0, 1, |_| SimConfig::builder(5).duration(1.0).build());
+        sweep(&[10], 1, 0, 1, |_| {
+            SimConfig::builder(5).duration(1.0).build()
+        });
     }
 }

@@ -27,8 +27,7 @@ pub mod prelude {
     pub use chlm_lm::server::{LmAssignment, SelectionRule};
     pub use chlm_mobility::MobilityModel;
     pub use chlm_sim::{
-        run_replications, run_simulation, HopMetric, MobilityKind, SimConfig, SimReport,
-        Simulation,
+        run_replications, run_simulation, HopMetric, MobilityKind, SimConfig, SimReport, Simulation,
     };
 }
 

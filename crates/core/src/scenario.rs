@@ -22,10 +22,7 @@ pub fn scaling_sizes(max: usize) -> Vec<usize> {
 /// The shared default configuration for `n` nodes: experiment binaries
 /// override duration / seeds / mobility as needed.
 pub fn default_config(n: usize) -> SimConfig {
-    SimConfig::builder(n)
-        .duration(20.0)
-        .warmup(10.0)
-        .build()
+    SimConfig::builder(n).duration(20.0).warmup(10.0).build()
 }
 
 #[cfg(test)]

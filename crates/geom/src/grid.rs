@@ -114,7 +114,13 @@ impl SpatialGrid {
     /// `radius` must be ≤ the cell size for the 3x3 block scan to be
     /// complete; this is asserted. Visits include the query point itself if
     /// it is one of the indexed points.
-    pub fn for_each_within<F: FnMut(u32)>(&self, points: &[Point], q: Point, radius: f64, mut f: F) {
+    pub fn for_each_within<F: FnMut(u32)>(
+        &self,
+        points: &[Point],
+        q: Point,
+        radius: f64,
+        mut f: F,
+    ) {
         assert!(
             radius <= self.cell * (1.0 + 1e-9),
             "query radius {radius} exceeds cell size {}",
@@ -224,7 +230,9 @@ mod tests {
         let pts = vec![Point::ORIGIN, Point::new(1.0, 1.0)];
         let g = SpatialGrid::build(&pts, 1.0);
         // Far-away queries must not panic or wrap.
-        assert!(g.query_within(&pts, Point::new(-100.0, 50.0), 1.0).is_empty());
+        assert!(g
+            .query_within(&pts, Point::new(-100.0, 50.0), 1.0)
+            .is_empty());
     }
 
     #[test]

@@ -63,8 +63,10 @@ impl QuadTree {
 
     fn build_node(points: &[Point], items: Vec<u32>, bounds: Rect, depth: usize) -> Node {
         let c0 = bounds.center();
-        let splittable =
-            c0.x > bounds.min.x && c0.x < bounds.max.x && c0.y > bounds.min.y && c0.y < bounds.max.y;
+        let splittable = c0.x > bounds.min.x
+            && c0.x < bounds.max.x
+            && c0.y > bounds.min.y
+            && c0.y < bounds.max.y;
         if items.len() <= LEAF_CAPACITY || depth >= MAX_DEPTH || !splittable {
             return Node::Leaf { items };
         }
@@ -104,7 +106,13 @@ impl QuadTree {
     }
 
     /// Visit indices of all points within `radius` of `q` (inclusive).
-    pub fn for_each_within<F: FnMut(u32)>(&self, points: &[Point], q: Point, radius: f64, mut f: F) {
+    pub fn for_each_within<F: FnMut(u32)>(
+        &self,
+        points: &[Point],
+        q: Point,
+        radius: f64,
+        mut f: F,
+    ) {
         assert!(radius >= 0.0 && radius.is_finite());
         Self::query_node(&self.root, self.bounds, points, q, radius, &mut f);
     }

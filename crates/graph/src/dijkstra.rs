@@ -51,7 +51,10 @@ pub fn dijkstra<W: Fn(NodeIdx, NodeIdx) -> f64>(
     let mut parent = vec![NodeIdx::MAX; n];
     let mut heap = BinaryHeap::new();
     dist[src as usize] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: src });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapItem { dist: du, node: u }) = heap.pop() {
         if du > dist[u as usize] {
             continue; // stale entry

@@ -127,6 +127,7 @@ impl Graph {
             Err(_) => false,
             Ok(iu) => {
                 self.adj[u as usize].remove(iu);
+                // audit: infallible because add_edge inserts both directions
                 let iv = self.adj[v as usize]
                     .binary_search(&u)
                     .expect("asymmetric adjacency");
@@ -165,7 +166,8 @@ impl Graph {
     pub fn closed_neighborhood(&self, u: NodeIdx) -> Vec<NodeIdx> {
         let nbrs = &self.adj[u as usize];
         let mut out = Vec::with_capacity(nbrs.len() + 1);
-        let pos = nbrs.binary_search(&u).unwrap_err();
+        // audit: infallible because the graph is simple (no self-loops)
+        let pos = nbrs.binary_search(&u).expect_err("self-loop in adjacency");
         out.extend_from_slice(&nbrs[..pos]);
         out.push(u);
         out.extend_from_slice(&nbrs[pos..]);
@@ -177,7 +179,10 @@ impl Graph {
     pub fn check_invariants(&self) {
         let mut count = 0usize;
         for (u, nbrs) in self.adj.iter().enumerate() {
-            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted/dup adjacency");
+            assert!(
+                nbrs.windows(2).all(|w| w[0] < w[1]),
+                "unsorted/dup adjacency"
+            );
             for &v in nbrs {
                 assert_ne!(v as usize, u, "self-loop");
                 assert!(

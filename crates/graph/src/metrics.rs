@@ -121,7 +121,16 @@ mod tests {
     fn sampled_close_to_exact() {
         let g = Graph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (0, 7),
+            ],
         );
         let exact = mean_hop_count_exact(&g).unwrap();
         let mut rng = SimRng::seed_from(3);

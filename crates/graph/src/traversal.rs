@@ -138,7 +138,8 @@ pub fn largest_component(g: &Graph) -> Vec<NodeIdx> {
         .enumerate()
         .max_by_key(|&(i, &s)| (s, usize::MAX - i))
         .map(|(i, _)| i as u32)
-        .unwrap();
+        // audit: infallible because sizes is non-empty (early return above)
+        .expect("non-empty component list");
     comp.iter()
         .enumerate()
         .filter(|(_, &c)| c == best)
@@ -181,9 +182,14 @@ pub fn diameter_lower_bound(g: &Graph) -> u32 {
         .enumerate()
         .filter(|(_, &d)| d != UNREACHABLE)
         .max_by_key(|(_, &d)| d)
-        .unwrap();
+        // audit: infallible because node 0 itself is always reachable (d = 0)
+        .expect("source is reachable from itself");
     let d1 = bfs_distances(g, far as NodeIdx);
-    d1.iter().filter(|&&d| d != UNREACHABLE).copied().max().unwrap_or(0)
+    d1.iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .copied()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -12,17 +12,21 @@ use proptest::prelude::*;
 /// Strategy: a random edge list over `n` nodes.
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2usize..max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as NodeIdx, 0..n as NodeIdx), 0..3 * n)
-            .prop_map(move |pairs| {
+        proptest::collection::vec((0..n as NodeIdx, 0..n as NodeIdx), 0..3 * n).prop_map(
+            move |pairs| {
                 let edges: Vec<_> = pairs.into_iter().filter(|(u, v)| u != v).collect();
                 Graph::from_edges(n, &edges)
-            })
+            },
+        )
     })
 }
 
 fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<chlm_geom::Point>> {
-    proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 0..max_n)
-        .prop_map(|v| v.into_iter().map(|(x, y)| chlm_geom::Point::new(x, y)).collect())
+    proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 0..max_n).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y)| chlm_geom::Point::new(x, y))
+            .collect()
+    })
 }
 
 proptest! {
@@ -107,10 +111,8 @@ proptest! {
         let mut new = old.clone();
         for (u, v) in extra {
             let (u, v) = (u % n as u32, v % n as u32);
-            if u != v {
-                if !new.add_edge(u, v) {
-                    new.remove_edge(u, v);
-                }
+            if u != v && !new.add_edge(u, v) {
+                new.remove_edge(u, v);
             }
         }
         let diff = LinkDiff::between(&old, &new);

@@ -1,0 +1,280 @@
+//! Non-panicking audit of the LM server assignment.
+//!
+//! [`LmAssignment::compute`] pre-groups cluster members and reuses scratch
+//! buffers; a bug there (or silent corruption of the table) would skew
+//! every φ/γ measurement downstream. [`audit_assignment`] re-derives each
+//! `(subject, level)` host with a *separate, straightforward*
+//! implementation of §3.2's hash walk — same hash primitives
+//! ([`hrw_select_weighted`] / [`mod_successor_select`]), independent
+//! member grouping and subtree-weight computation — and reports every
+//! disagreement as a structured [`LmViolation`]. It also checks the
+//! containment property directly: a subject's level-k server must live
+//! inside the subject's level-k cluster.
+
+use crate::hash::{hrw_select_weighted, mod_successor_select};
+use crate::server::{LmAssignment, SelectionRule};
+use chlm_cluster::audit::safe_address;
+use chlm_cluster::Hierarchy;
+use chlm_graph::NodeIdx;
+use std::fmt;
+
+/// One assignment inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LmViolation {
+    /// The table's dimensions disagree with the hierarchy's.
+    ShapeMismatch {
+        table_n: usize,
+        table_depth: usize,
+        hierarchy_n: usize,
+        hierarchy_depth: usize,
+    },
+    /// A subject's clusterhead chain cannot be resolved, so its servers
+    /// cannot be verified.
+    UnresolvableSubject { subject: NodeIdx, level: usize },
+    /// The recorded host is not the one the hash mapping selects.
+    HostMismatch {
+        subject: NodeIdx,
+        level: u16,
+        expected: NodeIdx,
+        actual: NodeIdx,
+    },
+    /// The recorded host lies outside the subject's level-k cluster.
+    HostOutsideCluster {
+        subject: NodeIdx,
+        level: u16,
+        host: NodeIdx,
+    },
+}
+
+impl fmt::Display for LmViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmViolation::ShapeMismatch {
+                table_n,
+                table_depth,
+                hierarchy_n,
+                hierarchy_depth,
+            } => write!(
+                f,
+                "assignment {table_n}x{table_depth} vs hierarchy {hierarchy_n}x{hierarchy_depth}"
+            ),
+            LmViolation::UnresolvableSubject { subject, level } => {
+                write!(f, "subject {subject}: address unresolvable at level {level}")
+            }
+            LmViolation::HostMismatch { subject, level, expected, actual } => write!(
+                f,
+                "subject {subject} level {level}: hash mapping selects {expected}, table says {actual}"
+            ),
+            LmViolation::HostOutsideCluster { subject, level, host } => write!(
+                f,
+                "subject {subject} level {level}: host {host} outside the subject's cluster"
+            ),
+        }
+    }
+}
+
+/// Level-0 descendant count of every node at every level, derived only
+/// from the vote maps (independently of `LmAssignment::compute`).
+fn subtree_sizes(h: &Hierarchy) -> Vec<Vec<f64>> {
+    let mut subtree: Vec<Vec<f64>> = Vec::with_capacity(h.depth());
+    subtree.push(vec![1.0; h.levels[0].len()]);
+    for j in 1..h.depth() {
+        let prev = &h.levels[j - 1];
+        let mut sizes = vec![0.0; h.levels[j].len()];
+        for (i, &t) in prev.vote.iter().enumerate() {
+            // The vote target at level j-1 is a level-j node; accumulate
+            // the voter's subtree into it.
+            let head_phys = prev.nodes[t as usize];
+            if let Some(local) = h.levels[j].local(head_phys) {
+                sizes[local as usize] += subtree[j - 1][i];
+            }
+        }
+        subtree.push(sizes);
+    }
+    subtree
+}
+
+/// Walk §3.2's hash selection from `v`'s level-`k` cluster head down to a
+/// level-0 node. Returns `None` when the hierarchy is too corrupt to walk.
+fn expected_host(
+    h: &Hierarchy,
+    subtree: &[Vec<f64>],
+    addr: &[NodeIdx],
+    subject_id: u64,
+    k: usize,
+    rule: SelectionRule,
+) -> Option<NodeIdx> {
+    let mut head_phys = addr[k];
+    for j in (0..k).rev() {
+        let level = &h.levels[j];
+        let head_local = level.local(head_phys)?;
+        let mem: Vec<u32> = level
+            .vote
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t == head_local)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if mem.is_empty() {
+            return None;
+        }
+        let salt = ((k as u64) << 32) | j as u64;
+        let pick = match rule {
+            SelectionRule::Hrw => {
+                let cands: Vec<(u64, f64)> = mem
+                    .iter()
+                    .map(|&m| {
+                        (
+                            h.ids[level.nodes[m as usize] as usize],
+                            subtree[j][m as usize],
+                        )
+                    })
+                    .collect();
+                hrw_select_weighted(subject_id, &cands, salt)
+            }
+            SelectionRule::ModSuccessor { id_space } => {
+                let ids: Vec<u64> = mem
+                    .iter()
+                    .map(|&m| h.ids[level.nodes[m as usize] as usize])
+                    .collect();
+                mod_successor_select(subject_id.wrapping_add(salt), &ids, id_space)
+            }
+        };
+        head_phys = level.nodes[mem[pick] as usize];
+    }
+    Some(head_phys)
+}
+
+/// Audit an assignment table against the hierarchy and selection rule it
+/// claims to realize. Returns every violation found. Never panics.
+pub fn audit_assignment(a: &LmAssignment, h: &Hierarchy, rule: SelectionRule) -> Vec<LmViolation> {
+    let mut out = Vec::new();
+    if a.node_count() != h.node_count() || a.depth() != h.depth() {
+        out.push(LmViolation::ShapeMismatch {
+            table_n: a.node_count(),
+            table_depth: a.depth(),
+            hierarchy_n: h.node_count(),
+            hierarchy_depth: h.depth(),
+        });
+        return out;
+    }
+    let subtree = subtree_sizes(h);
+    let mut addr_cache: Vec<Option<Vec<NodeIdx>>> = vec![None; h.node_count()];
+    let addr_of = |v: NodeIdx, cache: &mut Vec<Option<Vec<NodeIdx>>>| -> Option<Vec<NodeIdx>> {
+        if cache[v as usize].is_none() {
+            cache[v as usize] = safe_address(h, v).ok();
+        }
+        cache[v as usize].clone()
+    };
+    for v in 0..h.node_count() as NodeIdx {
+        let addr = match addr_of(v, &mut addr_cache) {
+            Some(a) => a,
+            None => {
+                out.push(LmViolation::UnresolvableSubject {
+                    subject: v,
+                    level: 0,
+                });
+                continue;
+            }
+        };
+        let subject_id = h.ids[v as usize];
+        for k in 2..h.depth() {
+            let actual = match a.host(v, k) {
+                Some(x) => x,
+                None => continue,
+            };
+            match expected_host(h, &subtree, &addr, subject_id, k, rule) {
+                Some(expected) if expected != actual => {
+                    out.push(LmViolation::HostMismatch {
+                        subject: v,
+                        level: k as u16,
+                        expected,
+                        actual,
+                    });
+                }
+                None => {
+                    out.push(LmViolation::UnresolvableSubject {
+                        subject: v,
+                        level: k,
+                    });
+                }
+                _ => {}
+            }
+            // Containment: host's level-k head must equal the subject's.
+            match addr_of(actual, &mut addr_cache) {
+                Some(host_addr) if host_addr[k] == addr[k] => {}
+                _ => out.push(LmViolation::HostOutsideCluster {
+                    subject: v,
+                    level: k as u16,
+                    host: actual,
+                }),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chlm_cluster::HierarchyOptions;
+    use chlm_geom::SimRng;
+    use chlm_graph::unit_disk::build_unit_disk;
+
+    fn random_hierarchy(n: usize, seed: u64) -> Hierarchy {
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, chlm_geom::rtx_for_degree(9.0, 1.0));
+        let ids = rng.permutation(n);
+        Hierarchy::build(&ids, &g, HierarchyOptions::default())
+    }
+
+    #[test]
+    fn clean_assignment_passes_both_rules() {
+        let h = random_hierarchy(200, 11);
+        for rule in [
+            SelectionRule::Hrw,
+            SelectionRule::ModSuccessor { id_space: 200 },
+        ] {
+            let a = LmAssignment::compute(&h, rule);
+            assert!(audit_assignment(&a, &h, rule).is_empty(), "rule {rule:?}");
+        }
+    }
+
+    #[test]
+    fn stale_assignment_detected() {
+        let h1 = random_hierarchy(150, 12);
+        let h2 = random_hierarchy(150, 13);
+        let stale = LmAssignment::compute(&h1, SelectionRule::Hrw);
+        let vs = audit_assignment(&stale, &h2, SelectionRule::Hrw);
+        if stale.depth() == h2.depth() {
+            assert!(
+                vs.iter().any(|v| matches!(
+                    v,
+                    LmViolation::HostMismatch { .. } | LmViolation::HostOutsideCluster { .. }
+                )),
+                "violations: {vs:?}"
+            );
+        } else {
+            assert!(vs
+                .iter()
+                .any(|v| matches!(v, LmViolation::ShapeMismatch { .. })));
+        }
+    }
+
+    #[test]
+    fn wrong_rule_detected() {
+        // A table computed under the mod-successor rule must not audit
+        // clean against HRW (and vice versa) on any non-trivial hierarchy.
+        let h = random_hierarchy(200, 14);
+        let modr = LmAssignment::compute(&h, SelectionRule::ModSuccessor { id_space: 200 });
+        let vs = audit_assignment(&modr, &h, SelectionRule::Hrw);
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, LmViolation::HostMismatch { .. })),
+            "the two rules coincided on every entry?!"
+        );
+    }
+}

@@ -151,7 +151,14 @@ mod tests {
         for v in nbrs {
             g.remove_edge(0, v);
         }
-        let cost = death_cost(&ids, &g, 0, SelectionRule::Hrw, HierarchyOptions::default(), |_, _| 1.0);
+        let cost = death_cost(
+            &ids,
+            &g,
+            0,
+            SelectionRule::Hrw,
+            HierarchyOptions::default(),
+            |_, _| 1.0,
+        );
         assert_eq!(cost.entries_lost, 0);
         assert_eq!(cost.entries_shifted, 0);
         assert_eq!(cost.total_packets(), 0.0);
@@ -166,7 +173,14 @@ mod tests {
         let hosted = a.entries_hosted();
         let victim = (0..200u32).max_by_key(|&v| hosted[v as usize]).unwrap();
         assert!(hosted[victim as usize] > 0);
-        let cost = death_cost(&ids, &g, victim, SelectionRule::Hrw, HierarchyOptions::default(), |_, _| 1.0);
+        let cost = death_cost(
+            &ids,
+            &g,
+            victim,
+            SelectionRule::Hrw,
+            HierarchyOptions::default(),
+            |_, _| 1.0,
+        );
         // Everything the victim hosted must re-home (counted lost) unless
         // the subject itself was the victim (orphaned instead).
         assert!(cost.entries_lost + cost.orphaned > 0);

@@ -107,22 +107,19 @@ pub const NO_SERVER: NodeIdx = NodeIdx::MAX;
 
 impl GlsAssignment {
     /// Compute the full server table for the given positions and IDs.
-    pub fn compute(
-        grid: &GridHierarchy,
-        positions: &[Point],
-        ids: &[ElectionId],
-    ) -> Self {
+    pub fn compute(grid: &GridHierarchy, positions: &[Point], ids: &[ElectionId]) -> Self {
         assert_eq!(positions.len(), ids.len());
         let n = positions.len();
         let bands = grid.orders.saturating_sub(1);
         let id_space = n.max(1) as u64;
         // Occupancy per order 1..orders-1: cell -> member nodes.
-        let mut occupancy: Vec<HashMap<(u32, u32), Vec<NodeIdx>>> =
-            Vec::with_capacity(bands);
+        let mut occupancy: Vec<HashMap<(u32, u32), Vec<NodeIdx>>> = Vec::with_capacity(bands);
         for order in 1..grid.orders {
             let mut map: HashMap<(u32, u32), Vec<NodeIdx>> = HashMap::new();
             for (v, &p) in positions.iter().enumerate() {
-                map.entry(grid.cell(p, order)).or_default().push(v as NodeIdx);
+                map.entry(grid.cell(p, order))
+                    .or_default()
+                    .push(v as NodeIdx);
             }
             occupancy.push(map);
         }
@@ -193,7 +190,6 @@ impl GlsAssignment {
         out
     }
 }
-
 
 /// Resolve a GLS location query.
 ///

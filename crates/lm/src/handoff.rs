@@ -22,7 +22,7 @@
 use crate::server::HostChange;
 use chlm_cluster::address::{AddrChange, AddrChangeKind};
 use chlm_graph::NodeIdx;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-level handoff cost accumulators.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -80,8 +80,11 @@ impl HandoffLedger {
     ) {
         // Index address changes: (node, exact level) -> kind, and
         // node -> lowest changed level (for host-side attribution).
-        let mut exact: HashMap<(NodeIdx, u16), AddrChangeKind> = HashMap::new();
-        let mut lowest: HashMap<NodeIdx, (u16, AddrChangeKind)> = HashMap::new();
+        // BTreeMaps so any future iteration over these indexes is ordered;
+        // today they are lookup-only, but the handoff ledger is accounting
+        // code and must stay deterministic by construction.
+        let mut exact: BTreeMap<(NodeIdx, u16), AddrChangeKind> = BTreeMap::new();
+        let mut lowest: BTreeMap<NodeIdx, (u16, AddrChangeKind)> = BTreeMap::new();
         for c in addr_changes {
             exact.insert((c.node, c.level), c.kind);
             lowest
@@ -150,7 +153,7 @@ impl HandoffLedger {
     /// φ_k — migration-handoff packet transmissions per node per second at
     /// level `k`.
     pub fn phi(&self, k: usize) -> f64 {
-        if self.node_seconds == 0.0 {
+        if self.node_seconds <= 0.0 {
             return 0.0;
         }
         self.per_level
@@ -161,7 +164,7 @@ impl HandoffLedger {
     /// γ_k — reorganization-handoff packet transmissions per node per
     /// second at level `k`.
     pub fn gamma(&self, k: usize) -> f64 {
-        if self.node_seconds == 0.0 {
+        if self.node_seconds <= 0.0 {
             return 0.0;
         }
         self.per_level

@@ -61,6 +61,7 @@
 //! let _outcome = resolve(&h, &assignment, 0, 119, |_, _| 1.0);
 //! ```
 
+pub mod audit;
 pub mod churn;
 pub mod gls;
 pub mod handoff;
@@ -69,5 +70,6 @@ pub mod query;
 pub mod server;
 pub mod update;
 
+pub use audit::{audit_assignment, LmViolation};
 pub use handoff::{HandoffLedger, LevelCost};
 pub use server::LmAssignment;

@@ -140,8 +140,7 @@ mod tests {
             if let Some(q) = resolve(&h, &a, s, t, |_, _| 1.0) {
                 if q.common_level >= 2 {
                     assert_eq!(
-                        addrs[q.server as usize][q.common_level],
-                        addrs[t as usize][q.common_level],
+                        addrs[q.server as usize][q.common_level], addrs[t as usize][q.common_level],
                         "server outside common cluster"
                     );
                 }

@@ -77,6 +77,7 @@ impl LmAssignment {
                 .nodes
                 .iter()
                 .map(|&head| {
+                    // audit: infallible because level-j nodes are exactly the heads of level j-1
                     let head_local = prev.local(head).expect("head missing below");
                     members[j - 1][head_local as usize]
                         .iter()
@@ -101,6 +102,7 @@ impl LmAssignment {
                 let mut head_phys = addr[k];
                 for j in (0..k).rev() {
                     let level = &h.levels[j];
+                    // audit: infallible because the walk descends through vote targets present one level down
                     let head_local = level
                         .local(head_phys)
                         .expect("cluster head missing at its own level");
@@ -125,11 +127,7 @@ impl LmAssignment {
                             );
                             // Salt the subject so distinct (k, j) steps don't
                             // always chase the same successor.
-                            mod_successor_select(
-                                subject_id.wrapping_add(salt),
-                                &cand_ids,
-                                id_space,
-                            )
+                            mod_successor_select(subject_id.wrapping_add(salt), &cand_ids, id_space)
                         }
                     };
                     head_phys = level.nodes[mem[pick] as usize];

@@ -218,7 +218,12 @@ mod tests {
     fn ray_exit_geometry() {
         let t = ray_circle_exit(Point::ORIGIN, Point::new(1.0, 0.0), Point::ORIGIN, 2.0);
         assert!((t - 2.0).abs() < 1e-12);
-        let t2 = ray_circle_exit(Point::new(1.0, 0.0), Point::new(1.0, 0.0), Point::ORIGIN, 2.0);
+        let t2 = ray_circle_exit(
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::ORIGIN,
+            2.0,
+        );
         assert!((t2 - 1.0).abs() < 1e-12);
     }
 }

@@ -55,12 +55,8 @@ impl Rpgm {
             (region.radius - group_radius - jitter_radius).max(region.radius * 0.1),
         );
         let center_positions = chlm_geom::region::deploy_uniform(&inner, groups, rng);
-        let centers = RandomWaypoint::new(
-            inner,
-            center_positions,
-            center_speed,
-            rng.fork(0x6706_0001),
-        );
+        let centers =
+            RandomWaypoint::new(inner, center_positions, center_speed, rng.fork(0x6706_0001));
         let mut local = rng.fork(0x6706_0002);
         let mut group_of = Vec::with_capacity(n);
         let mut offset = Vec::with_capacity(n);

@@ -100,7 +100,10 @@ mod tests {
         let mut m = RandomWaypoint::deployed(region, 300, 2.0, 50.0, &mut rng);
         let v = relative_speed_mean(&mut m, 0.1, 20_000);
         let expect = 4.0 * 2.0 / std::f64::consts::PI;
-        assert!((v - expect).abs() / expect < 0.1, "v = {v}, expect = {expect}");
+        assert!(
+            (v - expect).abs() / expect < 0.1,
+            "v = {v}, expect = {expect}"
+        );
     }
 
     #[test]

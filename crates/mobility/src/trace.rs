@@ -47,11 +47,7 @@ impl MobilityTrace {
     }
 
     pub fn tick_count(&self) -> usize {
-        if self.n == 0 {
-            0
-        } else {
-            self.frames.len() / self.n
-        }
+        self.frames.len().checked_div(self.n).unwrap_or(0)
     }
 
     pub fn dt(&self) -> f64 {

@@ -109,13 +109,7 @@ mod tests {
         for _ in 0..steps {
             m.step(1.0);
         }
-        let rms = (m
-            .positions()
-            .iter()
-            .map(|p| p.norm_sq())
-            .sum::<f64>()
-            / n as f64)
-            .sqrt();
+        let rms = (m.positions().iter().map(|p| p.norm_sq()).sum::<f64>() / n as f64).sqrt();
         let ballistic = steps as f64;
         assert!(rms < ballistic * 0.2, "rms = {rms}");
         assert!(rms > 5.0, "rms suspiciously small: {rms}");

@@ -59,7 +59,13 @@ impl RandomWaypoint {
     /// region than the uniform deployment, and initial speeds/legs are
     /// biased; discarding a warmup transient is the standard fix. A warmup
     /// of a few region-crossing times (`region.radius / speed`) suffices.
-    pub fn deployed(region: Disk, n: usize, speed: f64, warmup_seconds: f64, rng: &mut SimRng) -> Self {
+    pub fn deployed(
+        region: Disk,
+        n: usize,
+        speed: f64,
+        warmup_seconds: f64,
+        rng: &mut SimRng,
+    ) -> Self {
         let positions = chlm_geom::region::deploy_uniform(&region, n, rng);
         let mut m = RandomWaypoint::new(region, positions, speed, rng.fork(0x5757_5050));
         if warmup_seconds > 0.0 {

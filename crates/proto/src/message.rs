@@ -44,9 +44,37 @@ mod tests {
 
     #[test]
     fn tags() {
-        assert_eq!(LmMessage::Transfer { subject: 1, level: 2 }.tag(), "XFER");
-        assert_eq!(LmMessage::Register { subject: 1, level: 2 }.tag(), "REG");
-        assert_eq!(LmMessage::Query { requester: 0, target: 1 }.tag(), "QRY");
-        assert_eq!(LmMessage::Reply { requester: 0, target: 1 }.tag(), "RPL");
+        assert_eq!(
+            LmMessage::Transfer {
+                subject: 1,
+                level: 2
+            }
+            .tag(),
+            "XFER"
+        );
+        assert_eq!(
+            LmMessage::Register {
+                subject: 1,
+                level: 2
+            }
+            .tag(),
+            "REG"
+        );
+        assert_eq!(
+            LmMessage::Query {
+                requester: 0,
+                target: 1
+            }
+            .tag(),
+            "QRY"
+        );
+        assert_eq!(
+            LmMessage::Reply {
+                requester: 0,
+                target: 1
+            }
+            .tag(),
+            "RPL"
+        );
     }
 }

@@ -136,7 +136,14 @@ impl<'a> PacketNetwork<'a> {
         }
         let at = packet.src;
         let t = self.queue.now() + self.hop_delay;
-        self.queue.schedule(t, HopEvent { packet, at, attempts: 0 });
+        self.queue.schedule(
+            t,
+            HopEvent {
+                packet,
+                at,
+                attempts: 0,
+            },
+        );
     }
 
     /// Run until all in-flight packets settle. Returns the final stats.
@@ -153,7 +160,8 @@ impl<'a> PacketNetwork<'a> {
             // Lossy medium: the attempt may fail.
             let failed = match &mut self.loss {
                 Some((p, max_retries, rng)) => {
-                    if rng.unit() < *p {
+                    let dropped = rng.unit() < *p;
+                    if dropped {
                         if ev.attempts >= *max_retries {
                             self.stats.lost += 1;
                             continue; // abandoned
@@ -166,10 +174,8 @@ impl<'a> PacketNetwork<'a> {
                                 attempts: ev.attempts + 1,
                             },
                         );
-                        true
-                    } else {
-                        false
                     }
+                    dropped
                 }
                 None => false,
             };
@@ -215,13 +221,19 @@ mod tests {
         Packet {
             src,
             dst,
-            msg: LmMessage::Register { subject: src, level: 2 },
+            msg: LmMessage::Register {
+                subject: src,
+                level: 2,
+            },
             sent_at: 0.0,
         }
     }
 
     fn path_graph(n: usize) -> Graph {
-        Graph::from_edges(n, &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+        Graph::from_edges(
+            n,
+            &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -298,7 +310,10 @@ mod tests {
         assert_eq!(lossy.delivered, 80, "retries should save every packet");
         let inflation = lossy.transmissions as f64 / clean.transmissions as f64;
         // Expected 1/(1-0.3) ≈ 1.43; allow sampling slack.
-        assert!((inflation - 1.0 / 0.7).abs() < 0.15, "inflation {inflation}");
+        assert!(
+            (inflation - 1.0 / 0.7).abs() < 0.15,
+            "inflation {inflation}"
+        );
         assert!(lossy.retransmissions > 0);
         assert!(lossy.mean_latency() > clean.mean_latency());
     }

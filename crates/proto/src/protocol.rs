@@ -131,7 +131,13 @@ mod tests {
     fn two_snapshots(
         n: usize,
         seed: u64,
-    ) -> (Graph, Hierarchy, Hierarchy, Vec<HostChange>, Vec<AddrChange>) {
+    ) -> (
+        Graph,
+        Hierarchy,
+        Hierarchy,
+        Vec<HostChange>,
+        Vec<AddrChange>,
+    ) {
         let density = 1.25;
         let rtx = chlm_geom::rtx_for_degree(9.0, density);
         let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));

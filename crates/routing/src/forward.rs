@@ -51,7 +51,9 @@ pub fn hierarchical_path(h: &Hierarchy, s: NodeIdx, t: NodeIdx) -> Option<PathOu
     let mut prev_common = usize::MAX;
     while cur != t {
         let addr_c = h.address(cur);
-        let common = (0..h.depth()).find(|&k| addr_c[k] == addr_t[k])
+        // audit: infallible because the caller established s, t connected, so their chains meet
+        let common = (0..h.depth())
+            .find(|&k| addr_c[k] == addr_t[k])
             .expect("connected nodes share the top cluster");
         assert!(
             common < prev_common,
@@ -66,7 +68,8 @@ pub fn hierarchical_path(h: &Hierarchy, s: NodeIdx, t: NodeIdx) -> Option<PathOu
         let leg_path = bfs_to_cluster(h, cur, target_level, addr_t[target_level])?;
         // Append (skipping the duplicated first node).
         path.extend_from_slice(&leg_path[1..]);
-        cur = *path.last().unwrap();
+        // audit: infallible because path starts [s] and only grows
+        cur = *path.last().expect("path starts non-empty");
     }
     let hops = (path.len() - 1) as u32;
     let stretch = if shortest_len == 0 {

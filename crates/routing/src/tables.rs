@@ -68,6 +68,7 @@ pub fn hierarchical_table_sizes(h: &Hierarchy) -> Vec<usize> {
         for k in 1..depth {
             // Members of v's level-k cluster (they live at level k-1).
             let level = &h.levels[k - 1];
+            // audit: infallible because address components are nodes of their level below
             let head_local = level.local(addr[k]).expect("head below its level");
             let members = member_count[k - 1][head_local as usize];
             // Entries for sibling members other than v's own branch. At

@@ -68,6 +68,11 @@ pub struct SimConfig {
     pub track_gls: bool,
     /// Sample this many random location queries at the end of the run.
     pub query_samples: usize,
+    /// Run the tick-level invariant auditor alongside the simulation
+    /// (structural hierarchy checks, AddressBook/LmAssignment consistency,
+    /// counter conservation). Costs roughly one extra assignment
+    /// recomputation per tick; see `chlm_sim::audit`.
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -90,6 +95,7 @@ impl SimConfig {
                 min_reduction: 1.25,
                 track_gls: false,
                 query_samples: 0,
+                audit: false,
             },
         }
     }
@@ -213,6 +219,11 @@ impl SimConfigBuilder {
         self.cfg.query_samples = q;
         self
     }
+    /// See [`SimConfig::audit`].
+    pub fn audit(mut self, yes: bool) -> Self {
+        self.cfg.audit = yes;
+        self
+    }
 
     /// Finalize; panics on invalid combinations.
     pub fn build(self) -> SimConfig {
@@ -249,7 +260,9 @@ mod tests {
 
     #[test]
     fn static_mobility_forces_zero_speed() {
-        let cfg = SimConfig::builder(10).mobility(MobilityKind::Static).build();
+        let cfg = SimConfig::builder(10)
+            .mobility(MobilityKind::Static)
+            .build();
         assert_eq!(cfg.speed, 0.0);
         assert_eq!(cfg.tick(), 1.0);
     }

@@ -1,5 +1,6 @@
 //! The tick loop.
 
+use crate::audit::{AuditViolation, Auditor, TickInputs};
 use crate::config::{HopMetric, MobilityKind, SimConfig};
 use crate::oracle::{calibrate, DistanceOracle};
 use crate::report::{LevelRates, SimReport, StateSummary};
@@ -18,7 +19,7 @@ use chlm_lm::server::LmAssignment;
 use chlm_mobility::{
     MobilityModel, RandomDirection, RandomWalk, RandomWaypoint, Rpgm, StaticModel,
 };
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One simulation instance. Construct with [`Simulation::new`], run with
 /// [`Simulation::run`] (or drive tick-by-tick with [`Simulation::step`]).
@@ -33,8 +34,11 @@ pub struct Simulation {
     hierarchy: Hierarchy,
     book: AddressBook,
     assignment: LmAssignment,
-    level_edges: Vec<HashSet<(NodeIdx, NodeIdx)>>,
-    level_nodes: Vec<HashSet<NodeIdx>>,
+    // BTreeSets, not HashSets: the engine iterates these (symmetric
+    // difference) while accounting, and iteration order must be a pure
+    // function of the contents for bit-reproducible runs.
+    level_edges: Vec<BTreeSet<(NodeIdx, NodeIdx)>>,
+    level_nodes: Vec<BTreeSet<NodeIdx>>,
     // Accumulators.
     ledger: HandoffLedger,
     rates: LevelRates,
@@ -42,6 +46,7 @@ pub struct Simulation {
     tracker: StateTracker,
     link_rate: LinkEventRate,
     gls: Option<GlsTracker>,
+    auditor: Option<Auditor>,
     degree_sum: f64,
     max_depth: usize,
     ticks_done: usize,
@@ -49,9 +54,9 @@ pub struct Simulation {
 
 fn build_mobility(cfg: &SimConfig, region: Disk, rng: &mut SimRng) -> Box<dyn MobilityModel> {
     match cfg.mobility {
-        MobilityKind::Waypoint => Box::new(RandomWaypoint::deployed(
-            region, cfg.n, cfg.speed, 0.0, rng,
-        )),
+        MobilityKind::Waypoint => {
+            Box::new(RandomWaypoint::deployed(region, cfg.n, cfg.speed, 0.0, rng))
+        }
         MobilityKind::Direction { mean_epoch } => Box::new(RandomDirection::deployed(
             region, cfg.n, cfg.speed, mean_epoch, rng,
         )),
@@ -78,7 +83,7 @@ fn build_mobility(cfg: &SimConfig, region: Disk, rng: &mut SimRng) -> Box<dyn Mo
 }
 
 /// Level-k node sets keyed by physical index.
-fn physical_level_nodes(h: &Hierarchy) -> Vec<HashSet<NodeIdx>> {
+fn physical_level_nodes(h: &Hierarchy) -> Vec<BTreeSet<NodeIdx>> {
     h.levels
         .iter()
         .map(|level| level.nodes.iter().copied().collect())
@@ -86,7 +91,7 @@ fn physical_level_nodes(h: &Hierarchy) -> Vec<HashSet<NodeIdx>> {
 }
 
 /// Level-k edge sets keyed by physical endpoints, for link-churn counting.
-fn physical_level_edges(h: &Hierarchy) -> Vec<HashSet<(NodeIdx, NodeIdx)>> {
+fn physical_level_edges(h: &Hierarchy) -> Vec<BTreeSet<(NodeIdx, NodeIdx)>> {
     h.levels
         .iter()
         .map(|level| {
@@ -150,6 +155,12 @@ impl Simulation {
         let mut tracker = StateTracker::new();
         tracker.observe(&hierarchy);
         let max_depth = hierarchy.depth();
+        let ledger = HandoffLedger::new();
+        let rates = LevelRates::default();
+        let events = EventCounts::with_levels(max_depth);
+        let auditor = cfg
+            .audit
+            .then(|| Auditor::new(cfg.selection_rule, &ledger, &rates, &events, &tracker));
 
         Simulation {
             cfg,
@@ -163,12 +174,13 @@ impl Simulation {
             assignment,
             level_edges,
             level_nodes,
-            ledger: HandoffLedger::new(),
-            rates: LevelRates::default(),
-            events: EventCounts::with_levels(max_depth),
+            ledger,
+            rates,
+            events,
             tracker,
             link_rate: LinkEventRate::default(),
             gls,
+            auditor,
             degree_sum: 0.0,
             max_depth,
             ticks_done: 0,
@@ -183,6 +195,12 @@ impl Simulation {
     /// Current hierarchy snapshot.
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
+    }
+
+    /// Invariant violations found so far (empty unless `SimConfig::audit`
+    /// is set — and, for a correct engine, empty even then).
+    pub fn audit_violations(&self) -> &[AuditViolation] {
+        self.auditor.as_ref().map_or(&[], |a| a.violations())
     }
 
     /// Advance one tick, recording every counter.
@@ -234,8 +252,8 @@ impl Simulation {
         let new_level_nodes = physical_level_nodes(&hierarchy);
         let depth = hierarchy.depth().max(self.hierarchy.depth());
         for k in 1..depth {
-            let empty = HashSet::new();
-            let empty_nodes = HashSet::new();
+            let empty = BTreeSet::new();
+            let empty_nodes = BTreeSet::new();
             let old = self.level_edges.get(k).unwrap_or(&empty);
             let new = new_level_edges.get(k).unwrap_or(&empty);
             let old_nodes = self.level_nodes.get(k).unwrap_or(&empty_nodes);
@@ -276,13 +294,29 @@ impl Simulation {
                     gls.observe(&positions, &self.ids, |a, b| oracle.hops(a, b), dt);
                 }
                 _ => {
-                    let mut oracle = DistanceOracle::euclidean(&graph, &positions, rtx, calibration);
+                    let mut oracle =
+                        DistanceOracle::euclidean(&graph, &positions, rtx, calibration);
                     gls.observe(&positions, &self.ids, |a, b| oracle.hops(a, b), dt);
                 }
             }
         }
         self.degree_sum += graph.mean_degree();
         self.max_depth = self.max_depth.max(hierarchy.depth());
+
+        if let Some(auditor) = &mut self.auditor {
+            auditor.check_tick(&TickInputs {
+                old_hierarchy: &self.hierarchy,
+                new_hierarchy: &hierarchy,
+                book: &book,
+                assignment: &assignment,
+                host_changes: &host_changes,
+                addr_changes: &addr_changes,
+                ledger: &self.ledger,
+                rates: &self.rates,
+                events: &self.events,
+                tracker: &self.tracker,
+            });
+        }
 
         self.hierarchy = hierarchy;
         self.book = book;
@@ -299,6 +333,30 @@ impl Simulation {
             self.step();
         }
         self.finish()
+    }
+
+    /// Run to completion under the invariant auditor (forced on) and
+    /// return both the report and every violation found.
+    pub fn run_audited(mut self) -> (SimReport, Vec<AuditViolation>) {
+        if self.auditor.is_none() {
+            self.auditor = Some(Auditor::new(
+                self.cfg.selection_rule,
+                &self.ledger,
+                &self.rates,
+                &self.events,
+                &self.tracker,
+            ));
+        }
+        let ticks = self.cfg.tick_count();
+        for _ in 0..ticks {
+            self.step();
+        }
+        let violations = self
+            .auditor
+            .take()
+            .map(Auditor::into_violations)
+            .unwrap_or_default();
+        (self.finish(), violations)
     }
 
     /// Produce the report from whatever has been simulated so far.

@@ -35,12 +35,14 @@
 //! assert!(report.f0 > 0.0);
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod engine;
 pub mod oracle;
 pub mod report;
 pub mod runner;
 
+pub use audit::{AuditViolation, Auditor};
 pub use config::{HopMetric, MobilityKind, SimConfig, SimConfigBuilder};
 pub use engine::Simulation;
 pub use report::{LevelRates, SimReport, StateSummary};

@@ -10,7 +10,7 @@
 use chlm_geom::Point;
 use chlm_graph::traversal::{bfs_distances, UNREACHABLE};
 use chlm_graph::{Graph, NodeIdx};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A per-tick hop-distance oracle over one topology snapshot.
 pub struct DistanceOracle<'a> {
@@ -19,7 +19,9 @@ pub struct DistanceOracle<'a> {
     rtx: f64,
     /// `None` → exact BFS with per-source caching.
     calibration: Option<f64>,
-    cache: HashMap<NodeIdx, Vec<u32>>,
+    // Ordered map by policy for accounting-adjacent state (lookup-only
+    // today; the log-factor on top of an O(n+m) BFS is noise).
+    cache: BTreeMap<NodeIdx, Vec<u32>>,
 }
 
 impl<'a> DistanceOracle<'a> {
@@ -30,7 +32,7 @@ impl<'a> DistanceOracle<'a> {
             positions,
             rtx,
             calibration: None,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -42,7 +44,7 @@ impl<'a> DistanceOracle<'a> {
             positions,
             rtx,
             calibration: Some(calibration),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 

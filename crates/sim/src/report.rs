@@ -1,5 +1,6 @@
 //! Measurement report produced by one simulation run.
 
+use chlm_cluster::digest::Digest;
 use chlm_cluster::events::EventCounts;
 use chlm_cluster::metrics::LevelStats;
 use chlm_lm::handoff::HandoffLedger;
@@ -61,7 +62,7 @@ impl LevelRates {
 
     /// `f_k` — level-k migration events per (level-0) node per second.
     pub fn f_k(&self, k: usize) -> f64 {
-        if self.node_seconds == 0.0 {
+        if self.node_seconds <= 0.0 {
             return 0.0;
         }
         self.migration_events.get(k).copied().unwrap_or(0) as f64 / self.node_seconds
@@ -69,7 +70,7 @@ impl LevelRates {
 
     /// `g_k` — level-k cluster-link state changes per node per second.
     pub fn g_k(&self, k: usize) -> f64 {
-        if self.node_seconds == 0.0 {
+        if self.node_seconds <= 0.0 {
             return 0.0;
         }
         self.link_events.get(k).copied().unwrap_or(0) as f64 / self.node_seconds
@@ -79,7 +80,7 @@ impl LevelRates {
     /// (all causes).
     pub fn g_prime_k(&self, k: usize) -> f64 {
         let ls = self.link_seconds.get(k).copied().unwrap_or(0.0);
-        if ls == 0.0 {
+        if ls <= 0.0 {
             return 0.0;
         }
         self.link_events.get(k).copied().unwrap_or(0) as f64 / ls
@@ -90,7 +91,7 @@ impl LevelRates {
     /// eq. (14)'s quantity, free of election-relabeling churn.
     pub fn g_prime_persisting_k(&self, k: usize) -> f64 {
         let ls = self.link_seconds.get(k).copied().unwrap_or(0.0);
-        if ls == 0.0 {
+        if ls <= 0.0 {
             return 0.0;
         }
         self.persisting_link_events.get(k).copied().unwrap_or(0) as f64 / ls
@@ -182,6 +183,77 @@ impl SimReport {
     /// φ + γ — total LM handoff overhead.
     pub fn total_overhead(&self) -> f64 {
         self.phi_total() + self.gamma_total()
+    }
+
+    /// Canonical digest over every measured field, for the determinism
+    /// verifier (`cargo xtask audit-determinism`): two runs of the same
+    /// `(config, seed)` must produce bit-identical reports, so any
+    /// divergence — down to a single float bit — changes this value.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new(2);
+        d.usize(self.n).word(self.seed);
+        d.f64(self.dt)
+            .f64(self.rtx)
+            .f64(self.speed)
+            .f64(self.mean_degree);
+        d.usize(self.depth);
+        d.usize(self.final_levels.len());
+        for ls in &self.final_levels {
+            d.usize(ls.level).usize(ls.nodes).usize(ls.edges);
+            d.f64(ls.arity).f64(ls.aggregation).f64(ls.mean_degree);
+            d.opt_f64(ls.intra_cluster_hops);
+        }
+        d.usize(self.ledger.per_level.len());
+        for c in &self.ledger.per_level {
+            d.f64(c.migration_packets).f64(c.reorg_packets);
+            d.word(c.migration_events).word(c.reorg_events);
+        }
+        d.f64(self.ledger.node_seconds);
+        d.f64(self.f0);
+        for v in [
+            &self.rates.migration_events,
+            &self.rates.reorg_events,
+            &self.rates.link_events,
+            &self.rates.persisting_link_events,
+        ] {
+            d.usize(v.len());
+            for &x in v {
+                d.word(x);
+            }
+        }
+        for v in [&self.rates.link_seconds, &self.rates.level_node_seconds] {
+            d.usize(v.len());
+            for &x in v {
+                d.f64(x);
+            }
+        }
+        d.f64(self.rates.node_seconds);
+        d.usize(self.events.counts.len());
+        for row in &self.events.counts {
+            for &c in row {
+                d.word(c);
+            }
+        }
+        for &c in &self.events.converse_vii {
+            d.word(c);
+        }
+        d.usize(self.state.distributions.len());
+        for dist in &self.state.distributions {
+            d.usize(dist.len());
+            for &p in dist {
+                d.f64(p);
+            }
+        }
+        for &p in &self.state.p1 {
+            d.opt_f64(p);
+        }
+        for &m in &self.state.multi_jump_fraction {
+            d.opt_f64(m);
+        }
+        d.opt_f64(self.mean_query_packets);
+        d.opt_f64(self.gls_overhead);
+        d.f64(self.mean_entries_hosted);
+        d.finish()
     }
 }
 

@@ -37,10 +37,12 @@ pub fn run_replications(cfg: &SimConfig, seeds: &[u64], threads: usize) -> Vec<S
             });
         }
     })
+    // audit: infallible because scope() only errs on a worker panic, already fatal here
     .expect("replication thread panicked");
     results
         .into_inner()
         .into_iter()
+        // audit: infallible because the scope above joined every worker
         .map(|r| r.expect("missing replication result"))
         .collect()
 }
@@ -56,10 +58,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let cfg = SimConfig::builder(60)
-            .duration(1.5)
-            .warmup(0.2)
-            .build();
+        let cfg = SimConfig::builder(60).duration(1.5).warmup(0.2).build();
         let seeds = seed_range(10, 4);
         let par = run_replications(&cfg, &seeds, 4);
         let seq = run_replications(&cfg, &seeds, 1);

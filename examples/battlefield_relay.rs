@@ -50,9 +50,7 @@ fn main() {
 
     println!("\n== interpretation ==");
     let ratio = independent.total_overhead() / squads.total_overhead().max(1e-9);
-    println!(
-        "group mobility cuts total LM handoff overhead by {ratio:.1}x vs independent RWP"
-    );
+    println!("group mobility cuts total LM handoff overhead by {ratio:.1}x vs independent RWP");
     println!(
         "(reorganization events: RPGM {} vs RWP {} vs walk {})",
         squads.events.grand_total(),

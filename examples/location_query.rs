@@ -40,7 +40,10 @@ fn main() {
     let addr = hierarchy.address(subject);
     println!("\n== node {subject} (id {}) ==", ids[subject as usize]);
     for (k, head) in addr.iter().enumerate() {
-        println!("level-{k} cluster head: node {head} (id {})", ids[*head as usize]);
+        println!(
+            "level-{k} cluster head: node {head} (id {})",
+            ids[*head as usize]
+        );
     }
     for k in 2..hierarchy.depth() {
         if let Some(server) = assignment.host(subject, k) {
@@ -53,10 +56,8 @@ fn main() {
 
     // Resolve a location query from the far side of the network.
     let requester = (0..n as u32)
-        .max_by_key(|&v| {
-            (positions[v as usize].dist(positions[subject as usize]) * 1000.0) as u64
-        })
-        .unwrap();
+        .max_by_key(|&v| (positions[v as usize].dist(positions[subject as usize]) * 1000.0) as u64)
+        .expect("network is non-empty");
     println!("\n== query: node {requester} looks up node {subject} ==");
     let outcome = resolve(&hierarchy, &assignment, requester, subject, |a, b| {
         bfs_distances(&graph, a)[b as usize] as f64
@@ -66,7 +67,10 @@ fn main() {
         Some(q) => {
             println!("lowest common cluster level : {}", q.common_level);
             println!("answering LM server         : node {}", q.server);
-            println!("query cost                  : {:.0} packet transmissions", q.packets);
+            println!(
+                "query cost                  : {:.0} packet transmissions",
+                q.packets
+            );
             // Now route the session hierarchically.
             if let Some(path) = hierarchical_path(&hierarchy, requester, subject) {
                 println!(

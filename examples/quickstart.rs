@@ -20,14 +20,26 @@ fn main() {
         .query_samples(50)
         .build();
 
-    println!("simulating |V| = {} for {} s (dt = {:.3} s)...", cfg.n, cfg.duration, cfg.tick());
+    println!(
+        "simulating |V| = {} for {} s (dt = {:.3} s)...",
+        cfg.n,
+        cfg.duration,
+        cfg.tick()
+    );
     let report = run_simulation(&cfg);
 
     println!("\n== network ==");
     println!("mean degree      : {:.2}", report.mean_degree);
-    println!("hierarchy depth  : {} levels (L = {})", report.depth, report.depth - 1);
+    println!(
+        "hierarchy depth  : {} levels (L = {})",
+        report.depth,
+        report.depth - 1
+    );
     println!("f0 (eq. 4)       : {:.3} link events / node / s", report.f0);
-    println!("LM entries/node  : {:.2} (Θ(log |V|) claim)", report.mean_entries_hosted);
+    println!(
+        "LM entries/node  : {:.2} (Θ(log |V|) claim)",
+        report.mean_entries_hosted
+    );
 
     println!("\n== LM handoff overhead (packet transmissions / node / s) ==");
     println!("{:<6} {:>10} {:>10}", "level", "phi_k", "gamma_k");
@@ -56,5 +68,8 @@ fn main() {
     if let Some(q) = report.mean_query_packets {
         println!("\nmean location-query cost: {q:.2} packets");
     }
-    println!("\ntotal LM handoff overhead: {:.3} packets/node/s", report.total_overhead());
+    println!(
+        "\ntotal LM handoff overhead: {:.3} packets/node/s",
+        report.total_overhead()
+    );
 }

@@ -20,10 +20,7 @@ fn main() {
     );
 
     let points = sweep(&sizes, replications, 1000, 4, |n| {
-        SimConfig::builder(n)
-            .duration(8.0)
-            .warmup(6.0)
-            .build()
+        SimConfig::builder(n).duration(8.0).warmup(6.0).build()
     });
 
     let phi = summarize_metric(&points, "phi", |r| r.phi_total());
@@ -55,15 +52,23 @@ fn main() {
         || class_is_competitive(&fits, ModelClass::LogN, 0.05);
     println!(
         "\npaper's claim (polylogarithmic growth): {}",
-        if polylog { "SUPPORTED" } else { "NOT SUPPORTED at these sizes" }
+        if polylog {
+            "SUPPORTED"
+        } else {
+            "NOT SUPPORTED at these sizes"
+        }
     );
     // f0 should be flat (eq. 4). R² cannot select a constant model (flat
     // data has no explainable variance), so judge by relative spread.
     let spread = chlm::analysis::regression::relative_spread(&f0.means);
     println!(
         "f0 flat in n (eq. 4): {} (spread {:.0}% of mean over an {:.0}x size range)",
-        if spread < 0.25 { "SUPPORTED" } else { "NOT SUPPORTED" },
+        if spread < 0.25 {
+            "SUPPORTED"
+        } else {
+            "NOT SUPPORTED"
+        },
         spread * 100.0,
-        f0.sizes.last().unwrap() / f0.sizes.first().unwrap()
+        f0.sizes.last().expect("sweep non-empty") / f0.sizes.first().expect("sweep non-empty")
     );
 }

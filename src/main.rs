@@ -158,7 +158,14 @@ fn cmd_simulate(args: &cli::Args) -> Result<(), String> {
     if let Some(g) = r.gls_overhead {
         t.row(vec!["GLS overhead (pkt/node/s)".into(), fnum(g)]);
     }
-    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    print!(
+        "{}",
+        if args.has("csv") {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    );
     Ok(())
 }
 
@@ -191,7 +198,14 @@ fn cmd_sweep(args: &cli::Args) -> Result<(), String> {
             fnum(series.ci95[i]),
         ]);
     }
-    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    print!(
+        "{}",
+        if args.has("csv") {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    );
     let (xs, ys) = series.xy();
     for f in best_fit(xs, ys) {
         println!("fit {:<9} r2 = {:+.4}", f.class.name(), f.r2);

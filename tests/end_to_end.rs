@@ -29,9 +29,8 @@ fn overhead_grows_sublinearly() {
     // the experiment binaries; this is the smoke-test version.)
     let small: Vec<SimReport> = run_replications(&quick(128, 0), &[1, 2, 3], 3);
     let large: Vec<SimReport> = run_replications(&quick(512, 0), &[1, 2, 3], 3);
-    let mean = |rs: &[SimReport]| {
-        rs.iter().map(|r| r.total_overhead()).sum::<f64>() / rs.len() as f64
-    };
+    let mean =
+        |rs: &[SimReport]| rs.iter().map(|r| r.total_overhead()).sum::<f64>() / rs.len() as f64;
     let (s, l) = (mean(&small), mean(&large));
     assert!(s > 0.0 && l > 0.0);
     assert!(

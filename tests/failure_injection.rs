@@ -79,7 +79,7 @@ fn complete_graph_single_cluster() {
     assert_eq!(h.depth(), 2);
     let a = LmAssignment::compute(&h, SelectionRule::Hrw);
     assert_eq!(a.entry_count(), 0); // no level ≥ 2 ⇒ level-1 knowledge suffices
-    // Query resolves at level 1 for free.
+                                    // Query resolves at level 1 for free.
     let q = resolve(&h, &a, 0, 19, |_, _| 1.0).unwrap();
     assert_eq!(q.packets, 0.0);
 }

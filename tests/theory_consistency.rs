@@ -69,10 +69,7 @@ fn eq9_migration_frequency_decays_with_level() {
     // Compare first vs later levels (monotonicity can be noisy at the top
     // where clusters are few).
     let mid = f.len().min(4) - 1;
-    assert!(
-        f[mid] < f[0],
-        "f_k not decaying: {f:?}"
-    );
+    assert!(f[mid] < f[0], "f_k not decaying: {f:?}");
 }
 
 #[test]

@@ -1,0 +1,209 @@
+//! Offline drop-in subset of the Criterion benchmarking API.
+//!
+//! Keeps the workspace's `#[bench]`-style harness files compiling and
+//! runnable without the real `criterion` crate. When actually executed
+//! (`cargo bench`, or any invocation with `--bench` / `CHLM_BENCH=1`), each
+//! benchmark body runs a fixed small number of iterations and reports the
+//! mean wall-clock time — good enough for relative comparisons, with none of
+//! Criterion's statistics. Under `cargo test` the binaries exit immediately
+//! so the stub never slows the tier-1 gate.
+
+use std::fmt::{self, Display};
+use std::time::Instant;
+
+/// Identifier for a parameterized benchmark, mirroring Criterion's.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    iters: u32,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / f64::from(self.iters.max(1));
+    }
+}
+
+/// Prevent the optimizer from deleting a benchmark's result.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    enabled: bool,
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Run for `cargo bench` (argv carries "--bench") or when forced via
+        // CHLM_BENCH=1; stay inert when compiled into `cargo test` runs.
+        let enabled = std::env::args().any(|a| a == "--bench")
+            || std::env::var_os("CHLM_BENCH").is_some_and(|v| v == "1");
+        Criterion { enabled, iters: 3 }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut body: F) {
+        if !self.enabled {
+            return;
+        }
+        let mut b = Bencher {
+            iters: self.iters,
+            last_mean_ns: f64::NAN,
+        };
+        body(&mut b);
+        println!("bench {label:<56} {:>14.0} ns/iter", b.last_mean_ns);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        self.run_one(id, body);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| body(b, input));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, body);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| body(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_under_test() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| {});
+            ran = true;
+        });
+        // Body only runs when benching is enabled; under `cargo test` it
+        // must stay inert unless CHLM_BENCH=1 is exported.
+        let forced = std::env::var_os("CHLM_BENCH").is_some_and(|v| v == "1");
+        assert_eq!(ran, forced || std::env::args().any(|a| a == "--bench"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline drop-in subset of `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope` (stable since Rust 1.63, so the crossbeam dependency
+//! is pure legacy here).
+//!
+//! One semantic difference: `std::thread::scope` resumes unwinding in the
+//! parent when a child panics, so [`scope`] only ever returns `Ok` — callers'
+//! `.expect("...")` still type-checks and the panic still surfaces, just with
+//! the child's own message.
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the scope
+    /// so it can spawn further siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let child = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&child)),
+        }
+    }
+}
+
+/// Create a scope for spawning borrowing threads; joins all of them before
+/// returning. Mirrors `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Mirror of the `crossbeam::thread` module path.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("scope");
+        assert!(flag.into_inner());
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal JSON writer for the machine-readable lint/determinism output.
+//! (No serde in the dependency closure; the output shapes here are flat
+//! enough that a small escaping writer is all that's needed.)
+
+use std::fmt::Write;
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental builder for one JSON object.
+#[derive(Default)]
+pub struct Object {
+    buf: String,
+}
+
+impl Object {
+    pub fn new() -> Self {
+        Object { buf: String::new() }
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":\"{}\"", escape(key), escape(value));
+        self
+    }
+
+    pub fn num_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Insert pre-rendered JSON (an array or object) under `key`.
+    pub fn raw_field(&mut self, key: &str, json: &str) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), json);
+        self
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Render a JSON array from pre-rendered element strings.
+pub fn array(elems: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, e) in elems.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&e);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_rendering() {
+        let mut o = Object::new();
+        o.str_field("lint", "no-float-eq")
+            .num_field("line", 12)
+            .bool_field("ok", false)
+            .raw_field("findings", "[]");
+        assert_eq!(
+            o.finish(),
+            "{\"lint\":\"no-float-eq\",\"line\":12,\"ok\":false,\"findings\":[]}"
+        );
+    }
+}

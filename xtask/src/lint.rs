@@ -1,0 +1,912 @@
+//! Repo-specific lint engine (`cargo xtask lint`).
+//!
+//! Four lints guard the invariants the generic toolchain cannot see:
+//!
+//! * `no-wallclock-or-thread-rng` — simulation crates must be a closed
+//!   system: no `SystemTime::now` / `Instant::now` / OS-entropy RNG. All
+//!   randomness flows through `chlm_geom::SimRng`, all time through the
+//!   tick counter, or runs stop being reproducible from `(config, seed)`.
+//! * `no-unordered-iteration` — iterating a `HashMap`/`HashSet` in
+//!   accounting code makes float accumulation order (and therefore the
+//!   last bit of every reported metric) depend on the hasher. Use
+//!   `BTreeMap`/`BTreeSet` or sort before iterating.
+//! * `no-unwrap-in-lib` — library code must not panic on absent values;
+//!   a site that truly cannot fail carries a `// audit: infallible
+//!   because ...` justification.
+//! * `no-float-eq` — metric code must not compare floats with `==`/`!=`
+//!   or `partial_cmp().unwrap()`; accumulated values are never exact.
+//!
+//! The scanner is deliberately not a full parser: it masks out comments
+//! and string/char literals (so patterns never fire inside them), tracks
+//! `#[cfg(test)]` regions by brace matching, and applies per-lint
+//! substring/shape rules to the masked lines. Findings can be waived via
+//! `xtask/allowlists/<lint>.txt`, one entry per line:
+//!
+//! ```text
+//! path/suffix.rs :: substring-of-the-line  # reason the site is fine
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub const LINT_WALLCLOCK: &str = "no-wallclock-or-thread-rng";
+pub const LINT_UNORDERED: &str = "no-unordered-iteration";
+pub const LINT_UNWRAP: &str = "no-unwrap-in-lib";
+pub const LINT_FLOAT_EQ: &str = "no-float-eq";
+
+pub const ALL_LINTS: [&str; 4] = [LINT_WALLCLOCK, LINT_UNORDERED, LINT_UNWRAP, LINT_FLOAT_EQ];
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.lint, self.message, self.excerpt
+        )
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    /// Findings waived by allowlist entries.
+    pub allowed: usize,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source masking
+// ---------------------------------------------------------------------------
+
+/// One source line with literals/comments blanked out.
+#[derive(Debug)]
+pub struct MaskedLine {
+    /// Code with every comment and string/char literal replaced by spaces.
+    pub code: String,
+    /// Concatenated comment text found on this line.
+    pub comment: String,
+    /// Line lies inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Mask comments and literals, preserving line structure exactly.
+pub fn mask_source(src: &str) -> Vec<MaskedLine> {
+    let bytes = src.as_bytes();
+    let mut code = String::with_capacity(src.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut mode = Mode::Code;
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            code.push('\n');
+            comments.push(String::new());
+            line += 1;
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = Mode::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    // Raw string? Walk back over `#`s and an `r`/`br`.
+                    let mut j = i;
+                    let mut hashes = 0u32;
+                    while j > 0 && bytes[j - 1] == b'#' {
+                        j -= 1;
+                        hashes += 1;
+                    }
+                    let raw = j > 0 && bytes[j - 1] == b'r';
+                    mode = if raw { Mode::RawStr(hashes) } else { Mode::Str };
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' / '\n' are literals,
+                    // 'a as in <'a> is a lifetime.
+                    let next = bytes.get(i + 1).copied();
+                    let is_char =
+                        next == Some(b'\\') || (next.is_some() && bytes.get(i + 2) == Some(&b'\''));
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comments[line].push(c);
+                code.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comments[line].push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Never swallow a newline (line numbers must hold).
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut k = 0u32;
+                    while k < hashes && bytes.get(i + 1 + k as usize) == Some(&b'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        mode = Mode::Code;
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let mut lines: Vec<MaskedLine> = code
+        .split('\n')
+        .zip(comments)
+        .map(|(c, comment)| MaskedLine {
+            code: c.to_string(),
+            comment,
+            in_test: false,
+        })
+        .collect();
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Mark every line inside a `#[cfg(test)]`-gated braced item.
+fn mark_test_regions(lines: &mut [MaskedLine]) {
+    let mut depth: i64 = 0;
+    // Brace depths at which a cfg(test) item's body started.
+    let mut test_stack: Vec<i64> = Vec::new();
+    // A `#[cfg(test)]` was seen and its item's `{` not yet reached.
+    let mut pending = false;
+    for ln in lines.iter_mut() {
+        if ln.code.contains("cfg(test)") && ln.code.contains("#[") {
+            pending = true;
+        }
+        ln.in_test = !test_stack.is_empty() || pending;
+        for ch in ln.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        test_stack.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use ...;` — attribute ends at the
+                // statement, not at a later brace.
+                ';' if pending && !ln.code.contains('{') => pending = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Identifier helpers (no regex crate available; hand-rolled shape checks)
+// ---------------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// The identifier ending immediately before byte offset `end` (skipping
+/// trailing whitespace), if any.
+fn ident_before(s: &str, end: usize) -> Option<&str> {
+    let head = &s[..end];
+    let trimmed = head.trim_end();
+    let stop = trimmed.len();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_ident_char(c))
+        .last()
+        .map(|(i, _)| i)?;
+    if start == stop {
+        return None;
+    }
+    let id = &trimmed[start..stop];
+    id.chars().next().filter(|c| !c.is_ascii_digit())?;
+    Some(id)
+}
+
+/// All positions where `needle` occurs in `hay` as a standalone word
+/// (not embedded in a longer identifier).
+fn word_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_char(hay[..at].chars().next_back().unwrap_or(' '));
+        let after = at + needle.len();
+        let after_ok = !hay[after..].starts_with(is_ident_char);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint rules
+// ---------------------------------------------------------------------------
+
+const WALLCLOCK_PATTERNS: [&str; 6] = [
+    "SystemTime::now",
+    "Instant::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+    "getrandom",
+];
+
+fn check_wallclock(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
+    for (idx, ln) in lines.iter().enumerate() {
+        if ln.in_test {
+            continue;
+        }
+        for pat in WALLCLOCK_PATTERNS {
+            if ln.code.contains(pat) {
+                out.push(Finding {
+                    lint: LINT_WALLCLOCK,
+                    file: path.to_string(),
+                    line: idx + 1,
+                    excerpt: ln.code.trim().to_string(),
+                    message: format!(
+                        "`{pat}` breaks (config, seed) reproducibility; use chlm_geom::SimRng / tick time"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Methods whose call on a hash container iterates it in hasher order.
+const UNORDERED_METHODS: [&str; 10] = [
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".difference(",
+    ".symmetric_difference(",
+];
+
+/// Names in this file bound to a `HashMap`/`HashSet` (let bindings, struct
+/// fields, fn params — anything of the shape `name: HashMap<` or
+/// `name = HashMap::new/with_capacity/from`).
+fn hash_bound_names(lines: &[MaskedLine]) -> Vec<String> {
+    let mut names = Vec::new();
+    for ln in lines {
+        let code = &ln.code;
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            for at in word_positions(code, ty) {
+                // `name: HashMap<...>` (type ascription / field / param),
+                // also through `&` / `&mut` references.
+                let head = code[..at].trim_end();
+                let head = head.strip_suffix("mut").map(str::trim_end).unwrap_or(head);
+                let head = head.strip_suffix('&').map(str::trim_end).unwrap_or(head);
+                let bound = if let Some(stripped) = head.strip_suffix(':') {
+                    ident_before(stripped, stripped.len())
+                } else if let Some(stripped) = head.strip_suffix('=') {
+                    // `name = HashMap::new()`
+                    ident_before(stripped, stripped.len())
+                } else {
+                    None
+                };
+                if let Some(name) = bound {
+                    if name != "mut" && !names.iter().any(|n| n == name) {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+fn check_unordered(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
+    let names = hash_bound_names(lines);
+    if names.is_empty() {
+        return;
+    }
+    for (idx, ln) in lines.iter().enumerate() {
+        if ln.in_test {
+            continue;
+        }
+        let code = &ln.code;
+        let mut hit: Option<String> = None;
+        for name in &names {
+            // `name.iter()` / `self.name.keys()` / ...
+            for m in UNORDERED_METHODS {
+                let pat = format!("{name}{m}");
+                if code.contains(&pat) {
+                    hit = Some(format!("{name}{m}"));
+                    break;
+                }
+            }
+            if hit.is_some() {
+                break;
+            }
+            // `for x in name` / `for x in &name` / `for x in &mut name`
+            for at in word_positions(code, name) {
+                let head = code[..at].trim_end();
+                let head = head.strip_suffix("&mut").unwrap_or(head).trim_end();
+                let head = head.strip_suffix('&').unwrap_or(head).trim_end();
+                if head.ends_with(" in") || head == "in" {
+                    let tail = code[at + name.len()..].trim_start();
+                    if tail.starts_with('{') || tail.is_empty() {
+                        hit = Some(format!("for _ in {name}"));
+                        break;
+                    }
+                }
+            }
+            if hit.is_some() {
+                break;
+            }
+        }
+        if let Some(site) = hit {
+            out.push(Finding {
+                lint: LINT_UNORDERED,
+                file: path.to_string(),
+                line: idx + 1,
+                excerpt: code.trim().to_string(),
+                message: format!(
+                    "`{site}` iterates a hash container in hasher order; use BTreeMap/BTreeSet or sort first"
+                ),
+            });
+        }
+    }
+}
+
+fn check_unwrap(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
+    for (idx, ln) in lines.iter().enumerate() {
+        if ln.in_test {
+            continue;
+        }
+        let code = &ln.code;
+        let site = if code.contains(".unwrap()") {
+            ".unwrap()"
+        } else if code.contains(".expect(") {
+            ".expect(...)"
+        } else {
+            continue;
+        };
+        // Justified by `// audit: ...` on the same line, on an earlier
+        // line of the same (possibly multi-line) expression, or on a
+        // comment-only line directly above it. A trailing comment on the
+        // *previous statement* justifies that statement, not this one.
+        let mut justified = ln.comment.contains("audit:");
+        let mut j = idx;
+        while !justified && j > 0 {
+            j -= 1;
+            let prev = &lines[j];
+            let t = prev.code.trim();
+            if t.is_empty() {
+                if prev.comment.contains("audit:") {
+                    justified = true;
+                } else if prev.comment.is_empty() {
+                    break; // blank line ends the statement's reach
+                }
+                continue;
+            }
+            if t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+                break; // previous statement boundary
+            }
+            justified = prev.comment.contains("audit:");
+        }
+        if justified {
+            continue;
+        }
+        out.push(Finding {
+            lint: LINT_UNWRAP,
+            file: path.to_string(),
+            line: idx + 1,
+            excerpt: code.trim().to_string(),
+            message: format!(
+                "`{site}` in library code without a `// audit: infallible because ...` justification"
+            ),
+        });
+    }
+}
+
+/// Does the token starting at `s` (already trimmed) look like a float
+/// literal (`0.0`, `1.`, `12.5e3`)?
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.trim_start().trim_start_matches('-').trim_start();
+    let mut saw_digit = false;
+    let mut saw_dot = false;
+    for c in s.chars() {
+        match c {
+            '0'..='9' | '_' => saw_digit = true,
+            '.' if saw_digit && !saw_dot => saw_dot = true,
+            _ => break,
+        }
+    }
+    saw_digit && saw_dot
+}
+
+/// Float literal directly before byte offset `end`?
+fn ends_with_float_literal(s: &str, end: usize) -> bool {
+    let head = s[..end].trim_end();
+    let mut saw_digit = false;
+    let mut saw_dot = false;
+    for c in head.chars().rev() {
+        match c {
+            '0'..='9' | '_' => saw_digit = true,
+            '.' if saw_digit && !saw_dot => saw_dot = true,
+            _ => break,
+        }
+    }
+    saw_digit && saw_dot
+}
+
+fn check_float_eq(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
+    for (idx, ln) in lines.iter().enumerate() {
+        if ln.in_test {
+            continue;
+        }
+        let code = &ln.code;
+        let mut flagged = false;
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(op) {
+                let at = from + rel;
+                from = at + 2;
+                // Skip `<=`, `>=`, `!==`-like neighbors and pattern arms.
+                if at > 0 && matches!(&code[at - 1..at], "<" | ">" | "=" | "!") {
+                    continue;
+                }
+                if code[at + 2..].starts_with('=') {
+                    continue;
+                }
+                if starts_with_float_literal(&code[at + 2..]) || ends_with_float_literal(code, at) {
+                    out.push(Finding {
+                        lint: LINT_FLOAT_EQ,
+                        file: path.to_string(),
+                        line: idx + 1,
+                        excerpt: code.trim().to_string(),
+                        message: format!(
+                            "float `{op}` comparison in metric code; use an epsilon, a sign test, or total_cmp"
+                        ),
+                    });
+                    flagged = true;
+                    break;
+                }
+            }
+            if flagged {
+                break;
+            }
+        }
+        if !flagged && code.contains(".partial_cmp(") && code.contains(".unwrap()") {
+            out.push(Finding {
+                lint: LINT_FLOAT_EQ,
+                file: path.to_string(),
+                line: idx + 1,
+                excerpt: code.trim().to_string(),
+                message: "`partial_cmp().unwrap()` panics on NaN; use f64::total_cmp".to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scopes, allowlists, drivers
+// ---------------------------------------------------------------------------
+
+/// Crates whose runtime must be a closed deterministic system.
+const WALLCLOCK_SCOPE: [&str; 5] = [
+    "crates/sim/src/",
+    "crates/proto/src/",
+    "crates/cluster/src/",
+    "crates/mobility/src/",
+    "crates/lm/src/",
+];
+
+/// Metric/accounting files where float equality is meaningless.
+const FLOAT_EQ_SCOPE: [&str; 5] = [
+    "crates/analysis/src/",
+    "crates/sim/src/report.rs",
+    "crates/lm/src/handoff.rs",
+    "crates/cluster/src/metrics.rs",
+    "crates/graph/src/metrics.rs",
+];
+
+/// Does `lint` apply to `path` when scanning the whole workspace?
+pub fn lint_applies(lint: &str, path: &str) -> bool {
+    match lint {
+        LINT_WALLCLOCK => WALLCLOCK_SCOPE.iter().any(|p| path.starts_with(p)),
+        LINT_UNORDERED => path.starts_with("crates/") && path.contains("/src/"),
+        LINT_UNWRAP => {
+            path.starts_with("crates/")
+                && path.contains("/src/")
+                // bench is a bin-only crate (experiment drivers); panicking
+                // on bad CLI input there is fine.
+                && !path.starts_with("crates/bench/")
+                && !path.contains("/src/bin/")
+        }
+        LINT_FLOAT_EQ => FLOAT_EQ_SCOPE.iter().any(|p| path.starts_with(p)),
+        _ => false,
+    }
+}
+
+/// One allowlist entry: `path_suffix :: line_substring # reason`.
+#[derive(Debug)]
+pub struct AllowEntry {
+    pub path_suffix: String,
+    pub line_substring: String,
+}
+
+/// Parse an allowlist file's text (missing file == empty list).
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let line = match raw.find('#') {
+            Some(h) => &raw[..h],
+            None => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((path, substr)) = line.split_once("::") {
+            out.push(AllowEntry {
+                path_suffix: path.trim().to_string(),
+                line_substring: substr.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn load_allowlist(root: &Path, lint: &str) -> Vec<AllowEntry> {
+    let path = root.join("xtask/allowlists").join(format!("{lint}.txt"));
+    match fs::read_to_string(path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn is_allowed(f: &Finding, raw_line: &str, allow: &[AllowEntry]) -> bool {
+    allow
+        .iter()
+        .any(|e| f.file.ends_with(&e.path_suffix) && raw_line.contains(&e.line_substring))
+}
+
+/// Scan one file's source with the given lints (no scope filtering — the
+/// caller decides which lints apply).
+pub fn scan_source(path: &str, source: &str, lints: &[&'static str]) -> Vec<Finding> {
+    let lines = mask_source(source);
+    let mut out = Vec::new();
+    for &lint in lints {
+        match lint {
+            LINT_WALLCLOCK => check_wallclock(path, &lines, &mut out),
+            LINT_UNORDERED => check_unordered(path, &lines, &mut out),
+            LINT_UNWRAP => check_unwrap(path, &lines, &mut out),
+            LINT_FLOAT_EQ => check_float_eq(path, &lines, &mut out),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(&*name, "target" | "vendor" | ".git" | "fixtures") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint the whole workspace under `root` (scope rules + allowlists apply).
+pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for top in ["crates", "xtask/src", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let allowlists: Vec<(String, Vec<AllowEntry>)> = ALL_LINTS
+        .iter()
+        .map(|&l| (l.to_string(), load_allowlist(root, l)))
+        .collect();
+
+    let mut report = LintReport::default();
+    for file in &files {
+        let rel = rel_path(root, file);
+        let lints: Vec<&'static str> = ALL_LINTS
+            .iter()
+            .copied()
+            .filter(|l| lint_applies(l, &rel))
+            .collect();
+        report.files_scanned += 1;
+        if lints.is_empty() {
+            continue;
+        }
+        let source = fs::read_to_string(file)?;
+        let raw_lines: Vec<&str> = source.lines().collect();
+        for f in scan_source(&rel, &source, &lints) {
+            let raw = raw_lines.get(f.line - 1).copied().unwrap_or("");
+            let allow = allowlists
+                .iter()
+                .find(|(l, _)| l == f.lint)
+                .map(|(_, v)| v.as_slice())
+                .unwrap_or(&[]);
+            if is_allowed(&f, raw, allow) {
+                report.allowed += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Lint explicit files/directories with ALL lints and no allowlists —
+/// used by the negative-fixture tests and for spot checks.
+pub fn run_paths(paths: &[PathBuf]) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    let mut report = LintReport::default();
+    for file in &files {
+        report.files_scanned += 1;
+        let source = fs::read_to_string(file)?;
+        let rel = file.to_string_lossy().replace('\\', "/");
+        report
+            .findings
+            .extend(scan_source(&rel, &source, &ALL_LINTS));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_strings_and_comments() {
+        let src = "let a = \"Instant::now\"; // Instant::now in comment\nlet b = 1;\n";
+        let lines = mask_source(src);
+        assert!(!lines[0].code.contains("Instant::now"));
+        assert!(lines[0].comment.contains("Instant::now"));
+        assert!(lines[1].code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"thread_rng \" inner\"#; let c = '\"'; let d = x.unwrap();\n";
+        let lines = mask_source(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[0].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() { z.unwrap(); }\n";
+        let lines = mask_source(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+        let f = {
+            let mut out = Vec::new();
+            check_unwrap("t.rs", &lines, &mut out);
+            out
+        };
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 6);
+    }
+
+    #[test]
+    fn audit_comment_justifies_unwrap() {
+        let src = "// audit: infallible because checked above\nlet x = v.first().unwrap();\nlet y = w.first().unwrap(); // audit: infallible because non-empty\nlet z = q.first().unwrap();\n";
+        let lines = mask_source(src);
+        let mut out = Vec::new();
+        check_unwrap("t.rs", &lines, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn hash_iteration_detected_and_btree_ignored() {
+        let src = "use std::collections::{BTreeMap, HashMap};\nlet mut m: HashMap<u32, f64> = HashMap::new();\nfor (k, v) in &m { total += v; }\nlet b: BTreeMap<u32, f64> = BTreeMap::new();\nfor (k, v) in &b { total += v; }\nlet sum: f64 = m.values().sum();\n";
+        let lines = mask_source(src);
+        let mut out = Vec::new();
+        check_unordered("t.rs", &lines, &mut out);
+        let lines_hit: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert!(lines_hit.contains(&3), "{out:?}");
+        assert!(lines_hit.contains(&6), "{out:?}");
+        assert!(
+            !lines_hit.contains(&5),
+            "BTreeMap iteration flagged: {out:?}"
+        );
+    }
+
+    #[test]
+    fn float_eq_detected() {
+        let src = "if total == 0.0 { return; }\nif n == 0 { return; }\nlet c = a.partial_cmp(&b).unwrap();\nif x <= 0.0 { return; }\n";
+        let lines = mask_source(src);
+        let mut out = Vec::new();
+        check_float_eq("t.rs", &lines, &mut out);
+        let hit: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(hit, vec![1, 3], "{out:?}");
+    }
+
+    #[test]
+    fn allowlist_waives_matching_findings() {
+        let allow = parse_allowlist(
+            "# comment\nsim/src/report.rs :: node_seconds == 0.0  # sentinel for division guard\n",
+        );
+        assert_eq!(allow.len(), 1);
+        let f = Finding {
+            lint: LINT_FLOAT_EQ,
+            file: "crates/sim/src/report.rs".to_string(),
+            line: 5,
+            excerpt: String::new(),
+            message: String::new(),
+        };
+        assert!(is_allowed(
+            &f,
+            "        if self.node_seconds == 0.0 {",
+            &allow
+        ));
+        assert!(!is_allowed(
+            &f,
+            "        if self.link_seconds == 0.0 {",
+            &allow
+        ));
+    }
+
+    #[test]
+    fn scope_rules() {
+        assert!(lint_applies(LINT_WALLCLOCK, "crates/sim/src/engine.rs"));
+        assert!(!lint_applies(
+            LINT_WALLCLOCK,
+            "crates/analysis/src/stats.rs"
+        ));
+        assert!(lint_applies(LINT_UNWRAP, "crates/graph/src/lib.rs"));
+        assert!(!lint_applies(
+            LINT_UNWRAP,
+            "crates/bench/src/bin/exp_scaling.rs"
+        ));
+        assert!(lint_applies(LINT_FLOAT_EQ, "crates/lm/src/handoff.rs"));
+        assert!(!lint_applies(LINT_FLOAT_EQ, "crates/lm/src/server.rs"));
+    }
+}

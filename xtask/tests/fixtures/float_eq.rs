@@ -1,0 +1,21 @@
+// Negative fixture for `no-float-eq`. Not compiled as a cargo target.
+
+pub fn bad_eq(total: f64) -> bool {
+    total == 0.0
+}
+
+pub fn bad_ne(rate: f64) -> bool {
+    rate != 1.5
+}
+
+pub fn bad_partial_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn ok_int_eq(n: u64) -> bool {
+    n == 0
+}
+
+pub fn ok_sign_test(total: f64) -> bool {
+    total <= 0.0
+}

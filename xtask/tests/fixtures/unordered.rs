@@ -1,0 +1,28 @@
+// Negative fixture for `no-unordered-iteration`: hash-container iteration
+// in accounting code. Not compiled as a cargo target.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn bad_sum(totals: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, v) in totals {
+        acc += v; // hasher-order float accumulation
+    }
+    acc
+}
+
+pub fn bad_set_diff() {
+    let old: HashSet<u32> = HashSet::new();
+    let new: HashSet<u32> = HashSet::new();
+    for x in old.difference(&new) {
+        let _ = x;
+    }
+}
+
+pub fn ok_btree(ordered: &BTreeMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, v) in ordered {
+        acc += v;
+    }
+    acc
+}

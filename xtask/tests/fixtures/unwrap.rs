@@ -1,0 +1,22 @@
+// Negative fixture for `no-unwrap-in-lib`. Not compiled as a cargo target.
+
+pub fn bad_unwrap(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn bad_expect(v: &[u32]) -> u32 {
+    *v.first().expect("nonempty")
+}
+
+pub fn ok_justified(v: &[u32]) -> u32 {
+    // audit: infallible because the caller guarantees v is non-empty
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn ok_in_test() {
+        let v = vec![1u32];
+        let _ = *v.first().unwrap();
+    }
+}

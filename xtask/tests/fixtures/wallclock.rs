@@ -1,0 +1,28 @@
+// Negative fixture for `no-wallclock-or-thread-rng`: every line below must
+// be flagged. Not compiled as a cargo target — scanned by the lint tests.
+
+pub fn bad_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn bad_wallclock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn bad_rng() -> u64 {
+    let mut r = rand::thread_rng();
+    rand::random()
+}
+
+pub fn ok_string() -> &'static str {
+    // Inside a string literal, so NOT a finding:
+    "Instant::now"
+}
+
+#[cfg(test)]
+mod tests {
+    // In test code, so NOT a finding:
+    fn timing() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,100 @@
+//! Negative-fixture tests: each file under `tests/fixtures/` must trip its
+//! lint (library API), and the `cargo xtask lint` binary must exit
+//! non-zero with valid JSON on each of them.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::lint::{self, LINT_FLOAT_EQ, LINT_UNORDERED, LINT_UNWRAP, LINT_WALLCLOCK};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn findings_for(name: &str) -> Vec<lint::Finding> {
+    lint::run_paths(&[fixture(name)])
+        .expect("fixture readable")
+        .findings
+}
+
+#[test]
+fn wallclock_fixture_fails() {
+    let fs = findings_for("wallclock.rs");
+    let hits: Vec<&lint::Finding> = fs.iter().filter(|f| f.lint == LINT_WALLCLOCK).collect();
+    // Instant::now, SystemTime::now, thread_rng, rand::random.
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    // The string-literal and #[cfg(test)] occurrences must NOT fire.
+    assert!(hits.iter().all(|f| f.line < 20), "{hits:?}");
+}
+
+#[test]
+fn unordered_fixture_fails() {
+    let fs = findings_for("unordered.rs");
+    let hits: Vec<usize> = fs
+        .iter()
+        .filter(|f| f.lint == LINT_UNORDERED)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(hits.len(), 2, "{fs:?}");
+    // The BTreeMap loop at the bottom of the file must not fire.
+    assert!(hits.iter().all(|&l| l < 22), "{fs:?}");
+}
+
+#[test]
+fn unwrap_fixture_fails() {
+    let fs = findings_for("unwrap.rs");
+    let hits: Vec<usize> = fs
+        .iter()
+        .filter(|f| f.lint == LINT_UNWRAP)
+        .map(|f| f.line)
+        .collect();
+    // bad_unwrap + bad_expect; justified + in-test sites silent.
+    assert_eq!(hits.len(), 2, "{fs:?}");
+}
+
+#[test]
+fn float_eq_fixture_fails() {
+    let fs = findings_for("float_eq.rs");
+    let hits: Vec<usize> = fs
+        .iter()
+        .filter(|f| f.lint == LINT_FLOAT_EQ)
+        .map(|f| f.line)
+        .collect();
+    // ==, != and partial_cmp().unwrap(); integer == and <= stay silent.
+    assert_eq!(hits.len(), 3, "{fs:?}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_fixture_with_json() {
+    for name in ["wallclock.rs", "unordered.rs", "unwrap.rs", "float_eq.rs"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .args(["lint", "--json", "--path"])
+            .arg(fixture(name))
+            .output()
+            .expect("spawn xtask binary");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name}: expected exit 1, got {:?}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.trim_start().starts_with('{') && stdout.contains("\"findings\":["),
+            "{name}: not JSON: {stdout}"
+        );
+        assert!(stdout.contains("\"ok\":false"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn binary_rejects_unknown_command() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn xtask binary");
+    assert_eq!(out.status.code(), Some(2));
+}
