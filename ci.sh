@@ -21,4 +21,7 @@ cargo test --workspace -q
 step "cargo xtask audit-determinism"
 cargo xtask audit-determinism
 
+step "cargo xtask bench --smoke"
+cargo xtask bench --smoke
+
 printf '\nci.sh: all checks passed\n'

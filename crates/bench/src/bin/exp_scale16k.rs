@@ -1,0 +1,95 @@
+//! E16 (§4–§5 at scale): does the polylog scaling law extrapolate to
+//! n = 16384?
+//!
+//! The φ/γ sweeps (E7, E9) fit `a·ln²n + b` on sizes the multi-seed
+//! harness can afford. This experiment is the out-of-sample check the
+//! incremental tick pipeline buys: fit the paper's `O(log² n)` model on a
+//! calibration sweep (n ≤ 4096), then run a *single-seed* replication at
+//! n = 16384 — four times beyond the largest calibration point — and
+//! compare the measured φ and γ against the fitted curve's prediction.
+//! A measurement inside (or below) the extrapolation band is evidence the
+//! polylog law, not a faster-growing one, governs the overhead; a large
+//! overshoot would indicate super-polylog growth the small sizes masked.
+//!
+//! Knobs: `CHLM_SEEDS` (calibration replications, default 4),
+//! `CHLM_DURATION` (measured seconds, default 8; the 16k point always
+//! uses this duration too), `CHLM_SCALE_N` (the extrapolation size,
+//! default 16384).
+
+use chlm_analysis::regression::{fit_model, ModelClass};
+use chlm_analysis::table::{fnum, TextTable};
+use chlm_bench::{env_usize, replications, standard_config, threads};
+use chlm_core::experiment::{summarize_metric, sweep};
+use chlm_sim::Simulation;
+
+fn main() {
+    let big_n = env_usize("CHLM_SCALE_N", 16384);
+    println!("== E16: polylog extrapolation to n = {big_n} ==");
+
+    // Calibration sweep: 512..4096, multi-seed.
+    let sizes: Vec<usize> = [512usize, 1024, 2048, 4096]
+        .into_iter()
+        .filter(|&n| n < big_n)
+        .collect();
+    println!(
+        "calibration sizes {:?}, {} replications, {} threads",
+        sizes,
+        replications(),
+        threads()
+    );
+    let points = sweep(&sizes, replications(), 16000, threads(), standard_config);
+    let phi = summarize_metric(&points, "phi", |r| r.phi_total());
+    let gamma = summarize_metric(&points, "gamma", |r| r.gamma_total());
+
+    // Single-seed extrapolation point. One seed is the honest budget at
+    // this size; the calibration CIs bound the seed-to-seed spread.
+    let mut cfg = standard_config(big_n);
+    cfg.seed = 16001;
+    println!("running single-seed n = {big_n} replication...");
+    let report = Simulation::new(cfg).run();
+
+    let mut t = TextTable::new(vec![
+        "metric",
+        "fit a*ln^2(n)+b",
+        "r2",
+        &format!("predicted @{big_n}"),
+        &format!("measured @{big_n}"),
+        "ratio",
+    ]);
+    let mut worst_ratio = 1.0f64;
+    for (series, measured) in [(&phi, report.phi_total()), (&gamma, report.gamma_total())] {
+        let (xs, ys) = series.xy();
+        let fit = fit_model(ModelClass::Log2N, xs, ys);
+        let predicted = fit.predict(big_n as f64);
+        let ratio = if predicted > 0.0 {
+            measured / predicted
+        } else {
+            f64::INFINITY
+        };
+        worst_ratio = worst_ratio.max(ratio);
+        t.row(vec![
+            series.name.clone(),
+            format!("{}*ln^2(n) + {}", fnum(fit.a), fnum(fit.b)),
+            fnum(fit.r2),
+            fnum(predicted),
+            fnum(measured),
+            fnum(ratio),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("depth at n = {big_n}: {} levels", report.depth);
+
+    // Verdict: the measurement "lands on" the fitted curve when it does
+    // not exceed the polylog prediction by more than 50% — loose enough
+    // for single-seed noise, tight enough to expose e.g. Θ(√n) growth
+    // (which would overshoot a 4× extrapolation by ~2.4×).
+    if worst_ratio <= 1.5 {
+        println!(
+            "OK: n = {big_n} lands on the fitted polylog curve (worst ratio {worst_ratio:.2})."
+        );
+    } else {
+        println!(
+            "WARN: n = {big_n} overshoots the polylog fit by {worst_ratio:.2}x — super-polylog growth?"
+        );
+    }
+}

@@ -60,13 +60,46 @@ pub struct AddressBook {
 impl AddressBook {
     /// Capture the addresses of every node in `h`.
     pub fn capture(h: &Hierarchy) -> Self {
+        let mut book = AddressBook {
+            addr: Vec::new(),
+            n: 0,
+            depth: 0,
+        };
+        book.capture_into(h, &mut Vec::new());
+        book
+    }
+
+    /// Re-capture in place, reusing this snapshot's address buffer and the
+    /// caller's `scratch` (any size; it is resized as needed). Produces
+    /// exactly the same snapshot as [`AddressBook::capture`] — the tick loop
+    /// uses this with two swapped books to make address capture
+    /// allocation-free.
+    ///
+    /// Addresses are computed level-by-level: `scratch[phys]` holds the
+    /// level-(k-1) head of each level-(k-1) node, so each node's level-k
+    /// component is one array lookup from its level-(k-1) component — no
+    /// per-node chain walk, no hash lookups.
+    pub fn capture_into(&mut self, h: &Hierarchy, scratch: &mut Vec<NodeIdx>) {
         let n = h.node_count();
         let depth = h.depth();
-        let mut addr = Vec::with_capacity(n * depth);
-        for v in 0..n as NodeIdx {
-            addr.extend(h.address(v));
+        self.n = n;
+        self.depth = depth;
+        self.addr.clear();
+        self.addr.resize(n * depth, 0);
+        for v in 0..n {
+            self.addr[v * depth] = v as NodeIdx;
         }
-        AddressBook { addr, n, depth }
+        scratch.resize(n, 0);
+        for k in 1..depth {
+            let level = &h.levels[k - 1];
+            for (local, &phys) in level.nodes.iter().enumerate() {
+                scratch[phys as usize] = level.head_of(local as u32);
+            }
+            for v in 0..n {
+                let below = self.addr[v * depth + k - 1];
+                self.addr[v * depth + k] = scratch[below as usize];
+            }
+        }
     }
 
     pub fn node_count(&self) -> usize {
@@ -177,6 +210,26 @@ mod tests {
         assert_eq!(b.depth(), h.depth());
         assert_eq!(b.row(3)[0], 3);
         assert_eq!(b.component(0, 99), *h.address(0).last().unwrap());
+    }
+
+    #[test]
+    fn capture_into_matches_capture_across_reuse() {
+        // Reuse one book across hierarchies of different shapes/depths; it
+        // must always equal a fresh capture, and agree with h.address().
+        let hierarchies = [
+            hierarchy(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            hierarchy(8, &[(0, 7), (1, 7), (2, 6), (3, 6), (6, 7)]),
+            hierarchy(3, &[]),
+        ];
+        let mut book = AddressBook::capture(&hierarchies[0]);
+        let mut scratch = Vec::new();
+        for h in &hierarchies {
+            book.capture_into(h, &mut scratch);
+            assert_eq!(book, AddressBook::capture(h));
+            for v in 0..h.node_count() as NodeIdx {
+                assert_eq!(book.row(v), h.address(v).as_slice());
+            }
+        }
     }
 
     #[test]

@@ -23,10 +23,6 @@
 
 use crate::Hierarchy;
 use chlm_graph::NodeIdx;
-// Ordered containers, not hash containers: classify_events iterates the
-// set differences to *emit* events, so iteration order must be a pure
-// function of the contents (bit-reproducible runs and stable event lists).
-use std::collections::{BTreeMap, BTreeSet};
 
 /// One classified reorganization event. `level` is the paper's `k`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,33 +158,46 @@ impl EventCounts {
     }
 }
 
-/// Level-k edge set keyed by physical endpoint ids (`u < v`).
-fn phys_edges(h: &Hierarchy, k: usize) -> BTreeSet<(NodeIdx, NodeIdx)> {
+// Sorted slices/vecs, not tree or hash containers: classify_events
+// iterates the set differences to *emit* events, so iteration order must
+// be a pure function of the contents (bit-reproducible runs and stable
+// event lists). Every source list below is already ascending — level node
+// lists ascend by physical id (level 0 is 0..n; each next level collects
+// heads in ascending order), and adjacency lists are sorted — so ascending
+// iteration matches what the former `BTreeSet`s yielded while membership
+// tests become binary searches with no per-snapshot allocation.
+
+/// Level-k edge list keyed by physical endpoint ids (`u < v`), ascending.
+fn phys_edges(h: &Hierarchy, k: usize) -> Vec<(NodeIdx, NodeIdx)> {
     match h.levels.get(k) {
-        None => BTreeSet::new(),
-        Some(level) => level
-            .graph
-            .edges()
-            .map(|(a, b)| {
-                let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
-                (pa.min(pb), pa.max(pb))
-            })
-            .collect(),
+        None => Vec::new(),
+        Some(level) => {
+            let es: Vec<(NodeIdx, NodeIdx)> = level
+                .graph
+                .edges()
+                .map(|(a, b)| {
+                    let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
+                    (pa.min(pb), pa.max(pb))
+                })
+                .collect();
+            debug_assert!(es.windows(2).all(|w| w[0] < w[1]));
+            es
+        }
     }
 }
 
-/// Physical-id set of level-k nodes.
-fn phys_nodes(h: &Hierarchy, k: usize) -> BTreeSet<NodeIdx> {
-    match h.levels.get(k) {
-        None => BTreeSet::new(),
-        Some(level) => level.nodes.iter().copied().collect(),
-    }
+/// Physical ids of level-k nodes, ascending (borrowed from the snapshot).
+fn phys_nodes(h: &Hierarchy, k: usize) -> &[NodeIdx] {
+    let nodes = h.levels.get(k).map_or(&[][..], |level| &level.nodes[..]);
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    nodes
 }
 
-/// Vote map at level k: physical node -> physical vote target.
-fn phys_votes(h: &Hierarchy, k: usize) -> BTreeMap<NodeIdx, NodeIdx> {
+/// Vote pairs at level k — `(physical node, physical vote target)` —
+/// ascending by node.
+fn phys_votes(h: &Hierarchy, k: usize) -> Vec<(NodeIdx, NodeIdx)> {
     match h.levels.get(k) {
-        None => BTreeMap::new(),
+        None => Vec::new(),
         Some(level) => level
             .nodes
             .iter()
@@ -196,6 +205,27 @@ fn phys_votes(h: &Hierarchy, k: usize) -> BTreeMap<NodeIdx, NodeIdx> {
             .map(|(i, &p)| (p, level.nodes[level.vote[i] as usize]))
             .collect(),
     }
+}
+
+/// Membership test on an ascending slice.
+#[inline]
+fn has<T: Ord>(sorted: &[T], x: &T) -> bool {
+    sorted.binary_search(x).is_ok()
+}
+
+/// Vote target of `u` in an ascending `(node, target)` list.
+#[inline]
+fn vote_of(votes: &[(NodeIdx, NodeIdx)], u: NodeIdx) -> Option<NodeIdx> {
+    votes
+        .binary_search_by_key(&u, |&(n, _)| n)
+        .ok()
+        .map(|i| votes[i].1)
+}
+
+/// Elements of ascending `a` absent from ascending `b`, in ascending order
+/// (the order `BTreeSet::difference` yielded).
+fn sorted_difference<'a, T: Ord>(a: &'a [T], b: &'a [T]) -> impl Iterator<Item = &'a T> {
+    a.iter().filter(move |x| b.binary_search(x).is_err())
 }
 
 /// Classify every reorganization event between two hierarchy snapshots.
@@ -224,12 +254,12 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         let new_edges = phys_edges(new, k);
         let upper_old = phys_nodes(old, k + 1);
         let upper_new = phys_nodes(new, k + 1);
-        for &(u, v) in new_edges.difference(&old_edges) {
-            if old_nodes.contains(&u)
-                && old_nodes.contains(&v)
-                && new_nodes.contains(&u)
-                && new_nodes.contains(&v)
-                && (upper_new.contains(&u) || upper_new.contains(&v))
+        for &(u, v) in sorted_difference(&new_edges, &old_edges) {
+            if has(old_nodes, &u)
+                && has(old_nodes, &v)
+                && has(new_nodes, &u)
+                && has(new_nodes, &v)
+                && (has(upper_new, &u) || has(upper_new, &v))
             {
                 let ev = ReorgEvent::LinkFormed {
                     level: k as u16,
@@ -240,12 +270,12 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
                 events.push(ev);
             }
         }
-        for &(u, v) in old_edges.difference(&new_edges) {
-            if old_nodes.contains(&u)
-                && old_nodes.contains(&v)
-                && new_nodes.contains(&u)
-                && new_nodes.contains(&v)
-                && (upper_old.contains(&u) || upper_old.contains(&v))
+        for &(u, v) in sorted_difference(&old_edges, &new_edges) {
+            if has(old_nodes, &u)
+                && has(old_nodes, &v)
+                && has(new_nodes, &u)
+                && has(new_nodes, &v)
+                && (has(upper_old, &u) || has(upper_old, &v))
             {
                 let ev = ReorgEvent::LinkBroken {
                     level: k as u16,
@@ -258,12 +288,12 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         }
 
         // --- (iii)/(v): level-k node births ---
-        for &head in new_nodes.difference(&old_nodes) {
+        for &head in sorted_difference(new_nodes, old_nodes) {
             // Electors of `head` among new level-(k-1) nodes.
             let electors: Vec<NodeIdx> = new_votes_prev
                 .iter()
-                .filter(|&(&u, &t)| t == head && u != head)
-                .map(|(&u, _)| u)
+                .filter(|&&(u, t)| t == head && u != head)
+                .map(|&(u, _)| u)
                 .collect();
             // An elector that existed at level k-1 before and voted
             // elsewhere means migration-driven election (iii); an elector
@@ -272,7 +302,7 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
             // not depend on container iteration order (determinism).
             let migrating = electors
                 .iter()
-                .filter(|&&u| old_prev_nodes.contains(&u) && old_votes_prev.get(&u) != Some(&head))
+                .filter(|&&u| has(old_prev_nodes, &u) && vote_of(&old_votes_prev, u) != Some(head))
                 .min();
             let ev = if let Some(&u) = migrating {
                 ReorgEvent::ElectedByMigration {
@@ -280,11 +310,7 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
                     head,
                     elector: u,
                 }
-            } else if let Some(&u) = electors
-                .iter()
-                .filter(|&&u| !old_prev_nodes.contains(&u))
-                .min()
-            {
+            } else if let Some(&u) = electors.iter().filter(|&&u| !has(old_prev_nodes, &u)).min() {
                 ReorgEvent::ElectedRecursive {
                     level: k as u16,
                     head,
@@ -305,15 +331,15 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         }
 
         // --- (iv)/(vi): level-k node deaths ---
-        for &head in old_nodes.difference(&new_nodes) {
+        for &head in sorted_difference(old_nodes, new_nodes) {
             let old_electors: Vec<NodeIdx> = old_votes_prev
                 .iter()
-                .filter(|&(&u, &t)| t == head && u != head)
-                .map(|(&u, _)| u)
+                .filter(|&&(u, t)| t == head && u != head)
+                .map(|&(u, _)| u)
                 .collect();
             let surviving = old_electors
                 .iter()
-                .filter(|&&u| new_prev_nodes.contains(&u))
+                .filter(|&&u| has(new_prev_nodes, &u))
                 .min();
             let ev = if let Some(&u) = surviving {
                 ReorgEvent::RejectedByMigration {
@@ -342,14 +368,14 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
 
         // --- (vii): neighbor promoted to level-(k+1) ---
         if let Some(new_level) = new.levels.get(k) {
-            for &promoted in upper_new.difference(&upper_old) {
+            for &promoted in sorted_difference(upper_new, upper_old) {
                 // `promoted` is a level-(k+1) node now; each of its level-k
                 // neighbors that also existed before does handoff with the
                 // new cluster.
                 if let Some(local) = new_level.local(promoted) {
                     for &nb in new_level.graph.neighbors(local) {
                         let nb_phys = new_level.nodes[nb as usize];
-                        if old_nodes.contains(&nb_phys) {
+                        if has(old_nodes, &nb_phys) {
                             let ev = ReorgEvent::NeighborPromoted {
                                 level: k as u16,
                                 new_head: promoted,
@@ -364,9 +390,7 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         }
 
         // --- converse of (vii): upper-level cluster death (no handoff) ---
-        for _ in upper_old.difference(&upper_new) {
-            counts.converse_vii[k] += 1;
-        }
+        counts.converse_vii[k] += sorted_difference(upper_old, upper_new).count() as u64;
     }
     (events, counts)
 }

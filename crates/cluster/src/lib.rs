@@ -176,6 +176,15 @@ impl Hierarchy {
     /// # Panics
     /// If `ids.len() != graph0.node_count()` or IDs are not distinct.
     pub fn build(ids: &[ElectionId], graph0: &Graph, opts: HierarchyOptions) -> Self {
+        Self::build_owned(ids, graph0.clone(), opts)
+    }
+
+    /// Like [`Hierarchy::build`], but takes ownership of the level-0 graph
+    /// so the tick loop can hand in a recycled buffer instead of paying a
+    /// fresh `O(n)`-allocation clone every tick. Every level's node list and
+    /// graph are *moved* into the hierarchy (the election never copies
+    /// them).
+    pub fn build_owned(ids: &[ElectionId], graph0: Graph, opts: HierarchyOptions) -> Self {
         assert_eq!(ids.len(), graph0.node_count(), "one ID per node");
         debug_assert!(
             {
@@ -189,9 +198,9 @@ impl Hierarchy {
         let mut levels: Vec<Level> = Vec::new();
         // Level 0: local == physical.
         let mut cur_nodes: Vec<NodeIdx> = (0..n as NodeIdx).collect();
-        let mut cur_graph = graph0.clone();
+        let mut cur_graph = graph0;
         loop {
-            let level = elect(&cur_nodes, &cur_graph, ids);
+            let level = elect(cur_nodes, cur_graph, ids);
             let heads: Vec<u32> = (0..level.len() as u32)
                 .filter(|&i| level.is_head[i as usize])
                 .collect();
@@ -319,8 +328,10 @@ impl Hierarchy {
     }
 }
 
-/// Run one LCA election round over the given level topology.
-fn elect(nodes: &[NodeIdx], graph: &Graph, ids: &[ElectionId]) -> Level {
+/// Run one LCA election round over the given level topology. Takes the
+/// node list and graph by value: they are moved into the returned [`Level`]
+/// unchanged, so the recursion never copies a graph.
+fn elect(nodes: Vec<NodeIdx>, graph: Graph, ids: &[ElectionId]) -> Level {
     let m = nodes.len();
     assert_eq!(graph.node_count(), m);
     let mut vote = vec![0u32; m];
@@ -354,9 +365,9 @@ fn elect(nodes: &[NodeIdx], graph: &Graph, ids: &[ElectionId]) -> Level {
         .map(|(i, &p)| (p, i as u32))
         .collect();
     Level {
-        nodes: nodes.to_vec(),
+        nodes,
         index_of,
-        graph: graph.clone(),
+        graph,
         vote,
         elector_count,
         is_head,

@@ -12,8 +12,6 @@
 //!   to simulation. Experiment E11 measures it with this tracker.
 
 use crate::Hierarchy;
-use chlm_graph::NodeIdx;
-use std::collections::BTreeMap;
 
 /// Accumulates the empirical ALCA state distribution per level, and counts
 /// state transitions to check the adjacent-transition property at tick
@@ -25,8 +23,12 @@ pub struct StateTracker {
     /// Per-level counts of per-tick state jumps by magnitude:
     /// `[0]` no change, `[1]` ±1, `[2]` ≥ ±2.
     jumps: Vec<[u64; 3]>,
-    /// Last observed state per (level, physical node).
-    last: BTreeMap<(usize, NodeIdx), u32>,
+    /// Last observed state per level, indexed by physical node. An entry
+    /// is current only when the node was seen at that level on the
+    /// previous observation (`last_seen[k][phys] == ticks - 1`), so a node
+    /// that left a level and re-entered does not register a spurious jump.
+    last_state: Vec<Vec<u32>>,
+    last_seen: Vec<Vec<u64>>,
     ticks: u64,
 }
 
@@ -38,10 +40,20 @@ impl StateTracker {
     /// Observe one hierarchy snapshot.
     pub fn observe(&mut self, h: &Hierarchy) {
         self.ticks += 1;
+        let n = h.node_count();
         for (k, level) in h.levels.iter().enumerate() {
             if self.occupancy.len() <= k {
                 self.occupancy.push(Vec::new());
                 self.jumps.push([0; 3]);
+                self.last_state.push(Vec::new());
+                self.last_seen.push(Vec::new());
+            }
+            if self.last_state[k].len() < n {
+                self.last_state[k].resize(n, 0);
+                // u64::MAX sentinel: a fresh entry must never compare equal
+                // to `ticks - 1`, or never-seen nodes would register a
+                // spurious jump from state 0 on their first observation.
+                self.last_seen[k].resize(n, u64::MAX);
             }
             for (i, &phys) in level.nodes.iter().enumerate() {
                 let s = level.elector_count[i];
@@ -50,20 +62,15 @@ impl StateTracker {
                     occ.resize(s as usize + 1, 0);
                 }
                 occ[s as usize] += 1;
-                if let Some(prev) = self.last.insert((k, phys), s) {
-                    let jump = prev.abs_diff(s);
+                if self.last_seen[k][phys as usize] == self.ticks - 1 {
+                    let jump = self.last_state[k][phys as usize].abs_diff(s);
                     let slot = (jump.min(2)) as usize;
                     self.jumps[k][slot] += 1;
                 }
+                self.last_state[k][phys as usize] = s;
+                self.last_seen[k][phys as usize] = self.ticks;
             }
         }
-        // Drop stale entries for nodes that left a level, so re-entry does
-        // not register a spurious jump.
-        self.last.retain(|&(k, phys), _| {
-            h.levels
-                .get(k)
-                .is_some_and(|level| level.index_of.contains_key(&phys))
-        });
     }
 
     /// Number of levels with observations.
@@ -148,7 +155,7 @@ impl StateTracker {
 mod tests {
     use super::*;
     use crate::HierarchyOptions;
-    use chlm_graph::Graph;
+    use chlm_graph::{Graph, NodeIdx};
 
     fn hierarchy(n: usize, edges: &[(NodeIdx, NodeIdx)]) -> Hierarchy {
         let ids: Vec<u64> = (0..n as u64).collect();

@@ -19,6 +19,9 @@ pub struct SpatialGrid {
     /// CSR layout: `starts[c]..starts[c+1]` indexes into `items` for cell c.
     starts: Vec<u32>,
     items: Vec<u32>,
+    /// Placement cursor scratch, kept so `rebuild` allocates nothing once
+    /// the grid has reached its steady-state size.
+    cursor: Vec<u32>,
     n_points: usize,
 }
 
@@ -26,18 +29,36 @@ impl SpatialGrid {
     /// Build a grid over `points` with the given `cell` size (normally the
     /// query radius). Handles the empty set.
     pub fn build(points: &[Point], cell: f64) -> Self {
+        let mut grid = SpatialGrid {
+            cell,
+            inv_cell: 1.0 / cell,
+            min: Point::ORIGIN,
+            cols: 1,
+            rows: 1,
+            starts: Vec::new(),
+            items: Vec::new(),
+            cursor: Vec::new(),
+            n_points: 0,
+        };
+        grid.rebuild(points, cell);
+        grid
+    }
+
+    /// Re-index a new point set in place, reusing the CSR buffers. After the
+    /// first few calls at a stable population this allocates nothing.
+    pub fn rebuild(&mut self, points: &[Point], cell: f64) {
         assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        self.cell = cell;
+        self.inv_cell = 1.0 / cell;
+        self.n_points = points.len();
         if points.is_empty() {
-            return SpatialGrid {
-                cell,
-                inv_cell: 1.0 / cell,
-                min: Point::ORIGIN,
-                cols: 1,
-                rows: 1,
-                starts: vec![0, 0],
-                items: Vec::new(),
-                n_points: 0,
-            };
+            self.min = Point::ORIGIN;
+            self.cols = 1;
+            self.rows = 1;
+            self.starts.clear();
+            self.starts.extend_from_slice(&[0, 0]);
+            self.items.clear();
+            return;
         }
         let mut min = points[0];
         let mut max = points[0];
@@ -48,40 +69,36 @@ impl SpatialGrid {
             max.x = max.x.max(p.x);
             max.y = max.y.max(p.y);
         }
-        let inv_cell = 1.0 / cell;
+        let inv_cell = self.inv_cell;
         let cols = (((max.x - min.x) * inv_cell).floor() as usize) + 1;
         let rows = (((max.y - min.y) * inv_cell).floor() as usize) + 1;
         let n_cells = cols * rows;
+        self.min = min;
+        self.cols = cols;
+        self.rows = rows;
 
         // Counting sort into CSR: one pass to count, one to place.
-        let mut starts = vec![0u32; n_cells + 1];
+        self.starts.clear();
+        self.starts.resize(n_cells + 1, 0);
         let cell_of = |p: &Point| -> usize {
             let cx = ((p.x - min.x) * inv_cell).floor() as usize;
             let cy = ((p.y - min.y) * inv_cell).floor() as usize;
             cy.min(rows - 1) * cols + cx.min(cols - 1)
         };
         for p in points {
-            starts[cell_of(p) + 1] += 1;
+            self.starts[cell_of(p) + 1] += 1;
         }
         for c in 0..n_cells {
-            starts[c + 1] += starts[c];
+            self.starts[c + 1] += self.starts[c];
         }
-        let mut cursor = starts.clone();
-        let mut items = vec![0u32; points.len()];
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts);
+        self.items.clear();
+        self.items.resize(points.len(), 0);
         for (i, p) in points.iter().enumerate() {
             let c = cell_of(p);
-            items[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
-        SpatialGrid {
-            cell,
-            inv_cell,
-            min,
-            cols,
-            rows,
-            starts,
-            items,
-            n_points: points.len(),
+            self.items[self.cursor[c] as usize] = i as u32;
+            self.cursor[c] += 1;
         }
     }
 

@@ -1,0 +1,300 @@
+//! Incremental unit-disk graph maintenance.
+//!
+//! [`build_unit_disk`](crate::unit_disk::build_unit_disk) rebuilds the
+//! whole adjacency structure from scratch every call — `O(n·d)` work and
+//! `O(n)` allocations per tick even when almost no link changed state. At
+//! simulator time steps (a node moves `R_TX / 10` per tick) the topology
+//! churns a fraction of a percent of its edges per tick, so the rebuild is
+//! almost entirely wasted work.
+//!
+//! [`UnitDiskMaintainer`] exploits that slack with a *candidate list* (the
+//! Verlet-list technique from molecular dynamics): at each full rebuild it
+//! records every pair within `R_TX + s` ("s" = the slack margin) and the
+//! reference positions. While every node has moved less than `s / 2` from
+//! its reference position, **no pair outside the candidate list can have
+//! closed to within `R_TX`**: a non-candidate pair was at distance
+//! `> R_TX + s` at rebuild time, and two nodes approaching each other can
+//! shrink their separation by at most the sum of their displacements,
+//! `≤ 2 · (s / 2) = s`. A tick therefore only has to re-test the candidate
+//! pairs (a small constant multiple of the true edge count) and toggle the
+//! ones that crossed the `R_TX` threshold. Once accumulated displacement
+//! exceeds the budget, the maintainer falls back to a full rebuild — the
+//! churn-threshold fallback — and starts a new epoch.
+//!
+//! The maintained graph is *identical* (not just equivalent) to what
+//! `build_unit_disk` would produce for the same positions: membership is
+//! decided by the same `dist_sq(u, v) <= rtx * rtx` comparison on the same
+//! floats, and adjacency lists stay sorted, so `Graph` equality holds
+//! bit-for-bit. Tests below and `tests/incremental_equivalence.rs` assert
+//! this against both the grid builder and the brute-force reference.
+
+use crate::{Graph, NodeIdx};
+use chlm_geom::{Point, SpatialGrid};
+
+/// Maintains the unit-disk graph of a moving point set across ticks.
+#[derive(Debug)]
+pub struct UnitDiskMaintainer {
+    rtx: f64,
+    r_sq: f64,
+    /// Candidate margin: pairs within `rtx + slack` at rebuild time are
+    /// tracked; the patch path is valid while `2 · max_displacement ≤ slack`.
+    slack: f64,
+    n: usize,
+    /// Positions at the last full rebuild (the displacement reference).
+    ref_positions: Vec<Point>,
+    /// Candidate pairs as CSR over the lower endpoint: for each `u`,
+    /// `cand[cstart[u]..cstart[u+1]]` are the candidate partners `v > u`,
+    /// sorted ascending.
+    cstart: Vec<u32>,
+    cand: Vec<NodeIdx>,
+    /// Whether each candidate pair is currently an edge (parallel to
+    /// `cand`); avoids adjacency binary searches on the patch path.
+    cedge: Vec<bool>,
+    graph: Graph,
+    grid: SpatialGrid,
+    nbr_scratch: Vec<NodeIdx>,
+    rebuilds: u64,
+    patches: u64,
+}
+
+impl UnitDiskMaintainer {
+    /// Build the initial graph over `positions`. `rtx` must be positive and
+    /// finite. The slack margin defaults to `rtx` itself: candidates cover
+    /// twice the link radius, which at the simulator's `R_TX / 10` per-tick
+    /// motion sustains ~5 patch ticks per rebuild.
+    pub fn new(positions: &[Point], rtx: f64) -> Self {
+        assert!(rtx > 0.0 && rtx.is_finite(), "R_TX must be positive");
+        let mut m = UnitDiskMaintainer {
+            rtx,
+            r_sq: rtx * rtx,
+            slack: rtx,
+            n: positions.len(),
+            ref_positions: Vec::new(),
+            cstart: Vec::new(),
+            cand: Vec::new(),
+            cedge: Vec::new(),
+            graph: Graph::with_nodes(positions.len()),
+            grid: SpatialGrid::build(&[], rtx),
+            nbr_scratch: Vec::new(),
+            rebuilds: 0,
+            patches: 0,
+        };
+        m.rebuild(positions);
+        m
+    }
+
+    /// The maintained graph — always equal to
+    /// `build_unit_disk(current_positions, rtx)`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Full rebuilds performed so far (including the initial one).
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Incremental patch ticks performed so far.
+    pub fn patch_count(&self) -> u64 {
+        self.patches
+    }
+
+    /// Advance to a new position snapshot, patching incrementally when the
+    /// displacement budget allows and rebuilding from scratch otherwise.
+    /// Returns `true` if this tick performed a full rebuild.
+    ///
+    /// # Panics
+    /// If the population size changed.
+    pub fn advance(&mut self, positions: &[Point]) -> bool {
+        assert_eq!(positions.len(), self.n, "population size changed");
+        // Patch validity: every current edge must still be a candidate pair,
+        // which holds while 2 · max displacement since rebuild ≤ slack.
+        let mut max_d2 = 0.0f64;
+        for (p, r) in positions.iter().zip(&self.ref_positions) {
+            let d2 = p.dist_sq(*r);
+            if d2 > max_d2 {
+                max_d2 = d2;
+            }
+        }
+        if 4.0 * max_d2 > self.slack * self.slack {
+            self.rebuild(positions);
+            true
+        } else {
+            self.patch(positions);
+            false
+        }
+    }
+
+    /// Unconditional full rebuild (the from-scratch reference path; also the
+    /// churn-threshold fallback).
+    pub fn rebuild(&mut self, positions: &[Point]) {
+        assert_eq!(positions.len(), self.n, "population size changed");
+        self.rebuilds += 1;
+        self.ref_positions.clear();
+        self.ref_positions.extend_from_slice(positions);
+        self.graph.reset(self.n);
+        self.cstart.clear();
+        self.cand.clear();
+        self.cedge.clear();
+        self.cstart.push(0);
+        if self.n < 2 {
+            self.cstart.resize(self.n + 1, 0);
+            return;
+        }
+        let reach = self.rtx + self.slack;
+        let reach_sq = reach * reach;
+        self.grid.rebuild(positions, reach);
+        for u in 0..self.n as NodeIdx {
+            self.nbr_scratch.clear();
+            let pu = positions[u as usize];
+            // Over-approximating radius: the grid prunes by cell only; the
+            // exact candidate test below uses reach_sq on the positions.
+            self.grid.for_each_within(positions, pu, reach, |v| {
+                if v > u {
+                    self.nbr_scratch.push(v);
+                }
+            });
+            self.nbr_scratch.sort_unstable();
+            for &v in &self.nbr_scratch {
+                let d2 = pu.dist_sq(positions[v as usize]);
+                debug_assert!(d2 <= reach_sq * (1.0 + 1e-9));
+                let is_edge = d2 <= self.r_sq;
+                self.cand.push(v);
+                self.cedge.push(is_edge);
+                if is_edge {
+                    // u ascending and v ascending per u: both endpoint lists
+                    // receive appends, so insertion cost is O(1).
+                    self.graph.add_edge(u, v);
+                }
+            }
+            self.cstart.push(self.cand.len() as u32);
+        }
+    }
+
+    /// Re-test every candidate pair and toggle the ones that crossed the
+    /// `R_TX` threshold. Only valid inside the displacement budget —
+    /// `advance` enforces that.
+    fn patch(&mut self, positions: &[Point]) {
+        self.patches += 1;
+        for u in 0..self.n as NodeIdx {
+            let pu = positions[u as usize];
+            let lo = self.cstart[u as usize] as usize;
+            let hi = self.cstart[u as usize + 1] as usize;
+            for i in lo..hi {
+                let v = self.cand[i];
+                let is_edge = pu.dist_sq(positions[v as usize]) <= self.r_sq;
+                if is_edge != self.cedge[i] {
+                    self.cedge[i] = is_edge;
+                    if is_edge {
+                        self.graph.add_edge(u, v);
+                    } else {
+                        self.graph.remove_edge(u, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_disk::{build_unit_disk, build_unit_disk_brute};
+    use chlm_geom::region::{deploy_uniform, Disk};
+    use chlm_geom::SimRng;
+    use proptest::prelude::*;
+
+    /// Random small step for every point, scaled so several ticks fit in
+    /// one displacement budget.
+    fn jiggle(points: &mut [Point], step: f64, rng: &mut SimRng) {
+        for p in points.iter_mut() {
+            let ang = rng.range_f64(0.0, std::f64::consts::TAU);
+            p.x += step * ang.cos();
+            p.y += step * ang.sin();
+        }
+    }
+
+    #[test]
+    fn matches_full_build_across_many_ticks() {
+        let disk = Disk::centered(10.0);
+        let rtx = 1.4;
+        for seed in 0..3u64 {
+            let mut rng = SimRng::seed_from(seed);
+            let mut pts = deploy_uniform(&disk, 250, &mut rng);
+            let mut m = UnitDiskMaintainer::new(&pts, rtx);
+            assert_eq!(*m.graph(), build_unit_disk(&pts, rtx));
+            for _ in 0..40 {
+                jiggle(&mut pts, rtx / 10.0, &mut rng);
+                m.advance(&pts);
+                assert_eq!(*m.graph(), build_unit_disk(&pts, rtx), "seed {seed}");
+                m.graph().check_invariants();
+            }
+            assert!(m.patch_count() > 0, "budget never exercised");
+            assert!(m.rebuild_count() > 1, "fallback never exercised");
+        }
+    }
+
+    #[test]
+    fn large_jump_forces_rebuild() {
+        let disk = Disk::centered(8.0);
+        let mut rng = SimRng::seed_from(9);
+        let mut pts = deploy_uniform(&disk, 100, &mut rng);
+        let mut m = UnitDiskMaintainer::new(&pts, 1.2);
+        let before = m.rebuild_count();
+        // Teleport one node across the region: far outside any budget.
+        pts[42] = Point::new(-pts[42].x, -pts[42].y);
+        assert!(m.advance(&pts), "teleport must trigger the fallback");
+        assert_eq!(m.rebuild_count(), before + 1);
+        assert_eq!(*m.graph(), build_unit_disk(&pts, 1.2));
+    }
+
+    #[test]
+    fn static_points_never_rebuild_again() {
+        let disk = Disk::centered(6.0);
+        let mut rng = SimRng::seed_from(3);
+        let pts = deploy_uniform(&disk, 80, &mut rng);
+        let mut m = UnitDiskMaintainer::new(&pts, 1.3);
+        for _ in 0..10 {
+            assert!(!m.advance(&pts));
+        }
+        assert_eq!(m.rebuild_count(), 1);
+        assert_eq!(m.patch_count(), 10);
+    }
+
+    #[test]
+    fn tiny_populations() {
+        for n in 0..3usize {
+            let pts: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * 0.4, 0.0)).collect();
+            let mut m = UnitDiskMaintainer::new(&pts, 1.0);
+            assert_eq!(*m.graph(), build_unit_disk(&pts, 1.0));
+            m.advance(&pts);
+            assert_eq!(*m.graph(), build_unit_disk(&pts, 1.0));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Incremental maintenance over random walks matches the O(n²)
+        /// brute-force builder at every step.
+        #[test]
+        fn prop_matches_brute_force(
+            seed in 0u64..1000,
+            n in 2usize..60,
+            rtx in 0.5f64..2.0,
+            steps in 1usize..12,
+            step_frac in 0.01f64..0.3,
+        ) {
+            let disk = Disk::centered(5.0);
+            let mut rng = SimRng::seed_from(seed);
+            let mut pts = deploy_uniform(&disk, n, &mut rng);
+            let mut m = UnitDiskMaintainer::new(&pts, rtx);
+            prop_assert_eq!(m.graph(), &build_unit_disk_brute(&pts, rtx));
+            for _ in 0..steps {
+                jiggle(&mut pts, rtx * step_frac, &mut rng);
+                m.advance(&pts);
+                prop_assert_eq!(m.graph(), &build_unit_disk_brute(&pts, rtx));
+            }
+        }
+    }
+}

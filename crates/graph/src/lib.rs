@@ -36,12 +36,14 @@
 
 pub mod dijkstra;
 pub mod dynamics;
+pub mod incremental;
 pub mod metrics;
 pub mod traversal;
 pub mod union_find;
 pub mod unit_disk;
 
 pub use dynamics::LinkDiff;
+pub use incremental::UnitDiskMaintainer;
 pub use union_find::UnionFind;
 
 /// Node index type. Graphs in this workspace are dense and index nodes by
@@ -136,6 +138,31 @@ impl Graph {
                 true
             }
         }
+    }
+
+    /// Clear to `n` isolated nodes, keeping the per-node neighbor-list
+    /// allocations so a refilled graph of similar shape allocates nothing.
+    pub fn reset(&mut self, n: usize) {
+        for nbrs in &mut self.adj {
+            nbrs.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+        self.n_edges = 0;
+    }
+
+    /// Overwrite `self` with `other`'s structure, reusing this graph's
+    /// per-node neighbor-list allocations (unlike `clone()`, which allocates
+    /// every list afresh).
+    pub fn copy_from(&mut self, other: &Graph) {
+        self.adj.truncate(other.adj.len());
+        let keep = self.adj.len();
+        for (dst, src) in self.adj.iter_mut().zip(&other.adj) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        self.adj
+            .extend(other.adj[keep..].iter().map(|src| src.to_vec()));
+        self.n_edges = other.n_edges;
     }
 
     /// Iterate every undirected edge once, as `(u, v)` with `u < v`.
@@ -242,6 +269,20 @@ mod tests {
         let g = Graph::from_edges(6, &[(3, 1), (3, 5), (3, 0)]);
         assert_eq!(g.closed_neighborhood(3), vec![0, 1, 3, 5]);
         assert_eq!(g.closed_neighborhood(2), vec![2]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let a = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        for mut dst in [
+            Graph::with_nodes(0),
+            Graph::with_nodes(9),
+            Graph::from_edges(3, &[(0, 2)]),
+        ] {
+            dst.copy_from(&a);
+            assert_eq!(dst, a);
+            dst.check_invariants();
+        }
     }
 
     #[test]

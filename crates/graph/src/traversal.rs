@@ -12,7 +12,17 @@ pub const UNREACHABLE: u32 = u32::MAX;
 
 /// BFS hop distances from `src` to every node (`UNREACHABLE` if disconnected).
 pub fn bfs_distances(g: &Graph, src: NodeIdx) -> Vec<u32> {
-    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut dist = Vec::new();
+    bfs_distances_into(g, src, &mut dist);
+    dist
+}
+
+/// [`bfs_distances`] writing into a caller-provided buffer (cleared and
+/// resized here), so per-source distance vectors can be pooled across calls
+/// instead of reallocated.
+pub fn bfs_distances_into(g: &Graph, src: NodeIdx, dist: &mut Vec<u32>) {
+    dist.clear();
+    dist.resize(g.node_count(), UNREACHABLE);
     let mut q = VecDeque::new();
     dist[src as usize] = 0;
     q.push_back(src);
@@ -25,7 +35,6 @@ pub fn bfs_distances(g: &Graph, src: NodeIdx) -> Vec<u32> {
             }
         }
     }
-    dist
 }
 
 /// Hop distance between `src` and `dst`, early-exiting once `dst` is settled.

@@ -22,7 +22,6 @@
 use crate::server::HostChange;
 use chlm_cluster::address::{AddrChange, AddrChangeKind};
 use chlm_graph::NodeIdx;
-use std::collections::BTreeMap;
 
 /// Per-level handoff cost accumulators.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -78,36 +77,40 @@ impl HandoffLedger {
         n: usize,
         dt: f64,
     ) {
-        // Index address changes: (node, exact level) -> kind, and
-        // node -> lowest changed level (for host-side attribution).
-        // BTreeMaps so any future iteration over these indexes is ordered;
-        // today they are lookup-only, but the handoff ledger is accounting
-        // code and must stay deterministic by construction.
-        let mut exact: BTreeMap<(NodeIdx, u16), AddrChangeKind> = BTreeMap::new();
-        let mut lowest: BTreeMap<NodeIdx, (u16, AddrChangeKind)> = BTreeMap::new();
+        // Address-change lookups run straight off the diff slice: the diff
+        // walks nodes then levels, so `addr_changes` ascends by
+        // `(node, level)` and `(node, exact level) -> kind` is a binary
+        // search. Node -> lowest changed level (for host-side attribution)
+        // is the first entry of each node-run, collected in one pass.
+        debug_assert!(addr_changes
+            .windows(2)
+            .all(|w| (w[0].node, w[0].level) < (w[1].node, w[1].level)));
+        let exact_kind = |node: NodeIdx, k: u16| -> Option<AddrChangeKind> {
+            addr_changes
+                .binary_search_by_key(&(node, k), |c| (c.node, c.level))
+                .ok()
+                .map(|i| addr_changes[i].kind)
+        };
+        let mut lowest: Vec<(NodeIdx, u16, AddrChangeKind)> = Vec::new();
         for c in addr_changes {
-            exact.insert((c.node, c.level), c.kind);
-            lowest
-                .entry(c.node)
-                .and_modify(|e| {
-                    if c.level < e.0 {
-                        *e = (c.level, c.kind);
-                    }
-                })
-                .or_insert((c.level, c.kind));
+            if lowest.last().is_none_or(|&(node, _, _)| node != c.node) {
+                lowest.push((c.node, c.level, c.kind));
+            }
         }
         let host_kind = |node: NodeIdx, k: u16| -> Option<AddrChangeKind> {
             lowest
-                .get(&node)
-                .filter(|&&(lvl, _)| lvl <= k)
-                .map(|&(_, kind)| kind)
+                .binary_search_by_key(&node, |&(node, _, _)| node)
+                .ok()
+                .and_then(|i| {
+                    let (_, lvl, kind) = lowest[i];
+                    (lvl <= k).then_some(kind)
+                })
         };
 
         for hc in host_changes {
             let k = hc.level;
-            let kind = exact
-                .get(&(hc.subject, k))
-                .copied()
+            let subject_exact = exact_kind(hc.subject, k);
+            let kind = subject_exact
                 .or_else(|| host_kind(hc.old_host, k))
                 .or_else(|| host_kind(hc.new_host, k))
                 .unwrap_or(AddrChangeKind::Reorganization);
@@ -116,7 +119,7 @@ impl HandoffLedger {
             let mut packets = hop(hc.old_host, hc.new_host);
             // Registration: when the subject itself changed its level-k
             // cluster it must (re)register with the new server.
-            if exact.contains_key(&(hc.subject, k)) {
+            if subject_exact.is_some() {
                 packets += hop(hc.subject, hc.new_host);
             }
             let slot = self.level_mut(k as usize);

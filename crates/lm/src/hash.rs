@@ -24,6 +24,19 @@ pub fn hrw_weight(subject: ElectionId, candidate: ElectionId, salt: u64) -> u64 
     splitmix64(subject ^ splitmix64(candidate ^ salt))
 }
 
+/// The weighted-rendezvous key `-w / ln(u)` of one candidate, exactly as
+/// [`hrw_select_weighted`] computes it. Exposed so incremental callers can
+/// score a handful of candidates against a cached winner with bit-identical
+/// arithmetic; the winner is the candidate maximizing `(key, id)`
+/// lexicographically.
+#[inline]
+pub fn hrw_key_weighted(subject: ElectionId, candidate: ElectionId, salt: u64, w: f64) -> f64 {
+    let raw = hrw_weight(subject, candidate, salt);
+    // Map to (0, 1) exclusive on both ends.
+    let u = (raw as f64 + 0.5) / (u64::MAX as f64 + 1.0);
+    -w / u.ln()
+}
+
 /// Highest-random-weight selection: index of the winning candidate.
 ///
 /// Deterministic and total-order based, so it is unambiguous even under
@@ -96,10 +109,7 @@ pub fn hrw_select_weighted(
     let mut best_id = 0u64;
     for (i, &(id, w)) in candidates.iter().enumerate() {
         assert!(w > 0.0 && w.is_finite(), "weights must be positive");
-        let raw = hrw_weight(subject, id, salt);
-        // Map to (0, 1) exclusive on both ends.
-        let u = (raw as f64 + 0.5) / (u64::MAX as f64 + 1.0);
-        let key = -w / u.ln();
+        let key = hrw_key_weighted(subject, id, salt, w);
         if key > best_key || (key == best_key && id > best_id) {
             best_key = key;
             best_id = id;

@@ -11,9 +11,12 @@
 //! Level 1 needs no server (complete intra-cluster topology knowledge),
 //! and level 0 is the node itself.
 
-use crate::hash::{hrw_select_weighted, mod_successor_select};
-use chlm_cluster::Hierarchy;
+use crate::hash::{hrw_key_weighted, hrw_weight, mod_successor_select};
+use chlm_cluster::{AddressBook, Hierarchy};
 use chlm_graph::NodeIdx;
+
+/// Local-index sentinel for "this physical node is not at this level".
+const NO_SLOT: u32 = u32::MAX;
 
 /// Which hashing rule selects among member clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,89 +53,527 @@ pub struct LmAssignment {
     hosts: Vec<NodeIdx>,
 }
 
+/// One level's cluster structure, flattened for cross-tick comparison.
+///
+/// Members of the cluster headed by local node `t` are the CSR range
+/// `start[t]..start[t + 1]`, ascending by member local index — the same
+/// order in which the per-head `Vec` grouping used to push them, so any
+/// hash walk over the range sees the candidates in the historical order.
+#[derive(Debug, Default)]
+struct LevelClusters {
+    start: Vec<u32>,
+    /// Physical (level-0) identity of each member, parallel to the CSR.
+    member_phys: Vec<NodeIdx>,
+    /// Election ID of each member, parallel to the CSR. Snapshotted (rather
+    /// than read through `h.ids`) so cache validity is purely content-based
+    /// even if a caller re-keys node IDs between ticks.
+    member_id: Vec<u64>,
+    /// Member subtree weight as `f64::to_bits` — bit-exact comparison and
+    /// storage without tripping float-equality lints; `from_bits` restores
+    /// the identical value for hashing.
+    member_wbits: Vec<u64>,
+    /// Subtree weight (level-0 descendant count) per local node.
+    weight: Vec<f64>,
+    /// Physical node → local index at this level (`NO_SLOT` when absent);
+    /// length is the full population `n` for O(1) lookups on the hot path.
+    slot_of_phys: Vec<u32>,
+    /// Per-cluster CSR over the delta arrays below: the members of cluster
+    /// `t` that are new or re-weighted/re-keyed versus the previous tick
+    /// occupy `delta_start[t]..delta_start[t + 1]`. Empty for clean clusters.
+    delta_start: Vec<u32>,
+    delta_phys: Vec<NodeIdx>,
+    delta_id: Vec<u64>,
+    delta_wbits: Vec<u64>,
+}
+
+impl LevelClusters {
+    /// Rebuild this snapshot from `level`, with `below` being the already
+    /// built snapshot one level down (None at level 0).
+    fn build(
+        &mut self,
+        h: &Hierarchy,
+        j: usize,
+        below: Option<&LevelClusters>,
+        n: usize,
+        cursor: &mut Vec<u32>,
+    ) {
+        let level = &h.levels[j];
+        let len = level.len();
+        self.weight.clear();
+        match below {
+            None => self.weight.resize(len, 1.0),
+            Some(b) => {
+                for &phys in &level.nodes {
+                    let t = b.slot_of_phys[phys as usize] as usize;
+                    let lo = b.start[t] as usize;
+                    let hi = b.start[t + 1] as usize;
+                    // Same summation order as summing the per-head member
+                    // Vec: ascending member local index.
+                    let w: f64 = b.member_wbits[lo..hi]
+                        .iter()
+                        .map(|&wb| f64::from_bits(wb))
+                        .sum();
+                    self.weight.push(w);
+                }
+            }
+        }
+        // Counting sort of locals by vote target → CSR grouped by head.
+        self.start.clear();
+        self.start.resize(len + 1, 0);
+        for &t in &level.vote {
+            self.start[t as usize + 1] += 1;
+        }
+        for t in 0..len {
+            self.start[t + 1] += self.start[t];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&self.start[..len]);
+        self.member_phys.clear();
+        self.member_phys.resize(len, 0);
+        self.member_id.clear();
+        self.member_id.resize(len, 0);
+        self.member_wbits.clear();
+        self.member_wbits.resize(len, 0);
+        for (i, &t) in level.vote.iter().enumerate() {
+            let pos = cursor[t as usize] as usize;
+            cursor[t as usize] += 1;
+            let phys = level.nodes[i];
+            self.member_phys[pos] = phys;
+            self.member_id[pos] = h.ids[phys as usize];
+            self.member_wbits[pos] = self.weight[i].to_bits();
+        }
+        self.slot_of_phys.clear();
+        self.slot_of_phys.resize(n, NO_SLOT);
+        for (i, &phys) in level.nodes.iter().enumerate() {
+            self.slot_of_phys[phys as usize] = i as u32;
+        }
+    }
+
+    /// Does the cluster headed locally by `t` (physical head `phys`) hold
+    /// exactly the same members with the same weights as it did in `prev`?
+    fn same_cluster(&self, t: u32, phys: NodeIdx, prev: &LevelClusters) -> bool {
+        let pt = prev
+            .slot_of_phys
+            .get(phys as usize)
+            .copied()
+            .unwrap_or(NO_SLOT);
+        if pt == NO_SLOT {
+            return false;
+        }
+        let (clo, chi) = (
+            self.start[t as usize] as usize,
+            self.start[t as usize + 1] as usize,
+        );
+        let (plo, phi) = (
+            prev.start[pt as usize] as usize,
+            prev.start[pt as usize + 1] as usize,
+        );
+        self.member_phys[clo..chi] == prev.member_phys[plo..phi]
+            && self.member_id[clo..chi] == prev.member_id[plo..phi]
+            && self.member_wbits[clo..chi] == prev.member_wbits[plo..phi]
+    }
+
+    /// Append the members of cluster `t` (physical head `phys`) that are
+    /// absent from, or carry a different id/weight than, its previous-tick
+    /// incarnation. Both member lists ascend by physical index (level-0
+    /// locals are `0..n` and every higher level is an ascending-order subset
+    /// of the level below), so one linear merge aligns them; plain removals
+    /// produce no entry — deleting a non-maximal candidate cannot change an
+    /// argmax.
+    fn push_delta(&mut self, t: u32, phys: NodeIdx, prev: &LevelClusters) {
+        let (clo, chi) = (
+            self.start[t as usize] as usize,
+            self.start[t as usize + 1] as usize,
+        );
+        debug_assert!(self.member_phys[clo..chi].windows(2).all(|w| w[0] < w[1]));
+        let pt = prev
+            .slot_of_phys
+            .get(phys as usize)
+            .copied()
+            .unwrap_or(NO_SLOT);
+        let (mut p, phi) = if pt == NO_SLOT {
+            (0, 0)
+        } else {
+            (
+                prev.start[pt as usize] as usize,
+                prev.start[pt as usize + 1] as usize,
+            )
+        };
+        for i in clo..chi {
+            let cp = self.member_phys[i];
+            while p < phi && prev.member_phys[p] < cp {
+                p += 1;
+            }
+            let fresh = if p < phi && prev.member_phys[p] == cp {
+                let changed = prev.member_id[p] != self.member_id[i]
+                    || prev.member_wbits[p] != self.member_wbits[i];
+                p += 1;
+                changed
+            } else {
+                true
+            };
+            if fresh {
+                self.delta_phys.push(cp);
+                self.delta_id.push(self.member_id[i]);
+                self.delta_wbits.push(self.member_wbits[i]);
+            }
+        }
+    }
+}
+
+/// One memoized hash-walk step: from cluster head `head` (at the level the
+/// entry is indexed under), the selected member was `next`, computed or last
+/// revalidated at cache tick `tick`. For the HRW rule the winner's full
+/// score is kept alongside (`best_key`/`best_id`, plus its weight bits) so a
+/// one-tick cluster delta can be scored against the cached winner instead of
+/// re-hashing every member. (A variant that additionally memoized the
+/// exact runner-up — to take the delta path even when the winner itself
+/// churned — measured slower: it grows the entry from 40 to 64 bytes, and
+/// the dominant miss cause is the walk arriving from a *different* head,
+/// which no amount of per-head score caching helps.)
+#[derive(Debug, Clone, Copy)]
+struct PickEntry {
+    head: NodeIdx,
+    next: NodeIdx,
+    tick: u32,
+    best_key: f64,
+    best_id: u64,
+    winner_wbits: u64,
+}
+
+const EMPTY_PICK: PickEntry = PickEntry {
+    head: NO_SLOT,
+    next: 0,
+    tick: 0,
+    best_key: 0.0,
+    best_id: 0,
+    winner_wbits: 0,
+};
+
+/// Persistent cross-tick memoization state for
+/// [`LmAssignment::compute_cached`].
+///
+/// The assignment walk re-hashes only where the hierarchy actually changed:
+/// each tick the cache snapshots every level's clusters (members + subtree
+/// weights, compared bit-exactly) and stamps clusters whose contents differ
+/// from the previous tick. A memoized `(subject, k, j)` walk step is reused
+/// when it starts from the same cluster head and that cluster has not been
+/// stamped since the step was computed — the HRW/mod-successor winner
+/// depends only on the subject, the salt, and the candidate `(id, weight)`
+/// multiset, all of which are then unchanged. Under the HRW rule a step
+/// whose cluster *did* change this tick can still avoid a full re-hash: the
+/// cached winner's exact `(key, id)` score is stored in the entry, and when
+/// the winner survives with an unchanged id and weight, only the cluster's
+/// added or re-weighted members are scored against it (a one-tick delta the
+/// snapshot pass records per cluster). Anything else (including a depth,
+/// population, or rule change, which resets the cache wholesale) is
+/// recomputed through the exact same selection code, so results are
+/// byte-identical to a from-scratch [`LmAssignment::compute`].
+#[derive(Debug, Default)]
+pub struct LmCache {
+    valid: bool,
+    n: usize,
+    depth: usize,
+    rule: Option<SelectionRule>,
+    /// Monotone per-call counter; stamps cluster changes and pick entries.
+    tick: u32,
+    prev: Vec<LevelClusters>,
+    cur: Vec<LevelClusters>,
+    /// Per level `j`, indexed by head physical node: the most recent tick at
+    /// which that head's cluster contents differed from the tick before
+    /// (or the head reappeared after an absence).
+    changed_at: Vec<Vec<u32>>,
+    /// Memoized walk steps, indexed `(v * depth + k) * depth + j`.
+    picks: Vec<PickEntry>,
+    cursor: Vec<u32>,
+    spare_hosts: Vec<NodeIdx>,
+    cand_ids: Vec<u64>,
+    hits: u64,
+    delta_hits: u64,
+    misses: u64,
+}
+
+impl LmCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Walk steps answered from the memo without re-hashing (lifetime total).
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+
+    /// Walk steps resolved by scoring only a cluster's one-tick member delta
+    /// against the cached winner, rather than re-hashing every member
+    /// (lifetime total; HRW rule only).
+    pub fn delta_hit_count(&self) -> u64 {
+        self.delta_hits
+    }
+
+    /// Walk steps that re-ran the selection hash over the full candidate set
+    /// (lifetime total).
+    pub fn miss_count(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hand back a retired assignment so its `hosts` buffer is reused by the
+    /// next [`LmAssignment::compute_cached`] call.
+    pub fn recycle(&mut self, old: LmAssignment) {
+        self.spare_hosts = old.hosts;
+    }
+
+    fn reinit(&mut self, n: usize, depth: usize, rule: SelectionRule) {
+        self.n = n;
+        self.depth = depth;
+        self.rule = Some(rule);
+        self.tick = 0;
+        self.prev.clear();
+        self.prev.resize_with(depth, LevelClusters::default);
+        self.cur.clear();
+        self.cur.resize_with(depth, LevelClusters::default);
+        self.changed_at.clear();
+        self.changed_at.resize(depth, Vec::new());
+        self.picks.clear();
+        self.picks.resize(n * depth * depth, EMPTY_PICK);
+        self.valid = true;
+    }
+
+    /// Snapshot the hierarchy's clusters for this tick and stamp the changed
+    /// ones. The previous tick's snapshot rotates into `prev`.
+    fn observe(&mut self, h: &Hierarchy) {
+        let n = self.n;
+        let tick = self.tick;
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        for j in 0..self.depth {
+            let (done, rest) = self.cur.split_at_mut(j);
+            let lc = &mut rest[0];
+            lc.build(h, j, done.last(), n, &mut self.cursor);
+            let ca = &mut self.changed_at[j];
+            ca.resize(n, 0);
+            let prev = &self.prev[j];
+            lc.delta_start.clear();
+            lc.delta_start.push(0);
+            lc.delta_phys.clear();
+            lc.delta_id.clear();
+            lc.delta_wbits.clear();
+            for (t, &phys) in h.levels[j].nodes.iter().enumerate() {
+                if !lc.same_cluster(t as u32, phys, prev) {
+                    ca[phys as usize] = tick;
+                    lc.push_delta(t as u32, phys, prev);
+                }
+                lc.delta_start.push(lc.delta_phys.len() as u32);
+            }
+        }
+    }
+}
+
 impl LmAssignment {
     /// Compute the assignment for hierarchy `h` under `rule`.
     pub fn compute(h: &Hierarchy, rule: SelectionRule) -> Self {
+        Self::compute_cached(h, &AddressBook::capture(h), rule, &mut LmCache::new())
+    }
+
+    /// Compute the assignment, reusing `cache` from the previous tick so
+    /// that only walk steps through changed clusters re-hash. `book` must be
+    /// captured from `h`. The result is byte-identical to
+    /// [`LmAssignment::compute`] — the cache only skips recomputation whose
+    /// inputs provably did not change.
+    pub fn compute_cached(
+        h: &Hierarchy,
+        book: &AddressBook,
+        rule: SelectionRule,
+        cache: &mut LmCache,
+    ) -> Self {
         let n = h.node_count();
         let depth = h.depth();
-        // Pre-group cluster members once per level:
-        // members[j][head_local_at_level_j] = local level-j indices voting
-        // for that head.
-        let mut members: Vec<Vec<Vec<u32>>> = Vec::with_capacity(depth);
-        for level in &h.levels {
-            let mut g: Vec<Vec<u32>> = vec![Vec::new(); level.len()];
-            for (i, &t) in level.vote.iter().enumerate() {
-                g[t as usize].push(i as u32);
-            }
-            members.push(g);
+        assert_eq!(
+            book.node_count(),
+            n,
+            "address book from a different hierarchy"
+        );
+        assert_eq!(
+            book.depth(),
+            depth,
+            "address book from a different hierarchy"
+        );
+        if !(cache.valid && cache.n == n && cache.depth == depth && cache.rule == Some(rule)) {
+            cache.reinit(n, depth, rule);
         }
-        // Subtree sizes (level-0 descendants) per level-j node; these weight
-        // the hash so per-node server load is equitable (§3.2's requirement).
-        let mut subtree: Vec<Vec<f64>> = Vec::with_capacity(depth);
-        subtree.push(vec![1.0; h.levels[0].len()]);
-        for j in 1..depth {
-            let level = &h.levels[j];
-            let prev = &h.levels[j - 1];
-            let sizes: Vec<f64> = level
-                .nodes
-                .iter()
-                .map(|&head| {
-                    // audit: infallible because level-j nodes are exactly the heads of level j-1
-                    let head_local = prev.local(head).expect("head missing below");
-                    members[j - 1][head_local as usize]
-                        .iter()
-                        .map(|&m| subtree[j - 1][m as usize])
-                        .sum()
-                })
-                .collect();
-            subtree.push(sizes);
-        }
-        let mut hosts = Vec::with_capacity(n * depth);
-        let mut cand_ids: Vec<u64> = Vec::new();
-        let mut cand_weighted: Vec<(u64, f64)> = Vec::new();
+        cache.tick += 1;
+        cache.observe(h);
+        let mut hosts = std::mem::take(&mut cache.spare_hosts);
+        hosts.clear();
+        hosts.reserve(n * depth);
         for v in 0..n as NodeIdx {
-            let addr = h.address(v);
+            let row = book.row(v);
             let subject_id = h.ids[v as usize];
+            let base = v as usize * depth;
             for k in 0..depth {
                 if k < 2 {
                     hosts.push(v);
                     continue;
                 }
                 // Walk from v's level-k cluster head down to a level-0 node.
-                let mut head_phys = addr[k];
+                let mut head = row[k];
                 for j in (0..k).rev() {
-                    let level = &h.levels[j];
-                    // audit: infallible because the walk descends through vote targets present one level down
-                    let head_local = level
-                        .local(head_phys)
-                        .expect("cluster head missing at its own level");
-                    let mem = &members[j][head_local as usize];
-                    debug_assert!(!mem.is_empty(), "head with no electors");
+                    let idx = (base + k) * depth + j;
+                    let e = cache.picks[idx];
+                    if e.head == head && e.tick >= cache.changed_at[j][head as usize] {
+                        // Cluster contents unchanged since this step was
+                        // computed: the hash winner is necessarily the same.
+                        // Refreshing the stamp keeps the entry one-tick-fresh
+                        // so later change ticks can take the delta path.
+                        cache.hits += 1;
+                        cache.picks[idx].tick = cache.tick;
+                        head = e.next;
+                        continue;
+                    }
+                    let lvl = &cache.cur[j];
+                    // The walk descends through vote targets, all present one
+                    // level down, so the head always has a slot here.
+                    let t = lvl.slot_of_phys[head as usize] as usize;
+                    debug_assert_ne!(t as u32, NO_SLOT, "cluster head missing at its own level");
+                    let lo = lvl.start[t] as usize;
+                    let hi = lvl.start[t + 1] as usize;
+                    debug_assert!(hi > lo, "head with no electors");
                     let salt = ((k as u64) << 32) | j as u64;
-                    let pick = match rule {
+                    // Delta fast path (HRW only): the entry reflects this
+                    // cluster as of last tick, the cached winner is still a
+                    // member with unchanged id and weight, and `(key, id)` is
+                    // a strict total order independent of candidate order —
+                    // so the argmax over the union of {cached winner} and the
+                    // changed/added members equals the full-scan argmax
+                    // (removing a non-maximal candidate cannot change it).
+                    if matches!(rule, SelectionRule::Hrw)
+                        && e.head == head
+                        && e.tick + 1 == cache.tick
+                    {
+                        if let Ok(p) = lvl.member_phys[lo..hi].binary_search(&e.next) {
+                            let i = lo + p;
+                            if lvl.member_id[i] == e.best_id
+                                && lvl.member_wbits[i] == e.winner_wbits
+                            {
+                                let (mut bk, mut bi) = (e.best_key, e.best_id);
+                                let (mut bp, mut bw) = (e.next, e.winner_wbits);
+                                let dlo = lvl.delta_start[t] as usize;
+                                let dhi = lvl.delta_start[t + 1] as usize;
+                                for d in dlo..dhi {
+                                    let id = lvl.delta_id[d];
+                                    let w = f64::from_bits(lvl.delta_wbits[d]);
+                                    let key = hrw_key_weighted(subject_id, id, salt, w);
+                                    if key > bk || (key == bk && id > bi) {
+                                        bk = key;
+                                        bi = id;
+                                        bp = lvl.delta_phys[d];
+                                        bw = lvl.delta_wbits[d];
+                                    }
+                                }
+                                cache.delta_hits += 1;
+                                cache.picks[idx] = PickEntry {
+                                    head,
+                                    next: bp,
+                                    tick: cache.tick,
+                                    best_key: bk,
+                                    best_id: bi,
+                                    winner_wbits: bw,
+                                };
+                                head = bp;
+                                continue;
+                            }
+                        }
+                    }
+                    cache.misses += 1;
+                    let entry = match rule {
                         SelectionRule::Hrw => {
-                            cand_weighted.clear();
-                            cand_weighted.extend(mem.iter().map(|&m| {
-                                (
-                                    h.ids[level.nodes[m as usize] as usize],
-                                    subtree[j][m as usize],
-                                )
-                            }));
-                            hrw_select_weighted(subject_id, &cand_weighted, salt)
+                            // Equal-weight clusters (every level-0 walk step,
+                            // where all weights are 1.0): `-w / ln(u)` is a
+                            // monotone map of the raw hash up to float
+                            // rounding, so the raw-`u64` argmax wins outright
+                            // whenever the runner-up trails by more than the
+                            // widest rounding plateau. 2^20 exceeds the
+                            // worst-case combined rounding slack of the
+                            // u-mapping, `ln`, and the division by ~2^9;
+                            // closer calls (probability ~2^-40 per cluster)
+                            // take the exact full scan below.
+                            let mut fast = None;
+                            if lvl.member_wbits[lo + 1..hi]
+                                .iter()
+                                .all(|&w| w == lvl.member_wbits[lo])
+                            {
+                                let (mut r1, mut r2, mut arg) = (0u64, 0u64, lo);
+                                for i in lo..hi {
+                                    let raw = hrw_weight(subject_id, lvl.member_id[i], salt);
+                                    if raw > r1 {
+                                        r2 = r1;
+                                        r1 = raw;
+                                        arg = i;
+                                    } else if raw > r2 {
+                                        r2 = raw;
+                                    }
+                                }
+                                if r1 - r2 > (1 << 20) {
+                                    fast = Some((
+                                        arg,
+                                        hrw_key_weighted(
+                                            subject_id,
+                                            lvl.member_id[arg],
+                                            salt,
+                                            f64::from_bits(lvl.member_wbits[arg]),
+                                        ),
+                                    ));
+                                }
+                            }
+                            // Full scan, inlined over the CSR arrays with the
+                            // exact operation order and `(key, id)` tie-break
+                            // of `hrw_select_weighted` (no candidate copy).
+                            let (i, bk) = fast.unwrap_or_else(|| {
+                                let mut best = lo;
+                                let mut bk = f64::NEG_INFINITY;
+                                let mut bi = 0u64;
+                                for i in lo..hi {
+                                    let id = lvl.member_id[i];
+                                    let w = f64::from_bits(lvl.member_wbits[i]);
+                                    debug_assert!(w > 0.0 && w.is_finite());
+                                    let key = hrw_key_weighted(subject_id, id, salt, w);
+                                    if key > bk || (key == bk && id > bi) {
+                                        bk = key;
+                                        bi = id;
+                                        best = i;
+                                    }
+                                }
+                                (best, bk)
+                            });
+                            PickEntry {
+                                head,
+                                next: lvl.member_phys[i],
+                                tick: cache.tick,
+                                best_key: bk,
+                                best_id: lvl.member_id[i],
+                                winner_wbits: lvl.member_wbits[i],
+                            }
                         }
                         SelectionRule::ModSuccessor { id_space } => {
-                            cand_ids.clear();
-                            cand_ids.extend(
-                                mem.iter().map(|&m| h.ids[level.nodes[m as usize] as usize]),
-                            );
+                            cache.cand_ids.clear();
+                            cache.cand_ids.extend_from_slice(&lvl.member_id[lo..hi]);
                             // Salt the subject so distinct (k, j) steps don't
                             // always chase the same successor.
-                            mod_successor_select(subject_id.wrapping_add(salt), &cand_ids, id_space)
+                            let pick = mod_successor_select(
+                                subject_id.wrapping_add(salt),
+                                &cache.cand_ids,
+                                id_space,
+                            );
+                            PickEntry {
+                                head,
+                                next: lvl.member_phys[lo + pick],
+                                tick: cache.tick,
+                                ..EMPTY_PICK
+                            }
                         }
                     };
-                    head_phys = level.nodes[mem[pick] as usize];
+                    head = entry.next;
+                    cache.picks[idx] = entry;
                 }
-                hosts.push(head_phys);
+                hosts.push(head);
             }
         }
         LmAssignment { n, depth, hosts }
@@ -300,6 +741,73 @@ mod tests {
         let a = LmAssignment::compute(&h, SelectionRule::Hrw);
         let b = LmAssignment::compute(&h, SelectionRule::Hrw);
         assert_eq!(a, b);
+    }
+
+    /// Jiggled deployments feeding one persistent cache: every cached
+    /// assignment must be byte-identical to a fresh computation.
+    fn evolving_equivalence(rule: SelectionRule, step_frac: f64, seed: u64) {
+        let n = 300;
+        let mut rng = SimRng::seed_from(seed);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let mut pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let rtx = chlm_geom::rtx_for_degree(9.0, 1.0);
+        let ids = rng.permutation(n);
+        let mut cache = LmCache::new();
+        for step in 0..25 {
+            for p in pts.iter_mut() {
+                let ang = rng.range_f64(0.0, std::f64::consts::TAU);
+                p.x += rtx * step_frac * ang.cos();
+                p.y += rtx * step_frac * ang.sin();
+            }
+            let g = build_unit_disk(&pts, rtx);
+            let h = Hierarchy::build(&ids, &g, HierarchyOptions::default());
+            let book = chlm_cluster::AddressBook::capture(&h);
+            let cached = LmAssignment::compute_cached(&h, &book, rule, &mut cache);
+            let fresh = LmAssignment::compute(&h, rule);
+            assert_eq!(cached, fresh, "step {step}");
+            cache.recycle(cached);
+        }
+        assert!(cache.hit_count() > 0, "cache never hit");
+        assert!(cache.miss_count() > 0, "cache never missed");
+        if rule == SelectionRule::Hrw {
+            assert!(cache.delta_hit_count() > 0, "delta path never taken");
+        }
+    }
+
+    #[test]
+    fn cached_matches_fresh_small_steps() {
+        evolving_equivalence(SelectionRule::Hrw, 0.125, 11);
+    }
+
+    #[test]
+    fn cached_matches_fresh_heavy_churn() {
+        // Half-radius steps churn cluster membership hard and change the
+        // hierarchy depth along the way.
+        evolving_equivalence(SelectionRule::Hrw, 0.5, 12);
+    }
+
+    #[test]
+    fn cached_matches_fresh_mod_successor() {
+        evolving_equivalence(SelectionRule::ModSuccessor { id_space: 300 }, 0.25, 13);
+    }
+
+    #[test]
+    fn cache_survives_rule_and_shape_changes() {
+        let h1 = random_hierarchy(180, 21);
+        let h2 = random_hierarchy(240, 22); // different n → shape reset
+        let mut cache = LmCache::new();
+        for h in [&h1, &h2, &h1] {
+            let book = chlm_cluster::AddressBook::capture(h);
+            for rule in [
+                SelectionRule::Hrw,
+                SelectionRule::ModSuccessor { id_space: 240 },
+            ] {
+                let cached = LmAssignment::compute_cached(h, &book, rule, &mut cache);
+                assert_eq!(cached, LmAssignment::compute(h, rule));
+                cache.recycle(cached);
+            }
+        }
     }
 
     #[test]

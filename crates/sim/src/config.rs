@@ -73,6 +73,11 @@ pub struct SimConfig {
     /// counter conservation). Costs roughly one extra assignment
     /// recomputation per tick; see `chlm_sim::audit`.
     pub audit: bool,
+    /// Disable every incremental fast path (candidate-list topology
+    /// maintenance, memoized LM assignment): rebuild all per-tick state from
+    /// scratch. Slower but structurally independent — the equivalence suite
+    /// runs both engines and asserts byte-identical reports.
+    pub full_rebuild: bool,
 }
 
 impl SimConfig {
@@ -96,6 +101,7 @@ impl SimConfig {
                 track_gls: false,
                 query_samples: 0,
                 audit: false,
+                full_rebuild: false,
             },
         }
     }
@@ -222,6 +228,11 @@ impl SimConfigBuilder {
     /// See [`SimConfig::audit`].
     pub fn audit(mut self, yes: bool) -> Self {
         self.cfg.audit = yes;
+        self
+    }
+    /// See [`SimConfig::full_rebuild`].
+    pub fn full_rebuild(mut self, yes: bool) -> Self {
+        self.cfg.full_rebuild = yes;
         self
     }
 

@@ -1,4 +1,13 @@
 //! The tick loop.
+//!
+//! The hot path is allocation-frugal by design: per-tick state (topology,
+//! hierarchy level-0 graph, address books, LM assignment, level churn sets,
+//! BFS distance buffers) lives in persistent buffers that are rewritten in
+//! place or double-buffered across ticks rather than reallocated. The
+//! incremental fast paths ([`chlm_graph::UnitDiskMaintainer`],
+//! [`chlm_lm::server::LmCache`]) are proven byte-equivalent to their
+//! from-scratch counterparts; `SimConfig::full_rebuild` disables them so the
+//! equivalence suite can diff entire reports.
 
 use crate::audit::{AuditViolation, Auditor, TickInputs};
 use crate::config::{HopMetric, MobilityKind, SimConfig};
@@ -10,16 +19,14 @@ use chlm_cluster::metrics::level_stats;
 use chlm_cluster::{Hierarchy, HierarchyOptions, StateTracker};
 use chlm_geom::{Disk, SimRng};
 use chlm_graph::dynamics::{LinkDiff, LinkEventRate};
-use chlm_graph::unit_disk::build_unit_disk;
-use chlm_graph::NodeIdx;
+use chlm_graph::{Graph, NodeIdx, UnitDiskMaintainer};
 use chlm_lm::gls::{GlsTracker, GridHierarchy};
 use chlm_lm::handoff::HandoffLedger;
 use chlm_lm::query::mean_query_cost;
-use chlm_lm::server::LmAssignment;
+use chlm_lm::server::{LmAssignment, LmCache};
 use chlm_mobility::{
     MobilityModel, RandomDirection, RandomWalk, RandomWaypoint, Rpgm, StaticModel,
 };
-use std::collections::BTreeSet;
 
 /// One simulation instance. Construct with [`Simulation::new`], run with
 /// [`Simulation::run`] (or drive tick-by-tick with [`Simulation::step`]).
@@ -29,16 +36,27 @@ pub struct Simulation {
     mobility: Box<dyn MobilityModel>,
     rtx: f64,
     calibration: f64,
+    opts: HierarchyOptions,
     rng: SimRng,
     // Previous-tick snapshots.
     hierarchy: Hierarchy,
     book: AddressBook,
     assignment: LmAssignment,
-    // BTreeSets, not HashSets: the engine iterates these (symmetric
-    // difference) while accounting, and iteration order must be a pure
-    // function of the contents for bit-reproducible runs.
-    level_edges: Vec<BTreeSet<(NodeIdx, NodeIdx)>>,
-    level_nodes: Vec<BTreeSet<NodeIdx>>,
+    // Sorted physical-endpoint edge / node lists per level; merge-diffed
+    // against the next tick's lists in ascending order, so churn accounting
+    // is a pure function of the contents (bit-reproducible) without the
+    // per-tick BTreeSet rebuilds this replaced.
+    level_edges: Vec<Vec<(NodeIdx, NodeIdx)>>,
+    level_nodes: Vec<Vec<NodeIdx>>,
+    level_edges_next: Vec<Vec<(NodeIdx, NodeIdx)>>,
+    level_nodes_next: Vec<Vec<NodeIdx>>,
+    // Persistent tick workspaces.
+    maintainer: UnitDiskMaintainer,
+    lm_cache: LmCache,
+    book_next: AddressBook,
+    addr_scratch: Vec<NodeIdx>,
+    g0_spare: Graph,
+    bfs_pool: Vec<Vec<u32>>,
     // Accumulators.
     ledger: HandoffLedger,
     rates: LevelRates,
@@ -82,29 +100,87 @@ fn build_mobility(cfg: &SimConfig, region: Disk, rng: &mut SimRng) -> Box<dyn Mo
     }
 }
 
-/// Level-k node sets keyed by physical index.
-fn physical_level_nodes(h: &Hierarchy) -> Vec<BTreeSet<NodeIdx>> {
-    h.levels
-        .iter()
-        .map(|level| level.nodes.iter().copied().collect())
-        .collect()
+/// Refill per-level sorted edge/node lists (physical endpoints) from a
+/// hierarchy snapshot, reusing the outer and inner allocations.
+///
+/// Level 0 is left empty: the link-churn accounting runs over `k >= 1`
+/// only, and the level-0 lists would be the largest by far. The lists come
+/// out ascending without sorting because level node lists ascend by
+/// physical id and adjacency lists are sorted.
+fn fill_level_sets(
+    h: &Hierarchy,
+    edges: &mut Vec<Vec<(NodeIdx, NodeIdx)>>,
+    nodes: &mut Vec<Vec<NodeIdx>>,
+) {
+    let depth = h.depth();
+    edges.resize_with(depth, Vec::new);
+    nodes.resize_with(depth, Vec::new);
+    edges[0].clear();
+    nodes[0].clear();
+    for (k, level) in h.levels.iter().enumerate().skip(1) {
+        let e = &mut edges[k];
+        e.clear();
+        e.extend(level.graph.edges().map(|(a, b)| {
+            let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
+            (pa.min(pb), pa.max(pb))
+        }));
+        debug_assert!(e.windows(2).all(|w| w[0] < w[1]));
+        let nv = &mut nodes[k];
+        nv.clear();
+        nv.extend_from_slice(&level.nodes);
+        debug_assert!(nv.windows(2).all(|w| w[0] < w[1]));
+    }
 }
 
-/// Level-k edge sets keyed by physical endpoints, for link-churn counting.
-fn physical_level_edges(h: &Hierarchy) -> Vec<BTreeSet<(NodeIdx, NodeIdx)>> {
-    h.levels
-        .iter()
-        .map(|level| {
-            level
-                .graph
-                .edges()
-                .map(|(a, b)| {
-                    let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
-                    (pa.min(pb), pa.max(pb))
-                })
-                .collect()
-        })
-        .collect()
+/// Count the symmetric difference of two ascending-sorted edge lists via a
+/// linear merge, splitting out the pairs whose endpoints persist at this
+/// level on both sides (the `g'_k` exposure of eq. (4)). Same counts the old
+/// `BTreeSet::symmetric_difference` walk produced, without building sets.
+fn churn_between(
+    old_e: &[(NodeIdx, NodeIdx)],
+    new_e: &[(NodeIdx, NodeIdx)],
+    old_n: &[NodeIdx],
+    cur_n: &[NodeIdx],
+) -> (u64, u64) {
+    let persists = |u: NodeIdx, v: NodeIdx| {
+        old_n.binary_search(&u).is_ok()
+            && old_n.binary_search(&v).is_ok()
+            && cur_n.binary_search(&u).is_ok()
+            && cur_n.binary_search(&v).is_ok()
+    };
+    let (mut churn, mut persisting) = (0u64, 0u64);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old_e.len() || j < new_e.len() {
+        let one_sided = match (old_e.get(i), new_e.get(j)) {
+            (Some(a), Some(b)) if a == b => {
+                i += 1;
+                j += 1;
+                continue;
+            }
+            (Some(a), Some(b)) if a < b => {
+                i += 1;
+                *a
+            }
+            (Some(_), Some(b)) => {
+                j += 1;
+                *b
+            }
+            (Some(a), None) => {
+                i += 1;
+                *a
+            }
+            (None, Some(b)) => {
+                j += 1;
+                *b
+            }
+            (None, None) => unreachable!(),
+        };
+        churn += 1;
+        if persists(one_sided.0, one_sided.1) {
+            persisting += 1;
+        }
+    }
+    (churn, persisting)
 }
 
 impl Simulation {
@@ -127,22 +203,32 @@ impl Simulation {
             }
         }
 
-        let graph = build_unit_disk(mobility.positions(), rtx);
+        let maintainer = UnitDiskMaintainer::new(mobility.positions(), rtx);
         let opts = HierarchyOptions {
             max_levels: cfg.max_levels,
             min_reduction: cfg.min_reduction,
         };
-        let hierarchy = Hierarchy::build(&ids, &graph, opts);
+        let hierarchy = Hierarchy::build(&ids, maintainer.graph(), opts);
         let book = AddressBook::capture(&hierarchy);
-        let assignment = LmAssignment::compute(&hierarchy, cfg.selection_rule);
-        let level_edges = physical_level_edges(&hierarchy);
-        let level_nodes = physical_level_nodes(&hierarchy);
+        let mut lm_cache = LmCache::new();
+        let assignment = if cfg.full_rebuild {
+            LmAssignment::compute(&hierarchy, cfg.selection_rule)
+        } else {
+            LmAssignment::compute_cached(&hierarchy, &book, cfg.selection_rule, &mut lm_cache)
+        };
+        let mut level_edges = Vec::new();
+        let mut level_nodes = Vec::new();
+        fill_level_sets(&hierarchy, &mut level_edges, &mut level_nodes);
         let calibration = match cfg.hop_metric {
             HopMetric::Bfs => 1.0,
             HopMetric::Euclidean(c) => c,
-            HopMetric::EuclideanCalibrated => {
-                calibrate(&graph, mobility.positions(), rtx, 12, &mut rng.fork(3))
-            }
+            HopMetric::EuclideanCalibrated => calibrate(
+                maintainer.graph(),
+                mobility.positions(),
+                rtx,
+                12,
+                &mut rng.fork(3),
+            ),
         };
         let gls = cfg.track_gls.then(|| {
             let (lo, hi) = {
@@ -162,18 +248,28 @@ impl Simulation {
             .audit
             .then(|| Auditor::new(cfg.selection_rule, &ledger, &rates, &events, &tracker));
 
+        let book_next = book.clone();
         Simulation {
             cfg,
             ids,
             mobility,
             rtx,
             calibration,
+            opts,
             rng: rng.fork(4),
             hierarchy,
             book,
             assignment,
             level_edges,
             level_nodes,
+            level_edges_next: Vec::new(),
+            level_nodes_next: Vec::new(),
+            maintainer,
+            lm_cache,
+            book_next,
+            addr_scratch: Vec::new(),
+            g0_spare: Graph::default(),
+            bfs_pool: Vec::new(),
             ledger,
             rates,
             events,
@@ -204,26 +300,45 @@ impl Simulation {
     }
 
     /// Advance one tick, recording every counter.
+    ///
+    /// Allocation discipline: mobility positions are *borrowed* (never
+    /// copied), topology is patched in place by the maintainer, the level-0
+    /// graph handed to the hierarchy recycles last tick's buffers, address
+    /// books double-buffer, and the LM assignment reuses both its memo cache
+    /// and the retired `hosts` buffer.
     pub fn step(&mut self) {
         let dt = self.cfg.tick();
         let n = self.cfg.n;
         self.mobility.step(dt);
-        let positions = self.mobility.positions().to_vec();
-        let graph = build_unit_disk(&positions, self.rtx);
-        let opts = HierarchyOptions {
-            max_levels: self.cfg.max_levels,
-            min_reduction: self.cfg.min_reduction,
+        let positions = self.mobility.positions();
+        if self.cfg.full_rebuild {
+            self.maintainer.rebuild(positions);
+        } else {
+            self.maintainer.advance(positions);
+        }
+        let graph = self.maintainer.graph();
+        let mut g0 = std::mem::take(&mut self.g0_spare);
+        g0.copy_from(graph);
+        let hierarchy = Hierarchy::build_owned(&self.ids, g0, self.opts);
+        self.book_next
+            .capture_into(&hierarchy, &mut self.addr_scratch);
+        let assignment = if self.cfg.full_rebuild {
+            LmAssignment::compute(&hierarchy, self.cfg.selection_rule)
+        } else {
+            LmAssignment::compute_cached(
+                &hierarchy,
+                &self.book_next,
+                self.cfg.selection_rule,
+                &mut self.lm_cache,
+            )
         };
-        let hierarchy = Hierarchy::build(&self.ids, &graph, opts);
-        let book = AddressBook::capture(&hierarchy);
-        let assignment = LmAssignment::compute(&hierarchy, self.cfg.selection_rule);
 
         // Level-0 link events (f_0).
-        let diff0 = LinkDiff::between(&self.hierarchy.levels[0].graph, &graph);
+        let diff0 = LinkDiff::between(&self.hierarchy.levels[0].graph, graph);
         self.link_rate.record(&diff0, n, dt);
 
         // Address changes: migration vs reorganization, per level.
-        let addr_changes = self.book.diff(&book);
+        let addr_changes = self.book.diff(&self.book_next);
         for c in &addr_changes {
             match c.kind {
                 AddrChangeKind::Migration => self.rates.add_migration(c.level as usize, 1),
@@ -231,45 +346,39 @@ impl Simulation {
             }
         }
 
-        // Handoff packet accounting.
+        // One shared hop oracle prices both the handoff ledger and (below)
+        // GLS: under BFS pricing the per-source distance cache is shared
+        // within the tick and its buffers are pooled across ticks.
         let host_changes = self.assignment.diff(&assignment);
-        {
-            let mut oracle = match self.cfg.hop_metric {
-                HopMetric::Bfs => DistanceOracle::bfs(&graph, &positions, self.rtx),
-                _ => DistanceOracle::euclidean(&graph, &positions, self.rtx, self.calibration),
-            };
-            self.ledger.record(
-                &host_changes,
-                &addr_changes,
-                |a, b| oracle.hops(a, b),
-                n,
-                dt,
-            );
-        }
+        let mut oracle = DistanceOracle::for_metric(
+            self.cfg.hop_metric,
+            graph,
+            positions,
+            self.rtx,
+            self.calibration,
+        )
+        .with_pool(std::mem::take(&mut self.bfs_pool));
+        self.ledger.record(
+            &host_changes,
+            &addr_changes,
+            |a, b| oracle.hops(a, b),
+            n,
+            dt,
+        );
 
         // Level-k link churn and exposure (g_k, g'_k).
-        let new_level_edges = physical_level_edges(&hierarchy);
-        let new_level_nodes = physical_level_nodes(&hierarchy);
+        fill_level_sets(
+            &hierarchy,
+            &mut self.level_edges_next,
+            &mut self.level_nodes_next,
+        );
         let depth = hierarchy.depth().max(self.hierarchy.depth());
         for k in 1..depth {
-            let empty = BTreeSet::new();
-            let empty_nodes = BTreeSet::new();
-            let old = self.level_edges.get(k).unwrap_or(&empty);
-            let new = new_level_edges.get(k).unwrap_or(&empty);
-            let old_nodes = self.level_nodes.get(k).unwrap_or(&empty_nodes);
-            let cur_nodes = new_level_nodes.get(k).unwrap_or(&empty_nodes);
-            let mut churn = 0u64;
-            let mut persisting = 0u64;
-            for &(u, v) in old.symmetric_difference(new) {
-                churn += 1;
-                if old_nodes.contains(&u)
-                    && old_nodes.contains(&v)
-                    && cur_nodes.contains(&u)
-                    && cur_nodes.contains(&v)
-                {
-                    persisting += 1;
-                }
-            }
+            let old_e = self.level_edges.get(k).map_or(&[][..], Vec::as_slice);
+            let new_e = self.level_edges_next.get(k).map_or(&[][..], Vec::as_slice);
+            let old_n = self.level_nodes.get(k).map_or(&[][..], Vec::as_slice);
+            let cur_n = self.level_nodes_next.get(k).map_or(&[][..], Vec::as_slice);
+            let (churn, persisting) = churn_between(old_e, new_e, old_n, cur_n);
             self.rates.add_link_events(k, churn, persisting);
             let (edges, nodes) = hierarchy
                 .levels
@@ -286,20 +395,9 @@ impl Simulation {
         // ALCA states, GLS, degree.
         self.tracker.observe(&hierarchy);
         if let Some(gls) = &mut self.gls {
-            let rtx = self.rtx;
-            let calibration = self.calibration;
-            match self.cfg.hop_metric {
-                HopMetric::Bfs => {
-                    let mut oracle = DistanceOracle::bfs(&graph, &positions, rtx);
-                    gls.observe(&positions, &self.ids, |a, b| oracle.hops(a, b), dt);
-                }
-                _ => {
-                    let mut oracle =
-                        DistanceOracle::euclidean(&graph, &positions, rtx, calibration);
-                    gls.observe(&positions, &self.ids, |a, b| oracle.hops(a, b), dt);
-                }
-            }
+            gls.observe(positions, &self.ids, |a, b| oracle.hops(a, b), dt);
         }
+        self.bfs_pool = oracle.into_pool();
         self.degree_sum += graph.mean_degree();
         self.max_depth = self.max_depth.max(hierarchy.depth());
 
@@ -307,7 +405,7 @@ impl Simulation {
             auditor.check_tick(&TickInputs {
                 old_hierarchy: &self.hierarchy,
                 new_hierarchy: &hierarchy,
-                book: &book,
+                book: &self.book_next,
                 assignment: &assignment,
                 host_changes: &host_changes,
                 addr_changes: &addr_changes,
@@ -318,11 +416,16 @@ impl Simulation {
             });
         }
 
-        self.hierarchy = hierarchy;
-        self.book = book;
-        self.assignment = assignment;
-        self.level_edges = new_level_edges;
-        self.level_nodes = new_level_nodes;
+        // Rotate snapshots; retired buffers feed the next tick.
+        let old_h = std::mem::replace(&mut self.hierarchy, hierarchy);
+        if let Some(l0) = old_h.levels.into_iter().next() {
+            self.g0_spare = l0.graph;
+        }
+        std::mem::swap(&mut self.book, &mut self.book_next);
+        let old_assignment = std::mem::replace(&mut self.assignment, assignment);
+        self.lm_cache.recycle(old_assignment);
+        std::mem::swap(&mut self.level_edges, &mut self.level_edges_next);
+        std::mem::swap(&mut self.level_nodes, &mut self.level_nodes_next);
         self.ticks_done += 1;
     }
 
@@ -374,10 +477,9 @@ impl Simulation {
                 .multi_jump_fraction
                 .push(self.tracker.multi_jump_fraction(k));
         }
-        // Query sampling on the final topology.
+        // Query sampling on the final topology (borrowed, not cloned; the
+        // RNG draws happen before the borrows so the stream order is fixed).
         let mean_query_packets = if self.cfg.query_samples > 0 && self.cfg.n >= 2 {
-            let positions = self.mobility.positions().to_vec();
-            let graph = self.hierarchy.levels[0].graph.clone();
             let pairs: Vec<(NodeIdx, NodeIdx)> = (0..self.cfg.query_samples)
                 .map(|_| {
                     (
@@ -386,21 +488,19 @@ impl Simulation {
                     )
                 })
                 .collect();
-            match self.cfg.hop_metric {
-                HopMetric::Bfs => {
-                    let mut oracle = DistanceOracle::bfs(&graph, &positions, self.rtx);
-                    mean_query_cost(&self.hierarchy, &self.assignment, &pairs, |a, b| {
-                        oracle.hops(a, b)
-                    })
-                }
-                _ => {
-                    let mut oracle =
-                        DistanceOracle::euclidean(&graph, &positions, self.rtx, self.calibration);
-                    mean_query_cost(&self.hierarchy, &self.assignment, &pairs, |a, b| {
-                        oracle.hops(a, b)
-                    })
-                }
-            }
+            let positions = self.mobility.positions();
+            let graph = &self.hierarchy.levels[0].graph;
+            let mut oracle = DistanceOracle::for_metric(
+                self.cfg.hop_metric,
+                graph,
+                positions,
+                self.rtx,
+                self.calibration,
+            )
+            .with_pool(std::mem::take(&mut self.bfs_pool));
+            mean_query_cost(&self.hierarchy, &self.assignment, &pairs, |a, b| {
+                oracle.hops(a, b)
+            })
         } else {
             None
         };

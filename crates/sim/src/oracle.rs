@@ -7,8 +7,9 @@
 //! few percent once calibrated (the detour ratio of such graphs is a
 //! constant ≈ 1.1–1.4 at the degrees we simulate).
 
+use crate::config::HopMetric;
 use chlm_geom::Point;
-use chlm_graph::traversal::{bfs_distances, UNREACHABLE};
+use chlm_graph::traversal::{bfs_distances, bfs_distances_into, UNREACHABLE};
 use chlm_graph::{Graph, NodeIdx};
 use std::collections::BTreeMap;
 
@@ -22,6 +23,8 @@ pub struct DistanceOracle<'a> {
     // Ordered map by policy for accounting-adjacent state (lookup-only
     // today; the log-factor on top of an O(n+m) BFS is noise).
     cache: BTreeMap<NodeIdx, Vec<u32>>,
+    /// Spare distance buffers recycled across ticks (see [`Self::into_pool`]).
+    pool: Vec<Vec<u32>>,
 }
 
 impl<'a> DistanceOracle<'a> {
@@ -33,6 +36,7 @@ impl<'a> DistanceOracle<'a> {
             rtx,
             calibration: None,
             cache: BTreeMap::new(),
+            pool: Vec::new(),
         }
     }
 
@@ -45,7 +49,43 @@ impl<'a> DistanceOracle<'a> {
             rtx,
             calibration: Some(calibration),
             cache: BTreeMap::new(),
+            pool: Vec::new(),
         }
+    }
+
+    /// The oracle dictated by `metric` over one topology snapshot;
+    /// `calibration` is the startup-measured detour ratio consumed by
+    /// [`HopMetric::EuclideanCalibrated`]. Single dispatch point for the
+    /// engine's pricing paths.
+    pub fn for_metric(
+        metric: HopMetric,
+        graph: &'a Graph,
+        positions: &'a [Point],
+        rtx: f64,
+        calibration: f64,
+    ) -> Self {
+        match metric {
+            HopMetric::Bfs => DistanceOracle::bfs(graph, positions, rtx),
+            HopMetric::EuclideanCalibrated => {
+                DistanceOracle::euclidean(graph, positions, rtx, calibration)
+            }
+            HopMetric::Euclidean(c) => DistanceOracle::euclidean(graph, positions, rtx, c),
+        }
+    }
+
+    /// Seed the oracle with distance buffers recycled from a previous tick's
+    /// oracle (the values are stale; buffers are overwritten before use).
+    pub fn with_pool(mut self, pool: Vec<Vec<u32>>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Tear down, handing back every distance buffer (cached and spare) so
+    /// the next tick's oracle can reuse the allocations.
+    pub fn into_pool(self) -> Vec<Vec<u32>> {
+        let mut pool = self.pool;
+        pool.extend(self.cache.into_values());
+        pool
     }
 
     /// Hop distance from `a` to `b`. Disconnected pairs are priced at the
@@ -59,10 +99,12 @@ impl<'a> DistanceOracle<'a> {
             Some(c) => self.euclid_estimate(a, b, c),
             None => {
                 let graph = self.graph;
-                let d = self
-                    .cache
-                    .entry(a)
-                    .or_insert_with(|| bfs_distances(graph, a));
+                let pool = &mut self.pool;
+                let d = self.cache.entry(a).or_insert_with(|| {
+                    let mut buf = pool.pop().unwrap_or_default();
+                    bfs_distances_into(graph, a, &mut buf);
+                    buf
+                });
                 let hops = d[b as usize];
                 if hops == UNREACHABLE {
                     self.euclid_estimate(a, b, 1.3)
@@ -176,6 +218,35 @@ mod tests {
         }
         let mean_err = err / count as f64;
         assert!(mean_err < 0.25, "mean relative error {mean_err}");
+    }
+
+    #[test]
+    fn pooled_buffers_give_identical_answers() {
+        let (g, pts, rtx) = setup(150, 5);
+        let mut o = DistanceOracle::bfs(&g, &pts, rtx);
+        let _ = o.hops(0, 5);
+        let _ = o.hops(7, 9);
+        let pool = o.into_pool();
+        assert_eq!(pool.len(), 2);
+        let mut pooled = DistanceOracle::bfs(&g, &pts, rtx).with_pool(pool);
+        let mut fresh = DistanceOracle::bfs(&g, &pts, rtx);
+        for (a, b) in [(11u32, 17u32), (3, 140), (17, 11), (0, 0)] {
+            assert_eq!(pooled.hops(a, b), fresh.hops(a, b));
+        }
+    }
+
+    #[test]
+    fn for_metric_dispatches() {
+        let (g, pts, rtx) = setup(80, 6);
+        let mut bfs = DistanceOracle::for_metric(HopMetric::Bfs, &g, &pts, rtx, 1.2);
+        let mut bfs_direct = DistanceOracle::bfs(&g, &pts, rtx);
+        assert_eq!(bfs.hops(0, 9), bfs_direct.hops(0, 9));
+        let mut cal =
+            DistanceOracle::for_metric(HopMetric::EuclideanCalibrated, &g, &pts, rtx, 1.2);
+        let mut fixed = DistanceOracle::for_metric(HopMetric::Euclidean(1.2), &g, &pts, rtx, 9.9);
+        let mut direct = DistanceOracle::euclidean(&g, &pts, rtx, 1.2);
+        assert_eq!(cal.hops(2, 40), direct.hops(2, 40));
+        assert_eq!(fixed.hops(2, 40), direct.hops(2, 40));
     }
 
     #[test]

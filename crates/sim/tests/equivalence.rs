@@ -1,0 +1,69 @@
+//! Incremental-engine equivalence suite.
+//!
+//! The tick pipeline's fast paths — Verlet-list topology maintenance
+//! ([`chlm_graph::UnitDiskMaintainer::advance`]) and the memoized HRW
+//! walk ([`chlm_lm::server::LmCache`]) — are *optimizations*, not model
+//! changes. `SimConfig::full_rebuild` switches both off, rebuilding the
+//! unit-disk graph and the LM assignment from scratch every tick. A run
+//! with the fast paths on must produce a [`SimReport`] equal in every
+//! field (floats compared exactly — the arithmetic must be the *same*,
+//! not merely close) to the from-scratch reference, for every mobility
+//! model and a spread of seeds.
+
+use chlm_sim::{MobilityKind, SimConfig, Simulation};
+
+fn mobility_kinds() -> Vec<(&'static str, MobilityKind)> {
+    vec![
+        ("waypoint", MobilityKind::Waypoint),
+        ("direction", MobilityKind::Direction { mean_epoch: 2.0 }),
+        ("walk", MobilityKind::Walk),
+        (
+            "rpgm",
+            MobilityKind::Rpgm {
+                groups: 6,
+                group_radius: 2.0,
+                jitter_radius: 0.5,
+                jitter_speed: 0.5,
+            },
+        ),
+        ("static", MobilityKind::Static),
+    ]
+}
+
+fn run(n: usize, seed: u64, mobility: MobilityKind, full_rebuild: bool) -> chlm_sim::SimReport {
+    let cfg = SimConfig::builder(n)
+        .mobility(mobility)
+        .duration(2.0)
+        .warmup(0.5)
+        .seed(seed)
+        .query_samples(16)
+        .full_rebuild(full_rebuild)
+        .build();
+    Simulation::new(cfg).run()
+}
+
+/// Every mobility kind × 4 seeds: incremental == from-scratch, on the
+/// whole report.
+#[test]
+fn incremental_matches_full_rebuild_everywhere() {
+    for (name, kind) in mobility_kinds() {
+        for seed in [11u64, 29, 47, 83] {
+            let fast = run(90, seed, kind, false);
+            let reference = run(90, seed, kind, true);
+            assert_eq!(
+                fast, reference,
+                "incremental engine diverged (mobility={name}, seed={seed})"
+            );
+        }
+    }
+}
+
+/// A denser network exercises deeper hierarchies and more LM cache
+/// churn; one spot-check at a bigger n keeps the suite honest without
+/// making it slow.
+#[test]
+fn incremental_matches_full_rebuild_denser() {
+    let fast = run(220, 5, MobilityKind::Waypoint, false);
+    let reference = run(220, 5, MobilityKind::Waypoint, true);
+    assert_eq!(fast, reference);
+}

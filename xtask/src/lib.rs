@@ -3,6 +3,14 @@
 //! integration tests can drive the engines directly; the thin binary in
 //! `main.rs` adds argument parsing and exit codes.
 
+pub mod bench;
 pub mod determinism;
 pub mod json;
 pub mod lint;
+
+/// Every xtask binary (and the xtask test harness) counts allocations so
+/// `cargo xtask bench` can report allocs-per-tick alongside wall time.
+/// The wrapper delegates straight to the system allocator, so the other
+/// subcommands only pay two relaxed atomic adds per allocation.
+#[global_allocator]
+static COUNTING_ALLOC: bench::CountingAlloc = bench::CountingAlloc;

@@ -1,6 +1,6 @@
 //! Repo-specific lint engine (`cargo xtask lint`).
 //!
-//! Four lints guard the invariants the generic toolchain cannot see:
+//! Five lints guard the invariants the generic toolchain cannot see:
 //!
 //! * `no-wallclock-or-thread-rng` — simulation crates must be a closed
 //!   system: no `SystemTime::now` / `Instant::now` / OS-entropy RNG. All
@@ -15,6 +15,11 @@
 //!   because ...` justification.
 //! * `no-float-eq` — metric code must not compare floats with `==`/`!=`
 //!   or `partial_cmp().unwrap()`; accumulated values are never exact.
+//! * `no-step-path-copies` — per-tick code (the simulation step path:
+//!   engine, topology maintenance, mobility) must not materialize fresh
+//!   copies of position/topology buffers with `.to_vec()` / `.clone()`;
+//!   reuse persistent storage (`clone_from`, `copy_from`,
+//!   double-buffering). Construction-time copies are allowlisted.
 //!
 //! The scanner is deliberately not a full parser: it masks out comments
 //! and string/char literals (so patterns never fire inside them), tracks
@@ -35,8 +40,15 @@ pub const LINT_WALLCLOCK: &str = "no-wallclock-or-thread-rng";
 pub const LINT_UNORDERED: &str = "no-unordered-iteration";
 pub const LINT_UNWRAP: &str = "no-unwrap-in-lib";
 pub const LINT_FLOAT_EQ: &str = "no-float-eq";
+pub const LINT_STEP_COPY: &str = "no-step-path-copies";
 
-pub const ALL_LINTS: [&str; 4] = [LINT_WALLCLOCK, LINT_UNORDERED, LINT_UNWRAP, LINT_FLOAT_EQ];
+pub const ALL_LINTS: [&str; 5] = [
+    LINT_WALLCLOCK,
+    LINT_UNORDERED,
+    LINT_UNWRAP,
+    LINT_FLOAT_EQ,
+    LINT_STEP_COPY,
+];
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -601,6 +613,32 @@ fn check_float_eq(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
     }
 }
 
+/// Copy-materializing calls that have in-place counterparts. Matched as
+/// complete call shapes, so `.clone_from(` / `.cloned()` never fire.
+const STEP_COPY_PATTERNS: [&str; 2] = [".to_vec()", ".clone()"];
+
+fn check_step_copy(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
+    for (idx, ln) in lines.iter().enumerate() {
+        if ln.in_test {
+            continue;
+        }
+        for pat in STEP_COPY_PATTERNS {
+            if ln.code.contains(pat) {
+                out.push(Finding {
+                    lint: LINT_STEP_COPY,
+                    file: path.to_string(),
+                    line: idx + 1,
+                    excerpt: ln.code.trim().to_string(),
+                    message: format!(
+                        "`{pat}` materializes a fresh buffer on the step path; reuse persistent storage (clone_from / copy_from / double-buffering)"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scopes, allowlists, drivers
 // ---------------------------------------------------------------------------
@@ -612,6 +650,15 @@ const WALLCLOCK_SCOPE: [&str; 5] = [
     "crates/cluster/src/",
     "crates/mobility/src/",
     "crates/lm/src/",
+];
+
+/// Per-tick step-path code: every allocation here recurs every tick, so
+/// buffer copies that could reuse persistent storage are flagged.
+const STEP_COPY_SCOPE: [&str; 4] = [
+    "crates/sim/src/engine.rs",
+    "crates/graph/src/incremental.rs",
+    "crates/graph/src/dynamics.rs",
+    "crates/mobility/src/",
 ];
 
 /// Metric/accounting files where float equality is meaningless.
@@ -637,6 +684,7 @@ pub fn lint_applies(lint: &str, path: &str) -> bool {
                 && !path.contains("/src/bin/")
         }
         LINT_FLOAT_EQ => FLOAT_EQ_SCOPE.iter().any(|p| path.starts_with(p)),
+        LINT_STEP_COPY => STEP_COPY_SCOPE.iter().any(|p| path.starts_with(p)),
         _ => false,
     }
 }
@@ -695,6 +743,7 @@ pub fn scan_source(path: &str, source: &str, lints: &[&'static str]) -> Vec<Find
             LINT_UNORDERED => check_unordered(path, &lines, &mut out),
             LINT_UNWRAP => check_unwrap(path, &lines, &mut out),
             LINT_FLOAT_EQ => check_float_eq(path, &lines, &mut out),
+            LINT_STEP_COPY => check_step_copy(path, &lines, &mut out),
             _ => {}
         }
     }
@@ -870,6 +919,16 @@ mod tests {
     }
 
     #[test]
+    fn step_copy_detected_but_in_place_forms_ignored() {
+        let src = "let a = positions.to_vec();\nlet b = book.clone();\nbuf.clone_from(&positions);\nlet c = xs.iter().cloned().collect::<Vec<_>>();\n";
+        let lines = mask_source(src);
+        let mut out = Vec::new();
+        check_step_copy("t.rs", &lines, &mut out);
+        let hit: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(hit, vec![1, 2], "{out:?}");
+    }
+
+    #[test]
     fn allowlist_waives_matching_findings() {
         let allow = parse_allowlist(
             "# comment\nsim/src/report.rs :: node_seconds == 0.0  # sentinel for division guard\n",
@@ -908,5 +967,12 @@ mod tests {
         ));
         assert!(lint_applies(LINT_FLOAT_EQ, "crates/lm/src/handoff.rs"));
         assert!(!lint_applies(LINT_FLOAT_EQ, "crates/lm/src/server.rs"));
+        assert!(lint_applies(LINT_STEP_COPY, "crates/sim/src/engine.rs"));
+        assert!(lint_applies(
+            LINT_STEP_COPY,
+            "crates/graph/src/incremental.rs"
+        ));
+        assert!(lint_applies(LINT_STEP_COPY, "crates/mobility/src/walk.rs"));
+        assert!(!lint_applies(LINT_STEP_COPY, "crates/sim/src/report.rs"));
     }
 }

@@ -10,12 +10,19 @@
 //! * `audit-determinism [--json] [--n N]` — run each standard config
 //!   twice with the same seed and compare canonical report + hierarchy
 //!   digests (see `xtask::determinism`). Exit 1 on any divergence.
+//! * `bench [--smoke] [--json] [--out FILE]` — measure steady-state
+//!   `Simulation::step` throughput and allocator traffic per network size
+//!   and write `BENCH_PR2.json` (see `xtask::bench`). `--smoke` runs a
+//!   single small size for CI and writes to `target/BENCH_SMOKE.json`
+//!   instead, so it never clobbers the committed full-mode artifact; the
+//!   written file is re-read and checked for JSON well-formedness before
+//!   the command reports success.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use xtask::json;
-use xtask::{determinism, lint};
+use xtask::{bench, determinism, lint};
 
 fn workspace_root() -> PathBuf {
     // xtask always lives at <root>/xtask.
@@ -29,7 +36,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <command>\n\n  \
          lint [--json] [--path FILE_OR_DIR ...]\n  \
-         audit-determinism [--json] [--n N]"
+         audit-determinism [--json] [--n N]\n  \
+         bench [--smoke] [--json] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -160,11 +168,77 @@ fn cmd_audit_determinism(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut as_json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => as_json = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // Smoke runs are a harness check, not a measurement: never let them
+    // overwrite the committed full-mode artifact.
+    let out = out.unwrap_or_else(|| {
+        if smoke {
+            workspace_root().join("target/BENCH_SMOKE.json")
+        } else {
+            workspace_root().join("BENCH_PR2.json")
+        }
+    });
+    let results = bench::run(smoke);
+    let doc = bench::render_report(&results, smoke);
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("xtask bench: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    // Gate on the artifact actually on disk, not the in-memory string.
+    let well_formed = std::fs::read_to_string(&out)
+        .map(|text| json::validate(text.trim_end()))
+        .unwrap_or(false);
+    if as_json {
+        println!("{doc}");
+    } else {
+        for r in &results {
+            println!(
+                "n={:<6} {:>12.1} ns/tick  {:>9.1} ticks/s  {:>10.1} allocs/tick  {:>12.0} B/tick",
+                r.n, r.ns_per_tick, r.ticks_per_sec, r.allocs_per_tick, r.alloc_bytes_per_tick
+            );
+        }
+        if let Some(s) = bench::speedup_at(&results, 2048) {
+            println!("speedup vs pre-PR2 baseline at n=2048: {s:.2}x");
+        }
+        println!(
+            "xtask bench: wrote {} ({})",
+            out.display(),
+            if well_formed {
+                "well-formed"
+            } else {
+                "MALFORMED"
+            }
+        );
+    }
+    if well_formed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask bench: {} failed JSON validation", out.display());
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("audit-determinism") => cmd_audit_determinism(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => usage(),
     }
 }

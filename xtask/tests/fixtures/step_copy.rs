@@ -1,0 +1,29 @@
+// Negative fixture for `no-step-path-copies`: the first two bodies below
+// must be flagged. Not compiled as a cargo target — scanned by the lint
+// tests.
+
+pub fn bad_to_vec(positions: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    positions.to_vec()
+}
+
+pub fn bad_clone(buf: &Vec<u32>) -> Vec<u32> {
+    buf.clone()
+}
+
+pub fn ok_clone_from(dst: &mut Vec<u32>, src: &Vec<u32>) {
+    // In-place reuse, so NOT a finding:
+    dst.clone_from(src);
+}
+
+pub fn ok_cloned_iter(xs: &[u32]) -> u64 {
+    // `.cloned()` is element-wise, not a buffer copy shape, so NOT a finding:
+    xs.iter().cloned().map(u64::from).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // In test code, so NOT a finding:
+    fn snapshot(xs: &[u32]) -> Vec<u32> {
+        xs.to_vec()
+    }
+}

@@ -5,7 +5,9 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use xtask::lint::{self, LINT_FLOAT_EQ, LINT_UNORDERED, LINT_UNWRAP, LINT_WALLCLOCK};
+use xtask::lint::{
+    self, LINT_FLOAT_EQ, LINT_STEP_COPY, LINT_UNORDERED, LINT_UNWRAP, LINT_WALLCLOCK,
+};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -67,8 +69,27 @@ fn float_eq_fixture_fails() {
 }
 
 #[test]
+fn step_copy_fixture_fails() {
+    let fs = findings_for("step_copy.rs");
+    let hits: Vec<usize> = fs
+        .iter()
+        .filter(|f| f.lint == LINT_STEP_COPY)
+        .map(|f| f.line)
+        .collect();
+    // .to_vec() + .clone(); clone_from, .cloned() and in-test sites silent.
+    assert_eq!(hits.len(), 2, "{fs:?}");
+    assert!(hits.iter().all(|&l| l < 13), "{fs:?}");
+}
+
+#[test]
 fn binary_exits_nonzero_on_each_fixture_with_json() {
-    for name in ["wallclock.rs", "unordered.rs", "unwrap.rs", "float_eq.rs"] {
+    for name in [
+        "wallclock.rs",
+        "unordered.rs",
+        "unwrap.rs",
+        "float_eq.rs",
+        "step_copy.rs",
+    ] {
         let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
             .args(["lint", "--json", "--path"])
             .arg(fixture(name))
