@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 step "cargo xtask lint"
 cargo xtask lint
 
+step "cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 step "cargo test (workspace)"
 cargo test --workspace -q
 

@@ -2,21 +2,15 @@
 //!
 //! The paper's unit is error-free packet transmissions. Real MANET links
 //! lose packets; per-hop ARQ inflates the transmission count by
-//! `1/(1-p)` in expectation. This binary replays one tick's handoff
-//! workload through the packet network at several loss rates and reports
-//! the measured inflation, delivery rate and latency — the factor by
-//! which the paper's polylog budgets must be scaled on a real radio.
+//! `1/(1-p)` in expectation. This binary runs the *full* packet-backend
+//! simulation (every tick's handoff workload executed through the
+//! discrete-event network) at several loss rates and reports the measured
+//! inflation, delivery rate and latency — the factor by which the paper's
+//! polylog budgets must be scaled on a real radio.
 
 use chlm_analysis::table::{fnum, TextTable};
 use chlm_bench::{banner, env_usize};
-use chlm_cluster::address::AddressBook;
-use chlm_cluster::{Hierarchy, HierarchyOptions};
-use chlm_geom::{Disk, SimRng};
-use chlm_graph::unit_disk::build_unit_disk;
-use chlm_lm::server::{LmAssignment, SelectionRule};
-use chlm_mobility::{MobilityModel, RandomWaypoint};
-use chlm_proto::message::{LmMessage, Packet};
-use chlm_proto::network::PacketNetwork;
+use chlm_sim::{Backend, Engine, LossSpec, PacketEngine, SimConfig};
 
 fn main() {
     banner(
@@ -24,32 +18,19 @@ fn main() {
         "handoff transmissions under per-hop loss",
     );
     let n = env_usize("CHLM_MAX_N", 1024).min(512);
-    let density = 1.25;
-    let rtx = chlm_geom::rtx_for_degree(9.0, density);
-    let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
-    let mut rng = SimRng::seed_from(23_000);
-    let ids = rng.permutation(n);
-    let mut mob = RandomWaypoint::deployed(region, n, 2.0, 40.0, &mut rng);
-    let opts = HierarchyOptions::default();
+    let cfg = |loss: Option<LossSpec>| -> SimConfig {
+        let b = SimConfig::builder(n)
+            .warmup(5.0)
+            .seed(23_000)
+            .backend(Backend::Packet {
+                hop_delay: 0.001,
+                loss,
+            });
+        // ~10 measured ticks, independent of the derived tick length.
+        let tick = b.clone().duration(1.0).build().tick();
+        b.duration(10.0 * tick).build()
+    };
 
-    // One substantial tick's handoff workload.
-    let h1 = Hierarchy::build(&ids, &build_unit_disk(mob.positions(), rtx), opts);
-    let a1 = LmAssignment::compute(&h1, SelectionRule::Hrw);
-    let b1 = AddressBook::capture(&h1);
-    mob.step(rtx / 3.0);
-    let g2 = build_unit_disk(mob.positions(), rtx);
-    let h2 = Hierarchy::build(&ids, &g2, opts);
-    let a2 = LmAssignment::compute(&h2, SelectionRule::Hrw);
-    let b2 = AddressBook::capture(&h2);
-    let host_changes = a1.diff(&a2);
-    let addr_changes = b1.diff(&b2);
-    let changed: std::collections::HashSet<_> =
-        addr_changes.iter().map(|c| (c.node, c.level)).collect();
-
-    println!(
-        "workload: {} entry transfers + registrations\n",
-        host_changes.len()
-    );
     let mut t = TextTable::new(vec![
         "loss %",
         "retries",
@@ -59,8 +40,10 @@ fn main() {
         "inflation",
         "expected 1/(1-p)",
         "mean latency (ms)",
+        "phi+gamma / node-s",
     ]);
     let mut baseline = 0u64;
+    let mut workload = (0u64, 0u64);
     for &(p, retries) in &[
         (0.0, 0u32),
         (0.05, 8),
@@ -69,48 +52,42 @@ fn main() {
         (0.3, 8),
         (0.3, 0),
     ] {
-        let mut net = PacketNetwork::new(&g2, 0.001);
-        if p > 0.0 || retries > 0 {
-            net = net.with_loss(p, retries, 99);
+        let loss = (p > 0.0).then_some(LossSpec {
+            prob: p,
+            max_retries: retries,
+            seed: 99,
+        });
+        let mut engine = PacketEngine::new(cfg(loss));
+        for _ in 0..engine.config().tick_count() {
+            engine.step();
         }
-        for hc in &host_changes {
-            net.send(Packet {
-                src: hc.old_host,
-                dst: hc.new_host,
-                msg: LmMessage::Transfer {
-                    subject: hc.subject,
-                    level: hc.level,
-                },
-                sent_at: 0.0,
-            });
-            if changed.contains(&(hc.subject, hc.level)) {
-                net.send(Packet {
-                    src: hc.subject,
-                    dst: hc.new_host,
-                    msg: LmMessage::Register {
-                        subject: hc.subject,
-                        level: hc.level,
-                    },
-                    sent_at: 0.0,
-                });
-            }
-        }
-        let stats = net.run();
+        let totals = engine.totals();
+        let report = Box::new(engine).finish_boxed();
         if p == 0.0 {
-            baseline = stats.transmissions;
+            baseline = totals.net.transmissions;
+            workload = (totals.transfers, totals.registrations);
+        } else {
+            // The backend must not change which handoffs happen — only
+            // what executing them costs.
+            assert_eq!((totals.transfers, totals.registrations), workload);
         }
         t.row(vec![
             fnum(p * 100.0),
             format!("{retries}"),
-            fnum(stats.delivered as f64 / stats.sent.max(1) as f64 * 100.0),
-            format!("{}", stats.lost),
-            format!("{}", stats.transmissions),
-            fnum(stats.transmissions as f64 / baseline.max(1) as f64),
+            fnum(totals.net.delivered as f64 / totals.net.sent.max(1) as f64 * 100.0),
+            format!("{}", totals.net.lost),
+            format!("{}", totals.net.transmissions),
+            fnum(totals.net.transmissions as f64 / baseline.max(1) as f64),
             fnum(if p < 1.0 { 1.0 / (1.0 - p) } else { f64::NAN }),
-            fnum(stats.mean_latency() * 1000.0),
+            fnum(totals.net.mean_latency() * 1000.0),
+            fnum(report.ledger.phi_total() + report.ledger.gamma_total()),
         ]);
     }
     println!("{}", t.render());
+    println!(
+        "workload per run: {} transfers + {} registrations",
+        workload.0, workload.1
+    );
     println!("with per-hop ARQ the polylog handoff budget scales by 1/(1-p) — a");
     println!("constant factor, so the paper's asymptotic conclusion is loss-robust;");
     println!("without retries, multi-hop transfers fail and the LM database decays.");

@@ -1,6 +1,6 @@
-//! E20 (§6 / companion [16]): cluster-maintenance overhead.
+//! E20 (§6 / companion \[16\]): cluster-maintenance overhead.
 //!
-//! The conclusion cites [16] for "cluster maintenance … incur[s] packet
+//! The conclusion cites \[16\] for "cluster maintenance … incur\[s\] packet
 //! transmission counts that are only logarithmic in |V|". We price the
 //! standard beaconing scheme on *measured* hierarchies (real `d_k`, `h_k`,
 //! `|V_k|` rather than the idealized uniform arity) and fit the per-node

@@ -3,7 +3,7 @@
 //! The paper's bounds rest only on fixed density and speed μ, not on the
 //! specifics of random waypoint. We run the same network under four
 //! mobility processes at identical nominal speed and compare f₀, φ, γ.
-//! Group mobility (RPGM, the HSR motivation [11]) should show markedly
+//! Group mobility (RPGM, the HSR motivation \[11\]) should show markedly
 //! lower reorganization overhead; the per-tick random walk, maximal
 //! direction churn, sits at the other extreme of link volatility.
 

@@ -1,128 +1,118 @@
 //! E18 (methodology validation): analytical accounting vs executed packets.
 //!
 //! The φ/γ numbers everywhere else come from the analytical ledger
-//! (entries × hop-oracle). Here we *execute* the same handoff workload as
-//! real packets over the topology and compare: under the BFS oracle the
-//! two must agree exactly; the Euclidean oracle (used for large sweeps)
-//! should sit within a few percent. Also reports handoff delivery latency,
-//! which the analytical pipeline cannot see.
+//! (entries × hop-oracle). Here the *same* staged engine pipeline runs
+//! three times over one config and seed — analytic with the BFS oracle,
+//! analytic with the Euclidean proxy, and the packet backend, which
+//! executes every TRANSFER/REGISTER through the discrete-event network —
+//! and the resulting ledgers are compared per level. On a connected
+//! topology (zero drops) the packet backend must reproduce the BFS ledger
+//! *exactly*; the Euclidean proxy should sit within a few percent. Also
+//! reports handoff delivery latency, which the analytical pipeline cannot
+//! see.
 
 use chlm_analysis::table::{fnum, TextTable};
 use chlm_bench::{banner, env_usize};
-use chlm_cluster::address::AddressBook;
-use chlm_cluster::{Hierarchy, HierarchyOptions};
-use chlm_geom::{Disk, SimRng};
-use chlm_graph::traversal::{bfs_distances, UNREACHABLE};
-use chlm_graph::unit_disk::build_unit_disk;
-use chlm_graph::NodeIdx;
-use chlm_lm::server::{LmAssignment, SelectionRule};
-use chlm_mobility::{MobilityModel, RandomWaypoint};
-use chlm_proto::protocol::execute_handoff;
-use std::collections::HashMap;
+use chlm_sim::{Backend, Engine, HopMetric, PacketEngine, SimConfig, Simulation};
 
 fn main() {
     banner("E18", "packet-level validation of the handoff accounting");
     let n = env_usize("CHLM_MAX_N", 1024).min(512);
-    let density = 1.25;
-    let rtx = chlm_geom::rtx_for_degree(9.0, density);
-    let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+    let cfg = |metric: HopMetric, backend: Backend| -> SimConfig {
+        let b = SimConfig::builder(n)
+            .warmup(5.0)
+            .seed(18_000)
+            .hop_metric(metric)
+            .backend(backend);
+        // ~12 measured ticks, independent of the derived tick length.
+        let tick = b.clone().duration(1.0).build().tick();
+        b.duration(12.0 * tick).build()
+    };
+
+    let bfs = Simulation::new(cfg(HopMetric::Bfs, Backend::Analytic)).run();
+    // The same fixed 1.3 detour factor the BFS oracle uses for its
+    // unreachable fallback — the proxy the largest sweeps run with.
+    let euclid = Simulation::new(cfg(HopMetric::Euclidean(1.3), Backend::Analytic)).run();
+    let mut engine = PacketEngine::new(cfg(HopMetric::Bfs, Backend::packet()));
+    for _ in 0..engine.config().tick_count() {
+        engine.step();
+    }
+    let totals = engine.totals();
+    let packet = Box::new(engine).finish_boxed();
+
+    let depth = bfs
+        .ledger
+        .max_level()
+        .max(packet.ledger.max_level())
+        .max(euclid.ledger.max_level());
     let mut t = TextTable::new(vec![
-        "tick",
-        "entries moved",
-        "executed pkts",
-        "bfs ledger pkts",
-        "euclid ledger pkts",
-        "euclid err %",
-        "mean latency (ms)",
+        "level k",
+        "phi_k bfs",
+        "phi_k packet",
+        "phi_k euclid",
+        "gamma_k bfs",
+        "gamma_k packet",
+        "gamma_k euclid",
     ]);
-
-    let mut rng = SimRng::seed_from(18_000);
-    let ids = rng.permutation(n);
-    let mut mob = RandomWaypoint::deployed(region, n, 2.0, 40.0, &mut rng);
-    let opts = HierarchyOptions::default();
-    let h0 = Hierarchy::build(&ids, &build_unit_disk(mob.positions(), rtx), opts);
-    let mut a_prev = LmAssignment::compute(&h0, SelectionRule::Hrw);
-    let mut b_prev = AddressBook::capture(&h0);
-
-    let mut total_exec = 0u64;
-    let mut total_bfs = 0.0;
-    let mut total_euclid = 0.0;
-    for tick in 0..12 {
-        mob.step(rtx / 4.0);
-        let positions = mob.positions().to_vec();
-        let g = build_unit_disk(&positions, rtx);
-        let h = Hierarchy::build(&ids, &g, opts);
-        let a = LmAssignment::compute(&h, SelectionRule::Hrw);
-        let b = AddressBook::capture(&h);
-        let host_changes = a_prev.diff(&a);
-        let addr_changes = b_prev.diff(&b);
-
-        // Analytical pricing with both oracles (dropping cross-partition
-        // pairs to match the packet network).
-        let mut cache: HashMap<NodeIdx, Vec<u32>> = HashMap::new();
-        let mut bfs_hops = |x: NodeIdx, y: NodeIdx| -> f64 {
-            if x == y {
-                return 0.0;
-            }
-            let d = cache.entry(x).or_insert_with(|| bfs_distances(&g, x));
-            if d[y as usize] == UNREACHABLE {
-                0.0
-            } else {
-                d[y as usize] as f64
-            }
-        };
-        let euclid = |x: NodeIdx, y: NodeIdx| -> f64 {
-            if x == y {
-                0.0
-            } else {
-                (positions[x as usize].dist(positions[y as usize]) / rtx * 1.3).max(1.0)
-            }
-        };
-        let changed: std::collections::HashSet<(NodeIdx, u16)> =
-            addr_changes.iter().map(|c| (c.node, c.level)).collect();
-        let mut bfs_total = 0.0;
-        let mut euclid_total = 0.0;
-        for hc in &host_changes {
-            bfs_total += bfs_hops(hc.old_host, hc.new_host);
-            euclid_total += euclid(hc.old_host, hc.new_host);
-            if changed.contains(&(hc.subject, hc.level)) {
-                bfs_total += bfs_hops(hc.subject, hc.new_host);
-                euclid_total += euclid(hc.subject, hc.new_host);
-            }
-        }
-
-        let stats = execute_handoff(&g, &host_changes, &addr_changes, 0.001);
-        total_exec += stats.net.transmissions;
-        total_bfs += bfs_total;
-        total_euclid += euclid_total;
-        let err = if bfs_total > 0.0 {
-            (euclid_total - bfs_total) / bfs_total * 100.0
-        } else {
-            0.0
-        };
+    for k in 1..=depth {
         t.row(vec![
-            format!("{tick}"),
-            format!("{}", host_changes.len()),
-            format!("{}", stats.net.transmissions),
-            fnum(bfs_total),
-            fnum(euclid_total),
-            fnum(err),
-            fnum(stats.mean_latency() * 1000.0),
+            format!("{k}"),
+            fnum(bfs.ledger.phi(k)),
+            fnum(packet.ledger.phi(k)),
+            fnum(euclid.ledger.phi(k)),
+            fnum(bfs.ledger.gamma(k)),
+            fnum(packet.ledger.gamma(k)),
+            fnum(euclid.ledger.gamma(k)),
         ]);
-
-        a_prev = a;
-        b_prev = b;
     }
     println!("{}", t.render());
-    assert_eq!(
-        total_exec as f64, total_bfs,
-        "executed transmissions must equal the BFS-oracle ledger"
+
+    let total = |r: &chlm_sim::SimReport| r.ledger.phi_total() + r.ledger.gamma_total();
+    let bfs_packets = total(&bfs) * bfs.ledger.node_seconds;
+    let euclid_packets = total(&euclid) * euclid.ledger.node_seconds;
+    println!(
+        "workload: {} transfers + {} registrations over {:.0} ticks",
+        totals.transfers,
+        totals.registrations,
+        packet.ledger.node_seconds / packet.dt / packet.n as f64
     );
     println!(
-        "VALIDATED: executed transmissions == BFS-oracle analytical count ({total_exec} packets)"
+        "executed {} transmissions; bfs ledger {}; euclid ledger {} ({:+.1}% vs bfs)",
+        totals.net.transmissions,
+        fnum(bfs_packets),
+        fnum(euclid_packets),
+        (euclid_packets - bfs_packets) / bfs_packets.max(1.0) * 100.0
     );
     println!(
-        "Euclidean oracle aggregate error vs ground truth: {:+.1}%",
-        (total_euclid - total_bfs) / total_bfs * 100.0
+        "mean handoff delivery latency: {:.2} ms (analytic pipeline cannot see this)",
+        totals.net.mean_latency() * 1000.0
     );
+
+    if totals.net.dropped == 0 {
+        // Connected all run: the packet backend must have reproduced the
+        // analytic BFS ledger packet for packet.
+        assert_eq!(
+            packet.ledger, bfs.ledger,
+            "executed transmissions must equal the BFS-oracle ledger"
+        );
+        println!(
+            "VALIDATED: executed transmissions == BFS-oracle analytical count ({} packets)",
+            totals.net.transmissions
+        );
+    } else {
+        // Partitioned topology: the oracle prices cross-partition pairs
+        // with its Euclidean fallback, the network drops them after zero
+        // transmissions — exact equality is out of reach by design.
+        println!(
+            "note: {} packets dropped on partitioned topologies; exact \
+             ledger equality requires a connected run (executed {} <= bfs {})",
+            totals.net.dropped,
+            totals.net.transmissions,
+            fnum(bfs_packets)
+        );
+        assert!(
+            totals.net.transmissions as f64 <= bfs_packets + 1e-9,
+            "execution can only undercut the fallback-priced ledger"
+        );
+    }
 }

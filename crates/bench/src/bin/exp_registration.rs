@@ -1,6 +1,6 @@
-//! E19 (§6 / companion [17]): location-registration overhead.
+//! E19 (§6 / companion \[17\]): location-registration overhead.
 //!
-//! The conclusion cites [17] for "location registration … incur[s] packet
+//! The conclusion cites \[17\] for "location registration … incur\[s\] packet
 //! transmission counts that are only logarithmic in |V|". With the GLS-style
 //! distance-triggered refresh rule (update the level-k server after
 //! drifting a fraction of the level-k cluster radius), level-k updates

@@ -1,4 +1,4 @@
-//! E17 (§2.1 / Kleinrock–Kamoun [7]): what the hierarchy buys.
+//! E17 (§2.1 / Kleinrock–Kamoun \[7\]): what the hierarchy buys.
 //!
 //! Static deployments at increasing sizes: hierarchical routing-table size
 //! (`O(Σ_k α_k)`) against the flat link-state baseline (`|V|`), and the

@@ -1,7 +1,7 @@
 //! # chlm-cluster
 //!
 //! Clustering substrate: the Linked Cluster Algorithm (LCA) election rule of
-//! Baker & Ephremides [1], applied recursively to produce the multi-level
+//! Baker & Ephremides \[1\], applied recursively to produce the multi-level
 //! clustered hierarchy the paper analyzes (§2), plus the machinery to *diff*
 //! consecutive hierarchies and classify the reorganization events (i)–(vii)
 //! of §5.2.

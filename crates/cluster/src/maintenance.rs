@@ -1,6 +1,6 @@
 //! Cluster-maintenance overhead model.
 //!
-//! The paper's conclusion (§6) leans on its companion work [16] for the
+//! The paper's conclusion (§6) leans on its companion work \[16\] for the
 //! claim that *cluster maintenance* — the beaconing that keeps each level's
 //! topology and election state current — costs only `Θ(log |V|)` packet
 //! transmissions per node per second. The standard scheme prices as

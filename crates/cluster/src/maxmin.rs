@@ -1,6 +1,6 @@
 //! Max-min d-hop clustering (Amis, Prakash, Vuong & Huynh, INFOCOM 2000).
 //!
-//! The paper cites max-min d-cluster formation [8] as the scalable
+//! The paper cites max-min d-cluster formation \[8\] as the scalable
 //! generalization of the LCA (`d = 1` reduces to an asynchronous LCA). We
 //! implement it as the clustering ablation (experiment E15): compared with
 //! the LCA it elects fewer, farther-spaced heads (larger α), trading

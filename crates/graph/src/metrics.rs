@@ -40,7 +40,7 @@ pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
 }
 
 /// Estimate the mean shortest-path hop count between connected pairs by
-/// sampling `samples` BFS sources. Kleinrock & Silvester's result [2] gives
+/// sampling `samples` BFS sources. Kleinrock & Silvester's result \[2\] gives
 /// `h = Θ(sqrt(|V|))` for fixed-density 2-D networks — experiment E4 checks
 /// the hierarchical generalization (eq. (3)).
 ///

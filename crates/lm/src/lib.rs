@@ -34,7 +34,7 @@
 //! * [`churn`] — node birth/death handoff pricing (the paper's excluded
 //!   case, evaluated as an extension in E21),
 //! * [`update`] — distance-triggered registration refresh (the Θ(log n)
-//!   steady-state cost of [17], experiment E19),
+//!   steady-state cost of \[17\], experiment E19),
 //! * [`gls`] — the GLS baseline on a grid hierarchy (Fig. 2).
 
 //!

@@ -6,7 +6,7 @@
 //! feature (c) — near servers hear often, far servers rarely — a node
 //! refreshes its level-k server only after moving a distance proportional
 //! to its level-k cluster radius (`Θ(h_k · R_TX)`). The paper's companion
-//! work [17] shows this prices registration at `Θ(log |V|)` packet
+//! work \[17\] shows this prices registration at `Θ(log |V|)` packet
 //! transmissions per node per second: level-k updates happen at rate
 //! `Θ(1/h_k)` and travel `Θ(h_k)` hops, so every level costs `Θ(1)` and
 //! there are `Θ(log |V|)` levels. Experiment E19 verifies the claim.

@@ -3,7 +3,7 @@
 //! Mobility models for the CHLM MANET simulator.
 //!
 //! The paper's analysis (§1.2) assumes the **random waypoint** model of
-//! Broch et al. [4] with zero pause time and node speed `μ` m/s:
+//! Broch et al. \[4\] with zero pause time and node speed `μ` m/s:
 //! each node repeatedly picks a uniformly random destination in the
 //! deployment region and travels to it in a straight line at speed `μ`.
 //! [`RandomWaypoint`] implements exactly this, including the well-known
@@ -13,7 +13,7 @@
 //!
 //! For the mobility ablation (experiment E16) the crate also provides
 //! [`RandomDirection`], [`RandomWalk`], [`Rpgm`] (reference-point group
-//! mobility, the group-mobility pattern motivating HSR [11]), and
+//! mobility, the group-mobility pattern motivating HSR \[11\]), and
 //! [`StaticModel`].
 //!
 //! All models implement [`MobilityModel`]: the simulator owns positions and

@@ -4,7 +4,7 @@
 //! a random-waypoint walk, and each member jitters around its reference
 //! point (a fixed offset from the center) within a small radius. This is the
 //! group-mobility pattern that motivates hierarchical protocols such as
-//! HSR [11]: group structure makes clusters more stable than independent
+//! HSR \[11\]: group structure makes clusters more stable than independent
 //! RWP, which experiment E16 quantifies (lower reorganization rate γ).
 
 use crate::waypoint::RandomWaypoint;

@@ -1,4 +1,4 @@
-//! Random waypoint mobility (Broch et al. [4]) with zero pause time.
+//! Random waypoint mobility (Broch et al. \[4\]) with zero pause time.
 //!
 //! Each node travels in a straight line at speed μ towards a waypoint drawn
 //! uniformly from the deployment disk; on arrival it immediately draws a new

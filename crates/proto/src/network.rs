@@ -21,6 +21,8 @@ struct HopEvent {
     at: NodeIdx,
     /// Failed attempts for the current hop so far.
     attempts: u32,
+    /// Send-order index of the packet (slot in `per_packet`).
+    seq: usize,
 }
 
 /// Outcome counters of a packet-network run.
@@ -49,6 +51,19 @@ impl NetworkStats {
             self.total_latency / self.delivered as f64
         }
     }
+
+    /// Fold another run's counters into this one (counters sum; the
+    /// latency maximum is the max of both).
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.lost += other.lost;
+        self.transmissions += other.transmissions;
+        self.retransmissions += other.retransmissions;
+        self.total_latency += other.total_latency;
+        self.max_latency = self.max_latency.max(other.max_latency);
+    }
 }
 
 /// A packet network over one topology snapshot.
@@ -64,6 +79,9 @@ pub struct PacketNetwork<'a> {
     stats: NetworkStats,
     /// Delivered packets, with their delivery times.
     delivered_log: Vec<(Packet, f64)>,
+    /// Per-packet transmission counts in send order (failed attempts
+    /// included; self-delivered and dropped packets stay at 0).
+    per_packet: Vec<u32>,
 }
 
 /// Sentinel in next-hop trees for "unreachable / is destination".
@@ -81,6 +99,7 @@ impl<'a> PacketNetwork<'a> {
             queue: EventQueue::new(),
             stats: NetworkStats::default(),
             delivered_log: Vec::new(),
+            per_packet: Vec::new(),
         }
     }
 
@@ -123,6 +142,11 @@ impl<'a> PacketNetwork<'a> {
     pub fn send(&mut self, mut packet: Packet) {
         packet.sent_at = self.queue.now();
         self.stats.sent += 1;
+        // Every sent packet gets a per-packet slot, in send order — even
+        // the free/dropped ones, so callers can zip against their own
+        // send sequence.
+        let seq = self.per_packet.len();
+        self.per_packet.push(0);
         if packet.src == packet.dst {
             // Local delivery: zero transmissions, zero latency.
             self.stats.delivered += 1;
@@ -142,6 +166,7 @@ impl<'a> PacketNetwork<'a> {
                 packet,
                 at,
                 attempts: 0,
+                seq,
             },
         );
     }
@@ -154,6 +179,7 @@ impl<'a> PacketNetwork<'a> {
             let next = self.tree_for(ev.packet.dst)[ev.at as usize];
             debug_assert_ne!(next, NO_HOP, "routed packet lost its path");
             self.stats.transmissions += 1;
+            self.per_packet[ev.seq] += 1;
             if ev.attempts > 0 {
                 self.stats.retransmissions += 1;
             }
@@ -172,6 +198,7 @@ impl<'a> PacketNetwork<'a> {
                                 packet: ev.packet,
                                 at: ev.at,
                                 attempts: ev.attempts + 1,
+                                seq: ev.seq,
                             },
                         );
                     }
@@ -195,6 +222,7 @@ impl<'a> PacketNetwork<'a> {
                         packet: ev.packet,
                         at: next,
                         attempts: 0,
+                        seq: ev.seq,
                     },
                 );
             }
@@ -209,6 +237,13 @@ impl<'a> PacketNetwork<'a> {
     /// Delivered packets with delivery times, in delivery order.
     pub fn delivered(&self) -> &[(Packet, f64)] {
         &self.delivered_log
+    }
+
+    /// Transmission counts per sent packet, in send order (failed attempts
+    /// included; self-delivered and dropped packets count 0). Call after
+    /// [`PacketNetwork::run`].
+    pub fn per_packet_transmissions(&self) -> &[u32] {
+        &self.per_packet
     }
 }
 
@@ -342,6 +377,53 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5).transmissions, run(6).transmissions);
+    }
+
+    #[test]
+    fn per_packet_counts_align_with_send_order() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let mut net = PacketNetwork::new(&g, 0.001);
+        net.send(packet(0, 3)); // 3 hops
+        net.send(packet(2, 2)); // self-delivery: 0
+        net.send(packet(0, 5)); // unreachable: 0
+        net.send(packet(1, 3)); // 2 hops
+        let stats = net.run();
+        assert_eq!(net.per_packet_transmissions(), &[3, 0, 0, 2]);
+        assert_eq!(stats.transmissions, 5);
+    }
+
+    #[test]
+    fn per_packet_counts_include_retransmissions() {
+        let g = path_graph(10);
+        let mut net = PacketNetwork::new(&g, 0.001).with_loss(0.3, 50, 11);
+        net.send(packet(0, 9));
+        net.send(packet(0, 9));
+        let stats = net.run();
+        let per = net.per_packet_transmissions();
+        assert_eq!(per.len(), 2);
+        assert_eq!(
+            per.iter().map(|&t| t as u64).sum::<u64>(),
+            stats.transmissions
+        );
+        assert!(per.iter().all(|&t| t >= 9), "9 hops minimum each");
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let g = path_graph(5);
+        let mut a = PacketNetwork::new(&g, 0.001);
+        a.send(packet(0, 4));
+        let sa = a.run();
+        let mut b = PacketNetwork::new(&g, 0.001);
+        b.send(packet(0, 2));
+        b.send(packet(3, 4));
+        let sb = b.run();
+        let mut merged = sa;
+        merged.merge(&sb);
+        assert_eq!(merged.sent, 3);
+        assert_eq!(merged.delivered, 3);
+        assert_eq!(merged.transmissions, sa.transmissions + sb.transmissions);
+        assert_eq!(merged.max_latency, sa.max_latency.max(sb.max_latency));
     }
 
     #[test]

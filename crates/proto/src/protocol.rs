@@ -33,22 +33,24 @@ impl MessageStats {
     }
 }
 
-/// Execute the handoff messages implied by `host_changes` on `graph`.
+/// Send the handoff messages implied by `host_changes` into `net`, without
+/// running the event queue. Returns `(transfers, registrations)`.
 ///
 /// For each changed entry, the old server sends one TRANSFER to the new
 /// server; additionally, every subject whose address actually changed at
-/// that level sends one REGISTER to its new server (the same events the
-/// analytical [`chlm_lm::HandoffLedger`] prices).
-pub fn execute_handoff(
-    graph: &Graph,
+/// that level sends one REGISTER to its new server. These are exactly the
+/// events the analytical [`chlm_lm::HandoffLedger`] prices, *in the same
+/// order* its `record` prices them — so per-packet transmission counts can
+/// be replayed 1:1 into a ledger's hop closure (the sim's packet backend
+/// does exactly that).
+pub fn send_handoff(
+    net: &mut PacketNetwork<'_>,
     host_changes: &[HostChange],
     addr_changes: &[AddrChange],
-    hop_delay: f64,
-) -> MessageStats {
+) -> (u64, u64) {
     let changed_at: HashSet<(NodeIdx, u16)> =
         addr_changes.iter().map(|c| (c.node, c.level)).collect();
-    let mut net = PacketNetwork::new(graph, hop_delay);
-    let mut stats = MessageStats::default();
+    let (mut transfers, mut registrations) = (0u64, 0u64);
     for hc in host_changes {
         net.send(Packet {
             src: hc.old_host,
@@ -59,7 +61,7 @@ pub fn execute_handoff(
             },
             sent_at: 0.0,
         });
-        stats.transfers += 1;
+        transfers += 1;
         if changed_at.contains(&(hc.subject, hc.level)) {
             net.send(Packet {
                 src: hc.subject,
@@ -70,9 +72,25 @@ pub fn execute_handoff(
                 },
                 sent_at: 0.0,
             });
-            stats.registrations += 1;
+            registrations += 1;
         }
     }
+    (transfers, registrations)
+}
+
+/// Execute the handoff messages implied by `host_changes` on `graph`: send
+/// the [`send_handoff`] workload and run the event queue to completion.
+pub fn execute_handoff(
+    graph: &Graph,
+    host_changes: &[HostChange],
+    addr_changes: &[AddrChange],
+    hop_delay: f64,
+) -> MessageStats {
+    let mut net = PacketNetwork::new(graph, hop_delay);
+    let mut stats = MessageStats::default();
+    let (transfers, registrations) = send_handoff(&mut net, host_changes, addr_changes);
+    stats.transfers = transfers;
+    stats.registrations = registrations;
     stats.net = net.run();
     stats
 }

@@ -1,7 +1,7 @@
 //! # chlm-routing
 //!
 //! Strict hierarchical routing over the clustered hierarchy (§2.1 of the
-//! paper, after Kleinrock & Kamoun [7] and Steenstrup [14]).
+//! paper, after Kleinrock & Kamoun \[7\] and Steenstrup \[14\]).
 //!
 //! Forwarding decisions use only the **hierarchical address** of the
 //! destination: a node knows routes to (a) every level-0 member of its own

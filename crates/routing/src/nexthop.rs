@@ -158,11 +158,50 @@ impl NextHopTable {
         self.tables[u as usize].get(&(level, head)).copied()
     }
 
+    /// One forwarding decision: the next hop from `cur` toward `t` and the
+    /// lowest level at which their addresses agree. `None` when `cur` has
+    /// no table entry for the leg (no route).
+    fn step_toward(&self, cur: NodeIdx, t: NodeIdx) -> Option<(NodeIdx, usize)> {
+        let addr_c = &self.addresses[cur as usize];
+        let addr_t = &self.addresses[t as usize];
+        let depth = addr_c.len().min(addr_t.len());
+        let common = (0..depth).find(|&k| addr_c[k] == addr_t[k])?;
+        debug_assert!(common >= 1);
+        let key = if common == 1 {
+            (0u16, t)
+        } else {
+            ((common - 1) as u16, addr_t[common - 1])
+        };
+        let next = *self.tables[cur as usize].get(&key)?;
+        Some((next, common))
+    }
+
+    /// Hop count of the table-driven route from `s` to `t` — the walk
+    /// [`NextHopTable::route`] performs, minus the shortest-path BFS that
+    /// call runs only for stretch accounting. `Some(0)` for `s == t`;
+    /// `None` when the tables cannot deliver. `O(hops)` per pair, so this
+    /// is the form hot pricing paths use.
+    pub fn route_hops(&self, s: NodeIdx, t: NodeIdx) -> Option<u32> {
+        let mut cur = s;
+        let mut hops = 0usize;
+        let cap = 4 * self.tables.len() + 16;
+        while cur != t {
+            let (next, _) = self.step_toward(cur, t)?;
+            cur = next;
+            hops += 1;
+            if hops > cap {
+                // Defensive: gradient routing cannot loop, but corrupt
+                // tables shouldn't hang the caller.
+                return None;
+            }
+        }
+        Some(hops as u32)
+    }
+
     /// Route a packet from `s` to `t` using only per-node tables and `t`'s
     /// hierarchical address. Returns `None` when no route exists.
     pub fn route(&self, h: &Hierarchy, s: NodeIdx, t: NodeIdx) -> Option<PathOutcome> {
         let g0 = &h.levels[0].graph;
-        let addr_t = &self.addresses[t as usize];
         let shortest = {
             if s == t {
                 0
@@ -180,19 +219,11 @@ impl NextHopTable {
         let mut last_common = usize::MAX;
         let cap = 4 * g0.node_count() + 16;
         while cur != t {
-            let addr_c = &self.addresses[cur as usize];
-            let common = (0..h.depth()).find(|&k| addr_c[k] == addr_t[k])?;
-            debug_assert!(common >= 1);
+            let (next, common) = self.step_toward(cur, t)?;
             if common < last_common {
                 legs += 1;
                 last_common = common;
             }
-            let key = if common == 1 {
-                (0u16, t)
-            } else {
-                ((common - 1) as u16, addr_t[common - 1])
-            };
-            let next = *self.tables[cur as usize].get(&key)?;
             path.push(next);
             cur = next;
             if path.len() > cap {
@@ -340,5 +371,31 @@ mod tests {
         let out = tables.route(&h, 5, 5).unwrap();
         assert_eq!(out.hops, 0);
         assert_eq!(out.path, vec![5]);
+        assert_eq!(tables.route_hops(5, 5), Some(0));
+    }
+
+    #[test]
+    fn route_hops_matches_full_route() {
+        let h = random_hierarchy(180, 8);
+        let tables = NextHopTable::build(&h);
+        let mut rng = SimRng::seed_from(9);
+        let mut checked = 0;
+        for _ in 0..400 {
+            let s = rng.index(180) as NodeIdx;
+            let t = rng.index(180) as NodeIdx;
+            match (tables.route(&h, s, t), tables.route_hops(s, t)) {
+                (Some(out), Some(hops)) => {
+                    assert_eq!(out.hops, hops, "s={s} t={t}");
+                    checked += 1;
+                }
+                (None, None) => {}
+                // `route` also returns None for BFS-unreachable pairs it
+                // never walks; `route_hops` can still walk a table route
+                // only if one exists, and a table route implies
+                // reachability — so the walks must agree.
+                (a, b) => panic!("divergence s={s} t={t}: route={a:?} hops={b:?}"),
+            }
+        }
+        assert!(checked > 50);
     }
 }

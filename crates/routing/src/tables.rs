@@ -1,6 +1,6 @@
 //! Routing-table size accounting.
 //!
-//! The point of hierarchical routing ([7], §2.1) is table compression: a
+//! The point of hierarchical routing (\[7\], §2.1) is table compression: a
 //! node stores routes for the members of its level-1 cluster plus, for
 //! each ancestor level-k cluster, its sibling member clusters —
 //! `O(Σ_k α_k) = O(α · log |V|)` entries — instead of the flat link-state

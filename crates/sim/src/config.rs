@@ -34,6 +34,56 @@ pub enum HopMetric {
     EuclideanCalibrated,
     /// Euclidean with a fixed calibration factor.
     Euclidean(f64),
+    /// Strict hierarchical forwarding over `chlm_routing::NextHopTable`:
+    /// pairs are priced by walking the actual per-node routing tables, so
+    /// hierarchical stretch is measured instead of assumed away. Builds
+    /// the tables each tick — protocol-fidelity studies at moderate sizes,
+    /// not the largest sweeps.
+    HierRouting,
+}
+
+/// Lossy-link model for the packet backend: each transmission is lost
+/// independently with probability `prob` and retried up to `max_retries`
+/// times (simple ARQ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossSpec {
+    /// Per-transmission loss probability in `[0, 1)`.
+    pub prob: f64,
+    /// Retransmission attempts before a hop gives up.
+    pub max_retries: u32,
+    /// Base seed for the loss stream (combined with the tick index, so
+    /// every tick draws from an independent deterministic stream).
+    pub seed: u64,
+}
+
+/// Which engine executes the handoff workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Backend {
+    /// Price handoffs with the hop oracle (the paper's analytic model).
+    #[default]
+    Analytic,
+    /// Execute handoffs as packets through `chlm_proto`'s discrete-event
+    /// network on the tick's real topology.
+    Packet {
+        /// Per-hop forwarding delay (seconds).
+        hop_delay: f64,
+        /// Optional loss + ARQ model; `None` = lossless links.
+        loss: Option<LossSpec>,
+    },
+}
+
+impl Backend {
+    /// Default per-hop delay used when a packet backend is requested
+    /// without one.
+    pub const DEFAULT_HOP_DELAY: f64 = 0.01;
+
+    /// Lossless packet backend with the default hop delay.
+    pub fn packet() -> Self {
+        Backend::Packet {
+            hop_delay: Backend::DEFAULT_HOP_DELAY,
+            loss: None,
+        }
+    }
 }
 
 /// Full experiment configuration. Construct with [`SimConfig::builder`].
@@ -78,6 +128,9 @@ pub struct SimConfig {
     /// scratch. Slower but structurally independent — the equivalence suite
     /// runs both engines and asserts byte-identical reports.
     pub full_rebuild: bool,
+    /// Which engine executes the handoff workload (analytic pricing vs
+    /// packet-level execution); see [`Backend`].
+    pub backend: Backend,
 }
 
 impl SimConfig {
@@ -102,6 +155,7 @@ impl SimConfig {
                 query_samples: 0,
                 audit: false,
                 full_rebuild: false,
+                backend: Backend::Analytic,
             },
         }
     }
@@ -153,6 +207,12 @@ impl SimConfig {
             self.speed > 0.0 || matches!(self.mobility, MobilityKind::Static),
             "moving models need positive speed"
         );
+        if let Backend::Packet { hop_delay, loss } = self.backend {
+            assert!(hop_delay > 0.0 && hop_delay.is_finite());
+            if let Some(l) = loss {
+                assert!((0.0..1.0).contains(&l.prob), "loss prob must be in [0, 1)");
+            }
+        }
     }
 }
 
@@ -233,6 +293,11 @@ impl SimConfigBuilder {
     /// See [`SimConfig::full_rebuild`].
     pub fn full_rebuild(mut self, yes: bool) -> Self {
         self.cfg.full_rebuild = yes;
+        self
+    }
+    /// See [`SimConfig::backend`].
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.cfg.backend = b;
         self
     }
 

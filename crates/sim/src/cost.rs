@@ -1,0 +1,286 @@
+//! Pluggable hop-cost models.
+//!
+//! Everything the engine prices — handoff transfers, registrations, GLS
+//! maintenance, query sampling — reduces to "how many packet
+//! transmissions from node `a` to node `b`". A [`CostModel`] owns the
+//! per-tick machinery that answers that question and lends the engine a
+//! [`HopPricer`] scoped to one topology snapshot:
+//!
+//! * [`BfsCostModel`] — exact BFS on the level-0 graph, per-source caching
+//!   and cross-tick buffer pooling ([`HopMetric::Bfs`]);
+//! * [`EuclideanCostModel`] — `distance / R_TX × calibration`
+//!   ([`HopMetric::EuclideanCalibrated`] / [`HopMetric::Euclidean`]);
+//! * [`HierRoutingCostModel`] — the paper's strict hierarchical forwarding
+//!   over [`chlm_routing::NextHopTable`], so stretch is priced in instead
+//!   of assumed away ([`HopMetric::HierRouting`]).
+//!
+//! The scoped-lend shape (`with_pricer` hands a `&mut dyn HopPricer` to a
+//! closure) lets a model borrow the tick's graph/positions without storing
+//! lifetimes in the engine, and reclaim its buffers when the scope ends.
+
+use crate::config::HopMetric;
+use crate::oracle::DistanceOracle;
+use chlm_cluster::Hierarchy;
+use chlm_geom::Point;
+use chlm_graph::{Graph, NodeIdx};
+use chlm_routing::nexthop::NextHopTable;
+
+/// A hop-distance pricer over one topology snapshot. `hops(a, b)` is the
+/// packet-transmission cost of moving one message from `a` to `b`;
+/// `hops(a, a) == 0`.
+pub trait HopPricer {
+    fn hops(&mut self, a: NodeIdx, b: NodeIdx) -> f64;
+}
+
+impl HopPricer for DistanceOracle<'_> {
+    fn hops(&mut self, a: NodeIdx, b: NodeIdx) -> f64 {
+        DistanceOracle::hops(self, a, b)
+    }
+}
+
+/// Everything a cost model may need to build its per-tick pricer. All
+/// references describe the *current* tick's snapshot.
+pub struct CostInputs<'a> {
+    pub graph: &'a Graph,
+    pub positions: &'a [Point],
+    pub hierarchy: &'a Hierarchy,
+    pub rtx: f64,
+}
+
+/// A pluggable hop-cost model. Implementations own whatever cross-tick
+/// state they need (BFS buffer pools, calibration constants, routing
+/// tables) and lend a [`HopPricer`] scoped to one snapshot.
+pub trait CostModel {
+    /// Build a pricer for `inputs` and hand it to `scope`. Buffers may be
+    /// reclaimed when the scope returns (see [`BfsCostModel`]).
+    fn with_pricer(&mut self, inputs: &CostInputs<'_>, scope: &mut dyn FnMut(&mut dyn HopPricer));
+}
+
+/// Exact-BFS pricing with per-source caching; distance buffers are pooled
+/// across ticks so the steady-state hot path does not allocate.
+#[derive(Default)]
+pub struct BfsCostModel {
+    pool: Vec<Vec<u32>>,
+}
+
+impl CostModel for BfsCostModel {
+    fn with_pricer(&mut self, inputs: &CostInputs<'_>, scope: &mut dyn FnMut(&mut dyn HopPricer)) {
+        let mut oracle = DistanceOracle::bfs(inputs.graph, inputs.positions, inputs.rtx)
+            .with_pool(std::mem::take(&mut self.pool));
+        scope(&mut oracle);
+        self.pool = oracle.into_pool();
+    }
+}
+
+/// Euclidean-proxy pricing with a fixed calibration factor (either
+/// startup-measured or supplied by the config).
+pub struct EuclideanCostModel {
+    calibration: f64,
+}
+
+impl EuclideanCostModel {
+    pub fn new(calibration: f64) -> Self {
+        assert!(calibration > 0.0 && calibration.is_finite());
+        EuclideanCostModel { calibration }
+    }
+}
+
+impl CostModel for EuclideanCostModel {
+    fn with_pricer(&mut self, inputs: &CostInputs<'_>, scope: &mut dyn FnMut(&mut dyn HopPricer)) {
+        let mut oracle =
+            DistanceOracle::euclidean(inputs.graph, inputs.positions, inputs.rtx, self.calibration);
+        scope(&mut oracle);
+    }
+}
+
+/// Pricer over a strict hierarchical routing table: walks
+/// [`NextHopTable`] next hops and counts transmissions, falling back to
+/// the conservative Euclidean estimate (factor 1.3, same as the BFS
+/// oracle's unreachable fallback) when no table route exists.
+struct HierPricer<'a> {
+    table: NextHopTable,
+    positions: &'a [Point],
+    rtx: f64,
+}
+
+impl HopPricer for HierPricer<'_> {
+    fn hops(&mut self, a: NodeIdx, b: NodeIdx) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        match self.table.route_hops(a, b) {
+            Some(h) => h as f64,
+            None => {
+                let d = self.positions[a as usize].dist(self.positions[b as usize]);
+                (d / self.rtx * 1.3).max(1.0)
+            }
+        }
+    }
+}
+
+/// The paper's forwarding substrate as a cost model: each tick builds the
+/// hierarchy's per-node routing tables and prices pairs by the actual
+/// table-driven walk — hierarchical stretch included. `O(Σ_k |V_k| ·
+/// (n + m))` per tick; meant for protocol-fidelity studies at moderate
+/// sizes, not the largest sweeps.
+#[derive(Default)]
+pub struct HierRoutingCostModel;
+
+impl CostModel for HierRoutingCostModel {
+    fn with_pricer(&mut self, inputs: &CostInputs<'_>, scope: &mut dyn FnMut(&mut dyn HopPricer)) {
+        let mut pricer = HierPricer {
+            table: NextHopTable::build(inputs.hierarchy),
+            positions: inputs.positions,
+            rtx: inputs.rtx,
+        };
+        scope(&mut pricer);
+    }
+}
+
+/// The cost model dictated by `metric`; `calibration` is the
+/// startup-measured detour ratio consumed by
+/// [`HopMetric::EuclideanCalibrated`].
+pub fn cost_model_for(metric: HopMetric, calibration: f64) -> Box<dyn CostModel> {
+    match metric {
+        HopMetric::Bfs => Box::new(BfsCostModel::default()),
+        HopMetric::EuclideanCalibrated => Box::new(EuclideanCostModel::new(calibration)),
+        HopMetric::Euclidean(c) => Box::new(EuclideanCostModel::new(c)),
+        HopMetric::HierRouting => Box::new(HierRoutingCostModel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chlm_cluster::HierarchyOptions;
+    use chlm_geom::{Disk, SimRng};
+    use chlm_graph::unit_disk::build_unit_disk;
+
+    fn setup(n: usize, seed: u64) -> (Graph, Vec<Point>, f64, Hierarchy) {
+        let density = 1.25;
+        let rtx = chlm_geom::rtx_for_degree(9.0, density);
+        let region = Disk::centered(chlm_geom::disk_radius_for_density(n, density));
+        let mut rng = SimRng::seed_from(seed);
+        let pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let g = build_unit_disk(&pts, rtx);
+        let ids = rng.permutation(n);
+        let h = Hierarchy::build(&ids, &g, HierarchyOptions::default());
+        (g, pts, rtx, h)
+    }
+
+    fn price_all(
+        model: &mut dyn CostModel,
+        inputs: &CostInputs<'_>,
+        pairs: &[(u32, u32)],
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        model.with_pricer(inputs, &mut |pricer| {
+            out = pairs.iter().map(|&(a, b)| pricer.hops(a, b)).collect();
+        });
+        out
+    }
+
+    #[test]
+    fn bfs_model_matches_oracle() {
+        let (g, pts, rtx, h) = setup(150, 1);
+        let inputs = CostInputs {
+            graph: &g,
+            positions: &pts,
+            hierarchy: &h,
+            rtx,
+        };
+        let pairs = [(0u32, 5u32), (7, 9), (3, 3), (10, 120)];
+        let mut model = BfsCostModel::default();
+        let priced = price_all(&mut model, &inputs, &pairs);
+        let mut oracle = DistanceOracle::bfs(&g, &pts, rtx);
+        for (&(a, b), &p) in pairs.iter().zip(&priced) {
+            assert_eq!(p, oracle.hops(a, b));
+        }
+        // Pool reclaimed for the next tick.
+        assert!(!model.pool.is_empty());
+    }
+
+    #[test]
+    fn euclidean_model_matches_oracle() {
+        let (g, pts, rtx, h) = setup(100, 2);
+        let inputs = CostInputs {
+            graph: &g,
+            positions: &pts,
+            hierarchy: &h,
+            rtx,
+        };
+        let mut model = EuclideanCostModel::new(1.2);
+        let priced = price_all(&mut model, &inputs, &[(0, 40), (1, 1)]);
+        let mut oracle = DistanceOracle::euclidean(&g, &pts, rtx, 1.2);
+        assert_eq!(priced[0], oracle.hops(0, 40));
+        assert_eq!(priced[1], 0.0);
+    }
+
+    /// Strict hierarchical routing can only ever lengthen a path: for every
+    /// sampled pair the table-walk hop count must be ≥ the BFS shortest
+    /// path (stretch ≥ 1).
+    #[test]
+    fn hier_routing_stretch_at_least_one() {
+        let (g, pts, rtx, h) = setup(220, 3);
+        let inputs = CostInputs {
+            graph: &g,
+            positions: &pts,
+            hierarchy: &h,
+            rtx,
+        };
+        let table = NextHopTable::build(&h);
+        let mut rng = SimRng::seed_from(4);
+        let mut pairs = Vec::new();
+        while pairs.len() < 60 {
+            let a = rng.index(220) as NodeIdx;
+            let b = rng.index(220) as NodeIdx;
+            // Only routable pairs: the fallback estimate is not a walk.
+            if table.route_hops(a, b).is_some() {
+                pairs.push((a, b));
+            }
+        }
+        let mut hier = HierRoutingCostModel;
+        let hier_hops = price_all(&mut hier, &inputs, &pairs);
+        let mut bfs = BfsCostModel::default();
+        let bfs_hops = price_all(&mut bfs, &inputs, &pairs);
+        for ((&(a, b), &hh), &bh) in pairs.iter().zip(&hier_hops).zip(&bfs_hops) {
+            assert!(
+                hh >= bh,
+                "hier routing undercut BFS: pair ({a},{b}) hier {hh} < bfs {bh}"
+            );
+            if a != b {
+                assert!(hh / bh >= 1.0, "stretch < 1 for ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_for_dispatches() {
+        let (g, pts, rtx, h) = setup(80, 5);
+        let inputs = CostInputs {
+            graph: &g,
+            positions: &pts,
+            hierarchy: &h,
+            rtx,
+        };
+        let pairs = [(2u32, 40u32)];
+        let a = price_all(
+            &mut *cost_model_for(HopMetric::Euclidean(1.2), 9.9),
+            &inputs,
+            &pairs,
+        );
+        let b = price_all(
+            &mut *cost_model_for(HopMetric::EuclideanCalibrated, 1.2),
+            &inputs,
+            &pairs,
+        );
+        assert_eq!(a, b);
+        let c = price_all(&mut *cost_model_for(HopMetric::Bfs, 1.0), &inputs, &pairs);
+        let d = price_all(
+            &mut *cost_model_for(HopMetric::HierRouting, 1.0),
+            &inputs,
+            &pairs,
+        );
+        assert!(c[0] >= 1.0 && d[0] >= c[0] || d[0] >= 1.0);
+    }
+}

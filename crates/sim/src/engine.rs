@@ -1,5 +1,13 @@
 //! The tick loop.
 //!
+//! One tick is an explicit pipeline: the four [`crate::stage`] stages
+//! (mobility → topology → hierarchy → LM assignment) produce the tick's
+//! snapshots, the engine diffs them against the previous tick into a
+//! [`TickCtx`], and the [`crate::observe`] observers consume that context
+//! — pricing packets through the configured [`crate::cost::CostModel`] —
+//! to update every accumulator. The engine itself only owns snapshot
+//! rotation and the invariant auditor.
+//!
 //! The hot path is allocation-frugal by design: per-tick state (topology,
 //! hierarchy level-0 graph, address books, LM assignment, level churn sets,
 //! BFS distance buffers) lives in persistent buffers that are rewritten in
@@ -8,65 +16,93 @@
 //! [`chlm_lm::server::LmCache`]) are proven byte-equivalent to their
 //! from-scratch counterparts; `SimConfig::full_rebuild` disables them so the
 //! equivalence suite can diff entire reports.
+//!
+//! [`Engine`] abstracts over backends: the analytic [`Simulation`] here
+//! and the packet-level [`crate::packet::PacketEngine`] produce the same
+//! [`SimReport`] schema from the same pipeline, differing only in how the
+//! handoff slot is accounted.
 
 use crate::audit::{AuditViolation, Auditor, TickInputs};
-use crate::config::{HopMetric, MobilityKind, SimConfig};
-use crate::oracle::{calibrate, DistanceOracle};
-use crate::report::{LevelRates, SimReport, StateSummary};
-use chlm_cluster::address::{AddrChangeKind, AddressBook};
-use chlm_cluster::events::{classify_events, EventCounts};
+use crate::config::{Backend, HopMetric, MobilityKind, SimConfig};
+use crate::cost::{cost_model_for, CostInputs, CostModel};
+use crate::observe::{
+    AddressChurnObserver, AlcaStateObserver, DegreeObserver, EventTaxonomyObserver, GlsObserver,
+    HandoffAccounting, LedgerHandoffObserver, LevelChurnObserver, LinkRateObserver, Observer,
+    Observers,
+};
+use crate::oracle::calibrate;
+use crate::report::{SimReport, StateSummary};
+use crate::stage::{
+    default_stages, AssignmentStage, HierarchyStage, MobilityStage, TickCtx, TopologyStage,
+};
+use chlm_cluster::address::AddressBook;
 use chlm_cluster::metrics::level_stats;
-use chlm_cluster::{Hierarchy, HierarchyOptions, StateTracker};
+use chlm_cluster::Hierarchy;
 use chlm_geom::{Disk, SimRng};
-use chlm_graph::dynamics::{LinkDiff, LinkEventRate};
-use chlm_graph::{Graph, NodeIdx, UnitDiskMaintainer};
+use chlm_graph::{Graph, NodeIdx};
 use chlm_lm::gls::{GlsTracker, GridHierarchy};
-use chlm_lm::handoff::HandoffLedger;
 use chlm_lm::query::mean_query_cost;
-use chlm_lm::server::{LmAssignment, LmCache};
+use chlm_lm::server::LmAssignment;
 use chlm_mobility::{
     MobilityModel, RandomDirection, RandomWalk, RandomWaypoint, Rpgm, StaticModel,
 };
 
-/// One simulation instance. Construct with [`Simulation::new`], run with
-/// [`Simulation::run`] (or drive tick-by-tick with [`Simulation::step`]).
+/// A simulation backend: steps ticks, finishes into a [`SimReport`].
+/// Implemented by the analytic [`Simulation`] and the packet-level
+/// [`crate::packet::PacketEngine`]; construct either via [`build_engine`].
+pub trait Engine {
+    /// The configuration this engine runs under.
+    fn config(&self) -> &SimConfig;
+    /// Advance one tick, recording every counter.
+    fn step(&mut self);
+    /// Invariant violations found so far (empty unless auditing).
+    fn audit_violations(&self) -> &[AuditViolation];
+    /// Produce the report from whatever has been simulated so far.
+    fn finish_boxed(self: Box<Self>) -> SimReport;
+}
+
+/// Build the engine `cfg.backend` selects.
+pub fn build_engine(cfg: &SimConfig) -> Box<dyn Engine> {
+    match cfg.backend {
+        Backend::Analytic => Box::new(Simulation::new(cfg.clone())),
+        Backend::Packet { .. } => Box::new(crate::packet::PacketEngine::new(cfg.clone())),
+    }
+}
+
+/// Run any engine through its configured tick count and finish it.
+pub fn run_engine(mut engine: Box<dyn Engine>) -> SimReport {
+    let ticks = engine.config().tick_count();
+    for _ in 0..ticks {
+        engine.step();
+    }
+    engine.finish_boxed()
+}
+
+/// The analytic simulation engine. Construct with [`Simulation::new`], run
+/// with [`Simulation::run`] (or drive tick-by-tick with
+/// [`Simulation::step`]).
 pub struct Simulation {
     cfg: SimConfig,
     ids: Vec<u64>,
-    mobility: Box<dyn MobilityModel>,
     rtx: f64,
-    calibration: f64,
-    opts: HierarchyOptions,
     rng: SimRng,
-    // Previous-tick snapshots.
+    // Pipeline stages.
+    mobility: Box<dyn MobilityStage>,
+    topology: Box<dyn TopologyStage>,
+    hier_stage: Box<dyn HierarchyStage>,
+    assign_stage: Box<dyn AssignmentStage>,
+    cost: Box<dyn CostModel>,
+    // Previous-tick snapshots (rotation stays with the engine).
     hierarchy: Hierarchy,
     book: AddressBook,
     assignment: LmAssignment,
-    // Sorted physical-endpoint edge / node lists per level; merge-diffed
-    // against the next tick's lists in ascending order, so churn accounting
-    // is a pure function of the contents (bit-reproducible) without the
-    // per-tick BTreeSet rebuilds this replaced.
-    level_edges: Vec<Vec<(NodeIdx, NodeIdx)>>,
-    level_nodes: Vec<Vec<NodeIdx>>,
-    level_edges_next: Vec<Vec<(NodeIdx, NodeIdx)>>,
-    level_nodes_next: Vec<Vec<NodeIdx>>,
     // Persistent tick workspaces.
-    maintainer: UnitDiskMaintainer,
-    lm_cache: LmCache,
     book_next: AddressBook,
     addr_scratch: Vec<NodeIdx>,
     g0_spare: Graph,
-    bfs_pool: Vec<Vec<u32>>,
-    // Accumulators.
-    ledger: HandoffLedger,
-    rates: LevelRates,
-    events: EventCounts,
-    tracker: StateTracker,
-    link_rate: LinkEventRate,
-    gls: Option<GlsTracker>,
+    // Accounting.
+    observers: Observers,
     auditor: Option<Auditor>,
-    degree_sum: f64,
-    max_depth: usize,
     ticks_done: usize,
 }
 
@@ -100,93 +136,17 @@ fn build_mobility(cfg: &SimConfig, region: Disk, rng: &mut SimRng) -> Box<dyn Mo
     }
 }
 
-/// Refill per-level sorted edge/node lists (physical endpoints) from a
-/// hierarchy snapshot, reusing the outer and inner allocations.
-///
-/// Level 0 is left empty: the link-churn accounting runs over `k >= 1`
-/// only, and the level-0 lists would be the largest by far. The lists come
-/// out ascending without sorting because level node lists ascend by
-/// physical id and adjacency lists are sorted.
-fn fill_level_sets(
-    h: &Hierarchy,
-    edges: &mut Vec<Vec<(NodeIdx, NodeIdx)>>,
-    nodes: &mut Vec<Vec<NodeIdx>>,
-) {
-    let depth = h.depth();
-    edges.resize_with(depth, Vec::new);
-    nodes.resize_with(depth, Vec::new);
-    edges[0].clear();
-    nodes[0].clear();
-    for (k, level) in h.levels.iter().enumerate().skip(1) {
-        let e = &mut edges[k];
-        e.clear();
-        e.extend(level.graph.edges().map(|(a, b)| {
-            let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
-            (pa.min(pb), pa.max(pb))
-        }));
-        debug_assert!(e.windows(2).all(|w| w[0] < w[1]));
-        let nv = &mut nodes[k];
-        nv.clear();
-        nv.extend_from_slice(&level.nodes);
-        debug_assert!(nv.windows(2).all(|w| w[0] < w[1]));
-    }
-}
-
-/// Count the symmetric difference of two ascending-sorted edge lists via a
-/// linear merge, splitting out the pairs whose endpoints persist at this
-/// level on both sides (the `g'_k` exposure of eq. (4)). Same counts the old
-/// `BTreeSet::symmetric_difference` walk produced, without building sets.
-fn churn_between(
-    old_e: &[(NodeIdx, NodeIdx)],
-    new_e: &[(NodeIdx, NodeIdx)],
-    old_n: &[NodeIdx],
-    cur_n: &[NodeIdx],
-) -> (u64, u64) {
-    let persists = |u: NodeIdx, v: NodeIdx| {
-        old_n.binary_search(&u).is_ok()
-            && old_n.binary_search(&v).is_ok()
-            && cur_n.binary_search(&u).is_ok()
-            && cur_n.binary_search(&v).is_ok()
-    };
-    let (mut churn, mut persisting) = (0u64, 0u64);
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < old_e.len() || j < new_e.len() {
-        let one_sided = match (old_e.get(i), new_e.get(j)) {
-            (Some(a), Some(b)) if a == b => {
-                i += 1;
-                j += 1;
-                continue;
-            }
-            (Some(a), Some(b)) if a < b => {
-                i += 1;
-                *a
-            }
-            (Some(_), Some(b)) => {
-                j += 1;
-                *b
-            }
-            (Some(a), None) => {
-                i += 1;
-                *a
-            }
-            (None, Some(b)) => {
-                j += 1;
-                *b
-            }
-            (None, None) => unreachable!(),
-        };
-        churn += 1;
-        if persists(one_sided.0, one_sided.1) {
-            persisting += 1;
-        }
-    }
-    (churn, persisting)
-}
-
 impl Simulation {
     /// Set up a simulation: deploy, warm the mobility process up, build the
     /// initial hierarchy and LM assignment, and calibrate the hop oracle.
     pub fn new(cfg: SimConfig) -> Self {
+        Simulation::with_handoff(cfg, Box::new(LedgerHandoffObserver::default()))
+    }
+
+    /// Like [`Simulation::new`], but with a custom handoff-accounting
+    /// observer in the handoff slot — how the packet backend reuses the
+    /// whole pipeline with packet-executed pricing.
+    pub fn with_handoff(cfg: SimConfig, handoff: Box<dyn HandoffAccounting>) -> Self {
         let rng = SimRng::seed_from(cfg.seed);
         let region = Disk::centered(cfg.region_radius());
         let rtx = cfg.rtx();
@@ -203,82 +163,73 @@ impl Simulation {
             }
         }
 
-        let maintainer = UnitDiskMaintainer::new(mobility.positions(), rtx);
-        let opts = HierarchyOptions {
-            max_levels: cfg.max_levels,
-            min_reduction: cfg.min_reduction,
-        };
-        let hierarchy = Hierarchy::build(&ids, maintainer.graph(), opts);
+        let (mobility, topology, hier_stage, mut assign_stage) = default_stages(&cfg, mobility);
+        let hierarchy = hier_stage_initial(&*topology, &ids, &cfg);
         let book = AddressBook::capture(&hierarchy);
-        let mut lm_cache = LmCache::new();
-        let assignment = if cfg.full_rebuild {
-            LmAssignment::compute(&hierarchy, cfg.selection_rule)
-        } else {
-            LmAssignment::compute_cached(&hierarchy, &book, cfg.selection_rule, &mut lm_cache)
-        };
-        let mut level_edges = Vec::new();
-        let mut level_nodes = Vec::new();
-        fill_level_sets(&hierarchy, &mut level_edges, &mut level_nodes);
+        let assignment = assign_stage.assign(&hierarchy, &book);
         let calibration = match cfg.hop_metric {
-            HopMetric::Bfs => 1.0,
+            HopMetric::Bfs | HopMetric::HierRouting => 1.0,
             HopMetric::Euclidean(c) => c,
             HopMetric::EuclideanCalibrated => calibrate(
-                maintainer.graph(),
+                topology.graph(),
                 mobility.positions(),
                 rtx,
                 12,
                 &mut rng.fork(3),
             ),
         };
+        let cost = cost_model_for(cfg.hop_metric, calibration);
         let gls = cfg.track_gls.then(|| {
             let (lo, hi) = {
                 use chlm_geom::Region;
                 region.bounding_box()
             };
             let bounds = chlm_geom::Rect::new(lo, hi);
-            GlsTracker::new(GridHierarchy::covering(bounds, rtx), mobility.positions())
+            GlsObserver::new(GlsTracker::new(
+                GridHierarchy::covering(bounds, rtx),
+                mobility.positions(),
+            ))
         });
-        let mut tracker = StateTracker::new();
-        tracker.observe(&hierarchy);
-        let max_depth = hierarchy.depth();
-        let ledger = HandoffLedger::new();
-        let rates = LevelRates::default();
-        let events = EventCounts::with_levels(max_depth);
-        let auditor = cfg
-            .audit
-            .then(|| Auditor::new(cfg.selection_rule, &ledger, &rates, &events, &tracker));
+        let observers = Observers {
+            link: LinkRateObserver::default(),
+            addr: AddressChurnObserver::default(),
+            handoff,
+            churn: LevelChurnObserver::new(&hierarchy),
+            taxonomy: EventTaxonomyObserver::new(hierarchy.depth()),
+            alca: AlcaStateObserver::new(&hierarchy),
+            gls,
+            degree: DegreeObserver::new(hierarchy.depth()),
+            extra: Vec::new(),
+        };
+        let auditor = cfg.audit.then(|| {
+            Auditor::new(
+                cfg.selection_rule,
+                observers.handoff.ledger(),
+                &observers.merged_rates(),
+                &observers.taxonomy.counts,
+                &observers.alca.tracker,
+            )
+        });
 
         let book_next = book.clone();
         Simulation {
             cfg,
             ids,
-            mobility,
             rtx,
-            calibration,
-            opts,
             rng: rng.fork(4),
+            mobility,
+            topology,
+            hier_stage,
+            assign_stage,
+            cost,
             hierarchy,
             book,
             assignment,
-            level_edges,
-            level_nodes,
-            level_edges_next: Vec::new(),
-            level_nodes_next: Vec::new(),
-            maintainer,
-            lm_cache,
             book_next,
             addr_scratch: Vec::new(),
             g0_spare: Graph::default(),
-            bfs_pool: Vec::new(),
-            ledger,
-            rates,
-            events,
-            tracker,
-            link_rate: LinkEventRate::default(),
-            gls,
+            observers,
             auditor,
-            degree_sum: 0.0,
-            max_depth,
             ticks_done: 0,
         }
     }
@@ -293,6 +244,16 @@ impl Simulation {
         &self.hierarchy
     }
 
+    /// The observer set (accumulators read back by backends and tests).
+    pub fn observers(&self) -> &Observers {
+        &self.observers
+    }
+
+    /// Append a custom observer; it runs after the built-in set each tick.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.extra.push(observer);
+    }
+
     /// Invariant violations found so far (empty unless `SimConfig::audit`
     /// is set — and, for a correct engine, empty even then).
     pub fn audit_violations(&self) -> &[AuditViolation] {
@@ -303,103 +264,55 @@ impl Simulation {
     ///
     /// Allocation discipline: mobility positions are *borrowed* (never
     /// copied), topology is patched in place by the maintainer, the level-0
-    /// graph handed to the hierarchy recycles last tick's buffers, address
-    /// books double-buffer, and the LM assignment reuses both its memo cache
-    /// and the retired `hosts` buffer.
+    /// graph handed to the hierarchy stage recycles last tick's buffers,
+    /// address books double-buffer, and the assignment stage reuses both
+    /// its memo cache and the retired `hosts` buffer.
     pub fn step(&mut self) {
         let dt = self.cfg.tick();
         let n = self.cfg.n;
-        self.mobility.step(dt);
+        self.mobility.advance(dt);
         let positions = self.mobility.positions();
-        if self.cfg.full_rebuild {
-            self.maintainer.rebuild(positions);
-        } else {
-            self.maintainer.advance(positions);
-        }
-        let graph = self.maintainer.graph();
-        let mut g0 = std::mem::take(&mut self.g0_spare);
-        g0.copy_from(graph);
-        let hierarchy = Hierarchy::build_owned(&self.ids, g0, self.opts);
+        self.topology.update(positions);
+        let graph = self.topology.graph();
+        let recycle = std::mem::take(&mut self.g0_spare);
+        let hierarchy = self.hier_stage.rebuild(&self.ids, graph, recycle);
         self.book_next
             .capture_into(&hierarchy, &mut self.addr_scratch);
-        let assignment = if self.cfg.full_rebuild {
-            LmAssignment::compute(&hierarchy, self.cfg.selection_rule)
-        } else {
-            LmAssignment::compute_cached(
-                &hierarchy,
-                &self.book_next,
-                self.cfg.selection_rule,
-                &mut self.lm_cache,
-            )
-        };
+        let assignment = self.assign_stage.assign(&hierarchy, &self.book_next);
 
-        // Level-0 link events (f_0).
-        let diff0 = LinkDiff::between(&self.hierarchy.levels[0].graph, graph);
-        self.link_rate.record(&diff0, n, dt);
-
-        // Address changes: migration vs reorganization, per level.
+        // Diff streams against the previous tick.
         let addr_changes = self.book.diff(&self.book_next);
-        for c in &addr_changes {
-            match c.kind {
-                AddrChangeKind::Migration => self.rates.add_migration(c.level as usize, 1),
-                AddrChangeKind::Reorganization => self.rates.add_reorg(c.level as usize, 1),
-            }
-        }
-
-        // One shared hop oracle prices both the handoff ledger and (below)
-        // GLS: under BFS pricing the per-source distance cache is shared
-        // within the tick and its buffers are pooled across ticks.
         let host_changes = self.assignment.diff(&assignment);
-        let mut oracle = DistanceOracle::for_metric(
-            self.cfg.hop_metric,
+
+        let ctx = TickCtx {
+            tick: self.ticks_done,
+            dt,
+            n,
+            rtx: self.rtx,
+            ids: &self.ids,
+            positions,
+            graph,
+            old_hierarchy: &self.hierarchy,
+            new_hierarchy: &hierarchy,
+            old_book: &self.book,
+            new_book: &self.book_next,
+            old_assignment: &self.assignment,
+            new_assignment: &assignment,
+            host_changes: &host_changes,
+            addr_changes: &addr_changes,
+        };
+        // One pricer scope covers every observer, so BFS pricing shares its
+        // per-source distance cache within the tick and its buffers pool
+        // across ticks (inside the cost model).
+        let inputs = CostInputs {
             graph,
             positions,
-            self.rtx,
-            self.calibration,
-        )
-        .with_pool(std::mem::take(&mut self.bfs_pool));
-        self.ledger.record(
-            &host_changes,
-            &addr_changes,
-            |a, b| oracle.hops(a, b),
-            n,
-            dt,
-        );
-
-        // Level-k link churn and exposure (g_k, g'_k).
-        fill_level_sets(
-            &hierarchy,
-            &mut self.level_edges_next,
-            &mut self.level_nodes_next,
-        );
-        let depth = hierarchy.depth().max(self.hierarchy.depth());
-        for k in 1..depth {
-            let old_e = self.level_edges.get(k).map_or(&[][..], Vec::as_slice);
-            let new_e = self.level_edges_next.get(k).map_or(&[][..], Vec::as_slice);
-            let old_n = self.level_nodes.get(k).map_or(&[][..], Vec::as_slice);
-            let cur_n = self.level_nodes_next.get(k).map_or(&[][..], Vec::as_slice);
-            let (churn, persisting) = churn_between(old_e, new_e, old_n, cur_n);
-            self.rates.add_link_events(k, churn, persisting);
-            let (edges, nodes) = hierarchy
-                .levels
-                .get(k)
-                .map_or((0, 0), |l| (l.graph.edge_count(), l.len()));
-            self.rates.add_exposure(k, edges, nodes, dt);
-        }
-        self.rates.node_seconds += n as f64 * dt;
-
-        // Reorganization-event taxonomy.
-        let (_, counts) = classify_events(&self.hierarchy, &hierarchy);
-        self.events.merge(&counts);
-
-        // ALCA states, GLS, degree.
-        self.tracker.observe(&hierarchy);
-        if let Some(gls) = &mut self.gls {
-            gls.observe(positions, &self.ids, |a, b| oracle.hops(a, b), dt);
-        }
-        self.bfs_pool = oracle.into_pool();
-        self.degree_sum += graph.mean_degree();
-        self.max_depth = self.max_depth.max(hierarchy.depth());
+            hierarchy: &hierarchy,
+            rtx: self.rtx,
+        };
+        let observers = &mut self.observers;
+        self.cost
+            .with_pricer(&inputs, &mut |pricer| observers.on_tick(&ctx, pricer));
 
         if let Some(auditor) = &mut self.auditor {
             auditor.check_tick(&TickInputs {
@@ -409,10 +322,10 @@ impl Simulation {
                 assignment: &assignment,
                 host_changes: &host_changes,
                 addr_changes: &addr_changes,
-                ledger: &self.ledger,
-                rates: &self.rates,
-                events: &self.events,
-                tracker: &self.tracker,
+                ledger: self.observers.handoff.ledger(),
+                rates: &self.observers.merged_rates(),
+                events: &self.observers.taxonomy.counts,
+                tracker: &self.observers.alca.tracker,
             });
         }
 
@@ -423,9 +336,7 @@ impl Simulation {
         }
         std::mem::swap(&mut self.book, &mut self.book_next);
         let old_assignment = std::mem::replace(&mut self.assignment, assignment);
-        self.lm_cache.recycle(old_assignment);
-        std::mem::swap(&mut self.level_edges, &mut self.level_edges_next);
-        std::mem::swap(&mut self.level_nodes, &mut self.level_nodes_next);
+        self.assign_stage.retire(old_assignment);
         self.ticks_done += 1;
     }
 
@@ -444,10 +355,10 @@ impl Simulation {
         if self.auditor.is_none() {
             self.auditor = Some(Auditor::new(
                 self.cfg.selection_rule,
-                &self.ledger,
-                &self.rates,
-                &self.events,
-                &self.tracker,
+                self.observers.handoff.ledger(),
+                &self.observers.merged_rates(),
+                &self.observers.taxonomy.counts,
+                &self.observers.alca.tracker,
             ));
         }
         let ticks = self.cfg.tick_count();
@@ -467,15 +378,16 @@ impl Simulation {
         let depth = self.hierarchy.depth();
         let final_levels = level_stats(&self.hierarchy, 4, &mut self.rng);
         // ALCA state summary.
+        let tracker = &self.observers.alca.tracker;
         let mut state = StateSummary::default();
-        for k in 0..self.tracker.level_count() {
+        for k in 0..tracker.level_count() {
             state
                 .distributions
-                .push(self.tracker.distribution(k).unwrap_or_default());
-            state.p1.push(self.tracker.p_state1(k));
+                .push(tracker.distribution(k).unwrap_or_default());
+            state.p1.push(tracker.p_state1(k));
             state
                 .multi_jump_fraction
-                .push(self.tracker.multi_jump_fraction(k));
+                .push(tracker.multi_jump_fraction(k));
         }
         // Query sampling on the final topology (borrowed, not cloned; the
         // RNG draws happen before the borrows so the stream order is fixed).
@@ -490,17 +402,18 @@ impl Simulation {
                 .collect();
             let positions = self.mobility.positions();
             let graph = &self.hierarchy.levels[0].graph;
-            let mut oracle = DistanceOracle::for_metric(
-                self.cfg.hop_metric,
+            let inputs = CostInputs {
                 graph,
                 positions,
-                self.rtx,
-                self.calibration,
-            )
-            .with_pool(std::mem::take(&mut self.bfs_pool));
-            mean_query_cost(&self.hierarchy, &self.assignment, &pairs, |a, b| {
-                oracle.hops(a, b)
-            })
+                hierarchy: &self.hierarchy,
+                rtx: self.rtx,
+            };
+            let (hierarchy, assignment) = (&self.hierarchy, &self.assignment);
+            let mut sampled = None;
+            self.cost.with_pricer(&inputs, &mut |pricer| {
+                sampled = mean_query_cost(hierarchy, assignment, &pairs, |a, b| pricer.hops(a, b));
+            });
+            sampled
         } else {
             None
         };
@@ -517,18 +430,47 @@ impl Simulation {
             dt: self.cfg.tick(),
             rtx: self.rtx,
             speed: self.cfg.speed,
-            mean_degree: self.degree_sum / ticks,
-            depth: self.max_depth.max(depth),
+            mean_degree: self.observers.degree.degree_sum / ticks,
+            depth: self.observers.degree.max_depth.max(depth),
             final_levels,
-            ledger: self.ledger,
-            f0: self.link_rate.per_node_per_second(),
-            rates: self.rates,
-            events: self.events,
+            ledger: self.observers.handoff.take_ledger(),
+            f0: self.observers.link.rate.per_node_per_second(),
+            rates: self.observers.merged_rates(),
+            events: std::mem::take(&mut self.observers.taxonomy.counts),
             state,
             mean_query_packets,
-            gls_overhead: self.gls.as_ref().map(|g| g.overhead_per_node_per_second()),
+            gls_overhead: self
+                .observers
+                .gls
+                .as_ref()
+                .map(|g| g.tracker.overhead_per_node_per_second()),
             mean_entries_hosted,
         }
+    }
+}
+
+/// Initial hierarchy build (construction time): same construction the
+/// per-tick stage performs, from-scratch.
+fn hier_stage_initial(topology: &dyn TopologyStage, ids: &[u64], cfg: &SimConfig) -> Hierarchy {
+    let opts = chlm_cluster::HierarchyOptions {
+        max_levels: cfg.max_levels,
+        min_reduction: cfg.min_reduction,
+    };
+    Hierarchy::build(ids, topology.graph(), opts)
+}
+
+impl Engine for Simulation {
+    fn config(&self) -> &SimConfig {
+        Simulation::config(self)
+    }
+    fn step(&mut self) {
+        Simulation::step(self);
+    }
+    fn audit_violations(&self) -> &[AuditViolation] {
+        Simulation::audit_violations(self)
+    }
+    fn finish_boxed(self: Box<Self>) -> SimReport {
+        (*self).finish()
     }
 }
 
@@ -628,5 +570,49 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.rates, b.rates);
         assert_eq!(a.f0, b.f0);
+    }
+
+    #[test]
+    fn hier_routing_metric_same_event_counts_higher_cost() {
+        // Hierarchical-table pricing changes packet prices (stretch ≥ 1),
+        // never which events occur.
+        let base = quick_cfg(90, 8);
+        let mut cfg_bfs = base.clone();
+        cfg_bfs.hop_metric = HopMetric::Bfs;
+        let mut cfg_hier = base;
+        cfg_hier.hop_metric = HopMetric::HierRouting;
+        let a = Simulation::new(cfg_bfs).run();
+        let b = Simulation::new(cfg_hier).run();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.rates, b.rates);
+        for (ac, bc) in a.ledger.per_level.iter().zip(&b.ledger.per_level) {
+            assert_eq!(ac.migration_events, bc.migration_events);
+            assert_eq!(ac.reorg_events, bc.reorg_events);
+        }
+    }
+
+    #[test]
+    fn custom_observer_sees_every_tick() {
+        struct TickCounter(std::rc::Rc<std::cell::Cell<usize>>);
+        impl Observer for TickCounter {
+            fn on_tick(&mut self, _ctx: &TickCtx<'_>, _pricer: &mut dyn crate::cost::HopPricer) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let cfg = quick_cfg(40, 9);
+        let ticks = cfg.tick_count();
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sim = Simulation::new(cfg);
+        sim.add_observer(Box::new(TickCounter(count.clone())));
+        let _ = sim.run();
+        assert_eq!(count.get(), ticks);
+    }
+
+    #[test]
+    fn engine_trait_matches_direct_run() {
+        let cfg = quick_cfg(70, 11);
+        let direct = Simulation::new(cfg.clone()).run();
+        let via_engine = run_engine(build_engine(&cfg));
+        assert_eq!(direct, via_engine);
     }
 }

@@ -37,19 +37,28 @@
 
 pub mod audit;
 pub mod config;
+pub mod cost;
 pub mod engine;
+pub mod observe;
 pub mod oracle;
+pub mod packet;
 pub mod report;
 pub mod runner;
+pub mod stage;
 
 pub use audit::{AuditViolation, Auditor};
-pub use config::{HopMetric, MobilityKind, SimConfig, SimConfigBuilder};
-pub use engine::Simulation;
+pub use config::{Backend, HopMetric, LossSpec, MobilityKind, SimConfig, SimConfigBuilder};
+pub use cost::{CostInputs, CostModel, HopPricer};
+pub use engine::{build_engine, run_engine, Engine, Simulation};
+pub use observe::{HandoffAccounting, Observer};
+pub use packet::{PacketEngine, PacketTotals};
 pub use report::{LevelRates, SimReport, StateSummary};
 pub use runner::run_replications;
+pub use stage::TickCtx;
 
 /// Run one simulation to completion and return its report — the simplest
-/// entry point (see the crate quickstart example).
+/// entry point (see the crate quickstart example). Respects
+/// `cfg.backend`: analytic pricing or packet-level execution.
 pub fn run_simulation(cfg: &SimConfig) -> SimReport {
-    Simulation::new(cfg.clone()).run()
+    run_engine(build_engine(cfg))
 }

@@ -1,0 +1,377 @@
+//! Composable per-tick accounting observers.
+//!
+//! Every measurement the engine produces — link rate f₀, address churn
+//! f_k, the handoff ledger (φ_k/γ_k), level-k link churn g_k/g′_k, the
+//! reorganization-event taxonomy, ALCA states, GLS overhead, mean degree
+//! — is an [`Observer`]: a value that consumes the tick's [`TickCtx`]
+//! (plus a [`HopPricer`] for anything that prices packets) and updates
+//! its own accumulator. The engine drives the built-in set in a fixed
+//! canonical order and lets callers append extras, so a new metric is one
+//! struct away and never touches the tick loop.
+//!
+//! Bit-reproducibility contract: each observer owns a disjoint
+//! accumulator and performs the identical arithmetic, in the identical
+//! order, that the pre-pipeline monolithic `step` performed — the
+//! equivalence suite pins the resulting [`crate::SimReport`]s
+//! bit-identical across the refactor.
+
+use crate::cost::HopPricer;
+use crate::report::LevelRates;
+use crate::stage::TickCtx;
+use chlm_cluster::address::AddrChangeKind;
+use chlm_cluster::events::{classify_events, EventCounts};
+use chlm_cluster::{Hierarchy, StateTracker};
+use chlm_graph::dynamics::{LinkDiff, LinkEventRate};
+use chlm_graph::NodeIdx;
+use chlm_lm::gls::GlsTracker;
+use chlm_lm::handoff::HandoffLedger;
+
+use crate::packet::PacketTotals;
+
+/// One per-tick measurement. Implementations accumulate across ticks and
+/// are read out once at `finish`.
+pub trait Observer {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, pricer: &mut dyn HopPricer);
+}
+
+/// The handoff-accounting slot: whatever fills it must produce a
+/// [`HandoffLedger`]. The analytic engine prices entries with the hop
+/// oracle ([`LedgerHandoffObserver`]); the packet engine executes them as
+/// packets and books the *transmitted* counts
+/// ([`crate::packet::PacketHandoffObserver`]).
+pub trait HandoffAccounting: Observer {
+    fn ledger(&self) -> &HandoffLedger;
+    /// Take the accumulated ledger out (engine teardown).
+    fn take_ledger(&mut self) -> HandoffLedger;
+    /// Packet-execution totals, when this accounting ran a packet network.
+    fn packet_totals(&self) -> Option<PacketTotals> {
+        None
+    }
+}
+
+/// Level-0 link events per node-second (eq. 4's f₀).
+#[derive(Default)]
+pub struct LinkRateObserver {
+    pub rate: LinkEventRate,
+}
+
+impl Observer for LinkRateObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, _pricer: &mut dyn HopPricer) {
+        let diff0 = LinkDiff::between(&ctx.old_hierarchy.levels[0].graph, ctx.graph);
+        self.rate.record(&diff0, ctx.n, ctx.dt);
+    }
+}
+
+/// Per-level address-change counters: migration vs reorganization (f_k).
+#[derive(Default)]
+pub struct AddressChurnObserver {
+    pub rates: LevelRates,
+}
+
+impl Observer for AddressChurnObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, _pricer: &mut dyn HopPricer) {
+        for c in ctx.addr_changes {
+            match c.kind {
+                AddrChangeKind::Migration => self.rates.add_migration(c.level as usize, 1),
+                AddrChangeKind::Reorganization => self.rates.add_reorg(c.level as usize, 1),
+            }
+        }
+    }
+}
+
+/// The analytic handoff accounting: every moved LM entry priced at
+/// `hops(old_host, new_host)` plus the subject's registration when its
+/// own address changed (the cascade attribution of `chlm_lm::handoff`).
+#[derive(Default)]
+pub struct LedgerHandoffObserver {
+    pub ledger: HandoffLedger,
+}
+
+impl Observer for LedgerHandoffObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, pricer: &mut dyn HopPricer) {
+        self.ledger.record(
+            ctx.host_changes,
+            ctx.addr_changes,
+            |a, b| pricer.hops(a, b),
+            ctx.n,
+            ctx.dt,
+        );
+    }
+}
+
+impl HandoffAccounting for LedgerHandoffObserver {
+    fn ledger(&self) -> &HandoffLedger {
+        &self.ledger
+    }
+    fn take_ledger(&mut self) -> HandoffLedger {
+        std::mem::take(&mut self.ledger)
+    }
+}
+
+/// Refill per-level sorted edge/node lists (physical endpoints) from a
+/// hierarchy snapshot, reusing the outer and inner allocations.
+///
+/// Level 0 is left empty: the link-churn accounting runs over `k >= 1`
+/// only, and the level-0 lists would be the largest by far. The lists come
+/// out ascending without sorting because level node lists ascend by
+/// physical id and adjacency lists are sorted.
+fn fill_level_sets(
+    h: &Hierarchy,
+    edges: &mut Vec<Vec<(NodeIdx, NodeIdx)>>,
+    nodes: &mut Vec<Vec<NodeIdx>>,
+) {
+    let depth = h.depth();
+    edges.resize_with(depth, Vec::new);
+    nodes.resize_with(depth, Vec::new);
+    edges[0].clear();
+    nodes[0].clear();
+    for (k, level) in h.levels.iter().enumerate().skip(1) {
+        let e = &mut edges[k];
+        e.clear();
+        e.extend(level.graph.edges().map(|(a, b)| {
+            let (pa, pb) = (level.nodes[a as usize], level.nodes[b as usize]);
+            (pa.min(pb), pa.max(pb))
+        }));
+        debug_assert!(e.windows(2).all(|w| w[0] < w[1]));
+        let nv = &mut nodes[k];
+        nv.clear();
+        nv.extend_from_slice(&level.nodes);
+        debug_assert!(nv.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+/// Count the symmetric difference of two ascending-sorted edge lists via a
+/// linear merge, splitting out the pairs whose endpoints persist at this
+/// level on both sides (the `g'_k` exposure of eq. (4)). Same counts the old
+/// `BTreeSet::symmetric_difference` walk produced, without building sets.
+fn churn_between(
+    old_e: &[(NodeIdx, NodeIdx)],
+    new_e: &[(NodeIdx, NodeIdx)],
+    old_n: &[NodeIdx],
+    cur_n: &[NodeIdx],
+) -> (u64, u64) {
+    let persists = |u: NodeIdx, v: NodeIdx| {
+        old_n.binary_search(&u).is_ok()
+            && old_n.binary_search(&v).is_ok()
+            && cur_n.binary_search(&u).is_ok()
+            && cur_n.binary_search(&v).is_ok()
+    };
+    let (mut churn, mut persisting) = (0u64, 0u64);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old_e.len() || j < new_e.len() {
+        let one_sided = match (old_e.get(i), new_e.get(j)) {
+            (Some(a), Some(b)) if a == b => {
+                i += 1;
+                j += 1;
+                continue;
+            }
+            (Some(a), Some(b)) if a < b => {
+                i += 1;
+                *a
+            }
+            (Some(_), Some(b)) => {
+                j += 1;
+                *b
+            }
+            (Some(a), None) => {
+                i += 1;
+                *a
+            }
+            (None, Some(b)) => {
+                j += 1;
+                *b
+            }
+            (None, None) => unreachable!(),
+        };
+        churn += 1;
+        if persists(one_sided.0, one_sided.1) {
+            persisting += 1;
+        }
+    }
+    (churn, persisting)
+}
+
+/// Level-k cluster-link churn and exposure (g_k, g′_k, link-seconds,
+/// level-node-seconds) plus the level-0 node-seconds denominator. Keeps
+/// sorted physical-endpoint edge/node lists per level, double-buffered and
+/// merge-diffed in ascending order so the accounting is a pure function of
+/// the contents — no per-tick set rebuilds.
+pub struct LevelChurnObserver {
+    pub rates: LevelRates,
+    level_edges: Vec<Vec<(NodeIdx, NodeIdx)>>,
+    level_nodes: Vec<Vec<NodeIdx>>,
+    level_edges_next: Vec<Vec<(NodeIdx, NodeIdx)>>,
+    level_nodes_next: Vec<Vec<NodeIdx>>,
+}
+
+impl LevelChurnObserver {
+    /// Seed the previous-tick lists from the initial hierarchy.
+    pub fn new(initial: &Hierarchy) -> Self {
+        let mut level_edges = Vec::new();
+        let mut level_nodes = Vec::new();
+        fill_level_sets(initial, &mut level_edges, &mut level_nodes);
+        LevelChurnObserver {
+            rates: LevelRates::default(),
+            level_edges,
+            level_nodes,
+            level_edges_next: Vec::new(),
+            level_nodes_next: Vec::new(),
+        }
+    }
+}
+
+impl Observer for LevelChurnObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, _pricer: &mut dyn HopPricer) {
+        fill_level_sets(
+            ctx.new_hierarchy,
+            &mut self.level_edges_next,
+            &mut self.level_nodes_next,
+        );
+        let depth = ctx.new_hierarchy.depth().max(ctx.old_hierarchy.depth());
+        for k in 1..depth {
+            let old_e = self.level_edges.get(k).map_or(&[][..], Vec::as_slice);
+            let new_e = self.level_edges_next.get(k).map_or(&[][..], Vec::as_slice);
+            let old_n = self.level_nodes.get(k).map_or(&[][..], Vec::as_slice);
+            let cur_n = self.level_nodes_next.get(k).map_or(&[][..], Vec::as_slice);
+            let (churn, persisting) = churn_between(old_e, new_e, old_n, cur_n);
+            self.rates.add_link_events(k, churn, persisting);
+            let (edges, nodes) = ctx
+                .new_hierarchy
+                .levels
+                .get(k)
+                .map_or((0, 0), |l| (l.graph.edge_count(), l.len()));
+            self.rates.add_exposure(k, edges, nodes, ctx.dt);
+        }
+        self.rates.node_seconds += ctx.n as f64 * ctx.dt;
+        std::mem::swap(&mut self.level_edges, &mut self.level_edges_next);
+        std::mem::swap(&mut self.level_nodes, &mut self.level_nodes_next);
+    }
+}
+
+/// Reorganization-event taxonomy counts (events (i)–(vii), §5.2).
+pub struct EventTaxonomyObserver {
+    pub counts: EventCounts,
+}
+
+impl EventTaxonomyObserver {
+    pub fn new(initial_depth: usize) -> Self {
+        EventTaxonomyObserver {
+            counts: EventCounts::with_levels(initial_depth),
+        }
+    }
+}
+
+impl Observer for EventTaxonomyObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, _pricer: &mut dyn HopPricer) {
+        let (_, counts) = classify_events(ctx.old_hierarchy, ctx.new_hierarchy);
+        self.counts.merge(&counts);
+    }
+}
+
+/// ALCA per-level state distribution (Fig. 3, p_j, q₁).
+pub struct AlcaStateObserver {
+    pub tracker: StateTracker,
+}
+
+impl AlcaStateObserver {
+    /// The tracker observes the initial hierarchy at construction, exactly
+    /// as the run's first snapshot.
+    pub fn new(initial: &Hierarchy) -> Self {
+        let mut tracker = StateTracker::new();
+        tracker.observe(initial);
+        AlcaStateObserver { tracker }
+    }
+}
+
+impl Observer for AlcaStateObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, _pricer: &mut dyn HopPricer) {
+        self.tracker.observe(ctx.new_hierarchy);
+    }
+}
+
+/// GLS baseline maintenance overhead on the same mobility trace.
+pub struct GlsObserver {
+    pub tracker: GlsTracker,
+}
+
+impl GlsObserver {
+    pub fn new(tracker: GlsTracker) -> Self {
+        GlsObserver { tracker }
+    }
+}
+
+impl Observer for GlsObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, pricer: &mut dyn HopPricer) {
+        self.tracker
+            .observe(ctx.positions, ctx.ids, |a, b| pricer.hops(a, b), ctx.dt);
+    }
+}
+
+/// Mean level-0 degree (summed per tick) and maximum hierarchy depth.
+pub struct DegreeObserver {
+    pub degree_sum: f64,
+    pub max_depth: usize,
+}
+
+impl DegreeObserver {
+    pub fn new(initial_depth: usize) -> Self {
+        DegreeObserver {
+            degree_sum: 0.0,
+            max_depth: initial_depth,
+        }
+    }
+}
+
+impl Observer for DegreeObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, _pricer: &mut dyn HopPricer) {
+        self.degree_sum += ctx.graph.mean_degree();
+        self.max_depth = self.max_depth.max(ctx.new_hierarchy.depth());
+    }
+}
+
+/// The engine's observer set: the built-in accounting in canonical order,
+/// plus caller-appended extras. The handoff slot is a trait object so the
+/// packet engine can swap in packet-executed accounting.
+pub struct Observers {
+    pub link: LinkRateObserver,
+    pub addr: AddressChurnObserver,
+    pub handoff: Box<dyn HandoffAccounting>,
+    pub churn: LevelChurnObserver,
+    pub taxonomy: EventTaxonomyObserver,
+    pub alca: AlcaStateObserver,
+    pub gls: Option<GlsObserver>,
+    pub degree: DegreeObserver,
+    pub extra: Vec<Box<dyn Observer>>,
+}
+
+impl Observers {
+    /// Drive every observer over one tick, in the canonical order (link
+    /// rate, address churn, handoff, level churn, taxonomy, ALCA, GLS,
+    /// degree, extras). All observers share one pricer, so BFS pricing
+    /// shares its per-source cache across them within the tick.
+    pub fn on_tick(&mut self, ctx: &TickCtx<'_>, pricer: &mut dyn HopPricer) {
+        self.link.on_tick(ctx, pricer);
+        self.addr.on_tick(ctx, pricer);
+        self.handoff.on_tick(ctx, pricer);
+        self.churn.on_tick(ctx, pricer);
+        self.taxonomy.on_tick(ctx, pricer);
+        self.alca.on_tick(ctx, pricer);
+        if let Some(gls) = &mut self.gls {
+            gls.on_tick(ctx, pricer);
+        }
+        self.degree.on_tick(ctx, pricer);
+        for obs in &mut self.extra {
+            obs.on_tick(ctx, pricer);
+        }
+    }
+
+    /// The full [`LevelRates`] view: address churn merged with link churn
+    /// and exposure. Merging is exact — the two parts touch disjoint
+    /// counters, and `0.0 + x == x` bitwise for the accumulated
+    /// (non-negative) float fields.
+    pub fn merged_rates(&self) -> LevelRates {
+        let mut rates = self.addr.rates.clone();
+        rates.merge(&self.churn.rates);
+        rates
+    }
+}

@@ -70,6 +70,9 @@ impl<'a> DistanceOracle<'a> {
                 DistanceOracle::euclidean(graph, positions, rtx, calibration)
             }
             HopMetric::Euclidean(c) => DistanceOracle::euclidean(graph, positions, rtx, c),
+            HopMetric::HierRouting => unreachable!(
+                "HierRouting is priced by chlm_sim::cost::HierRoutingCostModel, not the oracle"
+            ),
         }
     }
 

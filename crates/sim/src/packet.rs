@@ -1,0 +1,161 @@
+//! Packet-level engine backend.
+//!
+//! Where the analytic engine *prices* the handoff workload with a hop
+//! oracle, this backend *executes* it: each tick's TRANSFER/REGISTER
+//! stream is sent through [`chlm_proto::PacketNetwork`]'s discrete-event
+//! queue over the tick's real topology, and the [`HandoffLedger`] books
+//! the transmissions each packet actually used (per-hop delay, optional
+//! loss and ARQ included). Everything else — stages, the other observers,
+//! the auditor, the report schema — is shared with the analytic engine;
+//! on a lossless network the two agree packet-for-packet (see
+//! `tests/parity.rs`).
+
+use crate::config::{Backend, SimConfig};
+use crate::cost::HopPricer;
+use crate::engine::{Engine, Simulation};
+use crate::observe::{HandoffAccounting, Observer};
+use crate::report::SimReport;
+use crate::stage::TickCtx;
+use chlm_cluster::Hierarchy;
+use chlm_lm::handoff::HandoffLedger;
+use chlm_proto::network::{NetworkStats, PacketNetwork};
+use chlm_proto::protocol::send_handoff;
+
+/// Aggregate packet-execution counters over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PacketTotals {
+    /// TRANSFER packets sent (one per moved LM entry).
+    pub transfers: u64,
+    /// REGISTER packets sent (one per subject-side cluster change).
+    pub registrations: u64,
+    /// Network-level outcome counters summed over every tick.
+    pub net: NetworkStats,
+}
+
+/// Handoff accounting that executes the workload as packets. The ledger's
+/// attribution cascade is unchanged — only the per-entry price differs:
+/// instead of an oracle estimate it is the transmission count the packet
+/// network measured for that entry's TRANSFER (and REGISTER, when sent).
+pub struct PacketHandoffObserver {
+    ledger: HandoffLedger,
+    hop_delay: f64,
+    loss: Option<crate::config::LossSpec>,
+    totals: PacketTotals,
+}
+
+impl PacketHandoffObserver {
+    pub fn new(hop_delay: f64, loss: Option<crate::config::LossSpec>) -> Self {
+        assert!(hop_delay > 0.0 && hop_delay.is_finite());
+        PacketHandoffObserver {
+            ledger: HandoffLedger::new(),
+            hop_delay,
+            loss,
+            totals: PacketTotals::default(),
+        }
+    }
+}
+
+impl Observer for PacketHandoffObserver {
+    fn on_tick(&mut self, ctx: &TickCtx<'_>, _pricer: &mut dyn HopPricer) {
+        let mut net = PacketNetwork::new(ctx.graph, self.hop_delay);
+        if let Some(loss) = self.loss {
+            // Independent loss stream per tick, deterministic in
+            // (seed, tick).
+            net = net.with_loss(
+                loss.prob,
+                loss.max_retries,
+                loss.seed.wrapping_add(ctx.tick as u64),
+            );
+        }
+        let (transfers, registrations) = send_handoff(&mut net, ctx.host_changes, ctx.addr_changes);
+        let stats = net.run();
+        // `send_handoff` emits packets in exactly the order the ledger's
+        // cascade prices entries (TRANSFER per host change, then REGISTER
+        // iff the subject's exact (node, level) address changed), so the
+        // per-packet transmission counts replay 1:1 into `record`'s hop
+        // calls.
+        let per_packet = net.per_packet_transmissions();
+        let mut next = 0usize;
+        self.ledger.record(
+            ctx.host_changes,
+            ctx.addr_changes,
+            |_a, _b| {
+                let transmissions = per_packet.get(next).copied().unwrap_or(0) as f64;
+                next += 1;
+                transmissions
+            },
+            ctx.n,
+            ctx.dt,
+        );
+        debug_assert_eq!(next, per_packet.len(), "packet/ledger streams misaligned");
+        self.totals.transfers += transfers;
+        self.totals.registrations += registrations;
+        self.totals.net.merge(&stats);
+    }
+}
+
+impl HandoffAccounting for PacketHandoffObserver {
+    fn ledger(&self) -> &HandoffLedger {
+        &self.ledger
+    }
+    fn take_ledger(&mut self) -> HandoffLedger {
+        std::mem::take(&mut self.ledger)
+    }
+    fn packet_totals(&self) -> Option<PacketTotals> {
+        Some(self.totals)
+    }
+}
+
+/// The packet-level engine: the analytic pipeline with the handoff slot
+/// swapped for [`PacketHandoffObserver`]. Construct via
+/// [`crate::build_engine`] with [`Backend::Packet`] (or directly, for
+/// access to [`PacketEngine::totals`]).
+pub struct PacketEngine {
+    sim: Simulation,
+}
+
+impl PacketEngine {
+    pub fn new(cfg: SimConfig) -> Self {
+        let (hop_delay, loss) = match cfg.backend {
+            Backend::Packet { hop_delay, loss } => (hop_delay, loss),
+            Backend::Analytic => (Backend::DEFAULT_HOP_DELAY, None),
+        };
+        let sim =
+            Simulation::with_handoff(cfg, Box::new(PacketHandoffObserver::new(hop_delay, loss)));
+        PacketEngine { sim }
+    }
+
+    /// Packet-execution totals accumulated so far.
+    pub fn totals(&self) -> PacketTotals {
+        self.sim
+            .observers()
+            .handoff
+            .packet_totals()
+            .unwrap_or_default()
+    }
+
+    /// The ledger as booked from executed packets, so far.
+    pub fn ledger(&self) -> &HandoffLedger {
+        self.sim.observers().handoff.ledger()
+    }
+
+    /// Current hierarchy snapshot.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        self.sim.hierarchy()
+    }
+}
+
+impl Engine for PacketEngine {
+    fn config(&self) -> &SimConfig {
+        self.sim.config()
+    }
+    fn step(&mut self) {
+        self.sim.step();
+    }
+    fn audit_violations(&self) -> &[crate::audit::AuditViolation] {
+        self.sim.audit_violations()
+    }
+    fn finish_boxed(self: Box<Self>) -> SimReport {
+        self.sim.finish()
+    }
+}

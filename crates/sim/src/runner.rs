@@ -7,45 +7,54 @@
 //! deterministic regardless of scheduling.
 
 use crate::config::SimConfig;
-use crate::engine::Simulation;
 use crate::report::SimReport;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Run `seeds.len()` replications of `cfg` (seed overridden per
 /// replication), at most `threads` at a time. Reports come back in seed
-/// order.
+/// order. Respects `cfg.backend` — replications run on whichever engine
+/// the config selects.
 ///
 /// Work distribution is a lock-free ticket counter: each worker claims the
-/// next seed index with a single `fetch_add`, so there is no queue lock to
-/// contend on (a replication takes seconds; the claim takes nanoseconds).
-/// The results vector is still behind a mutex, but it is touched once per
-/// replication, not once per claim.
+/// next seed index with a single `fetch_add`. Each worker keeps its own
+/// `(index, report)` list and the joined lists are scattered into place at
+/// the end — no shared results vector, no mutex anywhere.
 pub fn run_replications(cfg: &SimConfig, seeds: &[u64], threads: usize) -> Vec<SimReport> {
     assert!(threads >= 1);
-    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; seeds.len()]);
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(seeds.len()) {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= seeds.len() {
-                    break;
-                }
-                let mut c = cfg.clone();
-                c.seed = seeds[idx];
-                let report = Simulation::new(c).run();
-                // audit: infallible because workers never panic while holding the lock
-                results.lock().expect("results mutex poisoned")[idx] = Some(report);
-            });
-        }
+    let finished = crossbeam::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(seeds.len()))
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut mine: Vec<(usize, SimReport)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= seeds.len() {
+                            break;
+                        }
+                        let mut c = cfg.clone();
+                        c.seed = seeds[idx];
+                        mine.push((idx, crate::run_simulation(&c)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            // audit: infallible because join() only errs on a worker panic, already fatal here
+            .flat_map(|w| w.join().expect("replication thread panicked"))
+            .collect::<Vec<_>>()
     })
     // audit: infallible because scope() only errs on a worker panic, already fatal here
     .expect("replication thread panicked");
+
+    let mut results: Vec<Option<SimReport>> = (0..seeds.len()).map(|_| None).collect();
+    for (idx, report) in finished {
+        debug_assert!(results[idx].is_none(), "seed index claimed twice");
+        results[idx] = Some(report);
+    }
     results
-        .into_inner()
-        // audit: infallible because the scope above joined every worker
-        .expect("results mutex poisoned")
         .into_iter()
         // audit: infallible because the ticket counter covers every index exactly once
         .map(|r| r.expect("missing replication result"))
@@ -60,6 +69,7 @@ pub fn seed_range(base: u64, count: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Backend;
 
     #[test]
     fn parallel_matches_sequential() {
@@ -72,6 +82,37 @@ mod tests {
             assert_eq!(p.seed, s.seed);
             assert_eq!(p.f0, s.f0);
             assert_eq!(p.ledger, s.ledger);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_seeds_is_fine() {
+        let cfg = SimConfig::builder(40).duration(1.0).warmup(0.2).build();
+        let reports = run_replications(&cfg, &seed_range(3, 2), 8);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].seed, 3);
+        assert_eq!(reports[1].seed, 4);
+    }
+
+    #[test]
+    fn replications_respect_backend() {
+        let cfg = SimConfig::builder(60)
+            .duration(1.0)
+            .warmup(0.2)
+            .target_degree(12.0)
+            .hop_metric(crate::config::HopMetric::Bfs)
+            .backend(Backend::packet())
+            .build();
+        let seeds = seed_range(21, 2);
+        let packet = run_replications(&cfg, &seeds, 2);
+        let mut analytic_cfg = cfg;
+        analytic_cfg.backend = Backend::Analytic;
+        let analytic = run_replications(&analytic_cfg, &seeds, 2);
+        // Dense + lossless: the packet backend reproduces the analytic
+        // ledger (the parity integration test pins the strong form).
+        for (p, a) in packet.iter().zip(&analytic) {
+            assert_eq!(p.seed, a.seed);
+            assert_eq!(p.events, a.events);
         }
     }
 

@@ -1,0 +1,206 @@
+//! Trait-based tick pipeline stages.
+//!
+//! One tick of the engine is four stages run in order —
+//! mobility → topology → hierarchy → LM assignment — each swappable
+//! behind a trait. The engine diffs the stage outputs against the
+//! previous tick's snapshots and packages everything into a [`TickCtx`],
+//! the read-only view every [`crate::observe::Observer`] consumes.
+//!
+//! The default implementations wrap the incremental machinery from PR 2
+//! (Verlet-list unit-disk maintenance, the memoized HRW walk); a config
+//! with `full_rebuild` set swaps in their from-scratch counterparts so
+//! the equivalence suite can diff entire reports.
+
+use crate::config::SimConfig;
+use chlm_cluster::address::{AddrChange, AddressBook};
+use chlm_cluster::{Hierarchy, HierarchyOptions};
+use chlm_geom::Point;
+use chlm_graph::{Graph, UnitDiskMaintainer};
+use chlm_lm::server::{HostChange, LmAssignment, LmCache, SelectionRule};
+use chlm_mobility::MobilityModel;
+
+/// Read-only view of one completed tick: the previous and current
+/// snapshots plus the diff streams between them. Observers price and
+/// count off this; nothing here is mutable.
+pub struct TickCtx<'a> {
+    /// Tick index (0-based, counting measured ticks).
+    pub tick: usize,
+    /// Tick length in seconds.
+    pub dt: f64,
+    /// Node count.
+    pub n: usize,
+    /// Transmission radius.
+    pub rtx: f64,
+    /// Election identifiers, by physical node index.
+    pub ids: &'a [u64],
+    /// Node positions after this tick's mobility step.
+    pub positions: &'a [Point],
+    /// The tick's level-0 unit-disk graph.
+    pub graph: &'a Graph,
+    /// Last tick's hierarchy.
+    pub old_hierarchy: &'a Hierarchy,
+    /// This tick's hierarchy.
+    pub new_hierarchy: &'a Hierarchy,
+    /// Last tick's address book.
+    pub old_book: &'a AddressBook,
+    /// This tick's address book.
+    pub new_book: &'a AddressBook,
+    /// Last tick's LM server assignment.
+    pub old_assignment: &'a LmAssignment,
+    /// This tick's LM server assignment.
+    pub new_assignment: &'a LmAssignment,
+    /// Assignment diff: every LM entry that changed host this tick.
+    pub host_changes: &'a [HostChange],
+    /// Address diff: every (node, level) whose cluster changed this tick.
+    pub addr_changes: &'a [AddrChange],
+}
+
+/// Stage 1: advance the mobility process and expose node positions.
+pub trait MobilityStage {
+    fn advance(&mut self, dt: f64);
+    fn positions(&self) -> &[Point];
+}
+
+/// Stage 2: maintain the level-0 topology for the current positions.
+pub trait TopologyStage {
+    fn update(&mut self, positions: &[Point]);
+    fn graph(&self) -> &Graph;
+}
+
+/// Stage 3: rebuild the cluster hierarchy from the tick's topology.
+/// `recycle` donates the previous tick's retired level-0 graph buffers.
+pub trait HierarchyStage {
+    fn rebuild(&mut self, ids: &[u64], graph: &Graph, recycle: Graph) -> Hierarchy;
+}
+
+/// Stage 4: compute the LM server assignment for the tick's hierarchy.
+/// `retire` hands back the previous assignment so caches can recycle its
+/// buffers.
+pub trait AssignmentStage {
+    fn assign(&mut self, hierarchy: &Hierarchy, book: &AddressBook) -> LmAssignment;
+    fn retire(&mut self, old: LmAssignment);
+}
+
+/// Default mobility stage: any [`chlm_mobility::MobilityModel`].
+pub struct ModelMobility {
+    model: Box<dyn MobilityModel>,
+}
+
+impl ModelMobility {
+    pub fn new(model: Box<dyn MobilityModel>) -> Self {
+        ModelMobility { model }
+    }
+}
+
+impl MobilityStage for ModelMobility {
+    fn advance(&mut self, dt: f64) {
+        self.model.step(dt);
+    }
+    fn positions(&self) -> &[Point] {
+        self.model.positions()
+    }
+}
+
+/// Default topology stage: incremental Verlet-list unit-disk maintenance,
+/// or a per-tick rebuild when `full_rebuild` is set.
+pub struct UnitDiskTopology {
+    maintainer: UnitDiskMaintainer,
+    full_rebuild: bool,
+}
+
+impl UnitDiskTopology {
+    pub fn new(positions: &[Point], rtx: f64, full_rebuild: bool) -> Self {
+        UnitDiskTopology {
+            maintainer: UnitDiskMaintainer::new(positions, rtx),
+            full_rebuild,
+        }
+    }
+}
+
+impl TopologyStage for UnitDiskTopology {
+    fn update(&mut self, positions: &[Point]) {
+        if self.full_rebuild {
+            self.maintainer.rebuild(positions);
+        } else {
+            self.maintainer.advance(positions);
+        }
+    }
+    fn graph(&self) -> &Graph {
+        self.maintainer.graph()
+    }
+}
+
+/// Default hierarchy stage: the LCA fixpoint construction, recycling the
+/// donated graph buffers for its level-0 copy.
+pub struct LcaHierarchy {
+    opts: HierarchyOptions,
+}
+
+impl LcaHierarchy {
+    pub fn new(opts: HierarchyOptions) -> Self {
+        LcaHierarchy { opts }
+    }
+}
+
+impl HierarchyStage for LcaHierarchy {
+    fn rebuild(&mut self, ids: &[u64], graph: &Graph, recycle: Graph) -> Hierarchy {
+        let mut g0 = recycle;
+        g0.copy_from(graph);
+        Hierarchy::build_owned(ids, g0, self.opts)
+    }
+}
+
+/// Default assignment stage: §3.2 server selection, memoized via
+/// [`LmCache`] unless `full_rebuild` forces the from-scratch path.
+pub struct LmSelection {
+    rule: SelectionRule,
+    cache: LmCache,
+    full_rebuild: bool,
+}
+
+impl LmSelection {
+    pub fn new(rule: SelectionRule, full_rebuild: bool) -> Self {
+        LmSelection {
+            rule,
+            cache: LmCache::new(),
+            full_rebuild,
+        }
+    }
+}
+
+impl AssignmentStage for LmSelection {
+    fn assign(&mut self, hierarchy: &Hierarchy, book: &AddressBook) -> LmAssignment {
+        if self.full_rebuild {
+            LmAssignment::compute(hierarchy, self.rule)
+        } else {
+            LmAssignment::compute_cached(hierarchy, book, self.rule, &mut self.cache)
+        }
+    }
+    fn retire(&mut self, old: LmAssignment) {
+        self.cache.recycle(old);
+    }
+}
+
+/// The four pipeline stages, in tick order.
+pub type StageSet = (
+    Box<dyn MobilityStage>,
+    Box<dyn TopologyStage>,
+    Box<dyn HierarchyStage>,
+    Box<dyn AssignmentStage>,
+);
+
+/// Build the default stage set for `cfg` over an already-warmed mobility
+/// model.
+pub fn default_stages(cfg: &SimConfig, mobility: Box<dyn MobilityModel>) -> StageSet {
+    let topology = UnitDiskTopology::new(mobility.positions(), cfg.rtx(), cfg.full_rebuild);
+    let opts = HierarchyOptions {
+        max_levels: cfg.max_levels,
+        min_reduction: cfg.min_reduction,
+    };
+    (
+        Box::new(ModelMobility::new(mobility)),
+        Box::new(topology),
+        Box::new(LcaHierarchy::new(opts)),
+        Box::new(LmSelection::new(cfg.selection_rule, cfg.full_rebuild)),
+    )
+}

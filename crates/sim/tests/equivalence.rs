@@ -67,3 +67,49 @@ fn incremental_matches_full_rebuild_denser() {
     let reference = run(220, 5, MobilityKind::Waypoint, true);
     assert_eq!(fast, reference);
 }
+
+/// Report digests captured on the pre-pipeline monolithic engine (before
+/// the stage/observer/cost-model refactor). The staged engine must
+/// reproduce every one bit-for-bit: any change here means the refactor
+/// (or a later edit) altered simulation arithmetic, not just structure.
+/// Regenerate only for an *intentional* model change, never to make a
+/// refactor pass.
+#[test]
+fn report_digests_match_pre_pipeline_engine() {
+    const GOLDEN: &[(&str, u64, u64)] = &[
+        ("waypoint", 11, 0xa2b6edf3767bf06a),
+        ("waypoint", 29, 0x3fb7a96b959f2026),
+        ("waypoint", 47, 0xd64c339c999cfc16),
+        ("waypoint", 83, 0x7e9173f2eb0d6926),
+        ("direction", 11, 0xea8fedfd1eb9c3e4),
+        ("direction", 29, 0x6e0b77ad7a9201c9),
+        ("direction", 47, 0xe66846ea0e9744d1),
+        ("direction", 83, 0xab909c419b7f9cdb),
+        ("walk", 11, 0xcb6c2a2ddc8df382),
+        ("walk", 29, 0xbb126c6275f8ab68),
+        ("walk", 47, 0xf8c25f79a9b8b51a),
+        ("walk", 83, 0x85251f15a51fd834),
+        ("rpgm", 11, 0xfe7a6a4dc60bbd23),
+        ("rpgm", 29, 0x1845f7cafc16d8fa),
+        ("rpgm", 47, 0x550ec788098929bd),
+        ("rpgm", 83, 0xdad2abae7f3a946a),
+        ("static", 11, 0xf481a096a048b19a),
+        ("static", 29, 0x6c5d4f5d5ed94746),
+        ("static", 47, 0x543204e1c89f4483),
+        ("static", 83, 0xe8c54c9395116663),
+    ];
+    let kinds = mobility_kinds();
+    for &(name, seed, want) in GOLDEN {
+        let kind = kinds
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, m)| m)
+            .unwrap();
+        let got = run(90, seed, kind, false).digest();
+        assert_eq!(
+            got, want,
+            "digest drift vs pre-pipeline engine (mobility={name}, seed={seed}): \
+             got {got:#018x}, want {want:#018x}"
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! `cargo xtask audit-determinism` — run every standard configuration
 //! twice with the same seed and compare canonical digests of the full
-//! [`SimReport`] and of the final hierarchy. Any nondeterminism — a
+//! [`chlm_sim::SimReport`] and of the final hierarchy. Any nondeterminism — a
 //! hasher-ordered iteration, wall-clock leakage, an uninitialized buffer —
 //! flips at least one bit somewhere and fails the comparison.
 

@@ -30,6 +30,11 @@
 //! ```text
 //! path/suffix.rs :: substring-of-the-line  # reason the site is fine
 //! ```
+//!
+//! Allowlists are themselves checked for staleness: an entry that waives
+//! no finding in the whole workspace scan fails the lint. Waivers must
+//! die with the code they excuse, or they silently grow into blanket
+//! exemptions that would mask a *new* violation on a matching line.
 
 use std::fmt;
 use std::fs;
@@ -79,12 +84,15 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Findings waived by allowlist entries.
     pub allowed: usize,
+    /// Allowlist entries that waived nothing (workspace scans only) —
+    /// rendered as `<lint>: <path_suffix> :: <line_substring>`.
+    pub stale: Vec<String>,
     pub files_scanned: usize,
 }
 
 impl LintReport {
     pub fn ok(&self) -> bool {
-        self.findings.is_empty()
+        self.findings.is_empty() && self.stale.is_empty()
     }
 }
 
@@ -653,9 +661,15 @@ const WALLCLOCK_SCOPE: [&str; 5] = [
 ];
 
 /// Per-tick step-path code: every allocation here recurs every tick, so
-/// buffer copies that could reuse persistent storage are flagged.
-const STEP_COPY_SCOPE: [&str; 4] = [
+/// buffer copies that could reuse persistent storage are flagged. The
+/// staged pipeline spread the step path over stage/observe/cost/packet,
+/// so all of them sit in scope alongside the engine itself.
+const STEP_COPY_SCOPE: [&str; 8] = [
     "crates/sim/src/engine.rs",
+    "crates/sim/src/stage.rs",
+    "crates/sim/src/observe.rs",
+    "crates/sim/src/cost.rs",
+    "crates/sim/src/packet.rs",
     "crates/graph/src/incremental.rs",
     "crates/graph/src/dynamics.rs",
     "crates/mobility/src/",
@@ -726,10 +740,13 @@ fn load_allowlist(root: &Path, lint: &str) -> Vec<AllowEntry> {
     }
 }
 
+fn entry_matches(e: &AllowEntry, f: &Finding, raw_line: &str) -> bool {
+    f.file.ends_with(&e.path_suffix) && raw_line.contains(&e.line_substring)
+}
+
+#[cfg(test)]
 fn is_allowed(f: &Finding, raw_line: &str, allow: &[AllowEntry]) -> bool {
-    allow
-        .iter()
-        .any(|e| f.file.ends_with(&e.path_suffix) && raw_line.contains(&e.line_substring))
+    allow.iter().any(|e| entry_matches(e, f, raw_line))
 }
 
 /// Scan one file's source with the given lints (no scope filtering — the
@@ -785,9 +802,15 @@ pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
         }
     }
     files.sort();
-    let allowlists: Vec<(String, Vec<AllowEntry>)> = ALL_LINTS
+    // Per lint: its allowlist entries plus a used-bit per entry, so
+    // entries that waive nothing can be reported as stale afterwards.
+    let mut allowlists: Vec<(String, Vec<AllowEntry>, Vec<bool>)> = ALL_LINTS
         .iter()
-        .map(|&l| (l.to_string(), load_allowlist(root, l)))
+        .map(|&l| {
+            let entries = load_allowlist(root, l);
+            let used = vec![false; entries.len()];
+            (l.to_string(), entries, used)
+        })
         .collect();
 
     let mut report = LintReport::default();
@@ -806,15 +829,30 @@ pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
         let raw_lines: Vec<&str> = source.lines().collect();
         for f in scan_source(&rel, &source, &lints) {
             let raw = raw_lines.get(f.line - 1).copied().unwrap_or("");
-            let allow = allowlists
-                .iter()
-                .find(|(l, _)| l == f.lint)
-                .map(|(_, v)| v.as_slice())
-                .unwrap_or(&[]);
-            if is_allowed(&f, raw, allow) {
+            let mut waived = false;
+            if let Some((_, entries, used)) = allowlists.iter_mut().find(|(l, _, _)| *l == f.lint) {
+                // Mark every matching entry used (overlapping entries must
+                // not shadow each other into false staleness).
+                for (e, u) in entries.iter().zip(used.iter_mut()) {
+                    if entry_matches(e, &f, raw) {
+                        *u = true;
+                        waived = true;
+                    }
+                }
+            }
+            if waived {
                 report.allowed += 1;
             } else {
                 report.findings.push(f);
+            }
+        }
+    }
+    for (lint, entries, used) in &allowlists {
+        for (e, &u) in entries.iter().zip(used) {
+            if !u {
+                report
+                    .stale
+                    .push(format!("{lint}: {} :: {}", e.path_suffix, e.line_substring));
             }
         }
     }
@@ -968,6 +1006,10 @@ mod tests {
         assert!(lint_applies(LINT_FLOAT_EQ, "crates/lm/src/handoff.rs"));
         assert!(!lint_applies(LINT_FLOAT_EQ, "crates/lm/src/server.rs"));
         assert!(lint_applies(LINT_STEP_COPY, "crates/sim/src/engine.rs"));
+        assert!(lint_applies(LINT_STEP_COPY, "crates/sim/src/stage.rs"));
+        assert!(lint_applies(LINT_STEP_COPY, "crates/sim/src/observe.rs"));
+        assert!(lint_applies(LINT_STEP_COPY, "crates/sim/src/cost.rs"));
+        assert!(lint_applies(LINT_STEP_COPY, "crates/sim/src/packet.rs"));
         assert!(lint_applies(
             LINT_STEP_COPY,
             "crates/graph/src/incremental.rs"

@@ -2,11 +2,13 @@
 //!
 //! Commands:
 //!
-//! * `lint [--json] [--path FILE_OR_DIR ...]` — run the repo-specific
-//!   lints (see `xtask::lint`). With `--path`, the named files are checked
-//!   against *all* lints with no allowlists (fixture/spot-check mode);
-//!   otherwise the whole workspace is scanned with scope rules and
-//!   `xtask/allowlists/` applied. Exit 1 if any finding survives.
+//! * `lint [--json] [--root DIR] [--path FILE_OR_DIR ...]` — run the
+//!   repo-specific lints (see `xtask::lint`). With `--path`, the named
+//!   files are checked against *all* lints with no allowlists
+//!   (fixture/spot-check mode); otherwise the workspace under `--root`
+//!   (default: this repo) is scanned with scope rules and
+//!   `xtask/allowlists/` applied. Exit 1 if any finding survives or any
+//!   allowlist entry is stale (waives nothing).
 //! * `audit-determinism [--json] [--n N]` — run each standard config
 //!   twice with the same seed and compare canonical report + hierarchy
 //!   digests (see `xtask::determinism`). Exit 1 on any divergence.
@@ -35,7 +37,7 @@ fn workspace_root() -> PathBuf {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <command>\n\n  \
-         lint [--json] [--path FILE_OR_DIR ...]\n  \
+         lint [--json] [--root DIR] [--path FILE_OR_DIR ...]\n  \
          audit-determinism [--json] [--n N]\n  \
          bench [--smoke] [--json] [--out FILE]"
     );
@@ -55,6 +57,7 @@ fn finding_json(f: &lint::Finding) -> String {
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut as_json = false;
     let mut paths: Vec<PathBuf> = Vec::new();
+    let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -63,11 +66,15 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                 Some(p) => paths.push(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
     let report = if paths.is_empty() {
-        lint::run_workspace(&workspace_root())
+        lint::run_workspace(&root.unwrap_or_else(workspace_root))
     } else {
         lint::run_paths(&paths)
     };
@@ -84,6 +91,15 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             "findings",
             &json::array(report.findings.iter().map(finding_json)),
         )
+        .raw_field(
+            "stale",
+            &json::array(
+                report
+                    .stale
+                    .iter()
+                    .map(|s| format!("\"{}\"", json::escape(s))),
+            ),
+        )
         .num_field("allowed", report.allowed as u64)
         .num_field("files_scanned", report.files_scanned as u64)
         .bool_field("ok", report.ok());
@@ -92,11 +108,16 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         for f in &report.findings {
             println!("{f}");
         }
+        for s in &report.stale {
+            println!("stale allowlist entry (waives no finding): {s}");
+        }
         println!(
-            "xtask lint: {} file(s) scanned, {} finding(s), {} allowlisted",
+            "xtask lint: {} file(s) scanned, {} finding(s), {} allowlisted, {} stale entr{}",
             report.files_scanned,
             report.findings.len(),
-            report.allowed
+            report.allowed,
+            report.stale.len(),
+            if report.stale.len() == 1 { "y" } else { "ies" }
         );
     }
     if report.ok() {

@@ -1,0 +1,8 @@
+//! Stale-allowlist fixture: one genuinely waived copy site; the second
+//! allowlist entry matches no line here and must be reported stale.
+
+pub fn build() -> Vec<u32> {
+    let seed = vec![1, 2, 3];
+    let book = seed.clone();
+    book
+}

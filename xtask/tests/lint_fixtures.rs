@@ -111,6 +111,47 @@ fn binary_exits_nonzero_on_each_fixture_with_json() {
     }
 }
 
+/// `fixtures/stale_ws/` is a miniature workspace whose allowlist holds
+/// one live entry (waives the fixture's single step-copy finding) and one
+/// stale entry (matches nothing). The workspace scan must come back with
+/// zero findings yet still fail, naming the stale entry.
+#[test]
+fn stale_allowlist_entry_fails_workspace_scan() {
+    let report = lint::run_workspace(&fixture("stale_ws")).expect("fixture workspace readable");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.allowed, 1, "live entry must still waive its site");
+    assert_eq!(report.stale.len(), 1, "{:?}", report.stale);
+    assert!(
+        report.stale[0].contains(LINT_STEP_COPY) && report.stale[0].contains("positions.to_vec()"),
+        "{:?}",
+        report.stale
+    );
+    assert!(!report.ok(), "stale entries must fail the lint");
+}
+
+#[test]
+fn binary_exits_nonzero_on_stale_allowlist_with_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json", "--root"])
+        .arg(fixture("stale_ws"))
+        .output()
+        .expect("spawn xtask binary");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1, got {:?}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\":[]"), "{stdout}");
+    assert!(
+        stdout.contains("\"stale\":[") && stdout.contains("positions.to_vec()"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+}
+
 #[test]
 fn binary_rejects_unknown_command() {
     let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
