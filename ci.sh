@@ -21,10 +21,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 step "cargo test (workspace)"
 cargo test --workspace -q
 
-step "cargo xtask audit-determinism"
-cargo xtask audit-determinism
+# Run the determinism audit and the bench smoke at two thread counts:
+# the audit digests and the smoke harness must not care how many intra-
+# tick workers the pools use (the thread-invariance contract).
+step "cargo xtask audit-determinism (CHLM_THREADS=1)"
+CHLM_THREADS=1 cargo xtask audit-determinism
 
-step "cargo xtask bench --smoke"
-cargo xtask bench --smoke
+step "cargo xtask audit-determinism (CHLM_THREADS=2)"
+CHLM_THREADS=2 cargo xtask audit-determinism
+
+step "cargo xtask bench --smoke (CHLM_THREADS=1)"
+CHLM_THREADS=1 cargo xtask bench --smoke
+
+step "cargo xtask bench --smoke (CHLM_THREADS=2)"
+CHLM_THREADS=2 cargo xtask bench --smoke
 
 printf '\nci.sh: all checks passed\n'

@@ -42,12 +42,10 @@ pub fn replications() -> usize {
     env_usize("CHLM_SEEDS", 6)
 }
 
-/// Worker threads.
+/// Worker threads — the workspace-wide `CHLM_THREADS` budget (one knob
+/// shared with every intra-tick pool; see `chlm_par::thread_budget`).
 pub fn threads() -> usize {
-    env_usize(
-        "CHLM_THREADS",
-        std::thread::available_parallelism().map_or(4, |p| p.get()),
-    )
+    chlm_par::thread_budget()
 }
 
 /// The standard mobile configuration used by the sweeps.

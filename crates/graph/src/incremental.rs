@@ -30,6 +30,11 @@
 
 use crate::{Graph, NodeIdx};
 use chlm_geom::{Point, SpatialGrid};
+use chlm_par::{split_ranges, WorkerPool};
+
+/// Below this population the parallel fan-out's spawn/merge overhead
+/// outweighs the scan it saves; stay on the serial paths.
+const PAR_MIN_NODES: usize = 1024;
 
 /// Maintains the unit-disk graph of a moving point set across ticks.
 #[derive(Debug)]
@@ -55,6 +60,10 @@ pub struct UnitDiskMaintainer {
     nbr_scratch: Vec<NodeIdx>,
     rebuilds: u64,
     patches: u64,
+    workers: WorkerPool,
+    /// Minimum population for the parallel paths (lowered in tests so
+    /// small proptest instances exercise them too).
+    par_floor: usize,
 }
 
 impl UnitDiskMaintainer {
@@ -78,9 +87,26 @@ impl UnitDiskMaintainer {
             nbr_scratch: Vec::new(),
             rebuilds: 0,
             patches: 0,
+            workers: WorkerPool::new(1),
+            par_floor: PAR_MIN_NODES,
         };
         m.rebuild(positions);
         m
+    }
+
+    /// Use `workers` for candidate re-tests and rebuild scans. The
+    /// maintained graph is bit-identical for every pool width: detection
+    /// fans out over contiguous node ranges, mutation is applied serially
+    /// in ascending node order — exactly the serial loop's order.
+    pub fn with_workers(mut self, workers: WorkerPool) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    #[cfg(test)]
+    fn with_par_floor(mut self, floor: usize) -> Self {
+        self.par_floor = floor;
+        self
     }
 
     /// The maintained graph — always equal to
@@ -144,30 +170,81 @@ impl UnitDiskMaintainer {
         let reach = self.rtx + self.slack;
         let reach_sq = reach * reach;
         self.grid.rebuild(positions, reach);
-        for u in 0..self.n as NodeIdx {
-            self.nbr_scratch.clear();
-            let pu = positions[u as usize];
-            // Over-approximating radius: the grid prunes by cell only; the
-            // exact candidate test below uses reach_sq on the positions.
-            self.grid.for_each_within(positions, pu, reach, |v| {
-                if v > u {
-                    self.nbr_scratch.push(v);
+        if self.workers.is_serial() || self.n < self.par_floor {
+            for u in 0..self.n as NodeIdx {
+                self.nbr_scratch.clear();
+                let pu = positions[u as usize];
+                // Over-approximating radius: the grid prunes by cell only;
+                // the exact candidate test below uses reach_sq on the
+                // positions.
+                self.grid.for_each_within(positions, pu, reach, |v| {
+                    if v > u {
+                        self.nbr_scratch.push(v);
+                    }
+                });
+                self.nbr_scratch.sort_unstable();
+                for &v in &self.nbr_scratch {
+                    let d2 = pu.dist_sq(positions[v as usize]);
+                    debug_assert!(d2 <= reach_sq * (1.0 + 1e-9));
+                    let is_edge = d2 <= self.r_sq;
+                    self.cand.push(v);
+                    self.cedge.push(is_edge);
+                    if is_edge {
+                        // u ascending and v ascending per u: both endpoint
+                        // lists receive appends, so insertion cost is O(1).
+                        self.graph.add_edge(u, v);
+                    }
                 }
-            });
-            self.nbr_scratch.sort_unstable();
-            for &v in &self.nbr_scratch {
-                let d2 = pu.dist_sq(positions[v as usize]);
-                debug_assert!(d2 <= reach_sq * (1.0 + 1e-9));
-                let is_edge = d2 <= self.r_sq;
-                self.cand.push(v);
-                self.cedge.push(is_edge);
-                if is_edge {
-                    // u ascending and v ascending per u: both endpoint lists
-                    // receive appends, so insertion cost is O(1).
-                    self.graph.add_edge(u, v);
-                }
+                self.cstart.push(self.cand.len() as u32);
             }
-            self.cstart.push(self.cand.len() as u32);
+            return;
+        }
+        // Parallel scan: each contiguous node range builds its own slice of
+        // the candidate CSR (per-node counts + cand + cedge), then a serial
+        // merge walks the ranges in order — so the CSR layout and the
+        // add_edge sequence are exactly what the serial loop produces.
+        let ranges = split_ranges(self.n, self.workers.threads());
+        let grid = &self.grid;
+        let r_sq = self.r_sq;
+        let parts = self.workers.run_indexed(ranges.len(), |part| {
+            let mut counts: Vec<u32> = Vec::with_capacity(ranges[part].len());
+            let mut cand: Vec<NodeIdx> = Vec::new();
+            let mut cedge: Vec<bool> = Vec::new();
+            let mut scratch: Vec<NodeIdx> = Vec::new();
+            for u in ranges[part].start..ranges[part].end {
+                scratch.clear();
+                let pu = positions[u];
+                grid.for_each_within(positions, pu, reach, |v| {
+                    if v > u as NodeIdx {
+                        scratch.push(v);
+                    }
+                });
+                scratch.sort_unstable();
+                for &v in &scratch {
+                    let d2 = pu.dist_sq(positions[v as usize]);
+                    debug_assert!(d2 <= reach_sq * (1.0 + 1e-9));
+                    cand.push(v);
+                    cedge.push(d2 <= r_sq);
+                }
+                counts.push(scratch.len() as u32);
+            }
+            (counts, cand, cedge)
+        });
+        for (part, (counts, cand_part, cedge_part)) in parts.into_iter().enumerate() {
+            let base = self.cand.len();
+            let mut i = 0usize;
+            for (off, &count) in counts.iter().enumerate() {
+                let u = (ranges[part].start + off) as NodeIdx;
+                for _ in 0..count {
+                    if cedge_part[i] {
+                        self.graph.add_edge(u, cand_part[i]);
+                    }
+                    i += 1;
+                }
+                self.cstart.push((base + i) as u32);
+            }
+            self.cand.extend_from_slice(&cand_part);
+            self.cedge.extend_from_slice(&cedge_part);
         }
     }
 
@@ -176,20 +253,62 @@ impl UnitDiskMaintainer {
     /// `advance` enforces that.
     fn patch(&mut self, positions: &[Point]) {
         self.patches += 1;
-        for u in 0..self.n as NodeIdx {
-            let pu = positions[u as usize];
-            let lo = self.cstart[u as usize] as usize;
-            let hi = self.cstart[u as usize + 1] as usize;
-            for i in lo..hi {
-                let v = self.cand[i];
-                let is_edge = pu.dist_sq(positions[v as usize]) <= self.r_sq;
-                if is_edge != self.cedge[i] {
-                    self.cedge[i] = is_edge;
-                    if is_edge {
-                        self.graph.add_edge(u, v);
-                    } else {
-                        self.graph.remove_edge(u, v);
+        if self.workers.is_serial() || self.n < self.par_floor {
+            for u in 0..self.n as NodeIdx {
+                let pu = positions[u as usize];
+                let lo = self.cstart[u as usize] as usize;
+                let hi = self.cstart[u as usize + 1] as usize;
+                for i in lo..hi {
+                    let v = self.cand[i];
+                    let is_edge = pu.dist_sq(positions[v as usize]) <= self.r_sq;
+                    if is_edge != self.cedge[i] {
+                        self.cedge[i] = is_edge;
+                        if is_edge {
+                            self.graph.add_edge(u, v);
+                        } else {
+                            self.graph.remove_edge(u, v);
+                        }
                     }
+                }
+            }
+            return;
+        }
+        // Parallel detection over contiguous node ranges: each range reports
+        // the candidate pairs whose edge state flipped, in ascending
+        // (u, index) order. Detection is a pure read of the re-test, so the
+        // flip sets are thread-count-independent; applying them serially in
+        // range order reproduces the serial loop's add/remove sequence.
+        let ranges = split_ranges(self.n, self.workers.threads());
+        let cstart = &self.cstart;
+        let cand = &self.cand;
+        let cedge = &self.cedge;
+        let r_sq = self.r_sq;
+        let toggles = self.workers.run_indexed(ranges.len(), |part| {
+            let mut flips: Vec<(NodeIdx, u32)> = Vec::new();
+            for u in ranges[part].start..ranges[part].end {
+                let pu = positions[u];
+                let lo = cstart[u] as usize;
+                let hi = cstart[u + 1] as usize;
+                for i in lo..hi {
+                    let v = cand[i];
+                    let is_edge = pu.dist_sq(positions[v as usize]) <= r_sq;
+                    if is_edge != cedge[i] {
+                        flips.push((u as NodeIdx, i as u32));
+                    }
+                }
+            }
+            flips
+        });
+        for flips in &toggles {
+            for &(u, i) in flips {
+                let i = i as usize;
+                let is_edge = !self.cedge[i];
+                self.cedge[i] = is_edge;
+                let v = self.cand[i];
+                if is_edge {
+                    self.graph.add_edge(u, v);
+                } else {
+                    self.graph.remove_edge(u, v);
                 }
             }
         }
@@ -272,11 +391,51 @@ mod tests {
         }
     }
 
+    /// Every pool width must produce byte-identical state — not just graph
+    /// equality but the exact candidate CSR — through patches, budget
+    /// fallbacks, and a forced teleport rebuild.
+    #[test]
+    fn parallel_workers_bit_identical() {
+        let disk = Disk::centered(10.0);
+        let rtx = 1.4;
+        let mut rng = SimRng::seed_from(11);
+        let mut pts = deploy_uniform(&disk, 300, &mut rng);
+        let mut serial = UnitDiskMaintainer::new(&pts, rtx);
+        let mut pools: Vec<UnitDiskMaintainer> = [2usize, 3, 8]
+            .iter()
+            .map(|&t| {
+                UnitDiskMaintainer::new(&pts, rtx)
+                    .with_workers(WorkerPool::new(t))
+                    .with_par_floor(0)
+            })
+            .collect();
+        for tick in 0..30 {
+            jiggle(&mut pts, rtx / 10.0, &mut rng);
+            if tick == 14 {
+                // Teleport: forces the rebuild fallback on the same tick
+                // for every maintainer.
+                pts[7] = Point::new(-pts[7].x, -pts[7].y);
+            }
+            serial.advance(&pts);
+            for m in &mut pools {
+                m.advance(&pts);
+                assert_eq!(m.graph(), serial.graph(), "tick {tick}");
+                assert_eq!(m.cstart, serial.cstart, "tick {tick}");
+                assert_eq!(m.cand, serial.cand, "tick {tick}");
+                assert_eq!(m.cedge, serial.cedge, "tick {tick}");
+            }
+        }
+        assert!(serial.patch_count() > 0, "budget never exercised");
+        assert!(serial.rebuild_count() > 1, "fallback never exercised");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
         /// Incremental maintenance over random walks matches the O(n²)
-        /// brute-force builder at every step.
+        /// brute-force builder at every step, for serial and parallel
+        /// pools alike (the par floor is dropped so tiny instances take
+        /// the parallel paths).
         #[test]
         fn prop_matches_brute_force(
             seed in 0u64..1000,
@@ -284,11 +443,14 @@ mod tests {
             rtx in 0.5f64..2.0,
             steps in 1usize..12,
             step_frac in 0.01f64..0.3,
+            threads in 1usize..5,
         ) {
             let disk = Disk::centered(5.0);
             let mut rng = SimRng::seed_from(seed);
             let mut pts = deploy_uniform(&disk, n, &mut rng);
-            let mut m = UnitDiskMaintainer::new(&pts, rtx);
+            let mut m = UnitDiskMaintainer::new(&pts, rtx)
+                .with_workers(WorkerPool::new(threads))
+                .with_par_floor(0);
             prop_assert_eq!(m.graph(), &build_unit_disk_brute(&pts, rtx));
             for _ in 0..steps {
                 jiggle(&mut pts, rtx * step_frac, &mut rng);

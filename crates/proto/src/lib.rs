@@ -53,4 +53,6 @@ pub use dalca::Dalca;
 pub use events::EventQueue;
 pub use message::{LmMessage, Packet};
 pub use network::PacketNetwork;
-pub use protocol::{execute_handoff, execute_queries, send_handoff, MessageStats};
+pub use protocol::{
+    execute_handoff, execute_queries, send_handoff, send_handoff_with, MessageStats,
+};

@@ -245,6 +245,13 @@ impl<'a> PacketNetwork<'a> {
     pub fn per_packet_transmissions(&self) -> &[u32] {
         &self.per_packet
     }
+
+    /// Consume the network, handing the per-packet transmission counts
+    /// out by move — for callers that merge several networks' streams
+    /// without copying (the sim's sharded packet backend).
+    pub fn into_per_packet_transmissions(self) -> Vec<u32> {
+        self.per_packet
+    }
 }
 
 #[cfg(test)]

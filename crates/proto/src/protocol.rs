@@ -50,6 +50,22 @@ pub fn send_handoff(
 ) -> (u64, u64) {
     let changed_at: HashSet<(NodeIdx, u16)> =
         addr_changes.iter().map(|c| (c.node, c.level)).collect();
+    send_handoff_with(net, host_changes, |node, level| {
+        changed_at.contains(&(node, level))
+    })
+}
+
+/// [`send_handoff`] with the changed-at membership test supplied by the
+/// caller. A caller splitting one tick's host-change stream across several
+/// networks (the sim's sharded packet backend) builds the lookup once and
+/// sends each contiguous chunk here; because the chunks preserve stream
+/// order, concatenating the per-shard packet sequences reproduces the
+/// unsharded send order exactly.
+pub fn send_handoff_with<F: Fn(NodeIdx, u16) -> bool>(
+    net: &mut PacketNetwork<'_>,
+    host_changes: &[HostChange],
+    changed_at: F,
+) -> (u64, u64) {
     let (mut transfers, mut registrations) = (0u64, 0u64);
     for hc in host_changes {
         net.send(Packet {
@@ -62,7 +78,7 @@ pub fn send_handoff(
             sent_at: 0.0,
         });
         transfers += 1;
-        if changed_at.contains(&(hc.subject, hc.level)) {
+        if changed_at(hc.subject, hc.level) {
             net.send(Packet {
                 src: hc.subject,
                 dst: hc.new_host,

@@ -131,6 +131,12 @@ pub struct SimConfig {
     /// Which engine executes the handoff workload (analytic pricing vs
     /// packet-level execution); see [`Backend`].
     pub backend: Backend,
+    /// Intra-tick worker threads (parallel BFS prefill, topology
+    /// maintenance, packet shards). Defaults to the workspace thread
+    /// budget (`CHLM_THREADS`, else available parallelism); `1` runs the
+    /// exact serial code paths. Reports are bit-identical for every value
+    /// — the thread-invariance suite enforces that.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -156,6 +162,7 @@ impl SimConfig {
                 audit: false,
                 full_rebuild: false,
                 backend: Backend::Analytic,
+                threads: chlm_par::thread_budget(),
             },
         }
     }
@@ -207,6 +214,7 @@ impl SimConfig {
             self.speed > 0.0 || matches!(self.mobility, MobilityKind::Static),
             "moving models need positive speed"
         );
+        assert!(self.threads >= 1, "need at least one worker thread");
         if let Backend::Packet { hop_delay, loss } = self.backend {
             assert!(hop_delay > 0.0 && hop_delay.is_finite());
             if let Some(l) = loss {
@@ -298,6 +306,11 @@ impl SimConfigBuilder {
     /// See [`SimConfig::backend`].
     pub fn backend(mut self, b: Backend) -> Self {
         self.cfg.backend = b;
+        self
+    }
+    /// See [`SimConfig::threads`].
+    pub fn threads(mut self, t: usize) -> Self {
+        self.cfg.threads = t;
         self
     }
 

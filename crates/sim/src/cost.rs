@@ -19,10 +19,11 @@
 //! lifetimes in the engine, and reclaim its buffers when the scope ends.
 
 use crate::config::HopMetric;
-use crate::oracle::DistanceOracle;
+use crate::oracle::{DistanceOracle, DEFAULT_DETOUR};
 use chlm_cluster::Hierarchy;
 use chlm_geom::Point;
 use chlm_graph::{Graph, NodeIdx};
+use chlm_par::WorkerPool;
 use chlm_routing::nexthop::NextHopTable;
 
 /// A hop-distance pricer over one topology snapshot. `hops(a, b)` is the
@@ -45,6 +46,12 @@ pub struct CostInputs<'a> {
     pub positions: &'a [Point],
     pub hierarchy: &'a Hierarchy,
     pub rtx: f64,
+    /// The distinct BFS sources the tick's pricing is known to query
+    /// (sorted ascending), so BFS-backed models can compute the rows in
+    /// parallel *before* lending the pricer. Purely a scheduling hint:
+    /// pricers answer identically for sources outside this set (they fall
+    /// back to on-demand serial BFS), so an empty slice is always valid.
+    pub sources: &'a [NodeIdx],
 }
 
 /// A pluggable hop-cost model. Implementations own whatever cross-tick
@@ -57,16 +64,39 @@ pub trait CostModel {
 }
 
 /// Exact-BFS pricing with per-source caching; distance buffers are pooled
-/// across ticks so the steady-state hot path does not allocate.
-#[derive(Default)]
+/// across ticks so the steady-state hot path does not allocate. The rows
+/// for `CostInputs::sources` are prefilled across the worker pool before
+/// the pricer is lent, and disconnected pairs are priced with the
+/// startup-measured calibration (not a hardcoded detour).
 pub struct BfsCostModel {
     pool: Vec<Vec<u32>>,
+    calibration: f64,
+    workers: WorkerPool,
+}
+
+impl BfsCostModel {
+    pub fn new(calibration: f64, threads: usize) -> Self {
+        BfsCostModel {
+            pool: Vec::new(),
+            calibration,
+            workers: WorkerPool::new(threads),
+        }
+    }
+}
+
+impl Default for BfsCostModel {
+    /// Serial model with the conservative default detour factor.
+    fn default() -> Self {
+        BfsCostModel::new(DEFAULT_DETOUR, 1)
+    }
 }
 
 impl CostModel for BfsCostModel {
     fn with_pricer(&mut self, inputs: &CostInputs<'_>, scope: &mut dyn FnMut(&mut dyn HopPricer)) {
         let mut oracle = DistanceOracle::bfs(inputs.graph, inputs.positions, inputs.rtx)
+            .with_fallback(self.calibration)
             .with_pool(std::mem::take(&mut self.pool));
+        oracle.prefill(inputs.sources, &self.workers);
         scope(&mut oracle);
         self.pool = oracle.into_pool();
     }
@@ -95,12 +125,14 @@ impl CostModel for EuclideanCostModel {
 
 /// Pricer over a strict hierarchical routing table: walks
 /// [`NextHopTable`] next hops and counts transmissions, falling back to
-/// the conservative Euclidean estimate (factor 1.3, same as the BFS
-/// oracle's unreachable fallback) when no table route exists.
+/// the Euclidean estimate scaled by `fallback` (the startup-measured
+/// detour ratio, same as the BFS oracle's unreachable fallback) when no
+/// table route exists.
 struct HierPricer<'a> {
     table: NextHopTable,
     positions: &'a [Point],
     rtx: f64,
+    fallback: f64,
 }
 
 impl HopPricer for HierPricer<'_> {
@@ -112,7 +144,7 @@ impl HopPricer for HierPricer<'_> {
             Some(h) => h as f64,
             None => {
                 let d = self.positions[a as usize].dist(self.positions[b as usize]);
-                (d / self.rtx * 1.3).max(1.0)
+                (d / self.rtx * self.fallback).max(1.0)
             }
         }
     }
@@ -123,8 +155,23 @@ impl HopPricer for HierPricer<'_> {
 /// table-driven walk — hierarchical stretch included. `O(Σ_k |V_k| ·
 /// (n + m))` per tick; meant for protocol-fidelity studies at moderate
 /// sizes, not the largest sweeps.
-#[derive(Default)]
-pub struct HierRoutingCostModel;
+pub struct HierRoutingCostModel {
+    calibration: f64,
+}
+
+impl HierRoutingCostModel {
+    pub fn new(calibration: f64) -> Self {
+        assert!(calibration > 0.0 && calibration.is_finite());
+        HierRoutingCostModel { calibration }
+    }
+}
+
+impl Default for HierRoutingCostModel {
+    /// Conservative default detour factor for unroutable pairs.
+    fn default() -> Self {
+        HierRoutingCostModel::new(DEFAULT_DETOUR)
+    }
+}
 
 impl CostModel for HierRoutingCostModel {
     fn with_pricer(&mut self, inputs: &CostInputs<'_>, scope: &mut dyn FnMut(&mut dyn HopPricer)) {
@@ -132,6 +179,7 @@ impl CostModel for HierRoutingCostModel {
             table: NextHopTable::build(inputs.hierarchy),
             positions: inputs.positions,
             rtx: inputs.rtx,
+            fallback: self.calibration,
         };
         scope(&mut pricer);
     }
@@ -139,13 +187,15 @@ impl CostModel for HierRoutingCostModel {
 
 /// The cost model dictated by `metric`; `calibration` is the
 /// startup-measured detour ratio consumed by
-/// [`HopMetric::EuclideanCalibrated`].
-pub fn cost_model_for(metric: HopMetric, calibration: f64) -> Box<dyn CostModel> {
+/// [`HopMetric::EuclideanCalibrated`] and by the disconnected/unroutable
+/// fallbacks of the BFS and hierarchical models; `threads` sizes the
+/// intra-tick worker pool of models that can parallelise.
+pub fn cost_model_for(metric: HopMetric, calibration: f64, threads: usize) -> Box<dyn CostModel> {
     match metric {
-        HopMetric::Bfs => Box::new(BfsCostModel::default()),
+        HopMetric::Bfs => Box::new(BfsCostModel::new(calibration, threads)),
         HopMetric::EuclideanCalibrated => Box::new(EuclideanCostModel::new(calibration)),
         HopMetric::Euclidean(c) => Box::new(EuclideanCostModel::new(c)),
-        HopMetric::HierRouting => Box::new(HierRoutingCostModel),
+        HopMetric::HierRouting => Box::new(HierRoutingCostModel::new(calibration)),
     }
 }
 
@@ -188,6 +238,7 @@ mod tests {
             positions: &pts,
             hierarchy: &h,
             rtx,
+            sources: &[],
         };
         let pairs = [(0u32, 5u32), (7, 9), (3, 3), (10, 120)];
         let mut model = BfsCostModel::default();
@@ -208,6 +259,7 @@ mod tests {
             positions: &pts,
             hierarchy: &h,
             rtx,
+            sources: &[],
         };
         let mut model = EuclideanCostModel::new(1.2);
         let priced = price_all(&mut model, &inputs, &[(0, 40), (1, 1)]);
@@ -227,6 +279,7 @@ mod tests {
             positions: &pts,
             hierarchy: &h,
             rtx,
+            sources: &[],
         };
         let table = NextHopTable::build(&h);
         let mut rng = SimRng::seed_from(4);
@@ -239,7 +292,7 @@ mod tests {
                 pairs.push((a, b));
             }
         }
-        let mut hier = HierRoutingCostModel;
+        let mut hier = HierRoutingCostModel::default();
         let hier_hops = price_all(&mut hier, &inputs, &pairs);
         let mut bfs = BfsCostModel::default();
         let bfs_hops = price_all(&mut bfs, &inputs, &pairs);
@@ -262,22 +315,27 @@ mod tests {
             positions: &pts,
             hierarchy: &h,
             rtx,
+            sources: &[],
         };
         let pairs = [(2u32, 40u32)];
         let a = price_all(
-            &mut *cost_model_for(HopMetric::Euclidean(1.2), 9.9),
+            &mut *cost_model_for(HopMetric::Euclidean(1.2), 9.9, 1),
             &inputs,
             &pairs,
         );
         let b = price_all(
-            &mut *cost_model_for(HopMetric::EuclideanCalibrated, 1.2),
+            &mut *cost_model_for(HopMetric::EuclideanCalibrated, 1.2, 1),
             &inputs,
             &pairs,
         );
         assert_eq!(a, b);
-        let c = price_all(&mut *cost_model_for(HopMetric::Bfs, 1.0), &inputs, &pairs);
+        let c = price_all(
+            &mut *cost_model_for(HopMetric::Bfs, 1.0, 2),
+            &inputs,
+            &pairs,
+        );
         let d = price_all(
-            &mut *cost_model_for(HopMetric::HierRouting, 1.0),
+            &mut *cost_model_for(HopMetric::HierRouting, 1.0, 1),
             &inputs,
             &pairs,
         );

@@ -99,6 +99,7 @@ pub struct Simulation {
     // Persistent tick workspaces.
     book_next: AddressBook,
     addr_scratch: Vec<NodeIdx>,
+    sources_scratch: Vec<NodeIdx>,
     g0_spare: Graph,
     // Accounting.
     observers: Observers,
@@ -167,10 +168,15 @@ impl Simulation {
         let hierarchy = hier_stage_initial(&*topology, &ids, &cfg);
         let book = AddressBook::capture(&hierarchy);
         let assignment = assign_stage.assign(&hierarchy, &book);
+        // Every metric that can hit an estimate path (Euclidean pricing,
+        // BFS disconnected-pair fallback, unroutable hierarchical pairs)
+        // gets the startup-measured detour ratio; only a fixed
+        // `Euclidean(c)` bypasses measurement. fork(3) is independent of
+        // the run stream fork(4), so metrics that skip some queries stay
+        // tick-for-tick comparable.
         let calibration = match cfg.hop_metric {
-            HopMetric::Bfs | HopMetric::HierRouting => 1.0,
             HopMetric::Euclidean(c) => c,
-            HopMetric::EuclideanCalibrated => calibrate(
+            HopMetric::Bfs | HopMetric::HierRouting | HopMetric::EuclideanCalibrated => calibrate(
                 topology.graph(),
                 mobility.positions(),
                 rtx,
@@ -178,7 +184,7 @@ impl Simulation {
                 &mut rng.fork(3),
             ),
         };
-        let cost = cost_model_for(cfg.hop_metric, calibration);
+        let cost = cost_model_for(cfg.hop_metric, calibration, cfg.threads);
         let gls = cfg.track_gls.then(|| {
             let (lo, hi) = {
                 use chlm_geom::Region;
@@ -227,6 +233,7 @@ impl Simulation {
             assignment,
             book_next,
             addr_scratch: Vec::new(),
+            sources_scratch: Vec::new(),
             g0_spare: Graph::default(),
             observers,
             auditor,
@@ -303,12 +310,34 @@ impl Simulation {
         };
         // One pricer scope covers every observer, so BFS pricing shares its
         // per-source distance cache within the tick and its buffers pool
-        // across ticks (inside the cost model).
+        // across ticks (inside the cost model). For BFS pricing the ledger's
+        // query sources are known from the diffs alone — `old_host` on every
+        // transfer, plus the subject's registration when its exact
+        // (subject, level) address changed — so they are collected up front
+        // and the model fills those rows across its worker pool before any
+        // observer prices a packet.
+        self.sources_scratch.clear();
+        if matches!(self.cfg.hop_metric, HopMetric::Bfs) {
+            let exact = |node: NodeIdx, level: u16| {
+                addr_changes
+                    .binary_search_by_key(&(node, level), |c| (c.node, c.level))
+                    .is_ok()
+            };
+            for hc in &host_changes {
+                self.sources_scratch.push(hc.old_host);
+                if exact(hc.subject, hc.level) {
+                    self.sources_scratch.push(hc.subject);
+                }
+            }
+            self.sources_scratch.sort_unstable();
+            self.sources_scratch.dedup();
+        }
         let inputs = CostInputs {
             graph,
             positions,
             hierarchy: &hierarchy,
             rtx: self.rtx,
+            sources: &self.sources_scratch,
         };
         let observers = &mut self.observers;
         self.cost
@@ -407,6 +436,7 @@ impl Simulation {
                 positions,
                 hierarchy: &self.hierarchy,
                 rtx: self.rtx,
+                sources: &[],
             };
             let (hierarchy, assignment) = (&self.hierarchy, &self.assignment);
             let mut sampled = None;

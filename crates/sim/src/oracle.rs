@@ -11,7 +11,12 @@ use crate::config::HopMetric;
 use chlm_geom::Point;
 use chlm_graph::traversal::{bfs_distances, bfs_distances_into, UNREACHABLE};
 use chlm_graph::{Graph, NodeIdx};
+use chlm_par::WorkerPool;
 use std::collections::BTreeMap;
+
+/// Conservative detour factor used for disconnected pairs when no
+/// startup-measured calibration is available (`n < 2`, nothing sampled).
+pub const DEFAULT_DETOUR: f64 = 1.3;
 
 /// A per-tick hop-distance oracle over one topology snapshot.
 pub struct DistanceOracle<'a> {
@@ -20,6 +25,9 @@ pub struct DistanceOracle<'a> {
     rtx: f64,
     /// `None` → exact BFS with per-source caching.
     calibration: Option<f64>,
+    /// Detour factor pricing *disconnected* pairs under the BFS oracle
+    /// (the startup-measured calibration; [`DEFAULT_DETOUR`] otherwise).
+    fallback: f64,
     // Ordered map by policy for accounting-adjacent state (lookup-only
     // today; the log-factor on top of an O(n+m) BFS is noise).
     cache: BTreeMap<NodeIdx, Vec<u32>>,
@@ -28,16 +36,27 @@ pub struct DistanceOracle<'a> {
 }
 
 impl<'a> DistanceOracle<'a> {
-    /// Exact-BFS oracle.
+    /// Exact-BFS oracle. Disconnected pairs fall back to the Euclidean
+    /// proxy at [`DEFAULT_DETOUR`]; thread the startup-measured
+    /// calibration in with [`DistanceOracle::with_fallback`].
     pub fn bfs(graph: &'a Graph, positions: &'a [Point], rtx: f64) -> Self {
         DistanceOracle {
             graph,
             positions,
             rtx,
             calibration: None,
+            fallback: DEFAULT_DETOUR,
             cache: BTreeMap::new(),
             pool: Vec::new(),
         }
+    }
+
+    /// Set the detour factor pricing disconnected pairs (the
+    /// startup-measured calibration the config carries).
+    pub fn with_fallback(mut self, fallback: f64) -> Self {
+        assert!(fallback > 0.0 && fallback.is_finite());
+        self.fallback = fallback;
+        self
     }
 
     /// Euclidean-proxy oracle with the given calibration factor.
@@ -48,6 +67,7 @@ impl<'a> DistanceOracle<'a> {
             positions,
             rtx,
             calibration: Some(calibration),
+            fallback: calibration,
             cache: BTreeMap::new(),
             pool: Vec::new(),
         }
@@ -65,7 +85,7 @@ impl<'a> DistanceOracle<'a> {
         calibration: f64,
     ) -> Self {
         match metric {
-            HopMetric::Bfs => DistanceOracle::bfs(graph, positions, rtx),
+            HopMetric::Bfs => DistanceOracle::bfs(graph, positions, rtx).with_fallback(calibration),
             HopMetric::EuclideanCalibrated => {
                 DistanceOracle::euclidean(graph, positions, rtx, calibration)
             }
@@ -91,6 +111,43 @@ impl<'a> DistanceOracle<'a> {
         pool
     }
 
+    /// Compute the BFS distance rows for `sources` (sorted, deduped here)
+    /// into pooled buffers across `workers` threads and install them in
+    /// the per-source cache, so subsequent [`DistanceOracle::hops`] calls
+    /// for those sources are lock-free lookups. Each row is an
+    /// independent BFS into its own buffer and the cache is filled from
+    /// an index-ordered result set, so the oracle's answers are identical
+    /// for every thread count (and identical to not prefilling at all —
+    /// only *when* a row is computed changes). No-op on Euclidean oracles.
+    pub fn prefill(&mut self, sources: &[NodeIdx], workers: &WorkerPool) {
+        if self.calibration.is_some() || sources.is_empty() {
+            return;
+        }
+        let mut jobs: Vec<(NodeIdx, Vec<u32>)> = Vec::with_capacity(sources.len());
+        let owned: Vec<NodeIdx>;
+        let order: &[NodeIdx] = if sources.windows(2).all(|w| w[0] < w[1]) {
+            sources // already strictly ascending: no copy needed
+        } else {
+            let mut v = sources.to_owned();
+            v.sort_unstable();
+            v.dedup();
+            owned = v;
+            &owned
+        };
+        for &s in order {
+            if !self.cache.contains_key(&s) {
+                jobs.push((s, self.pool.pop().unwrap_or_default()));
+            }
+        }
+        let graph = self.graph;
+        workers.for_each_mut(&mut jobs, |(src, buf)| {
+            bfs_distances_into(graph, *src, buf);
+        });
+        for (src, buf) in jobs {
+            self.cache.insert(src, buf);
+        }
+    }
+
     /// Hop distance from `a` to `b`. Disconnected pairs are priced at the
     /// Euclidean proxy (the handoff would be deferred, not free; this keeps
     /// costs finite and conservative).
@@ -110,7 +167,7 @@ impl<'a> DistanceOracle<'a> {
                 });
                 let hops = d[b as usize];
                 if hops == UNREACHABLE {
-                    self.euclid_estimate(a, b, 1.3)
+                    self.euclid_estimate(a, b, self.fallback)
                 } else {
                     hops as f64
                 }
@@ -250,6 +307,68 @@ mod tests {
         let mut direct = DistanceOracle::euclidean(&g, &pts, rtx, 1.2);
         assert_eq!(cal.hops(2, 40), direct.hops(2, 40));
         assert_eq!(fixed.hops(2, 40), direct.hops(2, 40));
+    }
+
+    /// The satellite bugfix pin: disconnected pairs under the BFS oracle
+    /// must be priced with the *threaded* calibration, not a hardcoded
+    /// detour constant.
+    #[test]
+    fn disconnected_fallback_uses_threaded_calibration() {
+        // Two far-apart components: 0–1 and 2–3.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(40.5, 0.0),
+        ];
+        let g = build_unit_disk(&pts, 1.0);
+        let calib = 1.7;
+        let mut o = DistanceOracle::bfs(&g, &pts, 1.0).with_fallback(calib);
+        let expect = pts[0].dist(pts[2]) / 1.0 * calib;
+        assert_eq!(o.hops(0, 2), expect.max(1.0));
+        // The dispatcher threads the calibration through for Bfs too.
+        let mut via_metric = DistanceOracle::for_metric(HopMetric::Bfs, &g, &pts, 1.0, calib);
+        assert_eq!(via_metric.hops(0, 2), expect.max(1.0));
+        // And a different calibration gives a different price: the old
+        // hardcoded 1.3 cannot sneak back in.
+        let mut other = DistanceOracle::for_metric(HopMetric::Bfs, &g, &pts, 1.0, 1.3);
+        assert_ne!(via_metric.hops(0, 2), other.hops(0, 2));
+        // Connected pairs stay exact BFS.
+        assert_eq!(via_metric.hops(0, 1), 1.0);
+    }
+
+    #[test]
+    fn prefill_matches_lazy_bfs_any_thread_count() {
+        let (g, pts, rtx) = setup(300, 7);
+        let sources: Vec<NodeIdx> = vec![5, 17, 17, 3, 250, 5, 90];
+        let pairs: Vec<(NodeIdx, NodeIdx)> = sources
+            .iter()
+            .flat_map(|&a| [(a, 0u32), (a, 123), (a, 299)])
+            .collect();
+        let mut lazy = DistanceOracle::bfs(&g, &pts, rtx);
+        let want: Vec<f64> = pairs.iter().map(|&(a, b)| lazy.hops(a, b)).collect();
+        for threads in [1usize, 2, 8] {
+            let mut o = DistanceOracle::bfs(&g, &pts, rtx);
+            o.prefill(&sources, &chlm_par::WorkerPool::new(threads));
+            assert_eq!(o.cached_sources(), 5, "dedup failed");
+            let got: Vec<f64> = pairs.iter().map(|&(a, b)| o.hops(a, b)).collect();
+            assert_eq!(got, want, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn prefill_reuses_pooled_buffers() {
+        let (g, pts, rtx) = setup(120, 8);
+        let mut first = DistanceOracle::bfs(&g, &pts, rtx);
+        first.prefill(&[1, 2, 3], &chlm_par::WorkerPool::new(2));
+        let pool = first.into_pool();
+        assert_eq!(pool.len(), 3);
+        let mut second = DistanceOracle::bfs(&g, &pts, rtx).with_pool(pool);
+        second.prefill(&[4, 5, 6], &chlm_par::WorkerPool::new(2));
+        // All three rows came from the pool: nothing left over.
+        assert!(second.pool.is_empty());
+        let mut fresh = DistanceOracle::bfs(&g, &pts, rtx);
+        assert_eq!(second.hops(4, 90), fresh.hops(4, 90));
     }
 
     #[test]

@@ -19,11 +19,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// next seed index with a single `fetch_add`. Each worker keeps its own
 /// `(index, report)` list and the joined lists are scattered into place at
 /// the end — no shared results vector, no mutex anywhere.
+///
+/// `threads` is a *total* budget shared with the replications' intra-tick
+/// pools: the fan-out runs `min(threads, seeds.len())` replications at a
+/// time and each replication's `SimConfig::threads` is overridden to the
+/// budget divided by that width, so nesting never oversubscribes the
+/// machine. (A report is bit-identical for every `SimConfig::threads`, so
+/// the override cannot change results.)
 pub fn run_replications(cfg: &SimConfig, seeds: &[u64], threads: usize) -> Vec<SimReport> {
     assert!(threads >= 1);
+    let outer = threads.min(seeds.len()).max(1);
+    let inner = (threads / outer).max(1);
     let next = AtomicUsize::new(0);
     let finished = crossbeam::scope(|scope| {
-        let workers: Vec<_> = (0..threads.min(seeds.len()))
+        let workers: Vec<_> = (0..outer)
             .map(|_| {
                 scope.spawn(|_| {
                     let mut mine: Vec<(usize, SimReport)> = Vec::new();
@@ -34,6 +43,7 @@ pub fn run_replications(cfg: &SimConfig, seeds: &[u64], threads: usize) -> Vec<S
                         }
                         let mut c = cfg.clone();
                         c.seed = seeds[idx];
+                        c.threads = inner;
                         mine.push((idx, crate::run_simulation(&c)));
                     }
                     mine

@@ -109,9 +109,12 @@ pub struct UnitDiskTopology {
 }
 
 impl UnitDiskTopology {
-    pub fn new(positions: &[Point], rtx: f64, full_rebuild: bool) -> Self {
+    /// `threads` sizes the maintainer's worker pool; the maintained graph
+    /// is bit-identical for every thread count.
+    pub fn new(positions: &[Point], rtx: f64, full_rebuild: bool, threads: usize) -> Self {
         UnitDiskTopology {
-            maintainer: UnitDiskMaintainer::new(positions, rtx),
+            maintainer: UnitDiskMaintainer::new(positions, rtx)
+                .with_workers(chlm_par::WorkerPool::new(threads)),
             full_rebuild,
         }
     }
@@ -192,7 +195,12 @@ pub type StageSet = (
 /// Build the default stage set for `cfg` over an already-warmed mobility
 /// model.
 pub fn default_stages(cfg: &SimConfig, mobility: Box<dyn MobilityModel>) -> StageSet {
-    let topology = UnitDiskTopology::new(mobility.positions(), cfg.rtx(), cfg.full_rebuild);
+    let topology = UnitDiskTopology::new(
+        mobility.positions(),
+        cfg.rtx(),
+        cfg.full_rebuild,
+        cfg.threads,
+    );
     let opts = HierarchyOptions {
         max_levels: cfg.max_levels,
         min_reduction: cfg.min_reduction,

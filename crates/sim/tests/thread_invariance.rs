@@ -1,0 +1,183 @@
+//! Thread-count invariance: the whole `SimReport` — every counter, every
+//! float — must be bitwise identical no matter how many worker threads the
+//! intra-tick pools use, on both backends, loss included. This is the
+//! contract that makes `SimConfig::threads` a pure performance knob: any
+//! parallel path that leaks scheduling order into results breaks these
+//! tests at the first diverging tick.
+
+use chlm_graph::traversal::bfs_distances;
+use chlm_graph::unit_disk::build_unit_disk;
+use chlm_par::WorkerPool;
+use chlm_sim::oracle::DistanceOracle;
+use chlm_sim::{Backend, Engine, HopMetric, LossSpec, MobilityKind, PacketEngine, SimConfig};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn base_cfg(n: usize, seed: u64) -> SimConfig {
+    SimConfig::builder(n)
+        .duration(1.5)
+        .warmup(0.4)
+        .seed(seed)
+        .query_samples(12)
+        .build()
+}
+
+fn reports_for(make: impl Fn(usize) -> SimConfig) -> Vec<chlm_sim::SimReport> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&t| chlm_sim::run_simulation(&make(t)))
+        .collect()
+}
+
+fn assert_all_equal(reports: &[chlm_sim::SimReport], what: &str) {
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            &reports[0], r,
+            "{what}: threads {} vs {} diverged",
+            THREAD_COUNTS[0], THREAD_COUNTS[i]
+        );
+    }
+}
+
+#[test]
+fn analytic_backend_thread_invariant() {
+    // BFS metric exercises the parallel oracle prefill; the population is
+    // large enough for real churn but the topology pool threshold keeps
+    // the maintainer serial — covered separately by the graph crate tests.
+    let reports = reports_for(|t| {
+        let mut cfg = base_cfg(110, 42);
+        cfg.hop_metric = HopMetric::Bfs;
+        cfg.threads = t;
+        cfg
+    });
+    assert!(
+        reports[0].total_overhead() > 0.0,
+        "need churn for the test to mean anything"
+    );
+    assert_all_equal(&reports, "analytic/Bfs");
+}
+
+#[test]
+fn analytic_backend_thread_invariant_euclidean() {
+    let reports = reports_for(|t| {
+        let mut cfg = base_cfg(100, 7);
+        cfg.threads = t;
+        cfg
+    });
+    assert_all_equal(&reports, "analytic/EuclideanCalibrated");
+}
+
+#[test]
+fn packet_backend_thread_invariant_lossless() {
+    let reports = reports_for(|t| {
+        let mut cfg = base_cfg(110, 42);
+        cfg.hop_metric = HopMetric::Bfs;
+        cfg.backend = Backend::packet();
+        cfg.threads = t;
+        cfg
+    });
+    assert_all_equal(&reports, "packet/lossless");
+}
+
+#[test]
+fn packet_backend_thread_invariant_lossy() {
+    // Loss draws come from per-(seed, tick, shard) streams with a fixed
+    // shard count, so even the ARQ retry noise must not move between
+    // thread counts.
+    let make = |t: usize| {
+        let mut cfg = base_cfg(110, 42);
+        cfg.hop_metric = HopMetric::Bfs;
+        cfg.backend = Backend::Packet {
+            hop_delay: Backend::DEFAULT_HOP_DELAY,
+            loss: Some(LossSpec {
+                prob: 0.25,
+                max_retries: 6,
+                seed: 99,
+            }),
+        };
+        cfg.threads = t;
+        cfg
+    };
+    let runs: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let mut engine = PacketEngine::new(make(t));
+            for _ in 0..make(t).tick_count() {
+                Engine::step(&mut engine);
+            }
+            let totals = engine.totals();
+            (Box::new(engine).finish_boxed(), totals)
+        })
+        .collect();
+    assert!(
+        runs[0].1.net.retransmissions > 0,
+        "loss stream never fired; raise prob or churn"
+    );
+    for (i, (report, totals)) in runs.iter().enumerate().skip(1) {
+        assert_eq!(&runs[0].0, report, "lossy report: threads diverged");
+        assert_eq!(
+            &runs[0].1, totals,
+            "lossy packet totals: threads {} vs {} diverged",
+            THREAD_COUNTS[0], THREAD_COUNTS[i]
+        );
+    }
+}
+
+#[test]
+fn rpgm_mobility_thread_invariant() {
+    // A second mobility process (grouped motion → clustered churn bursts)
+    // to make sure invariance is not an artifact of waypoint smoothness.
+    let reports = reports_for(|t| {
+        let mut cfg = SimConfig::builder(96)
+            .duration(1.2)
+            .warmup(0.3)
+            .seed(5)
+            .mobility(MobilityKind::Rpgm {
+                groups: 8,
+                group_radius: 2.0,
+                jitter_radius: 0.6,
+                jitter_speed: 0.4,
+            })
+            .build();
+        cfg.hop_metric = HopMetric::Bfs;
+        cfg.threads = t;
+        cfg
+    });
+    assert_all_equal(&reports, "analytic/Rpgm");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel BFS row prefill must answer exactly like the serial
+    /// `bfs_distances` rows, for arbitrary graphs, source subsets
+    /// (duplicates and all), and pool widths.
+    #[test]
+    fn prop_prefill_matches_serial_bfs(
+        seed in 0u64..500,
+        n in 2usize..120,
+        rtx in 0.6f64..1.8,
+        threads in 1usize..6,
+        picks in proptest::collection::vec(0usize..1000, 1..12),
+    ) {
+        let disk = chlm_geom::region::Disk::centered(5.0);
+        let mut rng = chlm_geom::SimRng::seed_from(seed);
+        let pts = chlm_geom::region::deploy_uniform(&disk, n, &mut rng);
+        let g = build_unit_disk(&pts, rtx);
+        let sources: Vec<u32> = picks.iter().map(|&p| (p % n) as u32).collect();
+        let mut prefilled = DistanceOracle::bfs(&g, &pts, rtx);
+        prefilled.prefill(&sources, &WorkerPool::new(threads));
+        let mut lazy = DistanceOracle::bfs(&g, &pts, rtx);
+        for &s in &sources {
+            let row = bfs_distances(&g, s);
+            for t in 0..n as u32 {
+                let got = prefilled.hops(s, t);
+                prop_assert_eq!(got, lazy.hops(s, t), "source {} target {}", s, t);
+                if s != t && row[t as usize] != chlm_graph::traversal::UNREACHABLE {
+                    prop_assert_eq!(got, f64::from(row[t as usize]));
+                }
+            }
+        }
+    }
+}

@@ -4,13 +4,21 @@
 //! reports per-tick wall time plus allocator traffic (the xtask binary
 //! installs [`CountingAlloc`] as the global allocator, so every heap
 //! allocation the engine makes during the measured window is counted).
-//! Results are written to `BENCH_PR2.json` in the workspace root so the
+//! Results are written to `BENCH_PR4.json` in the workspace root so the
 //! perf trajectory is machine-readable and future PRs can regress
 //! against it; the file also embeds the frozen pre-PR2 baseline numbers
 //! the incremental tick pipeline was measured against.
 //!
-//! `--smoke` runs one small size in a few ticks — a CI-friendly check
-//! that the harness works end to end and the JSON it writes parses.
+//! Since the intra-tick pools landed, every measurement records its
+//! worker-thread count and a full run appends a *thread-scaling curve*:
+//! the n=8192 point re-measured at 1/2/4/`thread_budget()` threads
+//! (deduplicated — a 1-core box measures 1/2/4 and the speedup field
+//! honestly reports ~1.0). The sizes matrix itself runs at the default
+//! budget, i.e. what `SimConfig` gives users out of the box.
+//!
+//! `--smoke` runs one small size in a few ticks plus a two-point scaling
+//! curve — a CI-friendly check that the harness (pools included) works
+//! end to end and the JSON it writes parses.
 
 use crate::json;
 use chlm_sim::{SimConfig, Simulation};
@@ -58,6 +66,8 @@ fn alloc_snapshot() -> (u64, u64) {
 #[derive(Debug, Clone)]
 pub struct SizeResult {
     pub n: usize,
+    /// Intra-tick worker threads the measured simulation ran with.
+    pub threads: usize,
     pub ticks: usize,
     pub windows: usize,
     pub ns_per_tick: f64,
@@ -110,11 +120,18 @@ pub const PRE_PR2_BASELINE: [BaselinePoint; 3] = [
 /// while means absorb scheduler preemptions and frequency excursions
 /// (±30% swings were observed on the reference machine). Allocation
 /// counters are taken from the same winning window.
-pub fn bench_size(n: usize, warm: usize, ticks: usize, windows: usize) -> SizeResult {
+pub fn bench_size(
+    n: usize,
+    warm: usize,
+    ticks: usize,
+    windows: usize,
+    threads: usize,
+) -> SizeResult {
     let cfg = SimConfig::builder(n)
         .duration(1.0)
         .warmup(2.0)
         .seed(n as u64)
+        .threads(threads)
         .build();
     let mut sim = Simulation::new(cfg);
     for _ in 0..warm {
@@ -139,6 +156,7 @@ pub fn bench_size(n: usize, warm: usize, ticks: usize, windows: usize) -> SizeRe
     let ns_per_tick = elapsed * 1e9 / ticks as f64;
     SizeResult {
         n,
+        threads,
         ticks,
         windows,
         ns_per_tick,
@@ -154,26 +172,71 @@ pub fn bench_size(n: usize, warm: usize, ticks: usize, windows: usize) -> SizeRe
 
 /// The standard measurement matrix: `(n, warm ticks, ticks per window,
 /// windows)`. The gated size (2048) gets the most windows since the
-/// speedup gate reads its minimum.
+/// speedup gate reads its minimum; 16384 anchors the scaling story at
+/// the sweep size `exp_scale16k` reports on.
 pub fn standard_sizes(smoke: bool) -> Vec<(usize, usize, usize, usize)> {
     if smoke {
         vec![(256, 3, 10, 2)]
     } else {
-        vec![(512, 6, 60, 5), (2048, 5, 40, 8), (8192, 3, 12, 5)]
+        vec![
+            (512, 6, 60, 5),
+            (2048, 5, 40, 8),
+            (8192, 3, 12, 5),
+            (16384, 2, 6, 3),
+        ]
     }
 }
 
+/// Thread counts for the scaling curve: 1/2/4/budget, ascending and
+/// deduplicated, so a box whose budget is below 4 still reports an
+/// honest (possibly flat) curve.
+pub fn scaling_threads(smoke: bool) -> Vec<usize> {
+    let mut counts = if smoke {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, chlm_par::thread_budget()]
+    };
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// `(n, warm, ticks, windows)` for one thread-scaling point.
+pub fn scaling_size(smoke: bool) -> (usize, usize, usize, usize) {
+    if smoke {
+        (256, 1, 5, 2)
+    } else {
+        (8192, 2, 8, 3)
+    }
+}
+
+/// A full bench run: the sizes matrix at the default thread budget plus
+/// the thread-scaling curve at one size.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    pub sizes: Vec<SizeResult>,
+    pub scaling: Vec<SizeResult>,
+}
+
 /// Run the whole suite.
-pub fn run(smoke: bool) -> Vec<SizeResult> {
-    standard_sizes(smoke)
+pub fn run(smoke: bool) -> BenchRun {
+    let budget = chlm_par::thread_budget();
+    let sizes = standard_sizes(smoke)
         .into_iter()
-        .map(|(n, warm, ticks, windows)| bench_size(n, warm, ticks, windows))
-        .collect()
+        .map(|(n, warm, ticks, windows)| bench_size(n, warm, ticks, windows, budget))
+        .collect();
+    let (n, warm, ticks, windows) = scaling_size(smoke);
+    let scaling = scaling_threads(smoke)
+        .into_iter()
+        .map(|t| bench_size(n, warm, ticks, windows, t))
+        .collect();
+    BenchRun { sizes, scaling }
 }
 
 fn size_json(r: &SizeResult) -> String {
     let mut o = json::Object::new();
     o.num_field("n", r.n as u64)
+        .num_field("threads", r.threads as u64)
         .num_field("ticks", r.ticks as u64)
         .num_field("windows", r.windows as u64)
         .float_field("ns_per_tick", r.ns_per_tick)
@@ -204,19 +267,40 @@ pub fn speedup_at(results: &[SizeResult], n: usize) -> Option<f64> {
     }
 }
 
-/// Render the full BENCH_PR2.json document.
-pub fn render_report(results: &[SizeResult], smoke: bool) -> String {
+/// Parallel speedup read off the scaling curve: single-thread time over
+/// the fastest multi-thread time. `None` when the curve has no 1-thread
+/// anchor or no other point.
+pub fn parallel_speedup(scaling: &[SizeResult]) -> Option<f64> {
+    let single = scaling.iter().find(|r| r.threads == 1)?;
+    let best = scaling
+        .iter()
+        .filter(|r| r.threads > 1 && r.ns_per_tick > 0.0)
+        .map(|r| r.ns_per_tick)
+        .min_by(f64::total_cmp)?;
+    Some(single.ns_per_tick / best)
+}
+
+/// Render the full BENCH_PR4.json document.
+pub fn render_report(run: &BenchRun, smoke: bool) -> String {
     let mut o = json::Object::new();
-    o.str_field("schema", "chlm-bench-v1")
+    o.str_field("schema", "chlm-bench-v2")
         .str_field("mode", if smoke { "smoke" } else { "full" })
-        .raw_field("sizes", &json::array(results.iter().map(size_json)))
+        .raw_field("sizes", &json::array(run.sizes.iter().map(size_json)))
+        .raw_field(
+            "thread_scaling",
+            &json::array(run.scaling.iter().map(size_json)),
+        )
         .raw_field(
             "baseline_pre_pr2",
             &json::array(PRE_PR2_BASELINE.iter().map(baseline_json)),
         );
-    match speedup_at(results, 2048) {
+    match speedup_at(&run.sizes, 2048) {
         Some(s) => o.float_field("speedup_vs_baseline_n2048", s),
         None => o.raw_field("speedup_vs_baseline_n2048", "null"),
+    };
+    match parallel_speedup(&run.scaling) {
+        Some(s) => o.float_field("speedup_vs_single_thread", s),
+        None => o.raw_field("speedup_vs_single_thread", "null"),
     };
     o.bool_field("ok", true);
     o.finish()
@@ -226,10 +310,24 @@ pub fn render_report(results: &[SizeResult], smoke: bool) -> String {
 mod tests {
     use super::*;
 
+    fn point(n: usize, threads: usize, ns_per_tick: f64) -> SizeResult {
+        SizeResult {
+            n,
+            threads,
+            ticks: 10,
+            windows: 2,
+            ns_per_tick,
+            ticks_per_sec: 810.0,
+            allocs_per_tick: 12.0,
+            alloc_bytes_per_tick: 4096.0,
+        }
+    }
+
     #[test]
     fn smoke_bench_measures_something() {
-        let r = bench_size(64, 1, 3, 2);
+        let r = bench_size(64, 1, 3, 2, 2);
         assert_eq!(r.n, 64);
+        assert_eq!(r.threads, 2);
         assert_eq!(r.windows, 2);
         assert!(r.ns_per_tick > 0.0);
         assert!(r.ticks_per_sec > 0.0);
@@ -237,17 +335,37 @@ mod tests {
 
     #[test]
     fn report_is_valid_json() {
-        let results = vec![SizeResult {
-            n: 256,
-            ticks: 10,
-            windows: 2,
-            ns_per_tick: 1234.5,
-            ticks_per_sec: 810.0,
-            allocs_per_tick: 12.0,
-            alloc_bytes_per_tick: 4096.0,
-        }];
-        let doc = render_report(&results, true);
+        let run = BenchRun {
+            sizes: vec![point(256, 1, 1234.5)],
+            scaling: vec![point(256, 1, 1234.5), point(256, 2, 700.0)],
+        };
+        let doc = render_report(&run, true);
         assert!(json::validate(&doc), "invalid JSON: {doc}");
+        assert!(doc.contains("\"schema\":\"chlm-bench-v2\""), "{doc}");
+        assert!(doc.contains("\"thread_scaling\":["), "{doc}");
+        assert!(doc.contains("\"threads\":"), "{doc}");
+    }
+
+    #[test]
+    fn parallel_speedup_reads_the_curve() {
+        let curve = vec![point(256, 1, 1000.0), point(256, 2, 500.0)];
+        let s = parallel_speedup(&curve).expect("curve has both anchors");
+        assert!((s - 2.0).abs() < 1e-9, "{s}");
+        assert!(parallel_speedup(&curve[..1]).is_none());
+    }
+
+    #[test]
+    fn scaling_threads_sorted_dedup() {
+        let counts = scaling_threads(false);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
+        assert!(counts.contains(&1));
+        let smoke = scaling_threads(true);
+        assert_eq!(smoke, vec![1, 2]);
+    }
+
+    #[test]
+    fn full_matrix_reaches_16k() {
+        assert!(standard_sizes(false).iter().any(|&(n, ..)| n == 16384));
     }
 
     #[test]

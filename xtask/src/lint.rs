@@ -1,6 +1,6 @@
 //! Repo-specific lint engine (`cargo xtask lint`).
 //!
-//! Five lints guard the invariants the generic toolchain cannot see:
+//! Six lints guard the invariants the generic toolchain cannot see:
 //!
 //! * `no-wallclock-or-thread-rng` — simulation crates must be a closed
 //!   system: no `SystemTime::now` / `Instant::now` / OS-entropy RNG. All
@@ -20,6 +20,12 @@
 //!   copies of position/topology buffers with `.to_vec()` / `.clone()`;
 //!   reuse persistent storage (`clone_from`, `copy_from`,
 //!   double-buffering). Construction-time copies are allowlisted.
+//! * `no-step-path-nondeterminism` — parallel code in the step path must
+//!   merge results in job-index order (the `chlm_par::WorkerPool`
+//!   contract), never in scheduling order: no rayon-style adapters, no
+//!   atomic float accumulation, no reductions over joined handles or
+//!   inside a raw `crossbeam::scope` region. Scheduling-ordered floats
+//!   silently break the bit-for-bit thread-invariance of `SimReport`.
 //!
 //! The scanner is deliberately not a full parser: it masks out comments
 //! and string/char literals (so patterns never fire inside them), tracks
@@ -46,13 +52,15 @@ pub const LINT_UNORDERED: &str = "no-unordered-iteration";
 pub const LINT_UNWRAP: &str = "no-unwrap-in-lib";
 pub const LINT_FLOAT_EQ: &str = "no-float-eq";
 pub const LINT_STEP_COPY: &str = "no-step-path-copies";
+pub const LINT_NONDET: &str = "no-step-path-nondeterminism";
 
-pub const ALL_LINTS: [&str; 5] = [
+pub const ALL_LINTS: [&str; 6] = [
     LINT_WALLCLOCK,
     LINT_UNORDERED,
     LINT_UNWRAP,
     LINT_FLOAT_EQ,
     LINT_STEP_COPY,
+    LINT_NONDET,
 ];
 
 /// One lint hit.
@@ -647,6 +655,86 @@ fn check_step_copy(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
     }
 }
 
+/// Rayon-style adapters whose reductions commit in scheduling order.
+const NONDET_ADAPTERS: [&str; 3] = ["par_iter", "into_par_iter", "par_bridge"];
+
+/// Order-sensitive reductions that must not run while workers are live.
+const NONDET_REDUCERS: [&str; 4] = [".sum(", ".fold(", ".reduce(", "collect::<Hash"];
+
+/// Lines opening a *raw* parallel region. The sanctioned
+/// `chlm_par::WorkerPool` shapes merge in job-index order and are exempt;
+/// hand-rolled scopes are where scheduling order can leak into results.
+const NONDET_MARKERS: [&str; 3] = ["crossbeam::scope", "scope.spawn", "thread::spawn"];
+
+/// Textual reach of a region marker: reductions within this many
+/// following lines are treated as inside the parallel region.
+const NONDET_WINDOW: usize = 12;
+
+/// Tokens marking a line as float-typed for the atomic-accumulation rule.
+const NONDET_FLOAT_HINTS: [&str; 4] = ["f64", "f32", "to_bits", "from_bits"];
+
+fn check_nondet(path: &str, lines: &[MaskedLine], out: &mut Vec<Finding>) {
+    // Last line that opened a raw parallel region, if any.
+    let mut region: Option<(usize, &'static str)> = None;
+    for (idx, ln) in lines.iter().enumerate() {
+        if ln.in_test {
+            continue;
+        }
+        let code = &ln.code;
+        let mut message: Option<String> = None;
+        for pat in NONDET_ADAPTERS {
+            if !word_positions(code, pat).is_empty() {
+                message = Some(format!(
+                    "`{pat}` schedules work in nondeterministic order; fan out with chlm_par::WorkerPool and merge by job index"
+                ));
+                break;
+            }
+        }
+        if message.is_none()
+            && (code.contains(".fetch_add(") || code.contains(".fetch_sub("))
+            && NONDET_FLOAT_HINTS.iter().any(|t| code.contains(t))
+        {
+            message = Some(
+                "atomic float accumulation commits adds in scheduling order; return per-job values and reduce after the merge"
+                    .to_string(),
+            );
+        }
+        if message.is_none() && code.contains("join()") {
+            if let Some(r) = NONDET_REDUCERS.iter().find(|r| code.contains(**r)) {
+                message = Some(format!(
+                    "`{r}` over joined results folds in completion order; scatter by job index, then reduce"
+                ));
+            }
+        }
+        if message.is_none() {
+            if let Some((at, marker)) = region {
+                if idx - at <= NONDET_WINDOW {
+                    if let Some(r) = NONDET_REDUCERS.iter().find(|r| code.contains(**r)) {
+                        message = Some(format!(
+                            "`{r}` inside the parallel region opened by `{marker}` (line {}); reduce after the workers join",
+                            at + 1
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(message) = message {
+            out.push(Finding {
+                lint: LINT_NONDET,
+                file: path.to_string(),
+                line: idx + 1,
+                excerpt: code.trim().to_string(),
+                message,
+            });
+        }
+        for m in NONDET_MARKERS {
+            if code.contains(m) {
+                region = Some((idx, m));
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scopes, allowlists, drivers
 // ---------------------------------------------------------------------------
@@ -675,6 +763,15 @@ const STEP_COPY_SCOPE: [&str; 8] = [
     "crates/mobility/src/",
 ];
 
+/// Parallel-infrastructure files policed for scheduling-order leaks
+/// beyond the step-path scope itself: the pool abstraction, the BFS
+/// prefill, and the replication fan-out.
+const NONDET_EXTRA_SCOPE: [&str; 3] = [
+    "crates/par/src/",
+    "crates/sim/src/oracle.rs",
+    "crates/sim/src/runner.rs",
+];
+
 /// Metric/accounting files where float equality is meaningless.
 const FLOAT_EQ_SCOPE: [&str; 5] = [
     "crates/analysis/src/",
@@ -699,6 +796,10 @@ pub fn lint_applies(lint: &str, path: &str) -> bool {
         }
         LINT_FLOAT_EQ => FLOAT_EQ_SCOPE.iter().any(|p| path.starts_with(p)),
         LINT_STEP_COPY => STEP_COPY_SCOPE.iter().any(|p| path.starts_with(p)),
+        LINT_NONDET => STEP_COPY_SCOPE
+            .iter()
+            .chain(NONDET_EXTRA_SCOPE.iter())
+            .any(|p| path.starts_with(p)),
         _ => false,
     }
 }
@@ -761,6 +862,7 @@ pub fn scan_source(path: &str, source: &str, lints: &[&'static str]) -> Vec<Find
             LINT_UNWRAP => check_unwrap(path, &lines, &mut out),
             LINT_FLOAT_EQ => check_float_eq(path, &lines, &mut out),
             LINT_STEP_COPY => check_step_copy(path, &lines, &mut out),
+            LINT_NONDET => check_nondet(path, &lines, &mut out),
             _ => {}
         }
     }
@@ -967,6 +1069,36 @@ mod tests {
     }
 
     #[test]
+    fn nondet_rules_fire_and_sanctioned_shapes_stay_silent() {
+        let src = "let a: f64 = xs.par_iter().sum();\n\
+total.fetch_add(x.to_bits(), Ordering::Relaxed);\n\
+let t = next.fetch_add(1, Ordering::Relaxed);\n\
+let b: f64 = hs.into_iter().map(|h| h.join().unwrap()).sum();\n\
+crossbeam::scope(|scope| {\n\
+    let c: f64 = xs.iter().sum();\n\
+});\n\
+let ok = pool.run_indexed(8, |i| i as f64);\n";
+        let lines = mask_source(src);
+        let mut out = Vec::new();
+        check_nondet("t.rs", &lines, &mut out);
+        let hit: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(hit, vec![1, 2, 4, 6], "{out:?}");
+    }
+
+    #[test]
+    fn nondet_window_expires() {
+        let mut src = String::from("crossbeam::scope(|scope| {\n");
+        for _ in 0..NONDET_WINDOW {
+            src.push_str("let x = 1;\n");
+        }
+        src.push_str("let far: f64 = xs.iter().sum();\n");
+        let lines = mask_source(&src);
+        let mut out = Vec::new();
+        check_nondet("t.rs", &lines, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
     fn allowlist_waives_matching_findings() {
         let allow = parse_allowlist(
             "# comment\nsim/src/report.rs :: node_seconds == 0.0  # sentinel for division guard\n",
@@ -1016,5 +1148,11 @@ mod tests {
         ));
         assert!(lint_applies(LINT_STEP_COPY, "crates/mobility/src/walk.rs"));
         assert!(!lint_applies(LINT_STEP_COPY, "crates/sim/src/report.rs"));
+        assert!(lint_applies(LINT_NONDET, "crates/par/src/lib.rs"));
+        assert!(lint_applies(LINT_NONDET, "crates/sim/src/runner.rs"));
+        assert!(lint_applies(LINT_NONDET, "crates/sim/src/oracle.rs"));
+        assert!(lint_applies(LINT_NONDET, "crates/sim/src/packet.rs"));
+        assert!(!lint_applies(LINT_NONDET, "crates/sim/src/report.rs"));
+        assert!(!lint_applies(LINT_NONDET, "crates/analysis/src/stats.rs"));
     }
 }

@@ -14,11 +14,13 @@
 //!   digests (see `xtask::determinism`). Exit 1 on any divergence.
 //! * `bench [--smoke] [--json] [--out FILE]` — measure steady-state
 //!   `Simulation::step` throughput and allocator traffic per network size
-//!   and write `BENCH_PR2.json` (see `xtask::bench`). `--smoke` runs a
-//!   single small size for CI and writes to `target/BENCH_SMOKE.json`
-//!   instead, so it never clobbers the committed full-mode artifact; the
-//!   written file is re-read and checked for JSON well-formedness before
-//!   the command reports success.
+//!   (up to n=16384) plus a thread-scaling curve, and write
+//!   `BENCH_PR4.json` (see `xtask::bench`). `--smoke` runs a single
+//!   small size and a two-point curve for CI and writes to
+//!   `target/BENCH_SMOKE.json` instead, so it never clobbers the
+//!   committed full-mode artifact; the written file is re-read and
+//!   checked for JSON well-formedness before the command reports
+//!   success.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -211,11 +213,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         if smoke {
             workspace_root().join("target/BENCH_SMOKE.json")
         } else {
-            workspace_root().join("BENCH_PR2.json")
+            workspace_root().join("BENCH_PR4.json")
         }
     });
-    let results = bench::run(smoke);
-    let doc = bench::render_report(&results, smoke);
+    let run = bench::run(smoke);
+    let doc = bench::render_report(&run, smoke);
     if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
         eprintln!("xtask bench: cannot write {}: {e}", out.display());
         return ExitCode::from(2);
@@ -227,14 +229,23 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     if as_json {
         println!("{doc}");
     } else {
-        for r in &results {
+        for r in &run.sizes {
             println!(
-                "n={:<6} {:>12.1} ns/tick  {:>9.1} ticks/s  {:>10.1} allocs/tick  {:>12.0} B/tick",
-                r.n, r.ns_per_tick, r.ticks_per_sec, r.allocs_per_tick, r.alloc_bytes_per_tick
+                "n={:<6} t={:<3} {:>12.1} ns/tick  {:>9.1} ticks/s  {:>10.1} allocs/tick  {:>12.0} B/tick",
+                r.n, r.threads, r.ns_per_tick, r.ticks_per_sec, r.allocs_per_tick, r.alloc_bytes_per_tick
             );
         }
-        if let Some(s) = bench::speedup_at(&results, 2048) {
+        for r in &run.scaling {
+            println!(
+                "scaling n={:<6} t={:<3} {:>12.1} ns/tick  {:>9.1} ticks/s",
+                r.n, r.threads, r.ns_per_tick, r.ticks_per_sec
+            );
+        }
+        if let Some(s) = bench::speedup_at(&run.sizes, 2048) {
             println!("speedup vs pre-PR2 baseline at n=2048: {s:.2}x");
+        }
+        if let Some(s) = bench::parallel_speedup(&run.scaling) {
+            println!("parallel speedup (best threads vs 1): {s:.2}x");
         }
         println!(
             "xtask bench: wrote {} ({})",

@@ -1,0 +1,43 @@
+//! Fixture for `no-step-path-nondeterminism`: one violation per rule;
+//! the deterministic shapes at the bottom must stay silent.
+
+fn rayon_reduction(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+fn atomic_float_accumulate(total: &AtomicU64, x: f64) {
+    total.fetch_add(x.to_bits(), Ordering::Relaxed);
+}
+
+fn fold_joined_handles(workers: Vec<Handle>) -> f64 {
+    workers.into_iter().map(|w| w.join().expect("worker")).sum()
+}
+
+fn reduce_inside_raw_scope(xs: &[f64]) -> f64 {
+    crossbeam::scope(|scope| {
+        scope.spawn(|_| ());
+        xs.iter().sum()
+    })
+    .expect("scope")
+}
+
+// Deterministic shapes below: an integer ticket counter, a serial
+// reduction far from any parallel region, and test-only code.
+
+fn integer_ticket(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+// Padding so the serial sum sits outside the raw-scope window above.
+
+fn serial_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scheduling_order_is_fine_in_tests() {
+        let _ = [1.0f64].par_iter().sum::<f64>();
+    }
+}

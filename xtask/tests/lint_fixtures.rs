@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use xtask::lint::{
-    self, LINT_FLOAT_EQ, LINT_STEP_COPY, LINT_UNORDERED, LINT_UNWRAP, LINT_WALLCLOCK,
+    self, LINT_FLOAT_EQ, LINT_NONDET, LINT_STEP_COPY, LINT_UNORDERED, LINT_UNWRAP, LINT_WALLCLOCK,
 };
 
 fn fixture(name: &str) -> PathBuf {
@@ -82,6 +82,20 @@ fn step_copy_fixture_fails() {
 }
 
 #[test]
+fn step_nondet_fixture_fails() {
+    let fs = findings_for("step_nondet.rs");
+    let hits: Vec<usize> = fs
+        .iter()
+        .filter(|f| f.lint == LINT_NONDET)
+        .map(|f| f.line)
+        .collect();
+    // par_iter adapter, atomic float fetch_add, sum over joined handles,
+    // sum inside a raw scope; integer ticket, far-away serial sum and the
+    // in-test adapter stay silent.
+    assert_eq!(hits, vec![5, 9, 13, 19], "{fs:?}");
+}
+
+#[test]
 fn binary_exits_nonzero_on_each_fixture_with_json() {
     for name in [
         "wallclock.rs",
@@ -89,6 +103,7 @@ fn binary_exits_nonzero_on_each_fixture_with_json() {
         "unwrap.rs",
         "float_eq.rs",
         "step_copy.rs",
+        "step_nondet.rs",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
             .args(["lint", "--json", "--path"])
