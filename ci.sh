@@ -36,4 +36,13 @@ CHLM_THREADS=1 cargo xtask bench --smoke
 step "cargo xtask bench --smoke (CHLM_THREADS=2)"
 CHLM_THREADS=2 cargo xtask bench --smoke
 
+# The E24 scheme comparison at CI scale (n=256, 1 seed, all three schemes,
+# all three mobilities), again at two thread counts: scheme accounting is
+# covered by the same thread-invariance contract as everything else.
+step "exp_lm_compare --smoke (CHLM_THREADS=1)"
+CHLM_THREADS=1 cargo run -p chlm-bench --release -q --bin exp_lm_compare -- --smoke
+
+step "exp_lm_compare --smoke (CHLM_THREADS=2)"
+CHLM_THREADS=2 cargo run -p chlm-bench --release -q --bin exp_lm_compare -- --smoke
+
 printf '\nci.sh: all checks passed\n'

@@ -1,0 +1,54 @@
+//! E24: LM scheme comparison — CHLM vs per-band GLS vs home agent,
+//! every scheme on identical per-seed traces (same mobility, topology,
+//! and hierarchy; only the accounting observer differs — enforced by
+//! `chlm-sim`'s `tests/scheme_trace.rs`).
+//!
+//! φ+γ (packets per node per second, mean ± ci95) per (mobility, n,
+//! scheme), for n ∈ {256 .. CHLM_MAX_N} × {random walk, random waypoint,
+//! RPGM}. `--smoke` runs the bounded CI spec (n = 256, 1 seed, all
+//! schemes, all mobilities).
+
+use chlm_bench::lm_compare::{mobility_models, render_tables, CompareSpec};
+use chlm_bench::{env_f64, env_usize, replications, threads};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let spec = if smoke {
+        CompareSpec::smoke(threads())
+    } else {
+        let max = env_usize("CHLM_MAX_N", 4096);
+        let sizes: Vec<usize> = chlm_core::scenario::scaling_sizes(max)
+            .into_iter()
+            .filter(|&n| n >= 256)
+            .collect();
+        CompareSpec {
+            sizes,
+            replications: replications(),
+            base_seed: 24_000,
+            threads: threads(),
+            duration: env_f64("CHLM_DURATION", 8.0),
+            warmup: env_f64("CHLM_WARMUP", 6.0),
+            crossing_warmup: true,
+            mobilities: mobility_models(),
+        }
+    };
+    println!("== E24: LM scheme comparison (chlm vs gls vs home agent) ==");
+    println!(
+        "sizes {:?}, {} replications, {}s measured, {} threads{}\n",
+        spec.sizes,
+        spec.replications,
+        spec.duration,
+        spec.threads,
+        if smoke { " [smoke]" } else { "" }
+    );
+    let rows = chlm_bench::lm_compare::run_compare(&spec);
+    print!("{}", render_tables(&spec, &rows));
+    println!("notes:");
+    println!("- phi+gamma in packet transmissions per node per second; every scheme");
+    println!("  runs over the byte-identical world trace per seed (scheme_trace.rs);");
+    println!("- gls: per-band grid servers (HRW in each sibling square), priced as");
+    println!("  server-churn transfers + distance-triggered updates;");
+    println!("- home: one static HRW rendezvous node per mobile, one update per");
+    println!("  level-1 cluster change — the flat baseline of the paper's argument;");
+    println!("- chlm: the §4 handoff ledger (transfer + registration cascade).");
+}

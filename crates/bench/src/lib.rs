@@ -10,6 +10,8 @@
 //! * `CHLM_DURATION` — measured seconds per replication (default 8),
 //! * `CHLM_THREADS` — worker threads (default: available parallelism).
 
+pub mod lm_compare;
+
 use chlm_analysis::regression::{best_fit, class_is_competitive, FitResult, ModelClass};
 use chlm_analysis::table::{fnum, TextTable};
 use chlm_core::experiment::MetricSeries;

@@ -20,11 +20,28 @@
 //!   (the old server moved away, or `v` crossed a grid boundary), the entry
 //!   travels old → new server.
 
-use crate::hash::mod_successor_select;
+use crate::hash::{hrw_select, mod_successor_select};
 use chlm_cluster::ElectionId;
 use chlm_geom::{Point, Rect};
 use chlm_graph::NodeIdx;
 use std::collections::HashMap;
+
+/// Salt for the HRW server-selection variant, fixed so every node computes
+/// the same table locally.
+const GLS_HRW_SALT: u64 = 0x474C_535F_4852_5731; // "GLS_HRW1"
+
+/// Server-selection rule for [`GlsAssignment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlsSelect {
+    /// GLS's eq.-(5) successor rule (the paper's baseline; balanced over
+    /// the dense grid-cell ID mixes).
+    #[default]
+    ModSuccessor,
+    /// Highest-random-weight hashing — the same rendezvous primitive CHLM
+    /// uses for cluster servers, applied per grid cell. Used by the
+    /// pluggable GLS scheme so both schemes share one selection family.
+    Hrw,
+}
 
 /// The recursive grid of Fig. 2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,8 +123,22 @@ pub struct GlsAssignment {
 pub const NO_SERVER: NodeIdx = NodeIdx::MAX;
 
 impl GlsAssignment {
-    /// Compute the full server table for the given positions and IDs.
+    /// Compute the full server table for the given positions and IDs,
+    /// under the eq.-(5) successor rule (the GLS baseline).
     pub fn compute(grid: &GridHierarchy, positions: &[Point], ids: &[ElectionId]) -> Self {
+        Self::compute_with(grid, positions, ids, GlsSelect::ModSuccessor)
+    }
+
+    /// [`GlsAssignment::compute`] with an explicit selection rule. The
+    /// occupied/empty slot pattern is rule-independent (a sibling square
+    /// has a server iff it is non-empty); only *which* member serves
+    /// changes.
+    pub fn compute_with(
+        grid: &GridHierarchy,
+        positions: &[Point],
+        ids: &[ElectionId],
+        select: GlsSelect,
+    ) -> Self {
         assert_eq!(positions.len(), ids.len());
         let n = positions.len();
         let bands = grid.orders.saturating_sub(1);
@@ -135,7 +166,12 @@ impl GlsAssignment {
                     if let Some(members) = occupancy[order - 1].get(&sib) {
                         cand_ids.clear();
                         cand_ids.extend(members.iter().map(|&m| ids[m as usize]));
-                        let pick = mod_successor_select(ids[v], &cand_ids, id_space);
+                        let pick = match select {
+                            GlsSelect::ModSuccessor => {
+                                mod_successor_select(ids[v], &cand_ids, id_space)
+                            }
+                            GlsSelect::Hrw => hrw_select(ids[v], &cand_ids, GLS_HRW_SALT),
+                        };
                         servers[slot] = members[pick];
                     }
                 }
@@ -408,6 +444,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hrw_variant_fills_exactly_the_successor_slots() {
+        // Slot occupancy is rule-independent; only the chosen member may
+        // differ, and it must still live in the right sibling square.
+        let pts = square_points(300, 100.0, 7);
+        let ids: Vec<u64> = (0..300).collect();
+        let g = GridHierarchy::covering(Rect::square(100.0), 12.0);
+        let succ = GlsAssignment::compute_with(&g, &pts, &ids, GlsSelect::ModSuccessor);
+        let hrw = GlsAssignment::compute_with(&g, &pts, &ids, GlsSelect::Hrw);
+        assert_eq!(succ, GlsAssignment::compute(&g, &pts, &ids));
+        let mut differs = false;
+        for v in 0..300u32 {
+            for band in 0..succ.band_count() {
+                let order = band + 1;
+                let sibs = g.siblings(g.cell(pts[v as usize], order), order);
+                for (i, (&a, &b)) in succ
+                    .servers(v, band)
+                    .iter()
+                    .zip(hrw.servers(v, band))
+                    .enumerate()
+                {
+                    assert_eq!(a == NO_SERVER, b == NO_SERVER);
+                    if b != NO_SERVER {
+                        assert_eq!(g.cell(pts[b as usize], order), sibs[i]);
+                    }
+                    differs |= a != b;
+                }
+            }
+        }
+        assert!(differs, "HRW never disagreed with the successor rule");
     }
 
     #[test]

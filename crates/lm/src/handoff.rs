@@ -63,6 +63,32 @@ impl HandoffLedger {
         &mut self.per_level[k]
     }
 
+    /// Book one already-priced entry movement at `level`, attributed to
+    /// `kind` — the single-event primitive behind
+    /// [`HandoffLedger::record`], exposed so alternate LM schemes whose
+    /// workloads are not host-change streams (GLS bands, home agents)
+    /// accumulate into the same φ/γ accounting.
+    pub fn book(&mut self, level: usize, kind: AddrChangeKind, packets: f64) {
+        let slot = self.level_mut(level);
+        match kind {
+            AddrChangeKind::Migration => {
+                slot.migration_packets += packets;
+                slot.migration_events += 1;
+            }
+            AddrChangeKind::Reorganization => {
+                slot.reorg_packets += packets;
+                slot.reorg_events += 1;
+            }
+        }
+    }
+
+    /// Accumulate one tick of exposure — the identical `n · dt` arithmetic
+    /// [`HandoffLedger::record`] performs, so ledgers built from
+    /// [`HandoffLedger::book`] stay bit-comparable with rate accounting.
+    pub fn add_exposure(&mut self, n: usize, dt: f64) {
+        self.node_seconds += n as f64 * dt;
+    }
+
     /// Record one tick's worth of handoff.
     ///
     /// * `host_changes` — assignment diff for the tick,
@@ -134,7 +160,7 @@ impl HandoffLedger {
                 }
             }
         }
-        self.node_seconds += n as f64 * dt;
+        self.add_exposure(n, dt);
     }
 
     /// Merge another ledger (e.g. from a parallel replication).
@@ -304,6 +330,24 @@ mod tests {
         assert!(a.phi_total() > 0.0);
         assert!(a.gamma_total() > 0.0);
         assert_eq!(a.max_level(), 4);
+    }
+
+    #[test]
+    fn book_matches_record_arithmetic() {
+        // A single host change recorded via `record` must equal the same
+        // event booked directly: one level-2 migration worth 2 packets.
+        let mut via_record = HandoffLedger::new();
+        via_record.record(
+            &[hc(5, 2, 7, 9)],
+            &[ac(5, 2, AddrChangeKind::Migration)],
+            unit_hop,
+            10,
+            1.0,
+        );
+        let mut via_book = HandoffLedger::new();
+        via_book.book(2, AddrChangeKind::Migration, 2.0);
+        via_book.add_exposure(10, 1.0);
+        assert_eq!(via_record, via_book);
     }
 
     #[test]

@@ -430,6 +430,13 @@ pub struct Auditor {
     /// Violations found beyond [`MAX_STORED`] (counted, not stored).
     suppressed: u64,
     ticks_audited: u64,
+    /// Reconcile the handoff ledger against the classified host-change
+    /// stream. On by default; the engine turns it off for non-CHLM
+    /// [`crate::config::LmScheme`]s, whose ledgers book a scheme-specific
+    /// workload instead of the host-change cascade. Every other check
+    /// (including the bit-exact exposure reconciliation) stays on for all
+    /// schemes.
+    ledger_check: bool,
 }
 
 impl Auditor {
@@ -446,7 +453,15 @@ impl Auditor {
             violations: Vec::new(),
             suppressed: 0,
             ticks_audited: 0,
+            ledger_check: true,
         }
+    }
+
+    /// Enable or disable the ledger-vs-host-change reconciliation (see the
+    /// `ledger_check` field; only meaningful for non-CHLM schemes).
+    pub fn with_ledger_check(mut self, yes: bool) -> Self {
+        self.ledger_check = yes;
+        self
     }
 
     /// Audit one completed tick and advance the snapshot baseline.
@@ -467,13 +482,15 @@ impl Auditor {
                 .into_iter()
                 .map(AuditViolation::Lm),
         );
-        check_ledger_delta(
-            &self.prev,
-            t.ledger,
-            t.host_changes,
-            t.addr_changes,
-            &mut found,
-        );
+        if self.ledger_check {
+            check_ledger_delta(
+                &self.prev,
+                t.ledger,
+                t.host_changes,
+                t.addr_changes,
+                &mut found,
+            );
+        }
         check_rates_delta(&self.prev, t.rates, t.addr_changes, &mut found);
         check_event_delta(
             &self.prev,

@@ -56,6 +56,31 @@ pub struct LossSpec {
     pub seed: u64,
 }
 
+/// Which location-management scheme fills the engine's handoff-accounting
+/// slot.
+///
+/// Every scheme observes the *same* mobility/topology/hierarchy trace: the
+/// pipeline stages never consult this value, so switching schemes changes
+/// only which location servers are maintained and what their upkeep costs —
+/// never which world is simulated (`tests/scheme_trace.rs` pins that).
+/// Costs are priced by the active [`HopMetric`] on the analytic backend and
+/// executed as packets on the packet backend, for every scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LmScheme {
+    /// The paper's clustered-hierarchy scheme: per-level servers selected
+    /// by walking the cluster hierarchy (`chlm_lm::server`). The default.
+    #[default]
+    Chlm,
+    /// Per-band GLS-style servers on the recursive grid (`chlm_lm::gls`),
+    /// selected by HRW hashing; distance-triggered updates plus
+    /// server-churn transfers.
+    Gls,
+    /// Static home-agent baseline: one HRW-chosen rendezvous node per
+    /// mobile, fixed for the whole run; every level-1 cluster change pays
+    /// a subject to home-agent update.
+    HomeAgent,
+}
+
 /// Which engine executes the handoff workload.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Backend {
@@ -107,6 +132,9 @@ pub struct SimConfig {
     pub mobility: MobilityKind,
     pub hop_metric: HopMetric,
     pub selection_rule: SelectionRule,
+    /// Which location-management scheme the handoff accounting runs; see
+    /// [`LmScheme`]. The trace itself is scheme-independent.
+    pub lm_scheme: LmScheme,
     /// Cap on hierarchy levels (`usize::MAX` = until convergence).
     pub max_levels: usize,
     /// Stop adding hierarchy levels when a level shrinks the node count by
@@ -155,6 +183,7 @@ impl SimConfig {
                 mobility: MobilityKind::Waypoint,
                 hop_metric: HopMetric::EuclideanCalibrated,
                 selection_rule: SelectionRule::Hrw,
+                lm_scheme: LmScheme::Chlm,
                 max_levels: usize::MAX,
                 min_reduction: 1.25,
                 track_gls: false,
@@ -274,6 +303,11 @@ impl SimConfigBuilder {
         self.cfg.selection_rule = r;
         self
     }
+    /// See [`SimConfig::lm_scheme`].
+    pub fn lm_scheme(mut self, s: LmScheme) -> Self {
+        self.cfg.lm_scheme = s;
+        self
+    }
     pub fn max_levels(mut self, l: usize) -> Self {
         self.cfg.max_levels = l;
         self
@@ -345,6 +379,17 @@ mod tests {
         // Region area scales with n; R_TX fixed.
         assert!((b.region_radius() / a.region_radius() - 2.0).abs() < 1e-9);
         assert_eq!(a.rtx(), b.rtx());
+    }
+
+    #[test]
+    fn lm_scheme_defaults_to_chlm_and_is_settable() {
+        assert_eq!(SimConfig::builder(16).build().lm_scheme, LmScheme::Chlm);
+        let cfg = SimConfig::builder(16).lm_scheme(LmScheme::Gls).build();
+        assert_eq!(cfg.lm_scheme, LmScheme::Gls);
+        let cfg = SimConfig::builder(16)
+            .lm_scheme(LmScheme::HomeAgent)
+            .build();
+        assert_eq!(cfg.lm_scheme, LmScheme::HomeAgent);
     }
 
     #[test]

@@ -23,15 +23,16 @@
 //! handoff slot is accounted.
 
 use crate::audit::{AuditViolation, Auditor, TickInputs};
+use crate::config::LmScheme;
 use crate::config::{Backend, HopMetric, MobilityKind, SimConfig};
 use crate::cost::{cost_model_for, CostInputs, CostModel};
 use crate::observe::{
     AddressChurnObserver, AlcaStateObserver, DegreeObserver, EventTaxonomyObserver, GlsObserver,
-    HandoffAccounting, LedgerHandoffObserver, LevelChurnObserver, LinkRateObserver, Observer,
-    Observers,
+    HandoffAccounting, LevelChurnObserver, LinkRateObserver, Observer, Observers,
 };
 use crate::oracle::calibrate;
 use crate::report::{SimReport, StateSummary};
+use crate::scheme::make_accounting;
 use crate::stage::{
     default_stages, AssignmentStage, HierarchyStage, MobilityStage, TickCtx, TopologyStage,
 };
@@ -140,8 +141,11 @@ fn build_mobility(cfg: &SimConfig, region: Disk, rng: &mut SimRng) -> Box<dyn Mo
 impl Simulation {
     /// Set up a simulation: deploy, warm the mobility process up, build the
     /// initial hierarchy and LM assignment, and calibrate the hop oracle.
+    /// The handoff slot is filled by [`make_accounting`] from the config's
+    /// [`LmScheme`] and backend, so any scheme runs over the same pipeline.
     pub fn new(cfg: SimConfig) -> Self {
-        Simulation::with_handoff(cfg, Box::new(LedgerHandoffObserver::default()))
+        let handoff = make_accounting(&cfg);
+        Simulation::with_handoff(cfg, handoff)
     }
 
     /// Like [`Simulation::new`], but with a custom handoff-accounting
@@ -215,6 +219,7 @@ impl Simulation {
                 &observers.taxonomy.counts,
                 &observers.alca.tracker,
             )
+            .with_ledger_check(cfg.lm_scheme == LmScheme::Chlm)
         });
 
         let book_next = book.clone();
@@ -317,7 +322,7 @@ impl Simulation {
         // and the model fills those rows across its worker pool before any
         // observer prices a packet.
         self.sources_scratch.clear();
-        if matches!(self.cfg.hop_metric, HopMetric::Bfs) {
+        if matches!(self.cfg.hop_metric, HopMetric::Bfs) && self.cfg.lm_scheme == LmScheme::Chlm {
             let exact = |node: NodeIdx, level: u16| {
                 addr_changes
                     .binary_search_by_key(&(node, level), |c| (c.node, c.level))
@@ -382,13 +387,16 @@ impl Simulation {
     /// return both the report and every violation found.
     pub fn run_audited(mut self) -> (SimReport, Vec<AuditViolation>) {
         if self.auditor.is_none() {
-            self.auditor = Some(Auditor::new(
-                self.cfg.selection_rule,
-                self.observers.handoff.ledger(),
-                &self.observers.merged_rates(),
-                &self.observers.taxonomy.counts,
-                &self.observers.alca.tracker,
-            ));
+            self.auditor = Some(
+                Auditor::new(
+                    self.cfg.selection_rule,
+                    self.observers.handoff.ledger(),
+                    &self.observers.merged_rates(),
+                    &self.observers.taxonomy.counts,
+                    &self.observers.alca.tracker,
+                )
+                .with_ledger_check(self.cfg.lm_scheme == LmScheme::Chlm),
+            );
         }
         let ticks = self.cfg.tick_count();
         for _ in 0..ticks {

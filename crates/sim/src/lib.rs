@@ -44,16 +44,23 @@ pub mod oracle;
 pub mod packet;
 pub mod report;
 pub mod runner;
+pub mod scheme;
 pub mod stage;
 
 pub use audit::{AuditViolation, Auditor};
-pub use config::{Backend, HopMetric, LossSpec, MobilityKind, SimConfig, SimConfigBuilder};
+pub use config::{
+    Backend, HopMetric, LmScheme, LossSpec, MobilityKind, SimConfig, SimConfigBuilder,
+};
 pub use cost::{CostInputs, CostModel, HopPricer};
 pub use engine::{build_engine, run_engine, Engine, Simulation};
 pub use observe::{HandoffAccounting, Observer};
 pub use packet::{PacketEngine, PacketTotals};
 pub use report::{LevelRates, SimReport, StateSummary};
 pub use runner::run_replications;
+pub use scheme::{
+    make_accounting, AnalyticSchemeObserver, GlsSchemeWorkload, HomeAgentWorkload,
+    PacketSchemeObserver, SchemeMsg, SchemeWorkload,
+};
 pub use stage::TickCtx;
 
 /// Run one simulation to completion and return its report — the simplest

@@ -14,6 +14,12 @@
 //! order, that the pre-pipeline monolithic `step` performed — the
 //! equivalence suite pins the resulting [`crate::SimReport`]s
 //! bit-identical across the refactor.
+//!
+//! The handoff slot is also the location-management *scheme* seam:
+//! [`crate::scheme::make_accounting`] fills it per
+//! [`crate::config::LmScheme`], so alternate schemes (per-band GLS
+//! servers, the home-agent baseline) swap in without touching any other
+//! observer or the tick loop.
 
 use crate::cost::HopPricer;
 use crate::report::LevelRates;

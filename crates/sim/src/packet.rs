@@ -26,12 +26,12 @@ use chlm_proto::protocol::send_handoff_with;
 /// — never the thread count — so the per-shard loss RNG streams and the
 /// stats merge order are identical for every pool width, including 1:
 /// sharding is always on, parallelism only decides who runs the shards.
-const PACKET_SHARDS: usize = 8;
+pub(crate) const PACKET_SHARDS: usize = 8;
 
 /// Loss-stream seed for one (run seed, tick, shard) cell: mixes the three
 /// with distinct odd constants so shards draw independent streams, and
 /// depends on nothing that varies with the thread count.
-fn shard_loss_seed(seed: u64, tick: u64, shard: u64) -> u64 {
+pub(crate) fn shard_loss_seed(seed: u64, tick: u64, shard: u64) -> u64 {
     seed ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (shard + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
 }
@@ -171,17 +171,23 @@ pub struct PacketEngine {
 }
 
 impl PacketEngine {
-    pub fn new(cfg: SimConfig) -> Self {
-        let (hop_delay, loss) = match cfg.backend {
-            Backend::Packet { hop_delay, loss } => (hop_delay, loss),
-            Backend::Analytic => (Backend::DEFAULT_HOP_DELAY, None),
-        };
-        let threads = cfg.threads;
-        let sim = Simulation::with_handoff(
-            cfg,
-            Box::new(PacketHandoffObserver::new(hop_delay, loss, threads)),
-        );
+    pub fn new(mut cfg: SimConfig) -> Self {
+        // Direct construction implies packet execution even when the config
+        // still says `Analytic`; coerce so the scheme dispatch sees it.
+        if matches!(cfg.backend, Backend::Analytic) {
+            cfg.backend = Backend::Packet {
+                hop_delay: Backend::DEFAULT_HOP_DELAY,
+                loss: None,
+            };
+        }
+        let handoff = crate::scheme::make_accounting(&cfg);
+        let sim = Simulation::with_handoff(cfg, handoff);
         PacketEngine { sim }
+    }
+
+    /// Append a custom observer; it runs after the built-in set each tick.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.sim.add_observer(observer);
     }
 
     /// Packet-execution totals accumulated so far.

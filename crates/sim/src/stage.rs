@@ -10,6 +10,11 @@
 //! (Verlet-list unit-disk maintenance, the memoized HRW walk); a config
 //! with `full_rebuild` set swaps in their from-scratch counterparts so
 //! the equivalence suite can diff entire reports.
+//!
+//! Stages are scheme-independent by design: the [`TickCtx`] they produce
+//! is the shared *world trace* every [`crate::config::LmScheme`] accounts
+//! against, which is what makes cross-scheme comparisons (E24) credible —
+//! `tests/scheme_trace.rs` pins the per-tick byte-identity.
 
 use crate::config::SimConfig;
 use chlm_cluster::address::{AddrChange, AddressBook};

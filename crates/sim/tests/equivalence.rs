@@ -10,7 +10,7 @@
 //! not merely close) to the from-scratch reference, for every mobility
 //! model and a spread of seeds.
 
-use chlm_sim::{MobilityKind, SimConfig, Simulation};
+use chlm_sim::{LmScheme, MobilityKind, SimConfig, Simulation};
 
 fn mobility_kinds() -> Vec<(&'static str, MobilityKind)> {
     vec![
@@ -54,6 +54,37 @@ fn incremental_matches_full_rebuild_everywhere() {
                 fast, reference,
                 "incremental engine diverged (mobility={name}, seed={seed})"
             );
+        }
+    }
+}
+
+/// The incremental fast paths sit *upstream* of the LM accounting slot,
+/// so they must be equally invisible under the alternate schemes: per
+/// scheme, incremental == from-scratch on the whole report (ISSUE 5 —
+/// the PR 4 equivalence guarantee covers every scheme, not just CHLM).
+#[test]
+fn incremental_matches_full_rebuild_per_scheme() {
+    let scheme_run = |scheme: LmScheme, seed: u64, full_rebuild: bool| {
+        let cfg = SimConfig::builder(90)
+            .mobility(MobilityKind::Waypoint)
+            .duration(2.0)
+            .warmup(0.5)
+            .seed(seed)
+            .query_samples(16)
+            .full_rebuild(full_rebuild)
+            .lm_scheme(scheme)
+            .build();
+        Simulation::new(cfg).run()
+    };
+    for scheme in [LmScheme::Gls, LmScheme::HomeAgent] {
+        for seed in [11u64, 29] {
+            let fast = scheme_run(scheme, seed, false);
+            let reference = scheme_run(scheme, seed, true);
+            assert_eq!(
+                fast, reference,
+                "incremental engine diverged (scheme={scheme:?}, seed={seed})"
+            );
+            assert_eq!(fast.digest(), reference.digest());
         }
     }
 }

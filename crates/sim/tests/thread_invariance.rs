@@ -9,7 +9,9 @@ use chlm_graph::traversal::bfs_distances;
 use chlm_graph::unit_disk::build_unit_disk;
 use chlm_par::WorkerPool;
 use chlm_sim::oracle::DistanceOracle;
-use chlm_sim::{Backend, Engine, HopMetric, LossSpec, MobilityKind, PacketEngine, SimConfig};
+use chlm_sim::{
+    Backend, Engine, HopMetric, LmScheme, LossSpec, MobilityKind, PacketEngine, SimConfig,
+};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -121,6 +123,60 @@ fn packet_backend_thread_invariant_lossy() {
             "lossy packet totals: threads {} vs {} diverged",
             THREAD_COUNTS[0], THREAD_COUNTS[i]
         );
+    }
+}
+
+#[test]
+fn alternate_schemes_thread_invariant() {
+    // ISSUE 5: the PR 4 determinism guarantees must cover every LM scheme,
+    // not just CHLM — the GLS workload runs through the shared BFS pricer
+    // and the home agent through the calibrated-Euclidean one, on both
+    // backends, at every pool width.
+    for scheme in [LmScheme::Gls, LmScheme::HomeAgent] {
+        for packet in [false, true] {
+            let reports = reports_for(|t| {
+                let mut cfg = base_cfg(110, 42);
+                cfg.hop_metric = if scheme == LmScheme::Gls {
+                    HopMetric::Bfs
+                } else {
+                    HopMetric::EuclideanCalibrated
+                };
+                cfg.lm_scheme = scheme;
+                if packet {
+                    cfg.backend = Backend::packet();
+                }
+                cfg.threads = t;
+                cfg
+            });
+            assert!(
+                reports[0].total_overhead() > 0.0,
+                "{scheme:?} packet={packet}: no overhead, test is vacuous"
+            );
+            assert_all_equal(&reports, &format!("{scheme:?}/packet={packet}"));
+        }
+    }
+}
+
+#[test]
+fn alternate_schemes_thread_invariant_lossy_packet() {
+    // The scheme packet observer shares the fixed-shard loss design; the
+    // ARQ noise must stay put across pool widths for schemes too.
+    for scheme in [LmScheme::Gls, LmScheme::HomeAgent] {
+        let reports = reports_for(|t| {
+            let mut cfg = base_cfg(110, 42);
+            cfg.lm_scheme = scheme;
+            cfg.backend = Backend::Packet {
+                hop_delay: Backend::DEFAULT_HOP_DELAY,
+                loss: Some(LossSpec {
+                    prob: 0.25,
+                    max_retries: 6,
+                    seed: 99,
+                }),
+            };
+            cfg.threads = t;
+            cfg
+        });
+        assert_all_equal(&reports, &format!("{scheme:?}/lossy"));
     }
 }
 
