@@ -15,11 +15,34 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 step "cargo xtask lint"
 cargo xtask lint
 
+# Machine-readable artifacts for downstream gating: the findings report
+# and the step-path reachability export (written by the same run).
+step "cargo xtask lint --json artifact"
+mkdir -p target
+cargo xtask lint --json > target/lint_report.json
+test -s target/step_reach.json
+
 step "cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 step "cargo test (workspace)"
 cargo test --workspace -q
+
+# Schedule fuzz: rerun the determinism-sensitive suites with every
+# multi-threaded pool call claiming work in a seeded adversarial order.
+# Byte-identical reports are the contract; a merge-order leak fails here.
+step "schedule fuzz (CHLM_SHUFFLE_MERGE=1)"
+CHLM_SHUFFLE_MERGE=1 cargo test -q -p chlm-par
+CHLM_SHUFFLE_MERGE=1 cargo test -q -p chlm-sim --test thread_invariance
+
+# Miri over the worker pool when the toolchain carries it (nightly-only
+# component; the GitHub workflow runs it in a dedicated nightly job).
+if cargo miri --version >/dev/null 2>&1; then
+  step "cargo miri test -p chlm-par"
+  MIRIFLAGS="-Zmiri-disable-isolation" cargo miri test -p chlm-par
+else
+  step "cargo miri test -p chlm-par (skipped: miri not installed)"
+fi
 
 # Run the determinism audit and the bench smoke at two thread counts:
 # the audit digests and the smoke harness must not care how many intra-

@@ -53,17 +53,20 @@ pub fn maxmin_elect(ids: &[ElectionId], graph: &Graph, d: usize) -> MaxMinElecti
         };
     }
 
-    // Floodmax rounds (log every round's value per node).
+    // Floodmax rounds (log every round's value per node). `cur`/`next`
+    // double-buffer across rounds: `next` is refilled in place each round
+    // and swapped, so the 2·d rounds share two allocations total.
     let mut max_log: Vec<Vec<ElectionId>> = vec![Vec::with_capacity(d); n];
     let mut cur: Vec<ElectionId> = ids.to_vec();
+    let mut next: Vec<ElectionId> = Vec::new();
     for _ in 0..d {
-        let mut next = cur.clone();
+        next.clone_from(&cur);
         for u in 0..n {
             for &v in graph.neighbors(u as NodeIdx) {
                 next[u] = next[u].max(cur[v as usize]);
             }
         }
-        cur = next;
+        std::mem::swap(&mut cur, &mut next);
         for (u, log) in max_log.iter_mut().enumerate() {
             log.push(cur[u]);
         }
@@ -73,13 +76,13 @@ pub fn maxmin_elect(ids: &[ElectionId], graph: &Graph, d: usize) -> MaxMinElecti
     // Floodmin rounds.
     let mut min_log: Vec<Vec<ElectionId>> = vec![Vec::with_capacity(d); n];
     for _ in 0..d {
-        let mut next = cur.clone();
+        next.clone_from(&cur);
         for u in 0..n {
             for &v in graph.neighbors(u as NodeIdx) {
                 next[u] = next[u].min(cur[v as usize]);
             }
         }
-        cur = next;
+        std::mem::swap(&mut cur, &mut next);
         for (u, log) in min_log.iter_mut().enumerate() {
             log.push(cur[u]);
         }
@@ -202,34 +205,39 @@ impl MaxMinHierarchy {
                 .filter(|&i| election.is_head[i as usize])
                 .collect();
             let reduced = heads.len() < nodes.len();
-            let level = MmLevel {
-                nodes: nodes.clone(),
-                graph: graph.clone(),
-                election,
-            };
             let done = !reduced || levels.len() + 1 >= max_levels || heads.len() <= 1;
-            // Build next level topology: cluster adjacency.
-            if !done {
+            // Build next level topology (cluster adjacency) *before* the
+            // current level's nodes/graph are moved into the hierarchy, so
+            // nothing needs to be cloned.
+            let next = if done {
+                None
+            } else {
                 let mut rank = HashMap::new();
                 for (r, &h) in heads.iter().enumerate() {
                     rank.insert(h, r as u32);
                 }
                 let mut g = Graph::with_nodes(heads.len());
-                for (u, v) in level.graph.edges() {
-                    let cu = rank[&level.election.head_of[u as usize]];
-                    let cv = rank[&level.election.head_of[v as usize]];
+                for (u, v) in graph.edges() {
+                    let cu = rank[&election.head_of[u as usize]];
+                    let cv = rank[&election.head_of[v as usize]];
                     if cu != cv {
                         g.add_edge(cu, cv);
                     }
                 }
-                let next_nodes: Vec<NodeIdx> =
-                    heads.iter().map(|&h| level.nodes[h as usize]).collect();
-                levels.push(level);
-                nodes = next_nodes;
-                graph = g;
-            } else {
-                levels.push(level);
-                break;
+                let next_nodes: Vec<NodeIdx> = heads.iter().map(|&h| nodes[h as usize]).collect();
+                Some((next_nodes, g))
+            };
+            levels.push(MmLevel {
+                nodes,
+                graph,
+                election,
+            });
+            match next {
+                Some((next_nodes, g)) => {
+                    nodes = next_nodes;
+                    graph = g;
+                }
+                None => break,
             }
         }
         MaxMinHierarchy { levels, d }

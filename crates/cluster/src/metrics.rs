@@ -78,18 +78,18 @@ pub fn intra_cluster_hops(
     let n = h.node_count();
     // Physical membership per level-k head.
     let addresses = h.addresses();
-    let mut members: std::collections::HashMap<NodeIdx, Vec<NodeIdx>> =
-        std::collections::HashMap::new();
+    // BTreeMap so the head list (and therefore the sampling below) comes
+    // out in key order with no post-hoc sort.
+    let mut members: std::collections::BTreeMap<NodeIdx, Vec<NodeIdx>> =
+        std::collections::BTreeMap::new();
     for v in 0..n as NodeIdx {
         members.entry(addresses[v as usize][k]).or_default().push(v);
     }
-    let mut heads: Vec<NodeIdx> = members
-        .keys()
-        .copied()
-        .filter(|head| members[head].len() >= 2)
+    let heads: Vec<NodeIdx> = members
+        .iter()
+        .filter(|(_, m)| m.len() >= 2)
+        .map(|(&head, _)| head)
         .collect();
-    // Sort so sampling below is independent of hash-map iteration order.
-    heads.sort_unstable();
     if heads.is_empty() {
         return None;
     }

@@ -7,7 +7,7 @@
 //! persist (the paper asserts mean lifetime `Θ(R_TX / μ)`).
 
 use crate::{Graph, NodeIdx};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The set of links created and broken between two topology snapshots.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -74,8 +74,10 @@ impl LinkDiff {
 /// Tracks per-link lifetimes across a sequence of snapshots.
 #[derive(Debug, Default)]
 pub struct LinkLifetimes {
-    /// Birth time of currently-alive links.
-    alive: HashMap<(NodeIdx, NodeIdx), f64>,
+    /// Birth time of currently-alive links. Ordered map: completed
+    /// lifetimes are pushed while iterating, and their order must not
+    /// depend on a hasher (it feeds float accumulation in the stats).
+    alive: BTreeMap<(NodeIdx, NodeIdx), f64>,
     /// Completed lifetimes (seconds).
     completed: Vec<f64>,
     last_time: Option<f64>,

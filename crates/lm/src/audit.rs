@@ -159,15 +159,15 @@ pub fn audit_assignment(a: &LmAssignment, h: &Hierarchy, rule: SelectionRule) ->
         return out;
     }
     let subtree = subtree_sizes(h);
-    let mut addr_cache: Vec<Option<Vec<NodeIdx>>> = vec![None; h.node_count()];
-    let addr_of = |v: NodeIdx, cache: &mut Vec<Option<Vec<NodeIdx>>>| -> Option<Vec<NodeIdx>> {
-        if cache[v as usize].is_none() {
-            cache[v as usize] = safe_address(h, v).ok();
-        }
-        cache[v as usize].clone()
-    };
+    // Every node's address is needed at least once (as subject) and
+    // usually again (as host), so resolve them all up front and borrow —
+    // a lazy memo would have to clone on every lookup.
+    let addr_cache: Vec<Option<Vec<NodeIdx>>> = (0..h.node_count() as NodeIdx)
+        .map(|v| safe_address(h, v).ok())
+        .collect();
+    let addr_of = |v: NodeIdx| addr_cache[v as usize].as_ref();
     for v in 0..h.node_count() as NodeIdx {
-        let addr = match addr_of(v, &mut addr_cache) {
+        let addr = match addr_of(v) {
             Some(a) => a,
             None => {
                 out.push(LmViolation::UnresolvableSubject {
@@ -183,7 +183,7 @@ pub fn audit_assignment(a: &LmAssignment, h: &Hierarchy, rule: SelectionRule) ->
                 Some(x) => x,
                 None => continue,
             };
-            match expected_host(h, &subtree, &addr, subject_id, k, rule) {
+            match expected_host(h, &subtree, addr, subject_id, k, rule) {
                 Some(expected) if expected != actual => {
                     out.push(LmViolation::HostMismatch {
                         subject: v,
@@ -201,7 +201,7 @@ pub fn audit_assignment(a: &LmAssignment, h: &Hierarchy, rule: SelectionRule) ->
                 _ => {}
             }
             // Containment: host's level-k head must equal the subject's.
-            match addr_of(actual, &mut addr_cache) {
+            match addr_of(actual) {
                 Some(host_addr) if host_addr[k] == addr[k] => {}
                 _ => out.push(LmViolation::HostOutsideCluster {
                     subject: v,

@@ -35,6 +35,50 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// experiment runner, `cargo xtask bench`, and every intra-tick pool.
 pub const THREADS_ENV: &str = "CHLM_THREADS";
 
+/// Name of the schedule-fuzz environment variable. Test-only: when set to
+/// an integer seed, every multi-threaded pool call deterministically
+/// permutes job claim order ([`WorkerPool::run_indexed`]) and chunk spawn
+/// order ([`WorkerPool::for_each_mut`]), emulating an adversarial
+/// scheduler. The merge discipline means results must be byte-identical
+/// with or without it — the variable exists so tests can try to falsify
+/// that contract, not to change behavior.
+pub const SHUFFLE_ENV: &str = "CHLM_SHUFFLE_MERGE";
+
+/// The schedule-fuzz seed, if the env var is set to an integer.
+fn shuffle_seed() -> Option<u64> {
+    std::env::var(SHUFFLE_ENV).ok()?.parse::<u64>().ok()
+}
+
+/// Seeded Fisher–Yates permutation of `0..len` over a splitmix64 stream
+/// (self-contained so the pool stays dependency-free; quality is ample
+/// for schedule fuzzing).
+fn permutation(len: usize, mut state: u64) -> Vec<usize> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut p: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Reorder `items` so position `i` holds the element that was at
+/// `perm[i]`.
+fn apply_permutation<T>(items: Vec<T>, perm: &[usize]) -> Vec<T> {
+    debug_assert_eq!(items.len(), perm.len());
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    perm.iter()
+        // audit: infallible because perm is a permutation of 0..len, so every slot is taken exactly once
+        .map(|&i| slots[i].take().expect("permutation index reused"))
+        .collect()
+}
+
 /// The workspace-wide thread budget: `CHLM_THREADS` if set to a positive
 /// integer, otherwise the machine's available parallelism (falling back to
 /// 4 when that cannot be queried).
@@ -94,6 +138,13 @@ impl WorkerPool {
         if self.threads == 1 || count <= 1 {
             return (0..count).map(f).collect();
         }
+        // Schedule fuzz: remap ticket -> job through a seeded permutation
+        // so workers claim jobs in adversarial order. The scatter below
+        // must erase the difference.
+        let claim_order = shuffle_seed().map(|s| permutation(count, s));
+        // AUDIT: the ticket counter only hands out job *indices*; results
+        // are scattered into index-addressed slots below, so claim order
+        // never reaches the output.
         let next = AtomicUsize::new(0);
         let f = &f;
         let finished = crossbeam::scope(|scope| {
@@ -102,10 +153,16 @@ impl WorkerPool {
                     scope.spawn(|_| {
                         let mut mine: Vec<(usize, T)> = Vec::new();
                         loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            if idx >= count {
+                            // AUDIT: relaxed RMW only partitions indices
+                            // across workers; each job computes f(idx).
+                            let ticket = next.fetch_add(1, Ordering::Relaxed);
+                            if ticket >= count {
                                 break;
                             }
+                            let idx = match &claim_order {
+                                Some(p) => p[ticket],
+                                None => ticket,
+                            };
                             mine.push((idx, f(idx)));
                         }
                         mine
@@ -152,8 +209,15 @@ impl WorkerPool {
         }
         let chunk = items.len().div_ceil(workers);
         let f = &f;
+        // Schedule fuzz: spawn the chunks in a seeded shuffled order.
+        // Chunks are disjoint, so spawn order must be unobservable.
+        let mut parts: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
+        if let Some(seed) = shuffle_seed() {
+            let perm = permutation(parts.len(), seed);
+            parts = apply_permutation(parts, &perm);
+        }
         crossbeam::scope(|scope| {
-            for part in items.chunks_mut(chunk) {
+            for part in parts {
                 scope.spawn(move |_| {
                     for item in part {
                         f(item);
@@ -237,6 +301,28 @@ mod tests {
                 assert!(w[0] - w[1] <= 1);
             }
         }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        for (len, seed) in [(0usize, 1u64), (1, 2), (7, 3), (64, 0), (64, 1)] {
+            let p = permutation(len, seed);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            let want: Vec<usize> = (0..len).collect();
+            assert_eq!(sorted, want, "len {len} seed {seed}");
+            // Deterministic for a fixed seed.
+            assert_eq!(p, permutation(len, seed));
+        }
+        // Different seeds give different orders (overwhelmingly likely).
+        assert_ne!(permutation(64, 1), permutation(64, 2));
+    }
+
+    #[test]
+    fn apply_permutation_reorders() {
+        let items = vec!['a', 'b', 'c', 'd'];
+        let got = apply_permutation(items, &[2, 0, 3, 1]);
+        assert_eq!(got, vec!['c', 'a', 'd', 'b']);
     }
 
     #[test]

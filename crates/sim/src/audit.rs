@@ -151,23 +151,40 @@ impl AccumSnapshot {
         events: &EventCounts,
         tracker: &StateTracker,
     ) -> Self {
-        AccumSnapshot {
-            ledger_events: ledger
+        let mut snap = AccumSnapshot::default();
+        snap.recapture(ledger, rates, events, tracker);
+        snap
+    }
+
+    /// Refresh this snapshot in place, reusing its buffers — the auditor
+    /// recaptures every audited tick, so the baseline must not reallocate.
+    pub fn recapture(
+        &mut self,
+        ledger: &HandoffLedger,
+        rates: &LevelRates,
+        events: &EventCounts,
+        tracker: &StateTracker,
+    ) {
+        self.ledger_events.clear();
+        self.ledger_events.extend(
+            ledger
                 .per_level
                 .iter()
-                .map(|c| (c.migration_events, c.reorg_events))
-                .collect(),
-            rates_events: rates
+                .map(|c| (c.migration_events, c.reorg_events)),
+        );
+        self.rates_events.clear();
+        self.rates_events.extend(
+            rates
                 .migration_events
                 .iter()
                 .zip(rates.reorg_events.iter())
-                .map(|(&m, &r)| (m, r))
-                .collect(),
-            events: events.clone(),
-            jumps: (0..tracker.jump_level_count())
-                .map(|k| tracker.jumps(k).unwrap_or([0; 3]))
-                .collect(),
-        }
+                .map(|(&m, &r)| (m, r)),
+        );
+        self.events.counts.clone_from(&events.counts);
+        self.events.converse_vii.clone_from(&events.converse_vii);
+        self.jumps.clear();
+        self.jumps
+            .extend((0..tracker.jump_level_count()).map(|k| tracker.jumps(k).unwrap_or([0; 3])));
     }
 }
 
@@ -521,7 +538,7 @@ impl Auditor {
                 self.suppressed += 1;
             }
         }
-        self.prev = AccumSnapshot::capture(t.ledger, t.rates, t.events, t.tracker);
+        self.prev.recapture(t.ledger, t.rates, t.events, t.tracker);
         self.ticks_audited += 1;
     }
 

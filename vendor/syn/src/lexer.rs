@@ -1,0 +1,443 @@
+//! Rust lexer: source text to a flat token list, then a delimiter-matched
+//! token tree. Comments are skipped (the analysis layer keeps its own
+//! per-line comment map), string/char/numeric literals are kept as raw
+//! text, and every token carries the 1-based source line it starts on.
+
+use crate::{
+    Delimiter, Error, Group, Ident, Literal, Punct, Spacing, Span, TokenStream, TokenTree,
+};
+
+/// Characters that can form punctuation tokens.
+fn is_punct_char(c: char) -> bool {
+    matches!(
+        c,
+        '!' | '#'
+            | '$'
+            | '%'
+            | '&'
+            | '*'
+            | '+'
+            | ','
+            | '-'
+            | '.'
+            | '/'
+            | ':'
+            | ';'
+            | '<'
+            | '='
+            | '>'
+            | '?'
+            | '@'
+            | '^'
+            | '|'
+            | '~'
+    )
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// One flat token before delimiter matching.
+enum Flat {
+    Open(Delimiter, Span),
+    Close(Delimiter, Span),
+    Tree(TokenTree),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line }
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error {
+            message: message.to_string(),
+            line: self.line,
+        }
+    }
+
+    /// Skip whitespace and comments; returns Err on an unterminated block
+    /// comment.
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.error("unterminated block comment")),
+                            Some('*') if self.peek_at(1) == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Some('/') if self.peek_at(1) == Some('*') => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Consume a quoted string body after the opening `"`.
+    fn finish_string(&mut self) -> Result<(), Error> {
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consume a raw string body after the `r`/`br` prefix (pos is at the
+    /// first `#` or the opening quote).
+    fn finish_raw_string(&mut self) -> Result<(), Error> {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.bump() != Some('"') {
+            return Err(self.error("malformed raw string literal"));
+        }
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated raw string literal")),
+                Some('"') => {
+                    let mut k = 0usize;
+                    while k < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consume a char-literal body after the opening `'`.
+    fn finish_char(&mut self) -> Result<(), Error> {
+        match self.bump() {
+            None => return Err(self.error("unterminated char literal")),
+            Some('\\') => {
+                self.bump();
+            }
+            Some(_) => {}
+        }
+        // Escapes like `\u{1F600}` span several chars; scan to the quote.
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated char literal")),
+                Some('\'') => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consume a numeric literal starting at a digit.
+    fn finish_number(&mut self) {
+        let radix_prefixed = self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        self.bump();
+        if radix_prefixed {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            return;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // Decimal point only when followed by a digit (so `0..n` and
+        // `1.max(2)` keep their method/range punctuation).
+        if self.peek() == Some('.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let sign = matches!(self.peek_at(1), Some('+' | '-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if matches!(self.peek_at(digit_at), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+                if sign {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`f64`, `u32`, ...).
+        while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+    }
+
+    fn next_flat(&mut self) -> Result<Option<Flat>, Error> {
+        self.skip_trivia()?;
+        let span = self.span();
+        let start = self.pos;
+        let c = match self.peek() {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        // Delimiters.
+        if let Some(d) = match c {
+            '(' => Some(Delimiter::Parenthesis),
+            '[' => Some(Delimiter::Bracket),
+            '{' => Some(Delimiter::Brace),
+            _ => None,
+        } {
+            self.bump();
+            return Ok(Some(Flat::Open(d, span)));
+        }
+        if let Some(d) = match c {
+            ')' => Some(Delimiter::Parenthesis),
+            ']' => Some(Delimiter::Bracket),
+            '}' => Some(Delimiter::Brace),
+            _ => None,
+        } {
+            self.bump();
+            return Ok(Some(Flat::Close(d, span)));
+        }
+        // String-ish literals, including raw/byte prefixes.
+        if c == '"' {
+            self.bump();
+            self.finish_string()?;
+            return Ok(Some(Flat::Tree(TokenTree::Literal(Literal {
+                text: self.src[start..self.pos].to_string(),
+                span,
+            }))));
+        }
+        if (c == 'r' || c == 'b') && self.is_string_prefix() {
+            return self.lex_prefixed_string(start, span).map(Some);
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = self.peek_at(1);
+            let is_char = next == Some('\\')
+                || (next.is_some_and(|n| n != '\'') && self.peek_at(2) == Some('\''));
+            if is_char {
+                self.bump();
+                self.finish_char()?;
+                return Ok(Some(Flat::Tree(TokenTree::Literal(Literal {
+                    text: self.src[start..self.pos].to_string(),
+                    span,
+                }))));
+            }
+            if next.is_some_and(is_ident_start) {
+                // Lifetime: one token, identifier text keeps the quote.
+                self.bump();
+                while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                    self.bump();
+                }
+                return Ok(Some(Flat::Tree(TokenTree::Ident(Ident {
+                    sym: self.src[start..self.pos].to_string(),
+                    span,
+                }))));
+            }
+            return Err(self.error("stray single quote"));
+        }
+        // Identifiers / keywords (incl. raw idents).
+        if is_ident_start(c) {
+            if c == 'r'
+                && self.peek_at(1) == Some('#')
+                && self.peek_at(2).is_some_and(is_ident_start)
+            {
+                self.bump();
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                self.bump();
+            }
+            return Ok(Some(Flat::Tree(TokenTree::Ident(Ident {
+                sym: self.src[start..self.pos].to_string(),
+                span,
+            }))));
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            self.finish_number();
+            return Ok(Some(Flat::Tree(TokenTree::Literal(Literal {
+                text: self.src[start..self.pos].to_string(),
+                span,
+            }))));
+        }
+        // Punctuation.
+        if is_punct_char(c) {
+            self.bump();
+            let next = self.peek();
+            let joint = next.is_some_and(is_punct_char)
+                // A following comment never glues (`x= // c` is Alone).
+                && !(next == Some('/')
+                    && matches!(self.peek_at(1), Some('/') | Some('*')));
+            return Ok(Some(Flat::Tree(TokenTree::Punct(Punct {
+                ch: c,
+                spacing: if joint {
+                    Spacing::Joint
+                } else {
+                    Spacing::Alone
+                },
+                span,
+            }))));
+        }
+        Err(self.error(&format!("unexpected character {c:?}")))
+    }
+
+    /// Is the cursor (on `r` or `b`) at a raw/byte string or byte char?
+    fn is_string_prefix(&self) -> bool {
+        let rest = &self.src[self.pos..];
+        rest.starts_with("r\"")
+            || rest.starts_with("r#\"")
+            || rest.starts_with("r##")
+            || rest.starts_with("b\"")
+            || rest.starts_with("b'")
+            || rest.starts_with("br\"")
+            || rest.starts_with("br#")
+    }
+
+    fn lex_prefixed_string(&mut self, start: usize, span: Span) -> Result<Flat, Error> {
+        // Consume the `r` / `b` / `br` prefix.
+        if self.peek() == Some('b') {
+            self.bump();
+        }
+        if self.peek() == Some('r') {
+            self.bump();
+            self.finish_raw_string()?;
+        } else if self.peek() == Some('\'') {
+            self.bump();
+            self.finish_char()?;
+        } else {
+            self.bump(); // opening quote
+            self.finish_string()?;
+        }
+        Ok(Flat::Tree(TokenTree::Literal(Literal {
+            text: self.src[start..self.pos].to_string(),
+            span,
+        })))
+    }
+}
+
+/// Lex `src` and match delimiters into a token tree.
+pub fn tokenize(src: &str) -> Result<TokenStream, Error> {
+    // A leading shebang line is not Rust tokens.
+    let src = if src.starts_with("#!") && !src.starts_with("#![") {
+        match src.find('\n') {
+            Some(nl) => &src[nl..],
+            None => "",
+        }
+    } else {
+        src
+    };
+    let mut lx = Lexer::new(src);
+    // Stack of (delimiter, open-span, collected trees).
+    let mut stack: Vec<(Delimiter, Span, Vec<TokenTree>)> = Vec::new();
+    let mut top: Vec<TokenTree> = Vec::new();
+    while let Some(flat) = lx.next_flat()? {
+        match flat {
+            Flat::Tree(t) => match stack.last_mut() {
+                Some((_, _, trees)) => trees.push(t),
+                None => top.push(t),
+            },
+            Flat::Open(d, span) => stack.push((d, span, Vec::new())),
+            Flat::Close(d, span) => match stack.pop() {
+                Some((open_d, open_span, trees)) if open_d == d => {
+                    let group = TokenTree::Group(Group {
+                        delimiter: d,
+                        stream: TokenStream { trees },
+                        span: open_span,
+                    });
+                    match stack.last_mut() {
+                        Some((_, _, outer)) => outer.push(group),
+                        None => top.push(group),
+                    }
+                }
+                _ => {
+                    return Err(Error {
+                        message: "mismatched delimiter".to_string(),
+                        line: span.line,
+                    })
+                }
+            },
+        }
+    }
+    if let Some((_, span, _)) = stack.last() {
+        return Err(Error {
+            message: "unclosed delimiter".to_string(),
+            line: span.line,
+        });
+    }
+    Ok(TokenStream { trees: top })
+}

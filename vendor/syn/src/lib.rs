@@ -1,0 +1,553 @@
+//! Offline drop-in subset of the `syn` 2 API.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the slice of `syn` the workspace lint engine actually needs is vendored
+//! here. Like the other `vendor/` crates this is an API-compatible *subset*
+//! with documented deltas, not a re-implementation:
+//!
+//! * [`parse_file`] returns a [`File`] whose `items` cover the item grammar
+//!   the analyzer consumes: `fn` items, `impl` blocks (inherent and trait),
+//!   `trait` definitions, inline `mod`s, and `struct` definitions. Every
+//!   other item kind (enums, consts, uses, macros, ...) is preserved as
+//!   [`Item::Verbatim`] so the caller can count or ignore it.
+//! * Function **bodies are token trees**, not a typed expression AST
+//!   ([`ItemFn::block`] is a [`TokenStream`]). The upstream `Expr` tree is
+//!   three orders of magnitude more grammar than the lint visitors need;
+//!   token-shape analysis over a delimiter-matched tree with line spans is
+//!   the subset that pays its way. Types (fields, params, returns) are
+//!   serialized strings for the same reason.
+//! * Spans are line-granular: [`Span::start`] returns a [`LineColumn`]
+//!   whose `line` matches upstream's span-locations feature; `column` is
+//!   always 0.
+//! * Comments are trivia (as in upstream proc-macro2); callers that need
+//!   comment text (audit-justification checks) keep their own line map.
+//!
+//! The parser is deliberately defensive: unknown item shapes are skipped to
+//! the next `;` or brace group rather than rejected, so the analyzer keeps
+//! working as the workspace grows syntax the subset has no case for.
+
+mod lexer;
+mod parse;
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Spans and errors
+// ---------------------------------------------------------------------------
+
+/// A source location; only the line is tracked (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineColumn {
+    /// 1-based source line.
+    pub line: usize,
+    /// Always 0 in this subset.
+    pub column: usize,
+}
+
+/// Line-granular source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub(crate) line: usize,
+}
+
+impl Span {
+    /// Start location (upstream: proc-macro2 `span-locations` feature).
+    pub fn start(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: 0,
+        }
+    }
+}
+
+/// Parse failure with the line it was detected on.
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub(crate) message: String,
+    pub(crate) line: usize,
+}
+
+impl Error {
+    pub fn span_line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Token model (proc-macro2 subset)
+// ---------------------------------------------------------------------------
+
+/// Delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    Parenthesis,
+    Brace,
+    Bracket,
+}
+
+/// Whether a punctuation char is glued to the next one (`==` is
+/// `Joint`+`Alone`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    Alone,
+    Joint,
+}
+
+/// An identifier, keyword, or lifetime (lifetimes keep their `'`).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    pub(crate) sym: String,
+    pub(crate) span: Span,
+}
+
+impl Ident {
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sym)
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.sym == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.sym == *other
+    }
+}
+
+/// One punctuation character.
+#[derive(Debug, Clone, Copy)]
+pub struct Punct {
+    pub(crate) ch: char,
+    pub(crate) spacing: Spacing,
+    pub(crate) span: Span,
+}
+
+impl Punct {
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal, kept as its raw source text.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    pub(crate) text: String,
+    pub(crate) span: Span,
+}
+
+impl Literal {
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A delimited token subtree.
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub(crate) delimiter: Delimiter,
+    pub(crate) stream: TokenStream,
+    pub(crate) span: Span,
+}
+
+impl Group {
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    pub fn stream(&self) -> &TokenStream {
+        &self.stream
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    Group(Group),
+    Ident(Ident),
+    Punct(Punct),
+    Literal(Literal),
+}
+
+impl TokenTree {
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span,
+            TokenTree::Ident(i) => i.span,
+            TokenTree::Punct(p) => p.span,
+            TokenTree::Literal(l) => l.span,
+        }
+    }
+}
+
+/// A sequence of token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    pub(crate) trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, TokenTree> {
+        self.trees.iter()
+    }
+
+    pub fn trees(&self) -> &[TokenTree] {
+        &self.trees
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenStream {
+    type Item = &'a TokenTree;
+    type IntoIter = std::slice::Iter<'a, TokenTree>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+/// An outer attribute, serialized (`#[cfg(test)]` becomes `cfg(test)`).
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// The attribute's content with all whitespace normalized away.
+    pub text: String,
+    pub span: Span,
+}
+
+impl Attribute {
+    /// Does this attribute's path or arguments mention `needle` as a
+    /// token-level word (`cfg(test)` contains `test` but not `tes`)?
+    pub fn mentions(&self, needle: &str) -> bool {
+        self.text
+            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .any(|w| w == needle)
+    }
+}
+
+/// Typed function parameter (simplified; see crate docs).
+#[derive(Debug, Clone)]
+pub struct FnArg {
+    /// Binding name when the pattern is a plain identifier.
+    pub name: Option<String>,
+    /// Serialized type tokens (empty for receivers).
+    pub ty: String,
+    /// `self` / `&self` / `&mut self`.
+    pub is_receiver: bool,
+}
+
+/// Function signature.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    pub ident: Ident,
+    pub inputs: Vec<FnArg>,
+    /// Serialized return type, if any.
+    pub output: Option<String>,
+}
+
+/// A `fn` item (free, impl, or trait; trait declarations have no block).
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    pub attrs: Vec<Attribute>,
+    pub sig: Signature,
+    pub block: Option<TokenStream>,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    pub attrs: Vec<Attribute>,
+    /// Serialized self type (`Vec < T >` style spacing).
+    pub self_ty: String,
+    /// Last path ident of the self type before any generics (`Vec`).
+    pub self_ty_base: String,
+    /// Trait path for trait impls (`fmt :: Display`), `None` if inherent.
+    pub trait_: Option<String>,
+    /// Last path ident of the trait, if any (`Display`).
+    pub trait_base: Option<String>,
+    pub items: Vec<ItemFn>,
+}
+
+/// A `trait` definition (only its `fn` members are modeled).
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    pub attrs: Vec<Attribute>,
+    pub ident: Ident,
+    pub items: Vec<ItemFn>,
+}
+
+/// An inline `mod`.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    pub attrs: Vec<Attribute>,
+    pub ident: Ident,
+    /// Items of an inline module; empty for `mod name;`.
+    pub content: Vec<Item>,
+}
+
+/// A named struct field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: Option<String>,
+    pub ty: String,
+}
+
+/// A `struct` definition.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    pub attrs: Vec<Attribute>,
+    pub ident: Ident,
+    pub fields: Vec<Field>,
+}
+
+/// One top-level or nested item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    Fn(ItemFn),
+    Impl(ItemImpl),
+    Trait(ItemTrait),
+    Mod(ItemMod),
+    Struct(ItemStruct),
+    /// Any other item kind, kept as raw tokens.
+    Verbatim(TokenStream),
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// Parse a whole source file into items.
+pub fn parse_file(src: &str) -> Result<File> {
+    let stream = lexer::tokenize(src)?;
+    let items = parse::parse_items(stream.trees)?;
+    Ok(File { items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns_of(file: &File) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(items: &[Item], out: &mut Vec<String>) {
+            for item in items {
+                match item {
+                    Item::Fn(f) => out.push(f.sig.ident.to_string()),
+                    Item::Impl(i) => {
+                        for f in &i.items {
+                            out.push(format!("{}::{}", i.self_ty_base, f.sig.ident));
+                        }
+                    }
+                    Item::Trait(t) => {
+                        for f in &t.items {
+                            out.push(format!("{}::{}", t.ident, f.sig.ident));
+                        }
+                    }
+                    Item::Mod(m) => walk(&m.content, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&file.items, &mut out);
+        out
+    }
+
+    #[test]
+    fn parses_free_fns_and_impls() {
+        let src = r#"
+            pub fn alpha(n: usize) -> usize { n + 1 }
+            struct Engine { ticks: u64 }
+            impl Engine {
+                pub fn step(&mut self) { self.ticks += 1; }
+                fn helper() -> bool { true }
+            }
+            impl std::fmt::Display for Engine {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "{}", self.ticks)
+                }
+            }
+        "#;
+        let file = parse_file(src).expect("parse");
+        assert_eq!(
+            fns_of(&file),
+            ["alpha", "Engine::step", "Engine::helper", "Engine::fmt"]
+        );
+        let Some(Item::Impl(disp)) = file.items.last() else {
+            panic!("expected impl");
+        };
+        assert_eq!(disp.trait_base.as_deref(), Some("Display"));
+    }
+
+    #[test]
+    fn traits_mods_and_generics() {
+        let src = r#"
+            pub trait Observer {
+                fn observe(&mut self, tick: u64);
+                fn finish(&self) -> f64 { 0.0 }
+            }
+            mod inner {
+                pub fn beta<T: Clone>(x: T) -> T where T: Send { x.clone() }
+            }
+            pub fn run<F: Fn(usize) -> u64>(count: usize, f: F) -> u64 { f(count) }
+        "#;
+        let file = parse_file(src).expect("parse");
+        assert_eq!(
+            fns_of(&file),
+            ["Observer::observe", "Observer::finish", "beta", "run"]
+        );
+        // Trait method without a body parses as block-less.
+        let Item::Trait(t) = &file.items[0] else {
+            panic!("expected trait");
+        };
+        assert!(t.items[0].block.is_none());
+        assert!(t.items[1].block.is_some());
+    }
+
+    #[test]
+    fn signature_params_and_output() {
+        let src = "fn gamma(&mut self, seed: u64, map: &HashMap<u32, f64>) -> Vec<u32> { }";
+        let file = parse_file(src).expect("parse");
+        let Item::Fn(f) = &file.items[0] else {
+            panic!("expected fn");
+        };
+        assert!(f.sig.inputs[0].is_receiver);
+        assert_eq!(f.sig.inputs[1].name.as_deref(), Some("seed"));
+        assert_eq!(f.sig.inputs[1].ty, "u64");
+        assert!(f.sig.inputs[2].ty.contains("HashMap"));
+        assert!(f.sig.output.as_deref().unwrap_or("").contains("Vec"));
+    }
+
+    #[test]
+    fn struct_fields_and_attrs() {
+        let src = r#"
+            #[derive(Debug)]
+            pub struct Book {
+                pub entries: HashMap<u32, u32>,
+                count: usize,
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t() { }
+            }
+        "#;
+        let file = parse_file(src).expect("parse");
+        let Item::Struct(s) = &file.items[0] else {
+            panic!("expected struct");
+        };
+        assert_eq!(s.fields[0].name.as_deref(), Some("entries"));
+        assert!(s.fields[0].ty.contains("HashMap"));
+        let Item::Mod(m) = &file.items[1] else {
+            panic!("expected mod");
+        };
+        assert!(m.attrs.iter().any(|a| a.mentions("test")));
+    }
+
+    #[test]
+    fn other_items_are_verbatim_and_strings_are_opaque() {
+        let src = r#"
+            use std::collections::HashMap;
+            const LABEL: &str = "Instant::now";
+            enum Kind { A, B }
+            macro_rules! mk { () => {} }
+            fn ok() { let s = "thread_rng"; }
+        "#;
+        let file = parse_file(src).expect("parse");
+        assert_eq!(fns_of(&file), ["ok"]);
+        // The string body never surfaces as idents.
+        let Some(Item::Fn(f)) = file.items.last() else {
+            panic!("expected fn");
+        };
+        let body = f.block.as_ref().expect("body");
+        let idents: Vec<String> = body
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Ident(i) => Some(i.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !idents.iter().any(|i| i.contains("thread_rng")),
+            "{idents:?}"
+        );
+    }
+
+    #[test]
+    fn spans_report_lines() {
+        let src = "fn a() {\n    x.unwrap();\n}\n";
+        let file = parse_file(src).expect("parse");
+        let Item::Fn(f) = &file.items[0] else {
+            panic!("expected fn");
+        };
+        let body = f.block.as_ref().expect("body");
+        let unwrap_line = body
+            .iter()
+            .find_map(|t| match t {
+                TokenTree::Ident(i) if *i == "unwrap" => Some(i.span().start().line),
+                _ => None,
+            })
+            .expect("unwrap ident");
+        assert_eq!(unwrap_line, 2);
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_lifetimes_and_numbers() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"no \" tokens\"#; let y = 1.5e-3; let z = 0x1F; let t = (0..n); }";
+        let file = parse_file(src).expect("parse");
+        assert_eq!(fns_of(&file), ["f"]);
+    }
+
+    #[test]
+    fn mismatched_delimiters_error() {
+        assert!(parse_file("fn f() { (]) }").is_err());
+        assert!(parse_file("fn f() { {").is_err());
+    }
+}

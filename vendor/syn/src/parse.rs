@@ -1,0 +1,656 @@
+//! Item-level parser over the token tree. Function bodies stay token
+//! streams; everything the analyzer does not model becomes
+//! [`Item::Verbatim`] via a defensive skip to the next `;` or brace group,
+//! so new syntax degrades to "unanalyzed", never to a parse failure.
+
+use crate::{
+    Attribute, Delimiter, Error, Field, FnArg, Ident, Item, ItemFn, ItemImpl, ItemMod, ItemStruct,
+    ItemTrait, Result, Signature, TokenStream, TokenTree,
+};
+
+/// Serialize tokens compactly: a space only between two word-like tokens.
+fn serialize(trees: &[TokenTree]) -> String {
+    fn word_like_end(s: &str) -> bool {
+        s.chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+    let mut out = String::new();
+    for t in trees {
+        let frag = match t {
+            TokenTree::Ident(i) => i.sym.clone(),
+            TokenTree::Literal(l) => l.text.clone(),
+            TokenTree::Punct(p) => p.ch.to_string(),
+            TokenTree::Group(g) => {
+                let (open, close) = match g.delimiter {
+                    Delimiter::Parenthesis => ('(', ')'),
+                    Delimiter::Brace => ('{', '}'),
+                    Delimiter::Bracket => ('[', ']'),
+                };
+                format!("{open}{}{close}", serialize(&g.stream.trees))
+            }
+        };
+        if word_like_end(&out)
+            && frag
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            out.push(' ');
+        }
+        out.push_str(&frag);
+    }
+    out
+}
+
+struct Cursor<'a> {
+    toks: &'a [TokenTree],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [TokenTree]) -> Self {
+        Cursor { toks, i: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&'a TokenTree> {
+        self.toks.get(self.i + n)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.toks.get(self.i)?;
+        self.i += 1;
+        Some(t)
+    }
+
+    fn at_ident(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.sym == sym)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.ch == ch)
+    }
+
+    fn at_group(&self, d: Delimiter) -> bool {
+        matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter == d)
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map_or(0, |t| t.span().line)
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error {
+            message: message.to_string(),
+            line: self.line(),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<Ident> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.clone()),
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    /// Skip a balanced `< ... >` region; the cursor sits on the opening
+    /// `<`. `->` arrows inside (closure/fn-pointer bounds) do not close.
+    fn skip_angles(&mut self) {
+        debug_assert!(self.at_punct('<'));
+        self.bump();
+        let mut depth = 1i32;
+        let mut prev_dash = false;
+        while depth > 0 {
+            match self.bump() {
+                None => return,
+                Some(TokenTree::Punct(p)) => {
+                    match p.ch {
+                        '<' => depth += 1,
+                        '>' if !prev_dash => depth -= 1,
+                        _ => {}
+                    }
+                    prev_dash = p.ch == '-';
+                }
+                Some(_) => prev_dash = false,
+            }
+        }
+    }
+
+    /// Consume to (and including) the first top-level `;`.
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.bump() {
+            if matches!(t, TokenTree::Punct(p) if p.ch == ';') {
+                return;
+            }
+        }
+    }
+
+    /// Consume to the first top-level `;` or through the first brace group
+    /// (enum/union/foreign-mod bodies).
+    fn skip_to_semi_or_brace(&mut self) {
+        while let Some(t) = self.bump() {
+            match t {
+                TokenTree::Punct(p) if p.ch == ';' => return,
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parse a flat token list into items (used for files, mods, and the
+/// bodies of traits/impls).
+pub(crate) fn parse_items(toks: Vec<TokenTree>) -> Result<Vec<Item>> {
+    let mut cur = Cursor::new(&toks);
+    let mut items = Vec::new();
+    while cur.peek().is_some() {
+        let start = cur.i;
+        let attrs = parse_attrs(&mut cur);
+        skip_visibility(&mut cur);
+        match parse_one(&mut cur, attrs)? {
+            Some(item) => items.push(item),
+            None => {
+                // Defensive skip already advanced the cursor; keep the
+                // consumed region as a verbatim item (if non-empty).
+                if cur.i == start {
+                    cur.bump();
+                }
+                items.push(Item::Verbatim(TokenStream {
+                    trees: toks[start..cur.i].to_vec(),
+                }));
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Collect outer attributes; inner attributes (`#![...]`) are skipped.
+fn parse_attrs(cur: &mut Cursor<'_>) -> Vec<Attribute> {
+    let mut attrs = Vec::new();
+    loop {
+        if !cur.at_punct('#') {
+            return attrs;
+        }
+        match (cur.peek_at(1), cur.peek_at(2)) {
+            (Some(TokenTree::Group(g)), _) if g.delimiter == Delimiter::Bracket => {
+                attrs.push(Attribute {
+                    text: serialize(&g.stream.trees),
+                    span: g.span,
+                });
+                cur.bump();
+                cur.bump();
+            }
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.ch == '!' && g.delimiter == Delimiter::Bracket =>
+            {
+                cur.bump();
+                cur.bump();
+                cur.bump();
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn skip_visibility(cur: &mut Cursor<'_>) {
+    if cur.at_ident("pub") {
+        cur.bump();
+        if cur.at_group(Delimiter::Parenthesis) {
+            cur.bump();
+        }
+    }
+}
+
+/// Parse one item after attrs/visibility. `Ok(None)` means "not modeled":
+/// the cursor has been advanced past the item defensively.
+fn parse_one(cur: &mut Cursor<'_>, attrs: Vec<Attribute>) -> Result<Option<Item>> {
+    loop {
+        let Some(t) = cur.peek() else {
+            return Ok(None);
+        };
+        let TokenTree::Ident(id) = t else {
+            return Ok(None); // stray token; caller consumes it
+        };
+        match id.sym.as_str() {
+            "fn" => {
+                cur.bump();
+                return parse_fn(cur, attrs).map(|f| Some(Item::Fn(f)));
+            }
+            "struct" => {
+                cur.bump();
+                return parse_struct(cur, attrs).map(|s| Some(Item::Struct(s)));
+            }
+            "trait" => {
+                cur.bump();
+                return parse_trait(cur, attrs).map(|t| Some(Item::Trait(t)));
+            }
+            "impl" => {
+                cur.bump();
+                return parse_impl(cur, attrs).map(|i| Some(Item::Impl(i)));
+            }
+            "mod" => {
+                cur.bump();
+                return parse_mod(cur, attrs).map(|m| Some(Item::Mod(m)));
+            }
+            "use" | "type" | "static" => {
+                cur.skip_to_semi();
+                return Ok(None);
+            }
+            "enum" | "union" => {
+                cur.skip_to_semi_or_brace();
+                return Ok(None);
+            }
+            "const" => {
+                // `const fn` is a modifier; `const NAME: ...` is an item.
+                if matches!(cur.peek_at(1), Some(TokenTree::Ident(n)) if n.sym == "fn") {
+                    cur.bump();
+                    continue;
+                }
+                cur.skip_to_semi();
+                return Ok(None);
+            }
+            "unsafe" | "async" | "default" | "auto" => {
+                cur.bump();
+                continue;
+            }
+            "extern" => {
+                cur.bump();
+                match cur.peek() {
+                    Some(TokenTree::Literal(_)) => {
+                        cur.bump(); // ABI string, then keep going (fn)
+                        continue;
+                    }
+                    Some(TokenTree::Ident(n)) if n.sym == "crate" => {
+                        cur.skip_to_semi();
+                        return Ok(None);
+                    }
+                    _ => {
+                        cur.skip_to_semi_or_brace(); // foreign mod
+                        return Ok(None);
+                    }
+                }
+            }
+            "macro_rules" => {
+                cur.bump(); // macro_rules
+                cur.bump(); // !
+                cur.bump(); // name
+                cur.bump(); // body group
+                return Ok(None);
+            }
+            _ => {
+                // Macro invocation in item position (`thread_local! { .. }`).
+                if matches!(cur.peek_at(1), Some(TokenTree::Punct(p)) if p.ch == '!') {
+                    cur.skip_to_semi_or_brace();
+                    return Ok(None);
+                }
+                return Ok(None); // unknown ident; caller consumes it
+            }
+        }
+    }
+}
+
+fn parse_fn(cur: &mut Cursor<'_>, attrs: Vec<Attribute>) -> Result<ItemFn> {
+    let ident = cur.expect_ident()?;
+    if cur.at_punct('<') {
+        cur.skip_angles();
+    }
+    // Argument list.
+    let args = loop {
+        match cur.bump() {
+            None => return Err(cur.error("fn without argument list")),
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis => break g,
+            Some(_) => {}
+        }
+    };
+    let inputs = parse_fn_args(&args.stream.trees);
+    // Return type, optional where clause, then body or `;`.
+    let mut output_toks: Vec<TokenTree> = Vec::new();
+    let mut in_output = false;
+    let mut prev_dash = false;
+    let block = loop {
+        match cur.peek() {
+            None => break None,
+            Some(TokenTree::Punct(p)) if p.ch == ';' => {
+                cur.bump();
+                break None;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let stream = g.stream.clone();
+                cur.bump();
+                break Some(stream);
+            }
+            Some(TokenTree::Ident(id)) if id.sym == "where" => {
+                // Skip the where clause up to the body / semicolon.
+                cur.bump();
+                loop {
+                    match cur.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.ch == ';' => break,
+                        Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => break,
+                        Some(_) => {
+                            cur.bump();
+                        }
+                    }
+                }
+                in_output = false;
+            }
+            Some(TokenTree::Punct(p)) if p.ch == '>' && prev_dash => {
+                prev_dash = false;
+                in_output = true;
+                cur.bump();
+            }
+            Some(t) => {
+                prev_dash = matches!(t, TokenTree::Punct(p) if p.ch == '-');
+                if in_output && !prev_dash {
+                    output_toks.push(t.clone());
+                }
+                cur.bump();
+            }
+        }
+    };
+    let output = if output_toks.is_empty() {
+        None
+    } else {
+        Some(serialize(&output_toks))
+    };
+    Ok(ItemFn {
+        attrs,
+        sig: Signature {
+            ident,
+            inputs,
+            output,
+        },
+        block,
+    })
+}
+
+/// Split a group's tokens at top-level commas.
+fn split_commas(trees: &[TokenTree]) -> Vec<&[TokenTree]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, t) in trees.iter().enumerate() {
+        if matches!(t, TokenTree::Punct(p) if p.ch == ',') {
+            out.push(&trees[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < trees.len() {
+        out.push(&trees[start..]);
+    }
+    out
+}
+
+/// Index of the type-ascription colon: a `:` with no `:` neighbor.
+fn ascription_colon(trees: &[TokenTree]) -> Option<usize> {
+    for (i, t) in trees.iter().enumerate() {
+        let TokenTree::Punct(p) = t else { continue };
+        if p.ch != ':' {
+            continue;
+        }
+        let prev_colon = i > 0 && matches!(&trees[i - 1], TokenTree::Punct(q) if q.ch == ':');
+        let next_colon = matches!(trees.get(i + 1), Some(TokenTree::Punct(q)) if q.ch == ':');
+        if !prev_colon && !next_colon {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn parse_fn_args(trees: &[TokenTree]) -> Vec<FnArg> {
+    let mut out = Vec::new();
+    for piece in split_commas(trees) {
+        if piece.is_empty() {
+            continue;
+        }
+        // Receiver: first token after &/mut/lifetimes is `self`.
+        let mut j = 0usize;
+        loop {
+            match piece.get(j) {
+                Some(TokenTree::Punct(p)) if p.ch == '&' => j += 1,
+                Some(TokenTree::Ident(id)) if id.sym == "mut" || id.sym.starts_with('\'') => j += 1,
+                _ => break,
+            }
+        }
+        if matches!(piece.get(j), Some(TokenTree::Ident(id)) if id.sym == "self") {
+            out.push(FnArg {
+                name: Some("self".to_string()),
+                ty: String::new(),
+                is_receiver: true,
+            });
+            continue;
+        }
+        let (name, ty) = match ascription_colon(piece) {
+            Some(c) => {
+                let name = piece[..c].iter().rev().find_map(|t| match t {
+                    TokenTree::Ident(id) if id.sym != "mut" && id.sym != "ref" => {
+                        Some(id.sym.clone())
+                    }
+                    _ => None,
+                });
+                (name, serialize(&piece[c + 1..]))
+            }
+            None => (None, serialize(piece)),
+        };
+        out.push(FnArg {
+            name,
+            ty,
+            is_receiver: false,
+        });
+    }
+    out
+}
+
+fn parse_struct(cur: &mut Cursor<'_>, attrs: Vec<Attribute>) -> Result<ItemStruct> {
+    let ident = cur.expect_ident()?;
+    if cur.at_punct('<') {
+        cur.skip_angles();
+    }
+    let mut fields = Vec::new();
+    loop {
+        match cur.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.ch == ';' => {
+                cur.bump();
+                break;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                for piece in split_commas(&g.stream.trees) {
+                    // Strip field attributes and visibility.
+                    let mut k = 0usize;
+                    while matches!(piece.get(k), Some(TokenTree::Punct(p)) if p.ch == '#') {
+                        k += 2; // '#' + bracket group
+                    }
+                    if matches!(piece.get(k), Some(TokenTree::Ident(id)) if id.sym == "pub") {
+                        k += 1;
+                        if matches!(
+                            piece.get(k),
+                            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                        ) {
+                            k += 1;
+                        }
+                    }
+                    let piece = &piece[k.min(piece.len())..];
+                    if let Some(c) = ascription_colon(piece) {
+                        let name = match piece.first() {
+                            Some(TokenTree::Ident(id)) => Some(id.sym.clone()),
+                            _ => None,
+                        };
+                        fields.push(Field {
+                            name,
+                            ty: serialize(&piece[c + 1..]),
+                        });
+                    }
+                }
+                cur.bump();
+                break;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis => {
+                for piece in split_commas(&g.stream.trees) {
+                    if piece.is_empty() {
+                        continue;
+                    }
+                    fields.push(Field {
+                        name: None,
+                        ty: serialize(piece),
+                    });
+                }
+                cur.bump();
+                // Tuple structs end with `;`.
+                if cur.at_punct(';') {
+                    cur.bump();
+                }
+                break;
+            }
+            Some(_) => {
+                cur.bump(); // where clause / supertrait tokens
+            }
+        }
+    }
+    Ok(ItemStruct {
+        attrs,
+        ident,
+        fields,
+    })
+}
+
+/// Parse the fn members of a trait or impl body.
+fn parse_member_fns(toks: Vec<TokenTree>) -> Result<Vec<ItemFn>> {
+    let mut out = Vec::new();
+    for item in parse_items(toks)? {
+        if let Item::Fn(f) = item {
+            out.push(f);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_trait(cur: &mut Cursor<'_>, attrs: Vec<Attribute>) -> Result<ItemTrait> {
+    let ident = cur.expect_ident()?;
+    if cur.at_punct('<') {
+        cur.skip_angles();
+    }
+    let body = loop {
+        match cur.bump() {
+            None => return Err(cur.error("trait without body")),
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => break g,
+            Some(_) => {} // supertraits / where clause
+        }
+    };
+    Ok(ItemTrait {
+        attrs,
+        ident,
+        items: parse_member_fns(body.stream.trees.clone())?,
+    })
+}
+
+/// Base path ident of a type: last `::` segment before any generics.
+fn type_base(trees: &[TokenTree]) -> String {
+    let mut base = String::new();
+    for t in trees {
+        match t {
+            TokenTree::Punct(p) if p.ch == '&' || p.ch == ':' => {}
+            TokenTree::Ident(id)
+                if id.sym == "mut"
+                    || id.sym == "dyn"
+                    || id.sym == "impl"
+                    || id.sym.starts_with('\'') => {}
+            TokenTree::Ident(id) => base = id.sym.clone(),
+            TokenTree::Punct(p) if p.ch == '<' => break,
+            _ => break,
+        }
+    }
+    base
+}
+
+fn parse_impl(cur: &mut Cursor<'_>, attrs: Vec<Attribute>) -> Result<ItemImpl> {
+    if cur.at_punct('<') {
+        cur.skip_angles();
+    }
+    let mut first: Vec<TokenTree> = Vec::new();
+    let mut second: Vec<TokenTree> = Vec::new();
+    let mut saw_for = false;
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    let body = loop {
+        match cur.peek() {
+            None => return Err(cur.error("impl without body")),
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace && angle_depth == 0 => {
+                let g = g.clone();
+                cur.bump();
+                break g;
+            }
+            Some(TokenTree::Ident(id)) if id.sym == "for" && angle_depth == 0 => {
+                saw_for = true;
+                prev_dash = false;
+                cur.bump();
+            }
+            Some(TokenTree::Ident(id)) if id.sym == "where" && angle_depth == 0 => {
+                // Skip the where clause; the next brace group is the body.
+                cur.bump();
+                break loop {
+                    match cur.bump() {
+                        None => return Err(cur.error("impl without body")),
+                        Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                            break g.clone()
+                        }
+                        Some(_) => {}
+                    }
+                };
+            }
+            Some(t) => {
+                if let TokenTree::Punct(p) = t {
+                    match p.ch {
+                        '<' => angle_depth += 1,
+                        '>' if !prev_dash && angle_depth > 0 => angle_depth -= 1,
+                        _ => {}
+                    }
+                    prev_dash = p.ch == '-';
+                } else {
+                    prev_dash = false;
+                }
+                if saw_for {
+                    second.push(t.clone());
+                } else {
+                    first.push(t.clone());
+                }
+                cur.bump();
+            }
+        }
+    };
+    let (trait_toks, ty_toks) = if saw_for {
+        (Some(first), second)
+    } else {
+        (None, first)
+    };
+    let self_ty_base = type_base(&ty_toks);
+    let trait_base = trait_toks.as_deref().map(type_base);
+    Ok(ItemImpl {
+        attrs,
+        self_ty: serialize(&ty_toks),
+        self_ty_base,
+        trait_: trait_toks.as_deref().map(serialize),
+        trait_base,
+        items: parse_member_fns(body.stream.trees.clone())?,
+    })
+}
+
+fn parse_mod(cur: &mut Cursor<'_>, attrs: Vec<Attribute>) -> Result<ItemMod> {
+    let ident = cur.expect_ident()?;
+    match cur.bump() {
+        Some(TokenTree::Punct(p)) if p.ch == ';' => Ok(ItemMod {
+            attrs,
+            ident,
+            content: Vec::new(),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => Ok(ItemMod {
+            attrs,
+            ident,
+            content: parse_items(g.stream.trees.clone())?,
+        }),
+        _ => Err(cur.error("malformed mod item")),
+    }
+}

@@ -1,0 +1,950 @@
+//! The lint rules, as typed visitors over flattened function bodies.
+//!
+//! The six legacy rules keep their exact semantics (and fixture
+//! behavior); three rules are only expressible with the AST + call
+//! graph: iteration-order escape analysis, RNG stream discipline with
+//! seed-argument propagation, and the interior-mutability audit.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::comments;
+use crate::analysis::graph::{CallGraph, Resolver};
+use crate::analysis::model::{FnNode, Workspace};
+use crate::analysis::scan::{self, ChainSeg, Flat, TokKind};
+use crate::lint::{
+    Finding, LINT_FLOAT_EQ, LINT_INTERIOR_MUT, LINT_ITER_ESCAPE, LINT_NONDET, LINT_RNG_STREAM,
+    LINT_STEP_COPY, LINT_UNORDERED, LINT_UNWRAP, LINT_WALLCLOCK,
+};
+
+/// Shared context for one workspace (or fixture) analysis run.
+pub struct CheckCtx<'a> {
+    pub ws: &'a Workspace,
+    pub graph: &'a CallGraph,
+    pub resolver: &'a Resolver,
+    /// Fixture mode: every function counts as step-path-reachable.
+    pub all_reachable: bool,
+}
+
+impl CheckCtx<'_> {
+    fn reachable(&self, id: usize) -> bool {
+        self.all_reachable || self.graph.reachable[id]
+    }
+
+    fn finding(&self, lint: &'static str, node: &FnNode, line: usize, message: String) -> Finding {
+        self.finding_at(lint, node.file, line, message)
+    }
+
+    pub fn finding_at(
+        &self,
+        lint: &'static str,
+        file: usize,
+        line: usize,
+        message: String,
+    ) -> Finding {
+        Finding {
+            lint,
+            file: self.ws.files[file].rel.clone(),
+            line,
+            excerpt: self.ws.raw_line(file, line).to_string(),
+            message,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rule 1: wallclock / OS entropy
+// ---------------------------------------------------------------------------
+
+/// Bare idents that reach for OS entropy.
+const WALLCLOCK_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "getrandom"];
+
+/// `qualifier::name` path tails that read wallclock time / OS entropy.
+const WALLCLOCK_PATHS: [(&str, &str); 3] = [
+    ("SystemTime", "now"),
+    ("Instant", "now"),
+    ("rand", "random"),
+];
+
+fn wallclock_message(pat: &str) -> String {
+    format!("`{pat}` breaks (config, seed) reproducibility; use chlm_geom::SimRng / tick time")
+}
+
+/// Scan any flattened token run (fn body or verbatim item) for wallclock
+/// patterns; `emit` receives `(line, pattern)`.
+pub fn wallclock_sites(flat: &Flat, mut emit: impl FnMut(usize, String)) {
+    for i in 0..flat.toks.len() {
+        let Some(ident) = flat.ident(i) else {
+            continue;
+        };
+        if WALLCLOCK_IDENTS.contains(&ident) {
+            emit(flat.line(i), ident.to_string());
+            continue;
+        }
+        for (qual, name) in WALLCLOCK_PATHS {
+            if ident == name && i >= 3 && flat.is_path_sep(i - 2) && flat.ident(i - 3) == Some(qual)
+            {
+                emit(flat.line(i), format!("{qual}::{name}"));
+            }
+        }
+    }
+}
+
+pub fn check_wallclock(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    wallclock_sites(&node.flat, |line, pat| {
+        out.push(ctx.finding(LINT_WALLCLOCK, node, line, wallclock_message(&pat)));
+    });
+}
+
+/// Wallclock scan over a file's unmodeled (verbatim) items.
+pub fn check_wallclock_verbatim(ctx: &CheckCtx, file: usize, out: &mut Vec<Finding>) {
+    for flat in &ctx.ws.files[file].verbatim {
+        wallclock_sites(flat, |line, pat| {
+            out.push(ctx.finding_at(LINT_WALLCLOCK, file, line, wallclock_message(&pat)));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rule 2: unordered hash iteration (name-bound receivers)
+// ---------------------------------------------------------------------------
+
+/// Methods that iterate a hash container in hasher order.
+const UNORDERED_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "difference",
+    "symmetric_difference",
+];
+
+fn ty_words_contain_hash(ty: &str) -> bool {
+    ty.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|w| w == "HashMap" || w == "HashSet")
+}
+
+/// Names bound to a `HashMap`/`HashSet` visible to `node`: struct fields
+/// declared in the same file, the node's parameters, and its `let`
+/// bindings (by ascription or `HashMap::new`-style initializer).
+fn hash_names(ctx: &CheckCtx, node: &FnNode) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (name, ty) in &ctx.ws.files[node.file].struct_fields {
+        if ty_words_contain_hash(ty) {
+            names.insert(name.clone());
+        }
+    }
+    for arg in &node.sig.inputs {
+        if let Some(name) = &arg.name {
+            if ty_words_contain_hash(&arg.ty) {
+                names.insert(name.clone());
+            }
+        }
+    }
+    for bind in scan::let_binds(&node.flat) {
+        let by_ty = bind.ty.iter().any(|t| t == "HashMap" || t == "HashSet");
+        let by_init = bind
+            .init
+            .first()
+            .is_some_and(|t| t == "HashMap" || t == "HashSet");
+        if by_ty || by_init {
+            names.insert(bind.name);
+        }
+    }
+    names
+}
+
+pub fn check_unordered(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    let names = hash_names(ctx, node);
+    if names.is_empty() {
+        return;
+    }
+    for mc in scan::method_calls(&node.flat) {
+        if !UNORDERED_METHODS.contains(&mc.name.as_str()) {
+            continue;
+        }
+        let chain = scan::receiver_chain(&node.flat, mc.dot);
+        if let Some(ChainSeg::Name(n)) = chain.last() {
+            if names.contains(n) {
+                out.push(ctx.finding(
+                    LINT_UNORDERED,
+                    node,
+                    mc.line,
+                    format!(
+                        "`{n}.{}()` iterates a hash container in hasher order; use BTreeMap/BTreeSet or sort first",
+                        mc.name
+                    ),
+                ));
+            }
+        }
+    }
+    for lp in scan::for_loops(&node.flat) {
+        if let Some(n) = single_name_expr(&node.flat, &lp.expr) {
+            if names.contains(n) {
+                out.push(ctx.finding(
+                    LINT_UNORDERED,
+                    node,
+                    lp.line,
+                    format!(
+                        "`for _ in {n}` iterates a hash container in hasher order; use BTreeMap/BTreeSet or sort first"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// If the token range is `[&][mut] name`, return the name.
+fn single_name_expr<'a>(flat: &'a Flat, range: &std::ops::Range<usize>) -> Option<&'a str> {
+    let mut name = None;
+    for i in range.clone() {
+        match flat.toks[i].kind {
+            TokKind::Punct('&', _) => {}
+            TokKind::Ident if flat.toks[i].text == "mut" && name.is_none() => {}
+            TokKind::Ident if name.is_none() => name = Some(flat.toks[i].text.as_str()),
+            _ => return None,
+        }
+    }
+    name
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rule 3: unwrap/expect in library code
+// ---------------------------------------------------------------------------
+
+pub fn check_unwrap(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    let masked = &ctx.ws.files[node.file].masked;
+    for mc in scan::method_calls(&node.flat) {
+        let site = match mc.name.as_str() {
+            "unwrap" => ".unwrap()",
+            "expect" => ".expect(...)",
+            _ => continue,
+        };
+        if comments::justified_at(masked, mc.line, "audit:") {
+            continue;
+        }
+        out.push(ctx.finding(
+            LINT_UNWRAP,
+            node,
+            mc.line,
+            format!(
+                "`{site}` in library code without a `// audit: infallible because ...` justification"
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rule 4: float equality
+// ---------------------------------------------------------------------------
+
+fn is_float_literal(text: &str) -> bool {
+    text.starts_with(|c: char| c.is_ascii_digit())
+        && (text.contains('.') || text.ends_with("f64") || text.ends_with("f32"))
+}
+
+pub fn check_float_eq(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    let flat = &node.flat;
+    for i in 0..flat.toks.len() {
+        let op = match flat.toks[i].kind {
+            TokKind::Punct('=', syn::Spacing::Joint) if flat.is_punct(i + 1, '=') => "==",
+            TokKind::Punct('!', syn::Spacing::Joint) if flat.is_punct(i + 1, '=') => "!=",
+            _ => continue,
+        };
+        // Exclude `<=`, `>=`, fat arrows and friends.
+        if matches!(
+            flat.toks.get(i.wrapping_sub(1)).map(|t| t.kind),
+            Some(TokKind::Punct('<' | '>' | '=' | '!', _))
+        ) || flat.is_punct(i + 2, '=')
+        {
+            continue;
+        }
+        let prev_is_float = matches!(
+            flat.toks.get(i.wrapping_sub(1)),
+            Some(t) if t.kind == TokKind::Literal && is_float_literal(&t.text)
+        );
+        let mut rhs = i + 2;
+        if flat.is_punct(rhs, '-') {
+            rhs += 1;
+        }
+        let next_is_float = matches!(
+            flat.toks.get(rhs),
+            Some(t) if t.kind == TokKind::Literal && is_float_literal(&t.text)
+        );
+        if prev_is_float || next_is_float {
+            out.push(ctx.finding(
+                LINT_FLOAT_EQ,
+                node,
+                flat.line(i),
+                format!(
+                    "float `{op}` comparison in metric code; use an epsilon, a sign test, or total_cmp"
+                ),
+            ));
+        }
+    }
+    // `partial_cmp(..)` + `.unwrap()` on one line panics on NaN.
+    let calls = scan::method_calls(flat);
+    let unwrap_lines: BTreeSet<usize> = calls
+        .iter()
+        .filter(|c| c.name == "unwrap")
+        .map(|c| c.line)
+        .collect();
+    for c in &calls {
+        if c.name == "partial_cmp" && unwrap_lines.contains(&c.line) {
+            out.push(ctx.finding(
+                LINT_FLOAT_EQ,
+                node,
+                c.line,
+                "`partial_cmp().unwrap()` panics on NaN; use f64::total_cmp".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rule 5: step-path buffer copies
+// ---------------------------------------------------------------------------
+
+pub fn check_step_copy(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    for mc in scan::method_calls(&node.flat) {
+        let pat = match mc.name.as_str() {
+            "to_vec" => ".to_vec()",
+            "clone" => ".clone()",
+            _ => continue,
+        };
+        if !scan::split_args(&node.flat, mc.args_open).is_empty() {
+            continue; // some `clone(..)`-shaped call with args; not ours
+        }
+        out.push(ctx.finding(
+            LINT_STEP_COPY,
+            node,
+            mc.line,
+            format!(
+                "`{pat}` materializes a fresh buffer on the step path; reuse persistent storage (clone_from / copy_from / double-buffering)"
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rule 6: step-path nondeterminism
+// ---------------------------------------------------------------------------
+
+const NONDET_ADAPTERS: [&str; 3] = ["par_iter", "into_par_iter", "par_bridge"];
+const NONDET_FLOAT_HINTS: [&str; 4] = ["f64", "f32", "to_bits", "from_bits"];
+/// Textual reach of a raw-region marker, in lines.
+const NONDET_WINDOW: usize = 12;
+
+/// Reducer calls on `line`, rendered in the legacy `.sum(` pattern style.
+fn reducers_on_line(calls: &[scan::MethodCall], line: usize) -> Option<&'static str> {
+    for c in calls {
+        if c.line != line {
+            continue;
+        }
+        match c.name.as_str() {
+            "sum" => return Some(".sum("),
+            "fold" => return Some(".fold("),
+            "reduce" => return Some(".reduce("),
+            "collect" if c.turbofish.iter().any(|t| t.starts_with("Hash")) => {
+                return Some("collect::<Hash")
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+pub fn check_nondet(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    let flat = &node.flat;
+    let calls = scan::method_calls(flat);
+
+    // Rule A: rayon-style adapters anywhere.
+    for i in 0..flat.toks.len() {
+        if let Some(ident) = flat.ident(i) {
+            if NONDET_ADAPTERS.contains(&ident) {
+                out.push(ctx.finding(
+                    LINT_NONDET,
+                    node,
+                    flat.line(i),
+                    format!(
+                        "`{ident}` schedules work in nondeterministic order; fan out with chlm_par::WorkerPool and merge by job index"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Line → has a float hint (ident or literal suffix).
+    let mut float_lines = BTreeSet::new();
+    for t in &flat.toks {
+        let hinted = match t.kind {
+            TokKind::Ident => NONDET_FLOAT_HINTS.contains(&t.text.as_str()),
+            TokKind::Literal => t.text.contains("f64") || t.text.contains("f32"),
+            _ => false,
+        };
+        if hinted {
+            float_lines.insert(t.line);
+        }
+    }
+
+    // Rule B: atomic float accumulation.
+    for c in &calls {
+        if matches!(c.name.as_str(), "fetch_add" | "fetch_sub") && float_lines.contains(&c.line) {
+            out.push(ctx.finding(
+                LINT_NONDET,
+                node,
+                c.line,
+                "atomic float accumulation commits adds in scheduling order; return per-job values and reduce after the merge"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // Rule C: reducing over joined handles on one line.
+    let join_lines: BTreeSet<usize> = calls
+        .iter()
+        .filter(|c| c.name == "join" && scan::split_args(flat, c.args_open).is_empty())
+        .map(|c| c.line)
+        .collect();
+    for &line in &join_lines {
+        if let Some(r) = reducers_on_line(&calls, line) {
+            out.push(ctx.finding(
+                LINT_NONDET,
+                node,
+                line,
+                format!("`{r}` over joined results folds in completion order; scatter by job index, then reduce"),
+            ));
+        }
+    }
+
+    // Rule D: reducers within the textual window of a raw parallel region.
+    let mut markers: Vec<(usize, &'static str)> = Vec::new();
+    for pc in scan::path_calls(flat) {
+        let segs: Vec<&str> = pc.segs.iter().map(String::as_str).collect();
+        if segs.ends_with(&["crossbeam", "scope"]) {
+            markers.push((pc.line, "crossbeam::scope"));
+        } else if segs.ends_with(&["thread", "spawn"]) {
+            markers.push((pc.line, "thread::spawn"));
+        }
+    }
+    for c in &calls {
+        if c.name == "spawn" {
+            let chain = scan::receiver_chain(flat, c.dot);
+            if matches!(chain.last(), Some(ChainSeg::Name(n)) if n == "scope") {
+                markers.push((c.line, "scope.spawn"));
+            }
+        }
+    }
+    markers.sort_unstable();
+    let reducer_lines: BTreeSet<usize> = calls
+        .iter()
+        .filter_map(|c| reducers_on_line(std::slice::from_ref(c), c.line).map(|_| c.line))
+        .collect();
+    for &line in &reducer_lines {
+        if join_lines.contains(&line) {
+            continue; // already reported by rule C
+        }
+        let marker = markers
+            .iter()
+            .rev()
+            .find(|(ml, _)| *ml < line && line - *ml <= NONDET_WINDOW);
+        if let Some(&(ml, m)) = marker {
+            // audit: infallible because reducer_lines only holds lines
+            // reducers_on_line matched.
+            let r = reducers_on_line(&calls, line).expect("reducer line");
+            out.push(ctx.finding(
+                LINT_NONDET,
+                node,
+                line,
+                format!(
+                    "`{r}` inside the parallel region opened by `{m}` (line {ml}); reduce after the workers join"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// New rule 7: iteration-order escape analysis
+// ---------------------------------------------------------------------------
+
+/// Adapters that preserve (only) the order-sensitivity of the stream.
+const ITER_PASSTHROUGH: [&str; 10] = [
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "cloned",
+    "copied",
+    "inspect",
+    "by_ref",
+    "chain",
+    "fuse",
+];
+
+/// Terminals whose value is independent of iteration order.
+const ITER_ORDER_FREE: [&str; 8] = [
+    "count", "len", "all", "any", "contains", "is_empty", "min", "max",
+];
+
+/// Integer types for which `sum`/`product` commute exactly.
+const INT_TYPES: [&str; 10] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i32", "i64", "i128", "isize",
+];
+
+/// How an unordered-iteration source is consumed.
+enum SinkVerdict {
+    OrderFree,
+    Escapes(String),
+}
+
+pub fn check_iter_escape(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    let flat = &node.flat;
+    let binds = scan::let_binds(flat);
+    let calls = scan::method_calls(flat);
+    for mc in &calls {
+        if !UNORDERED_METHODS.contains(&mc.name.as_str()) {
+            continue;
+        }
+        // `retain`/`drain` as bare statements mutate in place; the legacy
+        // rule owns those shapes.
+        if matches!(mc.name.as_str(), "retain" | "drain") {
+            continue;
+        }
+        let chain = scan::receiver_chain(flat, mc.dot);
+        if !receiver_is_hash(ctx, node, &chain) {
+            continue;
+        }
+        let recv = render_chain(&chain);
+        match sink_verdict(ctx, node, &binds, mc) {
+            SinkVerdict::OrderFree => {}
+            SinkVerdict::Escapes(sink) => {
+                out.push(ctx.finding(
+                    LINT_ITER_ESCAPE,
+                    node,
+                    mc.line,
+                    format!(
+                        "hasher-order iteration of `{recv}` escapes through {sink}; fold through an order-insensitive sink, sort first, or use a BTree container"
+                    ),
+                ));
+            }
+        }
+    }
+    // A `for` loop over a hash container is an escape by construction:
+    // the body observes elements in hasher order.
+    for lp in scan::for_loops(flat) {
+        let expr_chain = expr_as_chain(flat, &lp.expr);
+        if let Some(chain) = expr_chain {
+            if receiver_is_hash(ctx, node, &chain) {
+                out.push(ctx.finding(
+                    LINT_ITER_ESCAPE,
+                    node,
+                    lp.line,
+                    format!(
+                        "`for` loop observes `{}` in hasher order; iterate a BTree container or sort into a Vec first",
+                        render_chain(&chain)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn render_chain(chain: &[ChainSeg]) -> String {
+    let mut parts = Vec::new();
+    for seg in chain {
+        match seg {
+            ChainSeg::Name(n) => parts.push(n.clone()),
+            ChainSeg::Call(c) => parts.push(format!("{c}()")),
+            ChainSeg::Index => parts.push("[..]".to_string()),
+            ChainSeg::Paren => parts.push("(..)".to_string()),
+            ChainSeg::Other => parts.push("..".to_string()),
+        }
+    }
+    parts.join(".")
+}
+
+/// `[&][mut] name(.name)*` expression as a receiver chain, if it is one.
+fn expr_as_chain(flat: &Flat, range: &std::ops::Range<usize>) -> Option<Vec<ChainSeg>> {
+    let mut chain = Vec::new();
+    let mut expect_ident = true;
+    for i in range.clone() {
+        match flat.toks[i].kind {
+            TokKind::Punct('&', _) if chain.is_empty() => {}
+            TokKind::Ident if flat.toks[i].text == "mut" && chain.is_empty() => {}
+            TokKind::Ident if expect_ident => {
+                chain.push(ChainSeg::Name(flat.toks[i].text.clone()));
+                expect_ident = false;
+            }
+            TokKind::Punct('.', _) if !expect_ident => expect_ident = true,
+            _ => return None,
+        }
+    }
+    if chain.is_empty() || expect_ident {
+        None
+    } else {
+        Some(chain)
+    }
+}
+
+/// Does the receiver chain name a `HashMap`/`HashSet` value?
+fn receiver_is_hash(ctx: &CheckCtx, node: &FnNode, chain: &[ChainSeg]) -> bool {
+    match chain.last() {
+        Some(ChainSeg::Name(n)) => {
+            // `self.field` / `obj.field` → struct-field types; `local` /
+            // `param` → bindings visible in this function.
+            if chain.len() >= 2 {
+                let mut candidates: Vec<&(String, String)> = Vec::new();
+                if chain.first() == Some(&ChainSeg::Name("self".to_string())) && chain.len() == 2 {
+                    if let Some(ty) = &node.self_ty {
+                        if let Some(fields) = ctx.ws.structs.get(ty) {
+                            candidates.extend(fields.iter().filter(|(fname, _)| fname == n));
+                        }
+                    }
+                } else {
+                    for fields in ctx.ws.structs.values() {
+                        candidates.extend(fields.iter().filter(|(fname, _)| fname == n));
+                    }
+                }
+                !candidates.is_empty() && candidates.iter().all(|(_, ty)| ty_words_contain_hash(ty))
+            } else {
+                hash_names(ctx, node).contains(n)
+            }
+        }
+        Some(ChainSeg::Call(c)) => {
+            // Call result: hash-typed iff every workspace fn named `c`
+            // returns a hash container (and at least one is known).
+            let mut ids: Vec<usize> = ctx.resolver.methods_named(c).to_vec();
+            ids.extend_from_slice(ctx.resolver.free_named(c));
+            !ids.is_empty()
+                && ids.iter().all(|&id| {
+                    ctx.ws.fns[id]
+                        .sig
+                        .output
+                        .as_deref()
+                        .is_some_and(ty_words_contain_hash)
+                })
+        }
+        _ => false,
+    }
+}
+
+fn sink_verdict(
+    ctx: &CheckCtx,
+    node: &FnNode,
+    binds: &[scan::LetBind],
+    mc: &scan::MethodCall,
+) -> SinkVerdict {
+    let flat = &node.flat;
+    let (steps, at_stmt_end) = scan::sink_chain(flat, mc.args_open);
+    for (i, step) in steps.iter().enumerate() {
+        let name = step.name.as_str();
+        if ITER_PASSTHROUGH.contains(&name) {
+            continue;
+        }
+        if ITER_ORDER_FREE.contains(&name) {
+            return SinkVerdict::OrderFree;
+        }
+        if name == "sum" || name == "product" {
+            // Integer accumulation commutes exactly; float does not.
+            if step
+                .turbofish
+                .iter()
+                .any(|t| INT_TYPES.contains(&t.as_str()))
+            {
+                return SinkVerdict::OrderFree;
+            }
+            return SinkVerdict::Escapes(format!(
+                "`.{name}()` (order-dependent unless the element type is an integer — annotate with a turbofish if it is)"
+            ));
+        }
+        if name == "collect" {
+            return collect_verdict(ctx, node, binds, step, i + 1 == steps.len() && at_stmt_end);
+        }
+        return SinkVerdict::Escapes(format!("`.{name}(..)`"));
+    }
+    if at_stmt_end && steps.is_empty() {
+        // Bare `m.keys();` — value dropped; nothing observes the order.
+        return SinkVerdict::OrderFree;
+    }
+    SinkVerdict::Escapes(
+        "the raw iterator (returned or passed on before any order-insensitive sink)".to_string(),
+    )
+}
+
+fn collect_verdict(
+    ctx: &CheckCtx,
+    node: &FnNode,
+    binds: &[scan::LetBind],
+    step: &scan::SinkStep,
+    _last: bool,
+) -> SinkVerdict {
+    let turbo_has = |names: &[&str]| step.turbofish.iter().any(|t| names.contains(&t.as_str()));
+    if turbo_has(&["BTreeMap", "BTreeSet", "HashMap", "HashSet", "BinaryHeap"]) {
+        // Re-keyed container: order is re-derived from keys (BTree) or
+        // deliberately unordered again (Hash — its own uses get linted).
+        return SinkVerdict::OrderFree;
+    }
+    let flat = &node.flat;
+    // `let [mut] name = ...collect();` — the binding's ascription can
+    // settle the container, and a later in-function sort redeems a Vec.
+    let bind = binds
+        .iter()
+        .rfind(|b| b.line <= step.line && b.init.iter().any(|t| t == "collect"));
+    if let Some(b) = bind {
+        if b.ty
+            .iter()
+            .any(|t| t.starts_with("BTree") || t.starts_with("Hash"))
+        {
+            return SinkVerdict::OrderFree;
+        }
+        let sorted_later = scan::method_calls(flat).iter().any(|c| {
+            c.name.starts_with("sort")
+                && c.line >= b.line
+                && matches!(
+                    scan::receiver_chain(flat, c.dot).last(),
+                    Some(ChainSeg::Name(n)) if *n == b.name
+                )
+        });
+        if sorted_later {
+            return SinkVerdict::OrderFree;
+        }
+    }
+    let _ = ctx;
+    SinkVerdict::Escapes(
+        "`.collect()` into an order-preserving container that is never sorted".to_string(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// New rule 8: RNG stream discipline
+// ---------------------------------------------------------------------------
+
+/// Seed-derivation helpers blessed for step-path RNG streams: they mix
+/// `(seed, tick, shard)` so every stream is a pure function of the run
+/// configuration.
+const BLESSED_SEED_FNS: [&str; 1] = ["shard_loss_seed"];
+
+/// RNG constructors that consume a bare seed.
+const SEEDING_FNS: [&str; 3] = ["seed_from", "seed_from_u64", "from_seed"];
+
+/// Maximum caller-chain depth for seed-argument propagation.
+const RNG_PROPAGATION_DEPTH: usize = 4;
+
+pub fn check_rng_stream(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    for pc in scan::path_calls(&node.flat) {
+        // audit: infallible because path_calls never yields empty segs.
+        let name = pc.segs.last().expect("path segs");
+        if !SEEDING_FNS.contains(&name.as_str()) || pc.segs.len() < 2 {
+            continue;
+        }
+        let args = scan::split_args(&node.flat, pc.args_open);
+        let Some(arg) = args.first() else {
+            continue;
+        };
+        let texts = arg_texts(&node.flat, arg);
+        match classify_seed_arg(ctx, node, &texts, 0, &mut BTreeSet::new()) {
+            SeedVerdict::Blessed => {}
+            SeedVerdict::Fresh(why) => {
+                out.push(ctx.finding(
+                    LINT_RNG_STREAM,
+                    node,
+                    pc.line,
+                    format!(
+                        "`{}::{name}` seeds an RNG on the step path with {why}; derive the stream with `shard_loss_seed(seed, tick, shard)` instead",
+                        pc.segs[pc.segs.len() - 2]
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+enum SeedVerdict {
+    Blessed,
+    Fresh(String),
+}
+
+fn arg_texts(flat: &Flat, range: &std::ops::Range<usize>) -> Vec<(TokKind, String)> {
+    range
+        .clone()
+        .map(|i| (flat.toks[i].kind, flat.toks[i].text.clone()))
+        .collect()
+}
+
+/// Decide whether a seed expression is derived from a blessed stream
+/// constructor, chasing single-parameter forwarding through callers.
+fn classify_seed_arg(
+    ctx: &CheckCtx,
+    node: &FnNode,
+    texts: &[(TokKind, String)],
+    depth: usize,
+    visited: &mut BTreeSet<(usize, String)>,
+) -> SeedVerdict {
+    let idents: Vec<&str> = texts
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Ident)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    if idents.iter().any(|i| BLESSED_SEED_FNS.contains(i)) {
+        return SeedVerdict::Blessed;
+    }
+    if idents.is_empty() {
+        return SeedVerdict::Fresh("a constant seed".to_string());
+    }
+    // Pure parameter forwarding (`seed`, possibly `self.seed`-free): chase
+    // every caller to see what they actually pass.
+    if idents.len() == 1 {
+        let pname = idents[0];
+        let param_idx = node
+            .sig
+            .inputs
+            .iter()
+            .position(|a| a.name.as_deref() == Some(pname));
+        if let Some(param_idx) = param_idx {
+            if depth >= RNG_PROPAGATION_DEPTH || !visited.insert((node.id, pname.to_string())) {
+                return SeedVerdict::Fresh(format!(
+                    "a seed whose provenance exceeds the propagation depth (`{pname}`)"
+                ));
+            }
+            return classify_callers(ctx, node, param_idx, depth, visited);
+        }
+    }
+    SeedVerdict::Fresh("an ad-hoc seed expression".to_string())
+}
+
+/// Check every call site that forwards into `node`'s `param_idx`.
+fn classify_callers(
+    ctx: &CheckCtx,
+    node: &FnNode,
+    param_idx: usize,
+    depth: usize,
+    visited: &mut BTreeSet<(usize, String)>,
+) -> SeedVerdict {
+    let has_receiver = node.sig.inputs.first().is_some_and(|a| a.is_receiver);
+    let mut saw_caller = false;
+    for caller in &ctx.ws.fns {
+        if caller.is_test || !caller.has_body || caller.id == node.id {
+            continue;
+        }
+        if !ctx.reachable(caller.id) {
+            continue; // off-path callers construct, they don't step
+        }
+        let flat = &caller.flat;
+        let mut sites: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for mc in scan::method_calls(flat) {
+            if mc.name == node.name && has_receiver && param_idx > 0 {
+                let args = scan::split_args(flat, mc.args_open);
+                if let Some(r) = args.get(param_idx - 1) {
+                    sites.push((mc.line, r.clone()));
+                }
+            }
+        }
+        for pc in scan::path_calls(flat) {
+            if pc.segs.last().map(String::as_str) == Some(node.name.as_str()) {
+                let args = scan::split_args(flat, pc.args_open);
+                if let Some(r) = args.get(param_idx) {
+                    sites.push((pc.line, r.clone()));
+                }
+            }
+        }
+        for (_, range) in sites {
+            saw_caller = true;
+            let texts = arg_texts(flat, &range);
+            if let SeedVerdict::Fresh(why) =
+                classify_seed_arg(ctx, caller, &texts, depth + 1, visited)
+            {
+                return SeedVerdict::Fresh(format!("{why} (via `{}`)", caller.qual));
+            }
+        }
+    }
+    if saw_caller {
+        SeedVerdict::Blessed
+    } else {
+        // No visible on-path caller: the parameter's provenance is
+        // unknown, so trust the signature boundary.
+        SeedVerdict::Blessed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// New rule 9: interior-mutability audit
+// ---------------------------------------------------------------------------
+
+/// Atomic RMW methods (always interior mutability, no ordering arg check
+/// needed — the names are distinctive).
+const ATOMIC_RMW: [&str; 8] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Atomic access methods that are only flagged when an `Ordering` shows
+/// up in the arguments (`load`/`store`/`swap` are common Vec/Option names).
+const ATOMIC_ORDERED: [&str; 3] = ["load", "store", "swap"];
+
+const ORDERING_IDENTS: [&str; 6] = [
+    "Ordering", "Relaxed", "SeqCst", "Acquire", "Release", "AcqRel",
+];
+
+fn is_interior_type(ident: &str) -> bool {
+    matches!(ident, "Mutex" | "RwLock" | "OnceLock" | "RefCell" | "Cell")
+        || (ident.starts_with("Atomic")
+            && ident
+                .chars()
+                .nth("Atomic".len())
+                .is_some_and(|c| c.is_ascii_uppercase()))
+}
+
+pub fn check_interior_mut(ctx: &CheckCtx, node: &FnNode, out: &mut Vec<Finding>) {
+    let flat = &node.flat;
+    let masked = &ctx.ws.files[node.file].masked;
+    let mut sites: Vec<(usize, String)> = Vec::new();
+    for i in 0..flat.toks.len() {
+        if let Some(ident) = flat.ident(i) {
+            if is_interior_type(ident) && !flat.is_punct(i.wrapping_sub(1), '.') {
+                sites.push((flat.line(i), format!("`{ident}`")));
+            }
+        }
+    }
+    for mc in scan::method_calls(flat) {
+        let name = mc.name.as_str();
+        let flagged = if ATOMIC_RMW.contains(&name) || name == "lock" {
+            true
+        } else if ATOMIC_ORDERED.contains(&name) {
+            let args = scan::split_args(flat, mc.args_open);
+            args.iter().any(|r| {
+                r.clone()
+                    .any(|i| matches!(flat.ident(i), Some(id) if ORDERING_IDENTS.contains(&id)))
+            })
+        } else {
+            false
+        };
+        if flagged {
+            sites.push((mc.line, format!("`.{name}(..)`")));
+        }
+    }
+    sites.sort();
+    sites.dedup_by_key(|(line, _)| *line);
+    for (line, site) in sites {
+        if comments::justified_at(masked, line, "AUDIT:") {
+            continue;
+        }
+        out.push(ctx.finding(
+            LINT_INTERIOR_MUT,
+            node,
+            line,
+            format!(
+                "{site} introduces interior mutability on the step path without an `// AUDIT: ...` justification; shared-state updates must argue determinism"
+            ),
+        ));
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-line source view for the analysis engine: comment text (the lexer
+//! in `syn` drops trivia, but the `// audit:` / `// AUDIT:` justification
+//! checks need it) plus comment/literal-masked code used to find statement
+//! boundaries when a justification sits on an earlier line of the same
+//! expression.
+
+/// One source line with literals/comments blanked out of `code`.
+#[derive(Debug)]
+pub struct MaskedLine {
+    /// Code with every comment and string/char literal replaced by spaces.
+    pub code: String,
+    /// Concatenated comment text found on this line.
+    pub comment: String,
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Mask comments and literals, preserving line structure exactly.
+pub fn mask_source(src: &str) -> Vec<MaskedLine> {
+    let bytes = src.as_bytes();
+    let mut code = String::with_capacity(src.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut mode = Mode::Code;
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            code.push('\n');
+            comments.push(String::new());
+            line += 1;
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = Mode::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    // Raw string? Walk back over `#`s and an `r`/`br`.
+                    let mut j = i;
+                    let mut hashes = 0u32;
+                    while j > 0 && bytes[j - 1] == b'#' {
+                        j -= 1;
+                        hashes += 1;
+                    }
+                    let raw = j > 0 && bytes[j - 1] == b'r';
+                    mode = if raw { Mode::RawStr(hashes) } else { Mode::Str };
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' / '\n' are literals,
+                    // 'a as in <'a> is a lifetime.
+                    let next = bytes.get(i + 1).copied();
+                    let is_char =
+                        next == Some(b'\\') || (next.is_some() && bytes.get(i + 2) == Some(&b'\''));
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comments[line].push(c);
+                code.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comments[line].push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Never swallow a newline (line numbers must hold).
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut k = 0u32;
+                    while k < hashes && bytes.get(i + 1 + k as usize) == Some(&b'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        mode = Mode::Code;
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    code.split('\n')
+        .zip(comments)
+        .map(|(c, comment)| MaskedLine {
+            code: c.to_string(),
+            comment,
+        })
+        .collect()
+}
+
+/// Is the site on `line` (1-based) justified by a marker comment (e.g.
+/// `audit:` or `AUDIT:`)? The comment counts on the same line, on an
+/// earlier line of the same (possibly multi-line) expression, or on a
+/// comment-only line directly above it. A trailing comment on the
+/// *previous statement* justifies that statement, not this one.
+pub fn justified_at(lines: &[MaskedLine], line: usize, marker: &str) -> bool {
+    let idx = line - 1;
+    let Some(ln) = lines.get(idx) else {
+        return false;
+    };
+    if ln.comment.contains(marker) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let prev = &lines[j];
+        let t = prev.code.trim();
+        if t.is_empty() {
+            if prev.comment.contains(marker) {
+                return true;
+            } else if prev.comment.is_empty() {
+                return false; // blank line ends the statement's reach
+            }
+            continue;
+        }
+        if t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+            return false; // previous statement boundary
+        }
+        if prev.comment.contains(marker) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_strings_and_comments() {
+        let src = "let a = \"Instant::now\"; // Instant::now in comment\nlet b = 1;\n";
+        let lines = mask_source(src);
+        assert!(!lines[0].code.contains("Instant::now"));
+        assert!(lines[0].comment.contains("Instant::now"));
+        assert!(lines[1].code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"thread_rng \" inner\"#; let c = '\"'; let d = x.unwrap();\n";
+        let lines = mask_source(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[0].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn justification_reach() {
+        let src = "// audit: infallible because checked above\nlet x = v.first().unwrap();\nlet y = w.first().unwrap(); // audit: infallible because non-empty\nlet z = q.first().unwrap();\n";
+        let lines = mask_source(src);
+        assert!(justified_at(&lines, 2, "audit:"));
+        assert!(justified_at(&lines, 3, "audit:"));
+        assert!(!justified_at(&lines, 4, "audit:"));
+        // Case-sensitive markers keep audit/AUDIT namespaces separate.
+        assert!(!justified_at(&lines, 2, "AUDIT:"));
+    }
+
+    #[test]
+    fn multiline_expression_reach() {
+        let src = "let x = v\n    // audit: infallible because prechecked\n    .first()\n    .unwrap();\n";
+        let lines = mask_source(src);
+        assert!(justified_at(&lines, 4, "audit:"));
+    }
+}

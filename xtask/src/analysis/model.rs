@@ -1,0 +1,238 @@
+//! Workspace model: every `.rs` file parsed with the vendored `syn`
+//! subset and flattened into a table of function nodes with enough
+//! context (impl/trait, test-ness, signature, body tokens) for the lint
+//! checks and the call graph.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use crate::analysis::comments::{self, MaskedLine};
+use crate::analysis::scan::Flat;
+
+/// One function in the workspace (free fn, impl method, or trait item).
+#[derive(Debug)]
+pub struct FnNode {
+    pub id: usize,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    pub name: String,
+    /// Qualified display name: `Type::name`, `Trait::name`, or `name`.
+    pub qual: String,
+    /// Base ident of the impl self type, if this is an impl member.
+    pub self_ty: Option<String>,
+    /// Base ident of the implemented/declaring trait, if any.
+    pub trait_: Option<String>,
+    /// Inside `#[cfg(test)]` / `#[test]` code or a tests/benches tree.
+    pub is_test: bool,
+    /// 1-based line of the `fn` ident.
+    pub line: usize,
+    pub sig: syn::Signature,
+    /// Flattened body; empty for body-less trait declarations.
+    pub flat: Flat,
+    pub has_body: bool,
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative `/`-separated path (or the literal path given
+    /// to `run_paths`).
+    pub rel: String,
+    pub source: String,
+    pub masked: Vec<MaskedLine>,
+    /// Token streams of non-test items the parser does not model (uses,
+    /// consts, enums, macros) — still scanned by token-pattern checks.
+    pub verbatim: Vec<Flat>,
+    /// Named struct fields declared in this file `(name, serialized ty)`.
+    pub struct_fields: Vec<(String, String)>,
+}
+
+/// The parsed workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<FileModel>,
+    pub fns: Vec<FnNode>,
+    /// Struct name → named fields `(name, serialized type)`. Same-named
+    /// structs in different modules merge (best-effort name resolution).
+    pub structs: BTreeMap<String, Vec<(String, String)>>,
+    /// Treat `/tests/` and `/benches/` trees as test code. On by default;
+    /// fixture scans turn it off (the fixtures themselves live under a
+    /// `tests/` tree but model library code).
+    pub path_test_rules: bool,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace {
+            files: Vec::new(),
+            fns: Vec::new(),
+            structs: BTreeMap::new(),
+            path_test_rules: true,
+        }
+    }
+}
+
+impl Workspace {
+    /// Parse `source` (already read) as `rel` and add its items.
+    pub fn add_file(&mut self, rel: String, source: String) -> io::Result<()> {
+        let parsed = syn::parse_file(&source).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{rel}: parse error: {e}"),
+            )
+        })?;
+        let file_idx = self.files.len();
+        let path_is_test =
+            self.path_test_rules && (rel.contains("/tests/") || rel.contains("/benches/"));
+        self.files.push(FileModel {
+            masked: comments::mask_source(&source),
+            rel,
+            source,
+            verbatim: Vec::new(),
+            struct_fields: Vec::new(),
+        });
+        self.add_items(&parsed.items, file_idx, path_is_test);
+        Ok(())
+    }
+
+    fn add_items(&mut self, items: &[syn::Item], file: usize, in_test: bool) {
+        for item in items {
+            match item {
+                syn::Item::Fn(f) => {
+                    self.add_fn(f, file, in_test, None, None);
+                }
+                syn::Item::Impl(imp) => {
+                    let impl_test = in_test || attrs_mark_test(&imp.attrs);
+                    for f in &imp.items {
+                        self.add_fn(
+                            f,
+                            file,
+                            impl_test,
+                            Some(imp.self_ty_base.clone()),
+                            imp.trait_base.clone(),
+                        );
+                    }
+                }
+                syn::Item::Trait(t) => {
+                    let trait_test = in_test || attrs_mark_test(&t.attrs);
+                    let trait_name = t.ident.to_string();
+                    for f in &t.items {
+                        self.add_fn(f, file, trait_test, None, Some(trait_name.clone()));
+                    }
+                }
+                syn::Item::Mod(m) => {
+                    let mod_test = in_test || attrs_mark_test(&m.attrs);
+                    self.add_items(&m.content, file, mod_test);
+                }
+                syn::Item::Struct(s) => {
+                    let named: Vec<(String, String)> = s
+                        .fields
+                        .iter()
+                        .filter_map(|fld| fld.name.clone().map(|n| (n, fld.ty.clone())))
+                        .collect();
+                    self.structs
+                        .entry(s.ident.to_string())
+                        .or_default()
+                        .extend(named.iter().cloned());
+                    self.files[file].struct_fields.extend(named);
+                }
+                syn::Item::Verbatim(ts) => {
+                    if !in_test {
+                        self.files[file].verbatim.push(Flat::from_stream(ts));
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_fn(
+        &mut self,
+        f: &syn::ItemFn,
+        file: usize,
+        in_test: bool,
+        self_ty: Option<String>,
+        trait_: Option<String>,
+    ) {
+        let name = f.sig.ident.to_string();
+        let qual = match self_ty.as_deref().or(trait_.as_deref()) {
+            Some(owner) => format!("{owner}::{name}"),
+            None => name.clone(),
+        };
+        let (flat, has_body) = match &f.block {
+            Some(ts) => (Flat::from_stream(ts), true),
+            None => (Flat::default(), false),
+        };
+        self.fns.push(FnNode {
+            id: self.fns.len(),
+            file,
+            line: f.sig.ident.span().start().line,
+            is_test: in_test || attrs_mark_test(&f.attrs),
+            name,
+            qual,
+            self_ty,
+            trait_,
+            sig: f.sig.clone(),
+            flat,
+            has_body,
+        });
+    }
+
+    pub fn file_of(&self, node: &FnNode) -> &FileModel {
+        &self.files[node.file]
+    }
+
+    /// Raw source line (1-based), trimmed — used for finding excerpts.
+    pub fn raw_line(&self, file: usize, line: usize) -> &str {
+        self.files[file]
+            .source
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+    }
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]` all mention `test`
+/// as a token-level word.
+fn attrs_mark_test(attrs: &[syn::Attribute]) -> bool {
+    attrs.iter().any(|a| a.mentions("test"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(src: &str) -> Workspace {
+        let mut ws = Workspace::default();
+        ws.add_file("crates/x/src/lib.rs".into(), src.to_string())
+            .expect("parse");
+        ws
+    }
+
+    #[test]
+    fn nodes_carry_impl_and_test_context() {
+        let ws = ws_of(
+            "pub struct Engine { map: HashMap<u32, u64> }\n\
+             impl Engine { pub fn step(&mut self) {} }\n\
+             impl Observer for Engine { fn observe(&mut self) {} }\n\
+             fn free() {}\n\
+             #[cfg(test)]\nmod tests { fn t() {} }\n",
+        );
+        let quals: Vec<&str> = ws.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, ["Engine::step", "Engine::observe", "free", "t"]);
+        assert_eq!(ws.fns[1].trait_.as_deref(), Some("Observer"));
+        assert!(ws.fns[3].is_test);
+        assert!(!ws.fns[0].is_test);
+        assert!(ws.structs["Engine"]
+            .iter()
+            .any(|(n, t)| n == "map" && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn tests_tree_is_test_scoped() {
+        let mut ws = Workspace::default();
+        ws.add_file("crates/x/tests/it.rs".into(), "fn helper() {}".into())
+            .expect("parse");
+        assert!(ws.fns[0].is_test);
+    }
+}

@@ -1,0 +1,625 @@
+//! Flat token view over `syn` token trees plus the shape extractors the
+//! lint checks share: method calls (with turbofish), path calls, `for`
+//! loops, `let` bindings, and receiver/sink chain walks.
+//!
+//! The tree shape from the parser is right for delimiter matching but
+//! awkward for "what comes three tokens after this call" questions, so
+//! each function body is flattened once into a vector of [`FlatTok`]s
+//! with explicit `Open`/`Close` markers and a precomputed mate index.
+
+use syn::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Kind of one flattened token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Open(Delimiter),
+    Close(Delimiter),
+    Ident,
+    Punct(char, Spacing),
+    Literal,
+}
+
+/// One token of the flattened body.
+#[derive(Debug, Clone)]
+pub struct FlatTok {
+    pub kind: TokKind,
+    /// Ident or literal text; empty for puncts and delimiters.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A function body flattened to a token vector.
+#[derive(Debug, Default)]
+pub struct Flat {
+    pub toks: Vec<FlatTok>,
+    /// `mate[i]` is the index of the matching delimiter for `Open`/`Close`
+    /// tokens (`usize::MAX` for everything else).
+    pub mate: Vec<usize>,
+}
+
+impl Flat {
+    pub fn from_stream(stream: &TokenStream) -> Flat {
+        let mut flat = Flat::default();
+        let mut stack = Vec::new();
+        push_stream(stream, &mut flat, &mut stack);
+        flat
+    }
+
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i) {
+            Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, i: usize, ch: char) -> bool {
+        matches!(self.toks.get(i), Some(t) if matches!(t.kind, TokKind::Punct(c, _) if c == ch))
+    }
+
+    pub fn is_open(&self, i: usize, d: Delimiter) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Open(d))
+    }
+
+    /// `::` at `i` (joint colon followed by a colon).
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        matches!(
+            self.toks.get(i),
+            Some(t) if matches!(t.kind, TokKind::Punct(':', Spacing::Joint))
+        ) && self.is_punct(i + 1, ':')
+    }
+
+    pub fn line(&self, i: usize) -> usize {
+        self.toks.get(i).map(|t| t.line).unwrap_or(0)
+    }
+}
+
+fn push_stream(stream: &TokenStream, flat: &mut Flat, stack: &mut Vec<usize>) {
+    for tree in stream {
+        match tree {
+            TokenTree::Group(g) => {
+                let open = flat.toks.len();
+                stack.push(open);
+                flat.toks.push(FlatTok {
+                    kind: TokKind::Open(g.delimiter()),
+                    text: String::new(),
+                    line: g.span().start().line,
+                });
+                flat.mate.push(usize::MAX);
+                push_stream(g.stream(), flat, stack);
+                let open = stack.pop().unwrap_or(0);
+                let close = flat.toks.len();
+                flat.toks.push(FlatTok {
+                    kind: TokKind::Close(g.delimiter()),
+                    text: String::new(),
+                    line: g.span().start().line,
+                });
+                flat.mate.push(open);
+                flat.mate[open] = close;
+            }
+            TokenTree::Ident(i) => {
+                flat.toks.push(FlatTok {
+                    kind: TokKind::Ident,
+                    text: i.to_string(),
+                    line: i.span().start().line,
+                });
+                flat.mate.push(usize::MAX);
+            }
+            TokenTree::Punct(p) => {
+                flat.toks.push(FlatTok {
+                    kind: TokKind::Punct(p.as_char(), p.spacing()),
+                    text: String::new(),
+                    line: p.span().start().line,
+                });
+                flat.mate.push(usize::MAX);
+            }
+            TokenTree::Literal(l) => {
+                flat.toks.push(FlatTok {
+                    kind: TokKind::Literal,
+                    text: l.to_string(),
+                    line: l.span().start().line,
+                });
+                flat.mate.push(usize::MAX);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Call shapes
+// ---------------------------------------------------------------------------
+
+/// `recv.name::<T>(args)` — a method call site.
+#[derive(Debug)]
+pub struct MethodCall {
+    pub name: String,
+    /// Index of the `.` token.
+    pub dot: usize,
+    /// Index of the argument `(` group open.
+    pub args_open: usize,
+    /// Idents inside the turbofish, if one is present.
+    pub turbofish: Vec<String>,
+    pub line: usize,
+}
+
+/// `seg::seg2(args)` or `bare(args)` — a path/free call site.
+#[derive(Debug)]
+pub struct PathCall {
+    pub segs: Vec<String>,
+    /// Index of the first segment ident.
+    pub start: usize,
+    pub args_open: usize,
+    pub line: usize,
+}
+
+/// Keywords that can directly precede a parenthesized expression.
+const EXPR_KEYWORDS: [&str; 12] = [
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "in", "as",
+    "move",
+];
+
+/// Skip a `::<...>` turbofish starting at `i` (at the first `:`), returning
+/// (index after it, idents inside). Returns `(i, empty)` if none.
+fn skip_turbofish(flat: &Flat, i: usize) -> (usize, Vec<String>) {
+    if !(flat.is_path_sep(i) && flat.is_punct(i + 2, '<')) {
+        return (i, Vec::new());
+    }
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    let mut j = i + 2;
+    while j < flat.toks.len() {
+        match flat.toks[j].kind {
+            TokKind::Punct('<', _) => depth += 1,
+            TokKind::Punct('>', _) => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, idents);
+                }
+            }
+            TokKind::Ident => idents.push(flat.toks[j].text.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (i, Vec::new())
+}
+
+/// All method-call sites in the body.
+pub fn method_calls(flat: &Flat) -> Vec<MethodCall> {
+    let mut out = Vec::new();
+    for dot in 0..flat.toks.len() {
+        if !flat.is_punct(dot, '.') {
+            continue;
+        }
+        // `..` range punct, not a member access.
+        if flat.is_punct(dot + 1, '.') || flat.is_punct(dot.wrapping_sub(1), '.') {
+            continue;
+        }
+        let Some(name) = flat.ident(dot + 1) else {
+            continue;
+        };
+        let name = name.to_string();
+        let (after, turbofish) = skip_turbofish(flat, dot + 2);
+        if flat.is_open(after, Delimiter::Parenthesis) {
+            out.push(MethodCall {
+                line: flat.line(dot + 1),
+                name,
+                dot,
+                args_open: after,
+                turbofish,
+            });
+        }
+    }
+    out
+}
+
+/// All path-call sites (`Type::f(..)`, `mod::f(..)`, `bare(..)`) in the
+/// body. Macro invocations (`name!(..)`) and keyword-parens (`if (..)`)
+/// are excluded; method calls are reported by [`method_calls`] instead.
+pub fn path_calls(flat: &Flat) -> Vec<PathCall> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < flat.toks.len() {
+        let Some(first) = flat.ident(i) else {
+            i += 1;
+            continue;
+        };
+        // Part of a longer path or a member access — not a call head.
+        if flat.is_punct(i.wrapping_sub(1), '.')
+            || (i >= 2 && flat.is_path_sep(i - 2))
+            || matches!(flat.ident(i.wrapping_sub(1)), Some("fn"))
+        {
+            i += 1;
+            continue;
+        }
+        let mut segs = vec![first.to_string()];
+        let mut j = i + 1;
+        while flat.is_path_sep(j) {
+            // `::<` is a turbofish on the path, handled below.
+            match flat.ident(j + 2) {
+                Some(seg) => {
+                    segs.push(seg.to_string());
+                    j += 3;
+                }
+                None => break,
+            }
+        }
+        let (after, _) = skip_turbofish(flat, j);
+        if flat.is_punct(after, '!') {
+            i = after + 1; // macro invocation
+            continue;
+        }
+        let is_keyword = segs.len() == 1 && EXPR_KEYWORDS.contains(&segs[0].as_str());
+        if flat.is_open(after, Delimiter::Parenthesis) && !is_keyword {
+            out.push(PathCall {
+                line: flat.line(i),
+                segs,
+                start: i,
+                args_open: after,
+            });
+        }
+        i = if after > i { after } else { i + 1 };
+    }
+    out
+}
+
+/// Split the arguments of the group opened at `open` into top-level
+/// comma-separated token ranges (`start..end` indices into `flat.toks`).
+pub fn split_args(flat: &Flat, open: usize) -> Vec<std::ops::Range<usize>> {
+    let close = flat.mate[open];
+    let mut out = Vec::new();
+    let mut start = open + 1;
+    let mut i = open + 1;
+    while i < close {
+        match flat.toks[i].kind {
+            TokKind::Open(_) => i = flat.mate[i],
+            TokKind::Punct(',', _) => {
+                out.push(start..i);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < close {
+        out.push(start..close);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Receiver and sink chains
+// ---------------------------------------------------------------------------
+
+/// One postfix segment of a receiver expression, leftmost first.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChainSeg {
+    /// Plain name: `self`, a local, a field.
+    Name(String),
+    /// Call result: `frame()`, `Type::get()`.
+    Call(String),
+    /// Index expression `[..]`.
+    Index,
+    /// Parenthesized subexpression.
+    Paren,
+    /// Anything else (literal, closure, ...).
+    Other,
+}
+
+/// The `.`-separated receiver chain ending just before the `.` at `dot`
+/// (e.g. for `self.book.entries.iter()`'s final call this returns
+/// `[Name(self), Name(book), Name(entries)]`).
+pub fn receiver_chain(flat: &Flat, dot: usize) -> Vec<ChainSeg> {
+    let mut rev = Vec::new();
+    let mut j = dot.wrapping_sub(1);
+    loop {
+        if j >= flat.toks.len() {
+            break;
+        }
+        // `?` is transparent postfix.
+        if matches!(flat.toks[j].kind, TokKind::Punct('?', _)) {
+            j = j.wrapping_sub(1);
+            continue;
+        }
+        match flat.toks[j].kind {
+            TokKind::Close(Delimiter::Bracket) => {
+                rev.push(ChainSeg::Index);
+                j = flat.mate[j].wrapping_sub(1);
+                continue; // indexing is postfix on what precedes it
+            }
+            TokKind::Close(Delimiter::Parenthesis) => {
+                let open = flat.mate[j];
+                if let Some(name) = flat.ident(open.wrapping_sub(1)) {
+                    rev.push(ChainSeg::Call(name.to_string()));
+                    j = open.wrapping_sub(2);
+                } else {
+                    rev.push(ChainSeg::Paren);
+                    break;
+                }
+            }
+            TokKind::Ident => {
+                rev.push(ChainSeg::Name(flat.toks[j].text.clone()));
+                j = j.wrapping_sub(1);
+            }
+            _ => {
+                rev.push(ChainSeg::Other);
+                break;
+            }
+        }
+        // The chain only continues through a `.`; a `::` means the last
+        // segment was path-qualified and the chain starts there.
+        if j < flat.toks.len() && flat.is_punct(j, '.') && !flat.is_punct(j.wrapping_sub(1), '.') {
+            j = j.wrapping_sub(1);
+            continue;
+        }
+        if j < flat.toks.len() && flat.is_punct(j, ':') {
+            // Drop path qualifiers (`Type::get(..)` keeps just the call).
+            break;
+        }
+        break;
+    }
+    rev.reverse();
+    rev
+}
+
+/// A method call following another call in a postfix chain.
+#[derive(Debug)]
+pub struct SinkStep {
+    pub name: String,
+    pub turbofish: Vec<String>,
+    pub args_open: usize,
+    pub line: usize,
+}
+
+/// The method calls chained *after* the call whose argument group opens at
+/// `args_open` (`x.iter().map(..).sum()` → `[map, sum]` when called on
+/// `iter`'s group). The second element reports whether the chain ended at
+/// a statement boundary (`;` / end of enclosing group), i.e. its value is
+/// dropped rather than escaping further.
+pub fn sink_chain(flat: &Flat, args_open: usize) -> (Vec<SinkStep>, bool) {
+    let mut out = Vec::new();
+    let mut j = flat.mate[args_open] + 1;
+    loop {
+        while matches!(
+            flat.toks.get(j).map(|t| t.kind),
+            Some(TokKind::Punct('?', _))
+        ) {
+            j += 1;
+        }
+        if !flat.is_punct(j, '.') {
+            break;
+        }
+        let Some(name) = flat.ident(j + 1) else {
+            break;
+        };
+        let name = name.to_string();
+        let (after, turbofish) = skip_turbofish(flat, j + 2);
+        if !flat.is_open(after, Delimiter::Parenthesis) {
+            // Field access mid-chain; treat as chain end.
+            break;
+        }
+        out.push(SinkStep {
+            line: flat.line(j + 1),
+            name,
+            turbofish,
+            args_open: after,
+        });
+        j = flat.mate[after] + 1;
+    }
+    let at_stmt_end = matches!(
+        flat.toks.get(j).map(|t| t.kind),
+        None | Some(TokKind::Punct(';', _))
+    );
+    (out, at_stmt_end)
+}
+
+// ---------------------------------------------------------------------------
+// Loops and bindings
+// ---------------------------------------------------------------------------
+
+/// A `for pat in expr { .. }` loop; `expr` is the token range of the
+/// iterated expression.
+#[derive(Debug)]
+pub struct ForLoop {
+    pub expr: std::ops::Range<usize>,
+    pub line: usize,
+}
+
+pub fn for_loops(flat: &Flat) -> Vec<ForLoop> {
+    let mut out = Vec::new();
+    for i in 0..flat.toks.len() {
+        if flat.ident(i) != Some("for") {
+            continue;
+        }
+        // Find the `in` at this nesting level, then the body brace.
+        let mut j = i + 1;
+        let mut in_at = None;
+        while j < flat.toks.len() {
+            match flat.toks[j].kind {
+                TokKind::Open(_) => j = flat.mate[j],
+                TokKind::Ident if flat.toks[j].text == "in" => {
+                    in_at = Some(j);
+                    break;
+                }
+                TokKind::Punct(';', _) | TokKind::Close(_) => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_at) = in_at else {
+            continue;
+        };
+        let mut k = in_at + 1;
+        while k < flat.toks.len() {
+            match flat.toks[k].kind {
+                TokKind::Open(Delimiter::Brace) => break,
+                TokKind::Open(_) => k = flat.mate[k],
+                TokKind::Punct(';', _) | TokKind::Close(_) => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if flat.is_open(k, Delimiter::Brace) {
+            out.push(ForLoop {
+                expr: (in_at + 1)..k,
+                line: flat.line(i),
+            });
+        }
+    }
+    out
+}
+
+/// A `let [mut] name ...` binding with the tokens between the name and the
+/// `=` (its type ascription, possibly empty) and the initializer range.
+#[derive(Debug)]
+pub struct LetBind {
+    pub name: String,
+    pub ty: Vec<String>,
+    /// Ident/literal texts of the initializer (up to the closing `;`).
+    pub init: Vec<String>,
+    pub line: usize,
+}
+
+pub fn let_binds(flat: &Flat) -> Vec<LetBind> {
+    let mut out = Vec::new();
+    for i in 0..flat.toks.len() {
+        if flat.ident(i) != Some("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if flat.ident(j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = flat.ident(j) else {
+            continue; // destructuring pattern
+        };
+        let name = name.to_string();
+        let line = flat.line(j);
+        // Collect type tokens until `=` or `;` at this level.
+        let mut ty = Vec::new();
+        let mut k = j + 1;
+        let mut eq_at = None;
+        while k < flat.toks.len() {
+            match flat.toks[k].kind {
+                TokKind::Open(_) => k = flat.mate[k],
+                TokKind::Punct('=', Spacing::Alone) => {
+                    eq_at = Some(k);
+                    break;
+                }
+                TokKind::Punct(';', _) | TokKind::Close(_) => break,
+                TokKind::Ident => ty.push(flat.toks[k].text.clone()),
+                _ => {}
+            }
+            k += 1;
+        }
+        let mut init = Vec::new();
+        if let Some(eq) = eq_at {
+            let mut m = eq + 1;
+            let mut depth = 0usize;
+            while m < flat.toks.len() {
+                match flat.toks[m].kind {
+                    TokKind::Open(_) => depth += 1,
+                    TokKind::Close(_) => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    TokKind::Punct(';', _) if depth == 0 => break,
+                    TokKind::Ident | TokKind::Literal => init.push(flat.toks[m].text.clone()),
+                    _ => {}
+                }
+                m += 1;
+            }
+        }
+        out.push(LetBind {
+            name,
+            ty,
+            init,
+            line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_of(body: &str) -> Flat {
+        let src = format!("fn t() {{ {body} }}");
+        let file = syn::parse_file(&src).expect("parse");
+        let syn::Item::Fn(f) = &file.items[0] else {
+            panic!("expected fn");
+        };
+        Flat::from_stream(f.block.as_ref().expect("body"))
+    }
+
+    #[test]
+    fn method_and_path_calls() {
+        let f = flat_of("let x = SimRng::seed_from(7); x.fork(2); foo(); vec![1].len();");
+        let m: Vec<String> = method_calls(&f).into_iter().map(|c| c.name).collect();
+        assert_eq!(m, ["fork", "len"]);
+        let p: Vec<Vec<String>> = path_calls(&f).into_iter().map(|c| c.segs).collect();
+        assert_eq!(
+            p,
+            [
+                vec!["SimRng".to_string(), "seed_from".to_string()],
+                vec!["foo".to_string()]
+            ]
+        );
+    }
+
+    #[test]
+    fn turbofish_and_keywords() {
+        let f = flat_of("if (a) { xs.iter().collect::<HashMap<u32, u64>>(); }");
+        let m = method_calls(&f);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[1].name, "collect");
+        assert!(m[1].turbofish.iter().any(|t| t == "HashMap"));
+        assert!(path_calls(&f).is_empty(), "`if (a)` must not be a call");
+    }
+
+    #[test]
+    fn receiver_chains() {
+        let f = flat_of("self.book.entries.iter(); frame(0).to_vec(); arr[i].clone();");
+        let calls = method_calls(&f);
+        let c0 = receiver_chain(&f, calls[0].dot);
+        assert_eq!(
+            c0,
+            [
+                ChainSeg::Name("self".into()),
+                ChainSeg::Name("book".into()),
+                ChainSeg::Name("entries".into())
+            ]
+        );
+        let c1 = receiver_chain(&f, calls[1].dot);
+        assert_eq!(c1, [ChainSeg::Call("frame".into())]);
+        let c2 = receiver_chain(&f, calls[2].dot);
+        assert_eq!(c2, [ChainSeg::Name("arr".into()), ChainSeg::Index]);
+    }
+
+    #[test]
+    fn sink_chains_and_loops() {
+        let f = flat_of("let n = m.iter().map(|x| x).count(); for (k, v) in m { }");
+        let calls = method_calls(&f);
+        let (sinks, at_end) = sink_chain(&f, calls[0].args_open);
+        let names: Vec<&str> = sinks.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["map", "count"]);
+        assert!(at_end);
+        let loops = for_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(f.ident(loops[0].expr.start), Some("m"));
+    }
+
+    #[test]
+    fn let_bindings() {
+        let f = flat_of("let mut totals: HashMap<u32, f64> = HashMap::new(); let y = frame(0);");
+        let binds = let_binds(&f);
+        assert_eq!(binds.len(), 2);
+        assert_eq!(binds[0].name, "totals");
+        assert!(binds[0].ty.iter().any(|t| t == "HashMap"));
+        assert_eq!(binds[1].name, "y");
+        assert!(binds[1].init.iter().any(|t| t == "frame"));
+    }
+}

@@ -3,6 +3,7 @@
 //! integration tests can drive the engines directly; the thin binary in
 //! `main.rs` adds argument parsing and exit codes.
 
+pub mod analysis;
 pub mod bench;
 pub mod determinism;
 pub mod json;

@@ -87,6 +87,17 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Workspace scans export the step-path reachable set for tooling
+    // (and the CI artifact); fixture scans never have one.
+    if let Some(reach) = &report.reach_json {
+        let out = workspace_root().join("target/step_reach.json");
+        if let Some(dir) = out.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&out, format!("{reach}\n")) {
+            eprintln!("xtask lint: cannot write {}: {e}", out.display());
+        }
+    }
     if as_json {
         let mut o = json::Object::new();
         o.raw_field(

@@ -1,0 +1,32 @@
+//! Fixture: `interior-mutability-audit` must fire on unaudited interior
+//! mutability and stay silent where an `// AUDIT:` comment argues the
+//! determinism case.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn unjustified_counter() -> usize {
+    let next = AtomicUsize::new(0);
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn unjustified_lock() -> u64 {
+    let cell = Mutex::new(7u64);
+    let g = cell.lock();
+    match g {
+        Ok(v) => *v,
+        Err(_) => 0,
+    }
+}
+
+pub fn justified_counter() -> usize {
+    // AUDIT: ticket counter only partitions indices; the output is
+    // index-addressed, so claim order never escapes.
+    let next = AtomicUsize::new(0);
+    // AUDIT: relaxed RMW hands out disjoint indices only.
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn plain_swap_stays_silent(v: &mut [u64]) {
+    v.swap(0, 0);
+}

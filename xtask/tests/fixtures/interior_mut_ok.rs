@@ -1,0 +1,19 @@
+//! Fixture: fully audited interior mutability must stay silent under
+//! `interior-mutability-audit`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn audited_counter() -> u64 {
+    // AUDIT: single-writer integer counter; readers only observe it after
+    // the writers join, so scheduling cannot leak into the value.
+    let hits = AtomicU64::new(0);
+    // AUDIT: relaxed add of a commutative integer counter.
+    hits.fetch_add(3, Ordering::Relaxed);
+    // AUDIT: load happens after all writers joined; value deterministic.
+    hits.load(Ordering::Relaxed)
+}
+
+pub fn ordinary_methods_stay_silent(v: &mut Vec<u64>) -> Option<u64> {
+    v.swap(0, 0);
+    v.first().copied()
+}

@@ -1,0 +1,30 @@
+//! Fixture: `no-iteration-order-escape` must fire when a hasher-order
+//! stream escapes into an order-sensitive sink.
+
+use std::collections::HashMap;
+
+pub struct Table {
+    map: HashMap<u32, f64>,
+}
+
+fn make_map() -> HashMap<u32, f64> {
+    HashMap::new()
+}
+
+impl Table {
+    pub fn escape_for_loop(&self) -> f64 {
+        let mut acc = 0.0;
+        for (_, v) in &self.map {
+            acc += v;
+        }
+        acc
+    }
+}
+
+pub fn escape_collect() -> Vec<u32> {
+    make_map().keys().copied().collect()
+}
+
+pub fn escape_float_sum() -> f64 {
+    make_map().values().sum()
+}

@@ -1,0 +1,25 @@
+//! Fixture: order-insensitive consumption of hash containers must stay
+//! silent under `no-iteration-order-escape`.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn make_map() -> HashMap<u32, u64> {
+    HashMap::new()
+}
+
+pub fn order_free_sinks() -> (usize, bool, u64) {
+    let n = make_map().keys().count();
+    let any_big = make_map().values().any(|&v| v > 10);
+    let total = make_map().values().sum::<u64>();
+    (n, any_big, total)
+}
+
+pub fn sorted_vec() -> Vec<u32> {
+    let mut ks: Vec<u32> = make_map().keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+pub fn rekeyed() -> BTreeMap<u32, u64> {
+    make_map().into_iter().collect::<BTreeMap<u32, u64>>()
+}

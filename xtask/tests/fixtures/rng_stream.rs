@@ -1,0 +1,34 @@
+//! Fixture: `rng-stream-discipline` must fire on constant and ad-hoc
+//! seeds, including seeds forwarded through a helper from a bad caller.
+
+pub fn shard_loss_seed(seed: u64, tick: u64, shard: u64) -> u64 {
+    seed ^ tick.rotate_left(17) ^ shard.rotate_left(41)
+}
+
+pub struct Rng;
+
+impl Rng {
+    pub fn seed_from_u64(_s: u64) -> Rng {
+        Rng
+    }
+}
+
+pub fn constant_seed() -> Rng {
+    Rng::seed_from_u64(42)
+}
+
+pub fn adhoc_seed(tick: u64, shard: u64) -> Rng {
+    Rng::seed_from_u64(tick * 31 + shard)
+}
+
+fn forward(stream: u64) -> Rng {
+    Rng::seed_from_u64(stream)
+}
+
+pub fn bad_caller() -> Rng {
+    forward(7)
+}
+
+pub fn blessed_stays_silent(seed: u64, tick: u64, shard: u64) -> Rng {
+    Rng::seed_from_u64(shard_loss_seed(seed, tick, shard))
+}

@@ -1,0 +1,27 @@
+//! Fixture: seeds derived through `shard_loss_seed(seed, tick, shard)` —
+//! directly or via forwarding — must stay silent under
+//! `rng-stream-discipline`.
+
+pub fn shard_loss_seed(seed: u64, tick: u64, shard: u64) -> u64 {
+    seed ^ tick.rotate_left(17) ^ shard.rotate_left(41)
+}
+
+pub struct Rng;
+
+impl Rng {
+    pub fn seed_from_u64(_s: u64) -> Rng {
+        Rng
+    }
+}
+
+pub fn blessed_direct(seed: u64, tick: u64, shard: u64) -> Rng {
+    Rng::seed_from_u64(shard_loss_seed(seed, tick, shard))
+}
+
+fn forward(stream: u64) -> Rng {
+    Rng::seed_from_u64(stream)
+}
+
+pub fn blessed_forward(seed: u64, tick: u64, shard: u64) -> Rng {
+    forward(shard_loss_seed(seed, tick, shard))
+}
