@@ -31,9 +31,13 @@ cargo test --workspace -q
 # Schedule fuzz: rerun the determinism-sensitive suites with every
 # multi-threaded pool call claiming work in a seeded adversarial order.
 # Byte-identical reports are the contract; a merge-order leak fails here.
+# Since PR 7 that includes the sweep orchestrator: multiplex_equivalence
+# pins the fan-out against standalone runs while run_sweep workers claim
+# whole world-runs in the fuzzed order.
 step "schedule fuzz (CHLM_SHUFFLE_MERGE=1)"
 CHLM_SHUFFLE_MERGE=1 cargo test -q -p chlm-par
 CHLM_SHUFFLE_MERGE=1 cargo test -q -p chlm-sim --test thread_invariance
+CHLM_SHUFFLE_MERGE=1 cargo test -q -p chlm-sim --test multiplex_equivalence
 
 # Miri over the worker pool when the toolchain carries it (nightly-only
 # component; the GitHub workflow runs it in a dedicated nightly job).
@@ -60,12 +64,17 @@ step "cargo xtask bench --smoke (CHLM_THREADS=2)"
 CHLM_THREADS=2 cargo xtask bench --smoke
 
 # The E24 scheme comparison at CI scale (n=256, 1 seed, all three schemes,
-# all three mobilities), again at two thread counts: scheme accounting is
-# covered by the same thread-invariance contract as everything else.
-step "exp_lm_compare --smoke (CHLM_THREADS=1)"
+# all three mobilities), through the shared-world multiplexer at two
+# thread counts: scheme accounting is covered by the same thread-
+# invariance contract as everything else. One --legacy run keeps the
+# per-scheme A/B path compiling and exercised end to end.
+step "exp_lm_compare --smoke (CHLM_THREADS=1, multiplexed)"
 CHLM_THREADS=1 cargo run -p chlm-bench --release -q --bin exp_lm_compare -- --smoke
 
-step "exp_lm_compare --smoke (CHLM_THREADS=2)"
+step "exp_lm_compare --smoke (CHLM_THREADS=2, multiplexed)"
 CHLM_THREADS=2 cargo run -p chlm-bench --release -q --bin exp_lm_compare -- --smoke
+
+step "exp_lm_compare --smoke --legacy (CHLM_THREADS=2, A/B path)"
+CHLM_THREADS=2 cargo run -p chlm-bench --release -q --bin exp_lm_compare -- --smoke --legacy
 
 printf '\nci.sh: all checks passed\n'

@@ -8,9 +8,11 @@
 //! swaps the accounting observer (pinned by `chlm-sim`'s
 //! `tests/scheme_trace.rs`).
 
+use chlm_analysis::stats::Summary;
 use chlm_analysis::table::{fnum, TextTable};
 use chlm_core::experiment::{summarize_metric, sweep};
-use chlm_sim::{LmScheme, MobilityKind, SimConfig};
+use chlm_sim::runner::seed_range;
+use chlm_sim::{run_sweep, HopMetric, LmScheme, MobilityKind, SimConfig, SweepJob, VariantSpec};
 
 /// The schemes under comparison, in report order.
 pub fn schemes() -> [(&'static str, LmScheme); 3] {
@@ -54,6 +56,9 @@ pub struct CompareSpec {
     /// smoke/golden runs.
     pub crossing_warmup: bool,
     pub mobilities: Vec<(&'static str, MobilityKind)>,
+    /// How hops are priced. `EuclideanCalibrated` (the `SimConfig`
+    /// default) for E24; `HierRouting` for the E25 re-sweep.
+    pub hop_metric: HopMetric,
 }
 
 impl CompareSpec {
@@ -73,6 +78,7 @@ impl CompareSpec {
                 .into_iter()
                 .filter(|(name, _)| *name != "rpgm")
                 .collect(),
+            hop_metric: HopMetric::EuclideanCalibrated,
         }
     }
 
@@ -87,7 +93,25 @@ impl CompareSpec {
             warmup: 1.0,
             crossing_warmup: false,
             mobilities: mobility_models(),
+            hop_metric: HopMetric::EuclideanCalibrated,
         }
+    }
+
+    /// The per-scheme config at one (mobility, n) grid cell.
+    fn config_for(&self, n: usize, mobility: MobilityKind, scheme: LmScheme) -> SimConfig {
+        let mut cfg = SimConfig::builder(n)
+            .duration(self.duration)
+            .warmup(self.warmup)
+            .mobility(mobility)
+            .lm_scheme(scheme)
+            .hop_metric(self.hop_metric)
+            .query_samples(0)
+            .build();
+        if self.crossing_warmup {
+            let crossing = cfg.region_radius() / cfg.speed;
+            cfg.warmup = cfg.warmup.max(2.0 * crossing);
+        }
+        cfg
     }
 }
 
@@ -102,9 +126,66 @@ pub struct CompareRow {
     pub ci95: f64,
 }
 
-/// Run the full comparison: mobilities × schemes × sizes, every scheme on
-/// the same per-seed traces. Rows are ordered mobility → scheme → n.
+/// Run the full comparison through the shared-world multiplexer: one
+/// world per (mobility, n, seed) grid cell, all three schemes priced
+/// against it as observer banks ([`chlm_sim::run_sweep`] claims whole
+/// world-runs off the work-stealing ticket counter). Rows are ordered
+/// mobility → scheme → n and are byte-identical to
+/// [`run_compare_legacy`] — the multiplexer fan-out reproduces each
+/// standalone report exactly, and the summary folds the same values in
+/// the same order.
 pub fn run_compare(spec: &CompareSpec) -> Vec<CompareRow> {
+    let backend = spec
+        .config_for(spec.sizes[0], spec.mobilities[0].1, LmScheme::Chlm)
+        .backend;
+    let variants: Vec<VariantSpec> = schemes()
+        .iter()
+        .map(|&(name, scheme)| VariantSpec::new(name, scheme, spec.hop_metric, backend))
+        .collect();
+    let mut jobs = Vec::new();
+    for &(_, mobility) in &spec.mobilities {
+        for &n in &spec.sizes {
+            let cfg = spec.config_for(n, mobility, LmScheme::Chlm);
+            for seed in seed_range(spec.base_seed, spec.replications) {
+                jobs.push(SweepJob {
+                    cfg: cfg.clone(),
+                    seed,
+                    variants: variants.clone(),
+                });
+            }
+        }
+    }
+    let grid = run_sweep(&jobs, spec.threads);
+    // Reassemble mobility → scheme → n rows from the flattened job grid:
+    // job index = (mobility · |sizes| + size) · replications + rep.
+    let mut rows = Vec::new();
+    for (mi, &(mob_name, _)) in spec.mobilities.iter().enumerate() {
+        for (vi, (scheme_name, _)) in schemes().into_iter().enumerate() {
+            for (si, &n) in spec.sizes.iter().enumerate() {
+                let base = (mi * spec.sizes.len() + si) * spec.replications;
+                let xs: Vec<f64> = (0..spec.replications)
+                    .map(|rep| grid[base + rep][vi].total_overhead())
+                    .collect();
+                // audit: infallible because replications >= 1 jobs exist per cell
+                let s = Summary::of(&xs).expect("compare cell with no replications");
+                rows.push(CompareRow {
+                    mobility: mob_name,
+                    scheme: scheme_name,
+                    n,
+                    mean: s.mean,
+                    ci95: s.ci95(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The pre-multiplexer comparison path: one full simulation per
+/// (mobility, scheme, n, seed) — the world re-simulated once per scheme.
+/// Kept for A/B wall-clock timing (`exp_lm_compare --legacy`); produces
+/// byte-identical rows to [`run_compare`].
+pub fn run_compare_legacy(spec: &CompareSpec) -> Vec<CompareRow> {
     let mut rows = Vec::new();
     for &(mob_name, mobility) in &spec.mobilities {
         for (scheme_name, scheme) in schemes() {
@@ -113,20 +194,7 @@ pub fn run_compare(spec: &CompareSpec) -> Vec<CompareRow> {
                 spec.replications,
                 spec.base_seed,
                 spec.threads,
-                |n| {
-                    let mut cfg = SimConfig::builder(n)
-                        .duration(spec.duration)
-                        .warmup(spec.warmup)
-                        .mobility(mobility)
-                        .lm_scheme(scheme)
-                        .query_samples(0)
-                        .build();
-                    if spec.crossing_warmup {
-                        let crossing = cfg.region_radius() / cfg.speed;
-                        cfg.warmup = cfg.warmup.max(2.0 * crossing);
-                    }
-                    cfg
-                },
+                |n| spec.config_for(n, mobility, scheme),
             );
             let series = summarize_metric(&points, scheme_name, |r| r.total_overhead());
             for (i, &n) in spec.sizes.iter().enumerate() {
@@ -232,6 +300,31 @@ mod tests {
         assert_eq!(s.replications, 2);
         assert_eq!(s.base_seed, 24_000);
         assert_eq!(s.mobilities.len(), 2);
+        assert_eq!(s.hop_metric, HopMetric::EuclideanCalibrated);
+    }
+
+    #[test]
+    fn multiplexed_matches_legacy_exactly() {
+        // The A/B contract behind `--legacy`: same rows, bit for bit —
+        // the multiplexer only removes redundant world re-simulation.
+        let mut spec = CompareSpec::golden();
+        spec.sizes = vec![64];
+        spec.duration = 1.0;
+        spec.warmup = 0.2;
+        assert_eq!(run_compare(&spec), run_compare_legacy(&spec));
+    }
+
+    #[test]
+    fn hier_routing_spec_produces_rows() {
+        let mut spec = CompareSpec::golden();
+        spec.sizes = vec![64];
+        spec.duration = 1.0;
+        spec.warmup = 0.2;
+        spec.replications = 1;
+        spec.hop_metric = HopMetric::HierRouting;
+        let rows = run_compare(&spec);
+        assert_eq!(rows.len(), spec.mobilities.len() * schemes().len());
+        assert!(rows.iter().all(|r| r.mean > 0.0));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod dijkstra;
 pub mod dynamics;
+pub mod fasthash;
 pub mod incremental;
 pub mod metrics;
 pub mod traversal;

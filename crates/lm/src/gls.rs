@@ -20,9 +20,10 @@
 //!   (the old server moved away, or `v` crossed a grid boundary), the entry
 //!   travels old → new server.
 
-use crate::hash::{hrw_select, mod_successor_select};
+use crate::hash::{hrw_select, hrw_weight, mod_successor_select};
 use chlm_cluster::ElectionId;
 use chlm_geom::{Point, Rect};
+use chlm_graph::fasthash::FastMap;
 use chlm_graph::NodeIdx;
 use std::collections::HashMap;
 
@@ -227,6 +228,374 @@ impl GlsAssignment {
     }
 }
 
+/// The selection key of one candidate for one subject, shaped so that
+/// both rules reduce to a total-order comparison (see `key_beats`).
+#[inline]
+fn slot_key(
+    select: GlsSelect,
+    id_space: u64,
+    subject: ElectionId,
+    cand_id: ElectionId,
+) -> (u64, u64) {
+    match select {
+        GlsSelect::Hrw => (hrw_weight(subject, cand_id, GLS_HRW_SALT), cand_id),
+        GlsSelect::ModSuccessor => {
+            let s1 = (subject + 1) % id_space;
+            (((cand_id % id_space) + id_space - s1) % id_space, 0)
+        }
+    }
+}
+
+/// Whether candidate `m` with `key` beats the current winner `cur` with
+/// `cur_key`. Exactly reproduces the linear scans in
+/// [`GlsAssignment::compute_with`] over an ascending candidate list:
+/// [`hrw_select`] takes the *first* maximum of `(weight, id)` and
+/// [`mod_successor_select`] the *first* minimum gap, so full ties resolve
+/// to the smallest node index either way.
+#[inline]
+fn key_beats(
+    select: GlsSelect,
+    key: (u64, u64),
+    m: NodeIdx,
+    cur_key: (u64, u64),
+    cur: NodeIdx,
+) -> bool {
+    match select {
+        GlsSelect::Hrw => key > cur_key || (key == cur_key && m < cur),
+        GlsSelect::ModSuccessor => key.0 < cur_key.0 || (key.0 == cur_key.0 && m < cur),
+    }
+}
+
+/// Winner over an ascending member list, with its key. `NO_SERVER` for an
+/// empty list.
+fn select_over(
+    select: GlsSelect,
+    id_space: u64,
+    subject: ElectionId,
+    ids: &[ElectionId],
+    members: &[NodeIdx],
+) -> (NodeIdx, (u64, u64)) {
+    let mut cur = NO_SERVER;
+    let mut cur_key = (0u64, 0u64);
+    for &m in members {
+        let key = slot_key(select, id_space, subject, ids[m as usize]);
+        if cur == NO_SERVER || key_beats(select, key, m, cur_key, cur) {
+            cur = m;
+            cur_key = key;
+        }
+    }
+    (cur, cur_key)
+}
+
+/// One changed square's membership delta this tick: `(cell, joined,
+/// left)`.
+type SquareDelta = ((u32, u32), Vec<NodeIdx>, Vec<NodeIdx>);
+
+/// Incrementally maintained [`GlsAssignment`] — same table, same diffs,
+/// without the per-tick full rescan.
+///
+/// [`GlsAssignment::compute_with`] costs `Σ_slots |members(square)|` hash
+/// evaluations per tick, dominated by the coarse bands whose squares hold
+/// `O(n)` occupants that barely change between ticks. Both selection
+/// rules are *set functions* with a total-order tie-break (see
+/// `key_beats`), so each slot's winner can be maintained under
+/// occupancy deltas exactly:
+///
+/// * a node joining a square beats the cached winner iff its key does;
+/// * a node leaving a square forces a rescan only when it *was* the
+///   winner;
+/// * a subject crossing a cell boundary rescans just its own three slots
+///   at that band.
+///
+/// Per tick this costs `O(n · bands)` cell checks plus work proportional
+/// to the churn (movers and the slots referencing their squares), instead
+/// of the full `O(n · bands · |members|)` scan. The produced assignment
+/// and the returned diff are bit-identical to recomputing from scratch
+/// and diffing against the previous tick's table.
+#[derive(Debug, Clone)]
+pub struct GlsIncremental {
+    select: GlsSelect,
+    id_space: u64,
+    bands: usize,
+    n: usize,
+    /// Current cell per `(node, band)` at order `band + 1`, `n × bands`.
+    cells: Vec<(u32, u32)>,
+    /// Per band: cell → occupants, kept sorted ascending (the scan order
+    /// [`GlsAssignment::compute_with`] uses, so tie-breaks agree).
+    occupancy: Vec<FastMap<(u32, u32), Vec<NodeIdx>>>,
+    assignment: GlsAssignment,
+    /// Winner key per slot, valid where `assignment.servers != NO_SERVER`.
+    rank: Vec<(u64, u64)>,
+    /// Slots first touched this tick, with their pre-tick server.
+    touched: Vec<(usize, NodeIdx)>,
+    touched_stamp: Vec<u32>,
+    mover_stamp: Vec<u32>,
+    stamp: u32,
+    diff: Vec<(NodeIdx, usize, NodeIdx, NodeIdx)>,
+}
+
+impl GlsIncremental {
+    pub fn new(select: GlsSelect) -> Self {
+        GlsIncremental {
+            select,
+            id_space: 1,
+            bands: 0,
+            n: 0,
+            cells: Vec::new(),
+            occupancy: Vec::new(),
+            assignment: GlsAssignment {
+                n: 0,
+                bands: 0,
+                servers: Vec::new(),
+            },
+            rank: Vec::new(),
+            touched: Vec::new(),
+            touched_stamp: Vec::new(),
+            mover_stamp: Vec::new(),
+            stamp: 0,
+            diff: Vec::new(),
+        }
+    }
+
+    /// The current server table (valid after the first [`Self::update`]).
+    pub fn assignment(&self) -> &GlsAssignment {
+        &self.assignment
+    }
+
+    /// Advance to this tick's positions. Returns the up-to-date table and
+    /// the changed slots versus the previous tick as `(subject, band,
+    /// old, new)` in the order [`GlsAssignment::diff`] yields (subjects
+    /// ascending, bands ascending, slots ascending). The first call
+    /// builds the table and returns an empty diff.
+    pub fn update(
+        &mut self,
+        grid: &GridHierarchy,
+        positions: &[Point],
+        ids: &[ElectionId],
+    ) -> (&GlsAssignment, &[(NodeIdx, usize, NodeIdx, NodeIdx)]) {
+        assert_eq!(positions.len(), ids.len());
+        let n = positions.len();
+        let bands = grid.orders.saturating_sub(1);
+        self.diff.clear();
+        if self.n != n || self.bands != bands {
+            self.rebuild(grid, positions, ids);
+            return (&self.assignment, &self.diff);
+        }
+        self.touched.clear();
+        for band in 0..bands {
+            let order = band + 1;
+            self.stamp = self.stamp.wrapping_add(1);
+            let stamp = self.stamp;
+            // 1. Movers at this band, grouped into per-square deltas.
+            let mut square_of: FastMap<(u32, u32), usize> = FastMap::default();
+            let mut squares: Vec<SquareDelta> = Vec::new();
+            let mut movers: Vec<NodeIdx> = Vec::new();
+            for v in 0..n {
+                let nc = grid.cell(positions[v], order);
+                let slot = v * bands + band;
+                let oc = self.cells[slot];
+                if nc == oc {
+                    continue;
+                }
+                self.cells[slot] = nc;
+                self.mover_stamp[v] = stamp;
+                movers.push(v as NodeIdx);
+                for (cell, joined) in [(oc, false), (nc, true)] {
+                    let i = *square_of.entry(cell).or_insert_with(|| {
+                        squares.push((cell, Vec::new(), Vec::new()));
+                        squares.len() - 1
+                    });
+                    if joined {
+                        squares[i].1.push(v as NodeIdx);
+                    } else {
+                        squares[i].2.push(v as NodeIdx);
+                    }
+                }
+            }
+            if movers.is_empty() {
+                continue;
+            }
+            // 2. Apply deltas to the sorted occupancy lists.
+            for (cell, joined, left) in &squares {
+                let members = self.occupancy[band].entry(*cell).or_default();
+                for v in left {
+                    // audit: binary_search on a list this struct keeps
+                    // sorted; a miss means internal state corruption.
+                    let at = members.binary_search(v).unwrap_or_else(|_| {
+                        unreachable!("leaving node {v} absent from its square")
+                    });
+                    members.remove(at);
+                }
+                for v in joined {
+                    let at = members
+                        .binary_search(v)
+                        .expect_err("joining node already present in square");
+                    members.insert(at, *v);
+                }
+            }
+            // 3. Stationary subjects referencing a changed square.
+            for si in 0..squares.len() {
+                let cell = squares[si].0;
+                for sib in grid.siblings(cell, order) {
+                    let Some(requesters) = self.occupancy[band].get(&sib) else {
+                        continue;
+                    };
+                    // The slot index of `cell` as seen from `sib` is the
+                    // same for every requester in `sib`.
+                    // audit: infallible because siblings() is symmetric —
+                    // `sib` came from siblings(cell), so cell and sib share
+                    // a parent square and cell is among siblings(sib).
+                    let s = grid
+                        .siblings(sib, order)
+                        .iter()
+                        .position(|&c| c == cell)
+                        .expect("sibling relation is symmetric");
+                    for &v in requesters {
+                        if self.mover_stamp[v as usize] == stamp {
+                            continue; // rescanned in full below
+                        }
+                        let slot = (v as usize * bands + band) * 3 + s;
+                        let cur = self.assignment.servers[slot];
+                        let (_, joined, left) = &squares[si];
+                        if cur != NO_SERVER && !left.contains(&cur) {
+                            // Winner stayed: only joiners can beat it.
+                            let subj = ids[v as usize];
+                            let mut best = cur;
+                            let mut best_key = self.rank[slot];
+                            for &m in joined {
+                                let key =
+                                    slot_key(self.select, self.id_space, subj, ids[m as usize]);
+                                if key_beats(self.select, key, m, best_key, best) {
+                                    best = m;
+                                    best_key = key;
+                                }
+                            }
+                            if best != cur {
+                                // A slot belongs to exactly one band, so
+                                // this band's stamp marks it touched for
+                                // the whole tick.
+                                if self.touched_stamp[slot] != stamp {
+                                    self.touched_stamp[slot] = stamp;
+                                    self.touched.push((slot, cur));
+                                }
+                                self.assignment.servers[slot] = best;
+                                self.rank[slot] = best_key;
+                            }
+                        } else {
+                            // Square was empty, or its winner left.
+                            let members = self.occupancy[band]
+                                .get(&cell)
+                                .map(Vec::as_slice)
+                                .unwrap_or(&[]);
+                            let (best, best_key) = select_over(
+                                self.select,
+                                self.id_space,
+                                ids[v as usize],
+                                ids,
+                                members,
+                            );
+                            if best != cur {
+                                if self.touched_stamp[slot] != stamp {
+                                    self.touched_stamp[slot] = stamp;
+                                    self.touched.push((slot, cur));
+                                }
+                                self.assignment.servers[slot] = best;
+                                self.rank[slot] = best_key;
+                            }
+                        }
+                    }
+                }
+            }
+            // 4. Movers rescan all three of their slots at this band.
+            for &v in &movers {
+                let cell = self.cells[v as usize * bands + band];
+                for (s, sib) in grid.siblings(cell, order).into_iter().enumerate() {
+                    let slot = (v as usize * bands + band) * 3 + s;
+                    let members = self.occupancy[band]
+                        .get(&sib)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    let (best, best_key) =
+                        select_over(self.select, self.id_space, ids[v as usize], ids, members);
+                    let cur = self.assignment.servers[slot];
+                    if best != cur {
+                        if self.touched_stamp[slot] != stamp {
+                            self.touched_stamp[slot] = stamp;
+                            self.touched.push((slot, cur));
+                        }
+                        self.assignment.servers[slot] = best;
+                        self.rank[slot] = best_key;
+                    }
+                }
+            }
+        }
+        // 5. Emit the net per-slot changes in diff order. The slot index
+        // is already lexicographic in (subject, band, s).
+        self.touched.sort_unstable_by_key(|&(slot, _)| slot);
+        for &(slot, old) in &self.touched {
+            let new = self.assignment.servers[slot];
+            if new == old {
+                continue; // changed and changed back within the tick
+            }
+            let v = (slot / 3 / bands) as NodeIdx;
+            let band = (slot / 3) % bands;
+            self.diff.push((v, band, old, new));
+        }
+        (&self.assignment, &self.diff)
+    }
+
+    /// Full build at the current positions (first tick, or a changed
+    /// node-count/grid shape).
+    fn rebuild(&mut self, grid: &GridHierarchy, positions: &[Point], ids: &[ElectionId]) {
+        let n = positions.len();
+        let bands = grid.orders.saturating_sub(1);
+        self.n = n;
+        self.bands = bands;
+        self.id_space = n.max(1) as u64;
+        self.cells = vec![(0, 0); n * bands];
+        self.occupancy = vec![FastMap::default(); bands];
+        self.rank = vec![(0, 0); n * bands * 3];
+        self.touched_stamp = vec![0; n * bands * 3];
+        self.mover_stamp = vec![0; n];
+        self.stamp = 0;
+        self.touched.clear();
+        for band in 0..bands {
+            let order = band + 1;
+            for (v, &p) in positions.iter().enumerate() {
+                let cell = grid.cell(p, order);
+                self.cells[v * bands + band] = cell;
+                // Ascending by construction: v runs 0..n.
+                self.occupancy[band]
+                    .entry(cell)
+                    .or_default()
+                    .push(v as NodeIdx);
+            }
+        }
+        self.assignment = GlsAssignment {
+            n,
+            bands,
+            servers: vec![NO_SERVER; n * bands * 3],
+        };
+        for v in 0..n {
+            for band in 0..bands {
+                let order = band + 1;
+                let cell = self.cells[v * bands + band];
+                for (s, sib) in grid.siblings(cell, order).into_iter().enumerate() {
+                    let slot = (v * bands + band) * 3 + s;
+                    let members = self.occupancy[band]
+                        .get(&sib)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    let (best, best_key) =
+                        select_over(self.select, self.id_space, ids[v], ids, members);
+                    self.assignment.servers[slot] = best;
+                    self.rank[slot] = best_key;
+                }
+            }
+        }
+    }
+}
+
 /// Resolve a GLS location query.
 ///
 /// GLS routes a query for `target` through successively coarser grid
@@ -301,7 +670,7 @@ pub fn gls_resolve<H: FnMut(NodeIdx, NodeIdx) -> f64>(
 pub struct GlsTracker {
     grid: GridHierarchy,
     last_update_pos: Vec<Point>, // n × bands
-    prev: Option<GlsAssignment>,
+    inc: GlsIncremental,
     /// Accumulated packet transmissions.
     pub update_packets: f64,
     pub transfer_packets: f64,
@@ -320,7 +689,7 @@ impl GlsTracker {
         GlsTracker {
             grid,
             last_update_pos: last,
-            prev: None,
+            inc: GlsIncremental::new(GlsSelect::ModSuccessor),
             update_packets: 0.0,
             transfer_packets: 0.0,
             node_seconds: 0.0,
@@ -336,15 +705,14 @@ impl GlsTracker {
         dt: f64,
     ) {
         let bands = self.grid.orders.saturating_sub(1);
-        let assignment = GlsAssignment::compute(&self.grid, positions, ids);
-        // Transfer costs for server churn.
-        if let Some(prev) = &self.prev {
-            for (subject, _band, old, new) in prev.diff(&assignment) {
-                match (old == NO_SERVER, new == NO_SERVER) {
-                    (false, false) => self.transfer_packets += hop(old, new),
-                    (true, false) => self.transfer_packets += hop(subject, new),
-                    _ => {} // entries expire silently (GLS timeout behavior)
-                }
+        let (assignment, diff) = self.inc.update(&self.grid, positions, ids);
+        // Transfer costs for server churn (empty diff on the first tick,
+        // matching the old no-previous-assignment behavior).
+        for &(subject, _band, old, new) in diff {
+            match (old == NO_SERVER, new == NO_SERVER) {
+                (false, false) => self.transfer_packets += hop(old, new),
+                (true, false) => self.transfer_packets += hop(subject, new),
+                _ => {} // entries expire silently (GLS timeout behavior)
             }
         }
         // Distance-triggered updates (feature (c)).
@@ -363,7 +731,6 @@ impl GlsTracker {
                 }
             }
         }
-        self.prev = Some(assignment);
         self.node_seconds += positions.len() as f64 * dt;
     }
 
@@ -423,6 +790,45 @@ mod tests {
         for s in sibs {
             assert_ne!(s, cell);
             assert_eq!((s.0 / 2, s.1 / 2), (cell.0 / 2, cell.1 / 2));
+        }
+    }
+
+    /// The incremental maintainer must be bit-identical to full
+    /// recomputation — same table, same diff, every tick, under both
+    /// selection rules — over a mobility-like random walk with enough
+    /// ticks to exercise joins, leaves, winner departures, emptied and
+    /// repopulated squares, and subject cell crossings.
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let n = 160usize;
+        let side = 90.0;
+        let g = GridHierarchy::covering(Rect::square(side), 8.0);
+        for (select, seed) in [(GlsSelect::ModSuccessor, 11u64), (GlsSelect::Hrw, 12)] {
+            let mut rng = SimRng::seed_from(seed);
+            let mut pts = square_points(n, side, seed);
+            // Shuffled-permutation IDs, like the engine's fork(1) stream.
+            let mut ids: Vec<ElectionId> = (0..n as u64).collect();
+            for i in (1..n).rev() {
+                ids.swap(i, rng.index(i + 1));
+            }
+            let mut inc = GlsIncremental::new(select);
+            let mut prev: Option<GlsAssignment> = None;
+            for tick in 0..60 {
+                let full = GlsAssignment::compute_with(&g, &pts, &ids, select);
+                let (got, diff) = inc.update(&g, &pts, &ids);
+                assert_eq!(got, &full, "table diverged at tick {tick} ({select:?})");
+                let want = prev.as_ref().map(|p| p.diff(&full)).unwrap_or_default();
+                assert_eq!(diff, &want[..], "diff diverged at tick {tick} ({select:?})");
+                prev = Some(full);
+                // Random walk with reflective clamping; large steps so
+                // coarse-band squares churn too.
+                for p in &mut pts {
+                    let dx = (rng.unit() - 0.5) * 9.0;
+                    let dy = (rng.unit() - 0.5) * 9.0;
+                    p.x = (p.x + dx).clamp(0.0, side);
+                    p.y = (p.y + dy).clamp(0.0, side);
+                }
+            }
         }
     }
 

@@ -17,16 +17,17 @@
 
 use crate::forward::PathOutcome;
 use chlm_cluster::Hierarchy;
+use chlm_graph::fasthash::FastMap;
 use chlm_graph::traversal::{bfs_distances, UNREACHABLE};
 use chlm_graph::NodeIdx;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// All nodes' routing tables for one hierarchy snapshot.
 #[derive(Debug, Clone)]
 pub struct NextHopTable {
     /// `tables[u]` maps `(level, cluster_head)` → next hop from `u`.
     /// Level 0 entries are keyed by the destination node itself.
-    tables: Vec<HashMap<(u16, NodeIdx), NodeIdx>>,
+    tables: Vec<FastMap<(u16, NodeIdx), NodeIdx>>,
     /// Physical membership of every cluster, for leg-target tests.
     addresses: Vec<Vec<NodeIdx>>,
 }
@@ -41,7 +42,7 @@ impl NextHopTable {
         let n = h.node_count();
         let g0 = &h.levels[0].graph;
         let addresses = h.addresses();
-        let mut tables: Vec<HashMap<(u16, NodeIdx), NodeIdx>> = vec![HashMap::new(); n];
+        let mut tables: Vec<FastMap<(u16, NodeIdx), NodeIdx>> = vec![FastMap::default(); n];
 
         // For every cluster (level k ≥ 1, head H): gradient next hops toward
         // the cluster's level-0 member set, installed at the nodes that need
@@ -196,6 +197,56 @@ impl NextHopTable {
             }
         }
         Some(hops as u32)
+    }
+
+    /// [`NextHopTable::route_hops`] with a caller-provided suffix memo:
+    /// every node on the walked path records its remaining hop count to
+    /// `t` in `memo`, and a walk that reaches a memoized node stops there.
+    ///
+    /// Routing is deterministic per (node, target), so walks toward the
+    /// same target converge and share suffixes — pricing a batch of pairs
+    /// against few distinct targets (the handoff-ledger shape: many
+    /// transfers into one new host) costs amortized O(1) per pair instead
+    /// of O(hops). Returns exactly what `route_hops` returns; the memo
+    /// only skips re-walking. Failed (unroutable) walks are not memoized.
+    ///
+    /// The memo is only valid for this table — callers must clear it
+    /// whenever the table is rebuilt. `path_scratch` is walk scratch,
+    /// reused across calls.
+    pub fn route_hops_memo(
+        &self,
+        s: NodeIdx,
+        t: NodeIdx,
+        memo: &mut FastMap<(NodeIdx, NodeIdx), u32>,
+        path_scratch: &mut Vec<NodeIdx>,
+    ) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        path_scratch.clear();
+        let mut cur = s;
+        let cap = 4 * self.tables.len() + 16;
+        let tail = loop {
+            if cur == t {
+                break 0u32;
+            }
+            if let Some(&rest) = memo.get(&(cur, t)) {
+                break rest;
+            }
+            path_scratch.push(cur);
+            if path_scratch.len() > cap {
+                // Defensive: gradient routing cannot loop, but corrupt
+                // tables shouldn't hang the caller.
+                return None;
+            }
+            let (next, _) = self.step_toward(cur, t)?;
+            cur = next;
+        };
+        let walked = path_scratch.len() as u32;
+        for (i, &node) in path_scratch.iter().enumerate() {
+            memo.insert((node, t), tail + walked - i as u32);
+        }
+        Some(tail + walked)
     }
 
     /// Route a packet from `s` to `t` using only per-node tables and `t`'s

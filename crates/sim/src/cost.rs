@@ -22,6 +22,7 @@ use crate::config::HopMetric;
 use crate::oracle::{DistanceOracle, DEFAULT_DETOUR};
 use chlm_cluster::Hierarchy;
 use chlm_geom::Point;
+use chlm_graph::fasthash::FastMap;
 use chlm_graph::{Graph, NodeIdx};
 use chlm_par::WorkerPool;
 use chlm_routing::nexthop::NextHopTable;
@@ -128,11 +129,29 @@ impl CostModel for EuclideanCostModel {
 /// the Euclidean estimate scaled by `fallback` (the startup-measured
 /// detour ratio, same as the BFS oracle's unreachable fallback) when no
 /// table route exists.
+///
+/// Priced pairs are memoized for the lifetime of the pricer (one tick):
+/// handoff accounting prices every transferred LM entry, so the same
+/// `(old_host, new_host)` pair recurs many times per tick — and, in a
+/// multiplexed fan-out, across every bank in the metric group sharing
+/// this scope. Beyond exact pair repeats, the table walk itself runs
+/// through [`NextHopTable::route_hops_memo`], which records the remaining
+/// hop count of every node *on* each walked path: routing is
+/// deterministic per (node, target), so the many sources that price
+/// routes into one target host (the handoff-ledger shape) pay for the
+/// shared suffix once. Both memos only skip re-walking pure functions of
+/// the snapshot, so values are unchanged.
 struct HierPricer<'a> {
     table: NextHopTable,
     positions: &'a [Point],
     rtx: f64,
     fallback: f64,
+    /// Fallback estimates for unroutable pairs, which the suffix memo
+    /// cannot cache (there is no path to record).
+    fallback_memo: FastMap<(NodeIdx, NodeIdx), f64>,
+    /// `(node, target)` → remaining table hops, filled along every walk.
+    suffix_memo: FastMap<(NodeIdx, NodeIdx), u32>,
+    path_scratch: Vec<NodeIdx>,
 }
 
 impl HopPricer for HierPricer<'_> {
@@ -140,11 +159,19 @@ impl HopPricer for HierPricer<'_> {
         if a == b {
             return 0.0;
         }
-        match self.table.route_hops(a, b) {
+        if let Some(&h) = self.fallback_memo.get(&(a, b)) {
+            return h;
+        }
+        match self
+            .table
+            .route_hops_memo(a, b, &mut self.suffix_memo, &mut self.path_scratch)
+        {
             Some(h) => h as f64,
             None => {
                 let d = self.positions[a as usize].dist(self.positions[b as usize]);
-                (d / self.rtx * self.fallback).max(1.0)
+                let h = (d / self.rtx * self.fallback).max(1.0);
+                self.fallback_memo.insert((a, b), h);
+                h
             }
         }
     }
@@ -157,12 +184,22 @@ impl HopPricer for HierPricer<'_> {
 /// sizes, not the largest sweeps.
 pub struct HierRoutingCostModel {
     calibration: f64,
+    /// Pricer memos recycled across ticks (cleared per pricer scope —
+    /// the table changes with the hierarchy — but capacity is retained).
+    fallback_memo: FastMap<(NodeIdx, NodeIdx), f64>,
+    suffix_memo: FastMap<(NodeIdx, NodeIdx), u32>,
+    path_scratch: Vec<NodeIdx>,
 }
 
 impl HierRoutingCostModel {
     pub fn new(calibration: f64) -> Self {
         assert!(calibration > 0.0 && calibration.is_finite());
-        HierRoutingCostModel { calibration }
+        HierRoutingCostModel {
+            calibration,
+            fallback_memo: FastMap::default(),
+            suffix_memo: FastMap::default(),
+            path_scratch: Vec::new(),
+        }
     }
 }
 
@@ -175,13 +212,21 @@ impl Default for HierRoutingCostModel {
 
 impl CostModel for HierRoutingCostModel {
     fn with_pricer(&mut self, inputs: &CostInputs<'_>, scope: &mut dyn FnMut(&mut dyn HopPricer)) {
+        self.fallback_memo.clear();
+        self.suffix_memo.clear();
         let mut pricer = HierPricer {
             table: NextHopTable::build(inputs.hierarchy),
             positions: inputs.positions,
             rtx: inputs.rtx,
             fallback: self.calibration,
+            fallback_memo: std::mem::take(&mut self.fallback_memo),
+            suffix_memo: std::mem::take(&mut self.suffix_memo),
+            path_scratch: std::mem::take(&mut self.path_scratch),
         };
         scope(&mut pricer);
+        self.fallback_memo = pricer.fallback_memo;
+        self.suffix_memo = pricer.suffix_memo;
+        self.path_scratch = pricer.path_scratch;
     }
 }
 

@@ -3,10 +3,19 @@
 //! One tick is an explicit pipeline: the four [`crate::stage`] stages
 //! (mobility → topology → hierarchy → LM assignment) produce the tick's
 //! snapshots, the engine diffs them against the previous tick into a
-//! [`TickCtx`], and the [`crate::observe`] observers consume that context
+//! `TickCtx`, and the [`crate::observe`] observers consume that context
 //! — pricing packets through the configured [`crate::cost::CostModel`] —
-//! to update every accumulator. The engine itself only owns snapshot
-//! rotation and the invariant auditor.
+//! to update every accumulator.
+//!
+//! Since PR 7 the engine is split along the scheme seam that
+//! `tests/scheme_trace.rs` pins: a `World` owns everything upstream of
+//! the observers — stages, snapshots, diff streams, rotation — and is a
+//! pure function of `(world config, seed)`, while an `ObserverBank`
+//! owns one variant's accounting (observers, auditor, the `finish`
+//! sampling stream). [`Simulation`] is the single-variant composition of
+//! the two; [`crate::multiplex::MultiplexSim`] fans one `World`'s
+//! `TickCtx` stream out to many banks so an experiment grid pays for
+//! the world once.
 //!
 //! The hot path is allocation-frugal by design: per-tick state (topology,
 //! hierarchy level-0 graph, address books, LM assignment, level churn sets,
@@ -25,11 +34,8 @@
 use crate::audit::{AuditViolation, Auditor, TickInputs};
 use crate::config::LmScheme;
 use crate::config::{Backend, HopMetric, MobilityKind, SimConfig};
-use crate::cost::{cost_model_for, CostInputs, CostModel};
-use crate::observe::{
-    AddressChurnObserver, AlcaStateObserver, DegreeObserver, EventTaxonomyObserver, GlsObserver,
-    HandoffAccounting, LevelChurnObserver, LinkRateObserver, Observer, Observers,
-};
+use crate::cost::{cost_model_for, CostInputs, CostModel, HopPricer};
+use crate::observe::{GlsObserver, HandoffAccounting, Observer, Observers, WorldObservers};
 use crate::oracle::calibrate;
 use crate::report::{SimReport, StateSummary};
 use crate::scheme::make_accounting;
@@ -39,7 +45,7 @@ use crate::stage::{
 use chlm_cluster::address::AddressBook;
 use chlm_cluster::metrics::level_stats;
 use chlm_cluster::Hierarchy;
-use chlm_geom::{Disk, SimRng};
+use chlm_geom::{Disk, Point, SimRng};
 use chlm_graph::{Graph, NodeIdx};
 use chlm_lm::gls::{GlsTracker, GridHierarchy};
 use chlm_lm::query::mean_query_cost;
@@ -79,32 +85,36 @@ pub fn run_engine(mut engine: Box<dyn Engine>) -> SimReport {
     engine.finish_boxed()
 }
 
-/// The analytic simulation engine. Construct with [`Simulation::new`], run
-/// with [`Simulation::run`] (or drive tick-by-tick with
-/// [`Simulation::step`]).
-pub struct Simulation {
+/// The scheme-independent half of the engine: stages, snapshots, diff
+/// streams and their rotation. A `World` is a pure function of the
+/// world-defining config fields plus the seed — it never consults
+/// `lm_scheme`, `hop_metric` or `backend`, which is what lets
+/// [`crate::multiplex::MultiplexSim`] price many variants against one
+/// world run (`tests/scheme_trace.rs` pins the independence).
+pub(crate) struct World {
     cfg: SimConfig,
     ids: Vec<u64>,
     rtx: f64,
-    rng: SimRng,
+    /// Startup-measured BFS detour ratio (the fork(3) stream), consumed by
+    /// every calibrated cost model priced against this world.
+    calibration: f64,
+    /// The run stream (fork 4). Never drawn while stepping; each observer
+    /// bank clones it at construction so per-variant `finish` sampling
+    /// reproduces a standalone run bit-for-bit.
+    run_rng: SimRng,
     // Pipeline stages.
     mobility: Box<dyn MobilityStage>,
     topology: Box<dyn TopologyStage>,
     hier_stage: Box<dyn HierarchyStage>,
     assign_stage: Box<dyn AssignmentStage>,
-    cost: Box<dyn CostModel>,
-    // Previous-tick snapshots (rotation stays with the engine).
+    // Previous-tick snapshots (rotation stays with the world).
     hierarchy: Hierarchy,
     book: AddressBook,
     assignment: LmAssignment,
     // Persistent tick workspaces.
     book_next: AddressBook,
     addr_scratch: Vec<NodeIdx>,
-    sources_scratch: Vec<NodeIdx>,
     g0_spare: Graph,
-    // Accounting.
-    observers: Observers,
-    auditor: Option<Auditor>,
     ticks_done: usize,
 }
 
@@ -138,20 +148,10 @@ fn build_mobility(cfg: &SimConfig, region: Disk, rng: &mut SimRng) -> Box<dyn Mo
     }
 }
 
-impl Simulation {
-    /// Set up a simulation: deploy, warm the mobility process up, build the
-    /// initial hierarchy and LM assignment, and calibrate the hop oracle.
-    /// The handoff slot is filled by [`make_accounting`] from the config's
-    /// [`LmScheme`] and backend, so any scheme runs over the same pipeline.
-    pub fn new(cfg: SimConfig) -> Self {
-        let handoff = make_accounting(&cfg);
-        Simulation::with_handoff(cfg, handoff)
-    }
-
-    /// Like [`Simulation::new`], but with a custom handoff-accounting
-    /// observer in the handoff slot — how the packet backend reuses the
-    /// whole pipeline with packet-executed pricing.
-    pub fn with_handoff(cfg: SimConfig, handoff: Box<dyn HandoffAccounting>) -> Self {
+impl World {
+    /// Deploy, warm the mobility process up, build the initial hierarchy
+    /// and LM assignment, and calibrate the hop oracle.
+    pub(crate) fn new(cfg: SimConfig) -> Self {
         let rng = SimRng::seed_from(cfg.seed);
         let region = Disk::centered(cfg.region_radius());
         let rtx = cfg.rtx();
@@ -174,112 +174,80 @@ impl Simulation {
         let assignment = assign_stage.assign(&hierarchy, &book);
         // Every metric that can hit an estimate path (Euclidean pricing,
         // BFS disconnected-pair fallback, unroutable hierarchical pairs)
-        // gets the startup-measured detour ratio; only a fixed
-        // `Euclidean(c)` bypasses measurement. fork(3) is independent of
-        // the run stream fork(4), so metrics that skip some queries stay
-        // tick-for-tick comparable.
-        let calibration = match cfg.hop_metric {
-            HopMetric::Euclidean(c) => c,
-            HopMetric::Bfs | HopMetric::HierRouting | HopMetric::EuclideanCalibrated => calibrate(
-                topology.graph(),
-                mobility.positions(),
-                rtx,
-                12,
-                &mut rng.fork(3),
-            ),
-        };
-        let cost = cost_model_for(cfg.hop_metric, calibration, cfg.threads);
-        let gls = cfg.track_gls.then(|| {
-            let (lo, hi) = {
-                use chlm_geom::Region;
-                region.bounding_box()
-            };
-            let bounds = chlm_geom::Rect::new(lo, hi);
-            GlsObserver::new(GlsTracker::new(
-                GridHierarchy::covering(bounds, rtx),
-                mobility.positions(),
-            ))
-        });
-        let observers = Observers {
-            link: LinkRateObserver::default(),
-            addr: AddressChurnObserver::default(),
-            handoff,
-            churn: LevelChurnObserver::new(&hierarchy),
-            taxonomy: EventTaxonomyObserver::new(hierarchy.depth()),
-            alca: AlcaStateObserver::new(&hierarchy),
-            gls,
-            degree: DegreeObserver::new(hierarchy.depth()),
-            extra: Vec::new(),
-        };
-        let auditor = cfg.audit.then(|| {
-            Auditor::new(
-                cfg.selection_rule,
-                observers.handoff.ledger(),
-                &observers.merged_rates(),
-                &observers.taxonomy.counts,
-                &observers.alca.tracker,
-            )
-            .with_ledger_check(cfg.lm_scheme == LmScheme::Chlm)
-        });
-
+        // gets the startup-measured detour ratio; a fixed `Euclidean(c)`
+        // ignores it. fork(3) is pure and independent of the run stream
+        // fork(4), so measuring it unconditionally perturbs nothing and
+        // every variant of a multiplexed run shares one measurement.
+        let calibration = calibrate(
+            topology.graph(),
+            mobility.positions(),
+            rtx,
+            12,
+            &mut rng.fork(3),
+        );
         let book_next = book.clone();
-        Simulation {
+        World {
             cfg,
             ids,
             rtx,
-            rng: rng.fork(4),
+            calibration,
+            run_rng: rng.fork(4),
             mobility,
             topology,
             hier_stage,
             assign_stage,
-            cost,
             hierarchy,
             book,
             assignment,
             book_next,
             addr_scratch: Vec::new(),
-            sources_scratch: Vec::new(),
             g0_spare: Graph::default(),
-            observers,
-            auditor,
             ticks_done: 0,
         }
     }
 
-    /// The configuration this simulation runs under.
-    pub fn config(&self) -> &SimConfig {
+    pub(crate) fn cfg(&self) -> &SimConfig {
         &self.cfg
     }
 
-    /// Current hierarchy snapshot.
-    pub fn hierarchy(&self) -> &Hierarchy {
+    pub(crate) fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
     }
 
-    /// The observer set (accumulators read back by backends and tests).
-    pub fn observers(&self) -> &Observers {
-        &self.observers
+    pub(crate) fn assignment(&self) -> &LmAssignment {
+        &self.assignment
     }
 
-    /// Append a custom observer; it runs after the built-in set each tick.
-    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
-        self.observers.extra.push(observer);
+    pub(crate) fn positions(&self) -> &[Point] {
+        self.mobility.positions()
     }
 
-    /// Invariant violations found so far (empty unless `SimConfig::audit`
-    /// is set — and, for a correct engine, empty even then).
-    pub fn audit_violations(&self) -> &[AuditViolation] {
-        self.auditor.as_ref().map_or(&[], |a| a.violations())
+    pub(crate) fn rtx(&self) -> f64 {
+        self.rtx
     }
 
-    /// Advance one tick, recording every counter.
+    pub(crate) fn calibration(&self) -> f64 {
+        self.calibration
+    }
+
+    pub(crate) fn ticks_done(&self) -> usize {
+        self.ticks_done
+    }
+
+    /// A clone of the run stream (fork 4) for one observer bank.
+    pub(crate) fn run_rng(&self) -> SimRng {
+        self.run_rng.clone()
+    }
+
+    /// Advance one tick: run the stages, diff against the previous
+    /// snapshots, hand the completed `TickCtx` to `observe`, then rotate.
     ///
     /// Allocation discipline: mobility positions are *borrowed* (never
     /// copied), topology is patched in place by the maintainer, the level-0
     /// graph handed to the hierarchy stage recycles last tick's buffers,
     /// address books double-buffer, and the assignment stage reuses both
     /// its memo cache and the retired `hosts` buffer.
-    pub fn step(&mut self) {
+    pub(crate) fn step_with(&mut self, observe: &mut dyn FnMut(&TickCtx<'_>)) {
         let dt = self.cfg.tick();
         let n = self.cfg.n;
         self.mobility.advance(dt);
@@ -313,55 +281,7 @@ impl Simulation {
             host_changes: &host_changes,
             addr_changes: &addr_changes,
         };
-        // One pricer scope covers every observer, so BFS pricing shares its
-        // per-source distance cache within the tick and its buffers pool
-        // across ticks (inside the cost model). For BFS pricing the ledger's
-        // query sources are known from the diffs alone — `old_host` on every
-        // transfer, plus the subject's registration when its exact
-        // (subject, level) address changed — so they are collected up front
-        // and the model fills those rows across its worker pool before any
-        // observer prices a packet.
-        self.sources_scratch.clear();
-        if matches!(self.cfg.hop_metric, HopMetric::Bfs) && self.cfg.lm_scheme == LmScheme::Chlm {
-            let exact = |node: NodeIdx, level: u16| {
-                addr_changes
-                    .binary_search_by_key(&(node, level), |c| (c.node, c.level))
-                    .is_ok()
-            };
-            for hc in &host_changes {
-                self.sources_scratch.push(hc.old_host);
-                if exact(hc.subject, hc.level) {
-                    self.sources_scratch.push(hc.subject);
-                }
-            }
-            self.sources_scratch.sort_unstable();
-            self.sources_scratch.dedup();
-        }
-        let inputs = CostInputs {
-            graph,
-            positions,
-            hierarchy: &hierarchy,
-            rtx: self.rtx,
-            sources: &self.sources_scratch,
-        };
-        let observers = &mut self.observers;
-        self.cost
-            .with_pricer(&inputs, &mut |pricer| observers.on_tick(&ctx, pricer));
-
-        if let Some(auditor) = &mut self.auditor {
-            auditor.check_tick(&TickInputs {
-                old_hierarchy: &self.hierarchy,
-                new_hierarchy: &hierarchy,
-                book: &self.book_next,
-                assignment: &assignment,
-                host_changes: &host_changes,
-                addr_changes: &addr_changes,
-                ledger: self.observers.handoff.ledger(),
-                rates: &self.observers.merged_rates(),
-                events: &self.observers.taxonomy.counts,
-                tracker: &self.observers.alca.tracker,
-            });
-        }
+        observe(&ctx);
 
         // Rotate snapshots; retired buffers feed the next tick.
         let old_h = std::mem::replace(&mut self.hierarchy, hierarchy);
@@ -373,49 +293,185 @@ impl Simulation {
         self.assign_stage.retire(old_assignment);
         self.ticks_done += 1;
     }
+}
 
-    /// Run the configured number of ticks and produce the report.
-    pub fn run(mut self) -> SimReport {
-        let ticks = self.cfg.tick_count();
-        for _ in 0..ticks {
-            self.step();
+/// Initial hierarchy build (construction time): same construction the
+/// per-tick stage performs, from-scratch.
+fn hier_stage_initial(topology: &dyn TopologyStage, ids: &[u64], cfg: &SimConfig) -> Hierarchy {
+    let opts = chlm_cluster::HierarchyOptions {
+        max_levels: cfg.max_levels,
+        min_reduction: cfg.min_reduction,
+    };
+    Hierarchy::build(ids, topology.graph(), opts)
+}
+
+/// The cost model one variant config prices with, fed by the world's
+/// startup calibration (a fixed `Euclidean(c)` bypasses the measurement,
+/// exactly as the pre-split engine did).
+pub(crate) fn variant_cost_model(world: &World, cfg: &SimConfig) -> Box<dyn CostModel> {
+    let calibration = match cfg.hop_metric {
+        HopMetric::Euclidean(c) => c,
+        HopMetric::Bfs | HopMetric::HierRouting | HopMetric::EuclideanCalibrated => {
+            world.calibration()
         }
-        self.finish()
+    };
+    cost_model_for(cfg.hop_metric, calibration, cfg.threads)
+}
+
+/// Collect the distinct BFS sources CHLM's ledger pricing is known to
+/// query this tick — `old_host` on every transfer, plus the subject's
+/// registration when its exact `(subject, level)` address changed — so a
+/// BFS-backed cost model can prefill those rows across its worker pool
+/// before any observer prices a packet. Sorted ascending, deduplicated.
+pub(crate) fn collect_chlm_bfs_sources(ctx: &TickCtx<'_>, out: &mut Vec<NodeIdx>) {
+    let exact = |node: NodeIdx, level: u16| {
+        ctx.addr_changes
+            .binary_search_by_key(&(node, level), |c| (c.node, c.level))
+            .is_ok()
+    };
+    for hc in ctx.host_changes {
+        out.push(hc.old_host);
+        if exact(hc.subject, hc.level) {
+            out.push(hc.subject);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+fn make_auditor(cfg: &SimConfig, observers: &Observers, world_obs: &WorldObservers) -> Auditor {
+    Auditor::new(
+        cfg.selection_rule,
+        observers.handoff.ledger(),
+        &world_obs.merged_rates(),
+        &world_obs.taxonomy.counts,
+        &world_obs.alca.tracker,
+    )
+    .with_ledger_check(cfg.lm_scheme == LmScheme::Chlm)
+}
+
+/// One variant's accounting over a shared `World`: the variant's own
+/// observer set (handoff, GLS, extras), the optional invariant auditor,
+/// and a private clone of the world's run stream for `finish`-time
+/// sampling. The scheme-independent accumulators live in a
+/// [`WorldObservers`] owned by the caller — one per standalone run, one
+/// *shared across every bank* of a multiplexed run — and are read back at
+/// `audit`/`finish` time. Banks never touch world state, so any number of
+/// them can consume the same `TickCtx` stream and each produce the
+/// [`SimReport`] a standalone run of its config would.
+pub(crate) struct ObserverBank {
+    cfg: SimConfig,
+    observers: Observers,
+    auditor: Option<Auditor>,
+    rng: SimRng,
+}
+
+impl ObserverBank {
+    /// Build the bank for `cfg` over `world`'s initial snapshots. `cfg`
+    /// must describe the same world as the one `world` was built from —
+    /// only the variant axes (`lm_scheme`, `hop_metric`, `backend`) may
+    /// differ. `world_obs` is the world-observer set this bank will be
+    /// read against.
+    pub(crate) fn new(
+        cfg: SimConfig,
+        world: &World,
+        world_obs: &WorldObservers,
+        handoff: Box<dyn HandoffAccounting>,
+    ) -> Self {
+        let gls = cfg.track_gls.then(|| {
+            let region = Disk::centered(cfg.region_radius());
+            let (lo, hi) = {
+                use chlm_geom::Region;
+                region.bounding_box()
+            };
+            let bounds = chlm_geom::Rect::new(lo, hi);
+            GlsObserver::new(GlsTracker::new(
+                GridHierarchy::covering(bounds, world.rtx()),
+                world.positions(),
+            ))
+        });
+        let observers = Observers {
+            handoff,
+            gls,
+            extra: Vec::new(),
+        };
+        let auditor = cfg.audit.then(|| make_auditor(&cfg, &observers, world_obs));
+        ObserverBank {
+            cfg,
+            observers,
+            auditor,
+            rng: world.run_rng(),
+        }
     }
 
-    /// Run to completion under the invariant auditor (forced on) and
-    /// return both the report and every violation found.
-    pub fn run_audited(mut self) -> (SimReport, Vec<AuditViolation>) {
+    pub(crate) fn observers(&self) -> &Observers {
+        &self.observers
+    }
+
+    pub(crate) fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.extra.push(observer);
+    }
+
+    pub(crate) fn violations(&self) -> &[AuditViolation] {
+        self.auditor.as_ref().map_or(&[], |a| a.violations())
+    }
+
+    pub(crate) fn ensure_auditor(&mut self, world_obs: &WorldObservers) {
         if self.auditor.is_none() {
-            self.auditor = Some(
-                Auditor::new(
-                    self.cfg.selection_rule,
-                    self.observers.handoff.ledger(),
-                    &self.observers.merged_rates(),
-                    &self.observers.taxonomy.counts,
-                    &self.observers.alca.tracker,
-                )
-                .with_ledger_check(self.cfg.lm_scheme == LmScheme::Chlm),
-            );
+            self.auditor = Some(make_auditor(&self.cfg, &self.observers, world_obs));
         }
-        let ticks = self.cfg.tick_count();
-        for _ in 0..ticks {
-            self.step();
-        }
-        let violations = self
-            .auditor
+    }
+
+    pub(crate) fn take_violations(&mut self) -> Vec<AuditViolation> {
+        self.auditor
             .take()
             .map(Auditor::into_violations)
-            .unwrap_or_default();
-        (self.finish(), violations)
+            .unwrap_or_default()
     }
 
-    /// Produce the report from whatever has been simulated so far.
-    pub fn finish(mut self) -> SimReport {
-        let depth = self.hierarchy.depth();
-        let final_levels = level_stats(&self.hierarchy, 4, &mut self.rng);
+    /// Whether this variant's pricing benefits from the CHLM BFS source
+    /// prefill ([`collect_chlm_bfs_sources`]).
+    pub(crate) fn wants_bfs_sources(&self) -> bool {
+        matches!(self.cfg.hop_metric, HopMetric::Bfs) && self.cfg.lm_scheme == LmScheme::Chlm
+    }
+
+    /// Drive the observer set over one completed tick.
+    pub(crate) fn observe(&mut self, ctx: &TickCtx<'_>, pricer: &mut dyn HopPricer) {
+        self.observers.on_tick(ctx, pricer);
+    }
+
+    /// Run the invariant auditor (when configured) after the tick's
+    /// observers — this bank's own and the shared world set — have
+    /// accumulated.
+    pub(crate) fn audit(&mut self, ctx: &TickCtx<'_>, world_obs: &WorldObservers) {
+        if let Some(auditor) = &mut self.auditor {
+            auditor.check_tick(&TickInputs {
+                old_hierarchy: ctx.old_hierarchy,
+                new_hierarchy: ctx.new_hierarchy,
+                book: ctx.new_book,
+                assignment: ctx.new_assignment,
+                host_changes: ctx.host_changes,
+                addr_changes: ctx.addr_changes,
+                ledger: self.observers.handoff.ledger(),
+                rates: &world_obs.merged_rates(),
+                events: &world_obs.taxonomy.counts,
+                tracker: &world_obs.alca.tracker,
+            });
+        }
+    }
+
+    /// Produce this variant's report from the world's final snapshots and
+    /// the shared world accumulators.
+    pub(crate) fn finish(
+        mut self,
+        world: &World,
+        world_obs: &WorldObservers,
+        cost: &mut dyn CostModel,
+    ) -> SimReport {
+        let depth = world.hierarchy().depth();
+        let final_levels = level_stats(world.hierarchy(), 4, &mut self.rng);
         // ALCA state summary.
-        let tracker = &self.observers.alca.tracker;
+        let tracker = &world_obs.alca.tracker;
         let mut state = StateSummary::default();
         for k in 0..tracker.level_count() {
             state
@@ -437,44 +493,46 @@ impl Simulation {
                     )
                 })
                 .collect();
-            let positions = self.mobility.positions();
-            let graph = &self.hierarchy.levels[0].graph;
+            let positions = world.positions();
+            let graph = &world.hierarchy().levels[0].graph;
             let inputs = CostInputs {
                 graph,
                 positions,
-                hierarchy: &self.hierarchy,
-                rtx: self.rtx,
+                hierarchy: world.hierarchy(),
+                rtx: world.rtx(),
                 sources: &[],
             };
-            let (hierarchy, assignment) = (&self.hierarchy, &self.assignment);
+            let (hierarchy, assignment) = (world.hierarchy(), world.assignment());
             let mut sampled = None;
-            self.cost.with_pricer(&inputs, &mut |pricer| {
+            cost.with_pricer(&inputs, &mut |pricer| {
                 sampled = mean_query_cost(hierarchy, assignment, &pairs, |a, b| pricer.hops(a, b));
             });
             sampled
         } else {
             None
         };
-        let counts = self.assignment.entries_hosted();
+        let counts = world.assignment().entries_hosted();
         let mean_entries_hosted = if counts.is_empty() {
             0.0
         } else {
             counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64
         };
-        let ticks = self.ticks_done.max(1) as f64;
+        let ticks = world.ticks_done().max(1) as f64;
         SimReport {
             n: self.cfg.n,
             seed: self.cfg.seed,
             dt: self.cfg.tick(),
-            rtx: self.rtx,
+            rtx: world.rtx(),
             speed: self.cfg.speed,
-            mean_degree: self.observers.degree.degree_sum / ticks,
-            depth: self.observers.degree.max_depth.max(depth),
+            mean_degree: world_obs.degree.degree_sum / ticks,
+            depth: world_obs.degree.max_depth.max(depth),
             final_levels,
             ledger: self.observers.handoff.take_ledger(),
-            f0: self.observers.link.rate.per_node_per_second(),
-            rates: self.observers.merged_rates(),
-            events: std::mem::take(&mut self.observers.taxonomy.counts),
+            f0: world_obs.link.rate.per_node_per_second(),
+            rates: world_obs.merged_rates(),
+            // Cloned, not taken: a multiplexed run reads the shared counts
+            // once per bank.
+            events: world_obs.taxonomy.counts.clone(),
             state,
             mean_query_packets,
             gls_overhead: self
@@ -487,14 +545,140 @@ impl Simulation {
     }
 }
 
-/// Initial hierarchy build (construction time): same construction the
-/// per-tick stage performs, from-scratch.
-fn hier_stage_initial(topology: &dyn TopologyStage, ids: &[u64], cfg: &SimConfig) -> Hierarchy {
-    let opts = chlm_cluster::HierarchyOptions {
-        max_levels: cfg.max_levels,
-        min_reduction: cfg.min_reduction,
-    };
-    Hierarchy::build(ids, topology.graph(), opts)
+/// The analytic simulation engine: one `World` driving one
+/// `ObserverBank`. Construct with [`Simulation::new`], run with
+/// [`Simulation::run`] (or drive tick-by-tick with [`Simulation::step`]).
+pub struct Simulation {
+    world: World,
+    cost: Box<dyn CostModel>,
+    world_obs: WorldObservers,
+    bank: ObserverBank,
+    sources_scratch: Vec<NodeIdx>,
+}
+
+impl Simulation {
+    /// Set up a simulation: deploy, warm the mobility process up, build the
+    /// initial hierarchy and LM assignment, and calibrate the hop oracle.
+    /// The handoff slot is filled by [`make_accounting`] from the config's
+    /// [`LmScheme`] and backend, so any scheme runs over the same pipeline.
+    pub fn new(cfg: SimConfig) -> Self {
+        let handoff = make_accounting(&cfg);
+        Simulation::with_handoff(cfg, handoff)
+    }
+
+    /// Like [`Simulation::new`], but with a custom handoff-accounting
+    /// observer in the handoff slot — how the packet backend reuses the
+    /// whole pipeline with packet-executed pricing.
+    pub fn with_handoff(cfg: SimConfig, handoff: Box<dyn HandoffAccounting>) -> Self {
+        let world = World::new(cfg);
+        let cost = variant_cost_model(&world, world.cfg());
+        let world_obs = WorldObservers::new(world.hierarchy());
+        let bank = ObserverBank::new(world.cfg().clone(), &world, &world_obs, handoff);
+        Simulation {
+            world,
+            cost,
+            world_obs,
+            bank,
+            sources_scratch: Vec::new(),
+        }
+    }
+
+    /// The configuration this simulation runs under.
+    pub fn config(&self) -> &SimConfig {
+        self.world.cfg()
+    }
+
+    /// Current hierarchy snapshot.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        self.world.hierarchy()
+    }
+
+    /// The variant's own observer set (handoff slot, GLS, extras —
+    /// accumulators read back by backends and tests).
+    pub fn observers(&self) -> &Observers {
+        self.bank.observers()
+    }
+
+    /// The scheme-independent world accumulators.
+    pub fn world_observers(&self) -> &WorldObservers {
+        &self.world_obs
+    }
+
+    /// Append a custom observer; it runs after the built-in set each tick.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.bank.add_observer(observer);
+    }
+
+    /// Invariant violations found so far (empty unless `SimConfig::audit`
+    /// is set — and, for a correct engine, empty even then).
+    pub fn audit_violations(&self) -> &[AuditViolation] {
+        self.bank.violations()
+    }
+
+    /// Advance one tick, recording every counter.
+    pub fn step(&mut self) {
+        let cost = &mut self.cost;
+        let world_obs = &mut self.world_obs;
+        let bank = &mut self.bank;
+        let sources = &mut self.sources_scratch;
+        self.world.step_with(&mut |ctx| {
+            // Scheme-independent accumulators first (no pricer involved),
+            // then the variant's own observers inside one pricer scope, so
+            // BFS pricing shares its per-source distance cache within the
+            // tick and its buffers pool across ticks (inside the cost
+            // model). The CHLM query sources are known from the diffs
+            // alone, so they are collected up front and the model fills
+            // those rows across its worker pool before any observer prices
+            // a packet.
+            world_obs.on_tick(ctx);
+            sources.clear();
+            if bank.wants_bfs_sources() {
+                collect_chlm_bfs_sources(ctx, sources);
+            }
+            let inputs = CostInputs {
+                graph: ctx.graph,
+                positions: ctx.positions,
+                hierarchy: ctx.new_hierarchy,
+                rtx: ctx.rtx,
+                sources: sources.as_slice(),
+            };
+            cost.with_pricer(&inputs, &mut |pricer| bank.observe(ctx, pricer));
+            bank.audit(ctx, world_obs);
+        });
+    }
+
+    /// Run the configured number of ticks and produce the report.
+    pub fn run(mut self) -> SimReport {
+        let ticks = self.config().tick_count();
+        for _ in 0..ticks {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Run to completion under the invariant auditor (forced on) and
+    /// return both the report and every violation found.
+    pub fn run_audited(mut self) -> (SimReport, Vec<AuditViolation>) {
+        self.bank.ensure_auditor(&self.world_obs);
+        let ticks = self.config().tick_count();
+        for _ in 0..ticks {
+            self.step();
+        }
+        let violations = self.bank.take_violations();
+        (self.finish(), violations)
+    }
+
+    /// Produce the report from whatever has been simulated so far.
+    pub fn finish(self) -> SimReport {
+        let Simulation {
+            world,
+            mut cost,
+            world_obs,
+            bank,
+            ..
+        } = self;
+        bank.finish(&world, &world_obs, &mut *cost)
+    }
 }
 
 impl Engine for Simulation {
@@ -652,5 +836,25 @@ mod tests {
         let direct = Simulation::new(cfg.clone()).run();
         let via_engine = run_engine(build_engine(&cfg));
         assert_eq!(direct, via_engine);
+    }
+
+    #[test]
+    fn fixed_euclidean_calibration_ignores_measurement() {
+        // `Euclidean(c)` must price with exactly `c`, not the startup
+        // measurement the world now always performs.
+        let mut a = quick_cfg(90, 12);
+        a.hop_metric = HopMetric::EuclideanCalibrated;
+        let mut b = quick_cfg(90, 12);
+        b.hop_metric = HopMetric::Euclidean(50.0);
+        let ra = Simulation::new(a).run();
+        let rb = Simulation::new(b).run();
+        assert_eq!(ra.events, rb.events);
+        // A measured detour ratio is near 1; a fixed 50x factor must
+        // dominate it by an order of magnitude if it is actually used.
+        let total =
+            |r: &SimReport| -> f64 { r.ledger.per_level.iter().map(|l| l.total_packets()).sum() };
+        let (ta, tb) = (total(&ra), total(&rb));
+        assert!(ta > 0.0);
+        assert!(tb > 10.0 * ta, "ta {ta} tb {tb}");
     }
 }

@@ -39,6 +39,7 @@ pub mod audit;
 pub mod config;
 pub mod cost;
 pub mod engine;
+pub mod multiplex;
 pub mod observe;
 pub mod oracle;
 pub mod packet;
@@ -53,10 +54,11 @@ pub use config::{
 };
 pub use cost::{CostInputs, CostModel, HopPricer};
 pub use engine::{build_engine, run_engine, Engine, Simulation};
+pub use multiplex::{run_multiplexed, MultiplexSim, VariantSpec};
 pub use observe::{HandoffAccounting, Observer};
 pub use packet::{PacketEngine, PacketTotals};
 pub use report::{LevelRates, SimReport, StateSummary};
-pub use runner::run_replications;
+pub use runner::{budget_split, run_replications, run_sweep, SweepJob};
 pub use scheme::{
     make_accounting, AnalyticSchemeObserver, GlsSchemeWorkload, HomeAgentWorkload,
     PacketSchemeObserver, SchemeMsg, SchemeWorkload,

@@ -1,0 +1,368 @@
+//! Shared-world experiment multiplexer.
+//!
+//! The world pipeline (mobility → topology → hierarchy → LM assignment)
+//! never consults the location-management scheme, the hop metric, or the
+//! backend — `tests/scheme_trace.rs` pins byte-identical per-tick world
+//! traces across all of them. E24-style comparison sweeps nevertheless
+//! used to re-simulate that world once per (scheme, cost model, loss
+//! config). This module eliminates the redundancy: [`MultiplexSim`] runs
+//! the world stages **once** per `(world config, seed)` and fans each
+//! completed `TickCtx` out to every requested [`VariantSpec`] as an
+//! independent observer bank, each producing the exact [`SimReport`] a
+//! standalone run of its config would (`tests/multiplex_equivalence.rs`
+//! pins the byte-equality, for every scheme × backend × loss config).
+//!
+//! Sharing happens at three layers. The world stages run once per tick
+//! (the redundancy the multiplexer exists to remove). The
+//! scheme-independent accumulators ([`crate::observe::WorldObservers`]:
+//! link rate, address churn, level churn, taxonomy, ALCA, degree) are
+//! driven once per tick for all banks — they are pure functions of the
+//! tick stream, so every bank reads identical values back at finish.
+//! And cost models are shared per hop metric: banks whose variants price
+//! with the same [`HopMetric`] observe inside one `with_pricer` scope, so
+//! the BFS per-source row cache is filled once for all of them and the
+//! hierarchical-routing table is built once per tick instead of once per
+//! variant. Pricer sharing is sound because every pricer answers as a
+//! pure function of the tick snapshot — caches and table builds only
+//! affect speed, never values.
+//!
+//! Determinism: banks are driven in variant order inside each group, and
+//! groups in first-appearance order of their metric, every tick. Packet
+//! variants replay the same world trace through per-variant
+//! [`crate::scheme::PacketSchemeObserver`] /
+//! [`crate::packet::PacketHandoffObserver`] instances whose
+//! per-(seed, tick, shard) loss streams are unchanged from a standalone
+//! run, so lossy reports multiplex bit-for-bit too.
+
+use crate::audit::AuditViolation;
+use crate::config::{Backend, HopMetric, LmScheme, SimConfig};
+use crate::cost::{CostInputs, CostModel};
+use crate::engine::{collect_chlm_bfs_sources, variant_cost_model, ObserverBank, World};
+use crate::observe::WorldObservers;
+use crate::report::SimReport;
+use crate::scheme::make_accounting;
+use chlm_graph::NodeIdx;
+
+/// One requested variant of a shared world: the three config axes the
+/// world pipeline never consults. Everything else (size, mobility,
+/// duration, seed, …) comes from the base [`SimConfig`] the multiplexer
+/// was built with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSpec {
+    /// Display label for tables and diagnostics.
+    pub label: String,
+    /// Which location-management scheme fills the handoff slot.
+    pub lm_scheme: LmScheme,
+    /// How this variant prices hop distances.
+    pub hop_metric: HopMetric,
+    /// Analytic pricing vs packet execution (with optional loss).
+    pub backend: Backend,
+}
+
+impl VariantSpec {
+    /// A variant from explicit axes.
+    pub fn new(
+        label: impl Into<String>,
+        lm_scheme: LmScheme,
+        hop_metric: HopMetric,
+        backend: Backend,
+    ) -> Self {
+        VariantSpec {
+            label: label.into(),
+            lm_scheme,
+            hop_metric,
+            backend,
+        }
+    }
+
+    /// The variant axes of an existing config — `run_multiplexed(&cfg,
+    /// &[VariantSpec::from_config("x", &cfg)])` is `run_simulation(&cfg)`.
+    pub fn from_config(label: impl Into<String>, cfg: &SimConfig) -> Self {
+        VariantSpec::new(label, cfg.lm_scheme, cfg.hop_metric, cfg.backend)
+    }
+
+    /// The full config this variant runs under, over `base`'s world.
+    pub fn apply(&self, base: &SimConfig) -> SimConfig {
+        let mut cfg = base.clone();
+        cfg.lm_scheme = self.lm_scheme;
+        cfg.hop_metric = self.hop_metric;
+        cfg.backend = self.backend;
+        cfg
+    }
+}
+
+/// The banks sharing one cost model: every variant pricing with the same
+/// [`HopMetric`] (`Euclidean(c)` groups by the value of `c`).
+struct MetricGroup {
+    metric: HopMetric,
+    cost: Box<dyn CostModel>,
+    members: Vec<usize>,
+    /// Whether any member is a CHLM variant pricing over BFS, so the
+    /// group's pricer scope prefills the known ledger query rows.
+    collect_sources: bool,
+}
+
+/// One shared `World` fanned out to many observer banks. Construct with
+/// [`MultiplexSim::new`], drive with [`MultiplexSim::step`] or run to
+/// completion with [`MultiplexSim::run`]; [`MultiplexSim::finish`] yields
+/// one [`SimReport`] per variant, in variant order.
+pub struct MultiplexSim {
+    world: World,
+    /// The scheme-independent accumulators, driven ONCE per tick and read
+    /// by every bank at audit/finish time — the other half of the sharing
+    /// (the world stages being the first): a fan-out of `v` variants pays
+    /// for link/churn/taxonomy/ALCA accounting once, not `v` times.
+    world_obs: WorldObservers,
+    groups: Vec<MetricGroup>,
+    /// Group index of each bank, parallel to `banks`.
+    group_of: Vec<usize>,
+    banks: Vec<ObserverBank>,
+    labels: Vec<String>,
+    sources_scratch: Vec<NodeIdx>,
+}
+
+impl MultiplexSim {
+    /// Build one world from `base` and one observer bank per variant.
+    /// `base`'s own scheme/metric/backend axes are ignored — only the
+    /// variants are accounted.
+    pub fn new(base: &SimConfig, variants: &[VariantSpec]) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "multiplexer needs at least one variant"
+        );
+        let world = World::new(base.clone());
+        let world_obs = WorldObservers::new(world.hierarchy());
+        let mut groups: Vec<MetricGroup> = Vec::new();
+        let mut group_of = Vec::with_capacity(variants.len());
+        let mut banks = Vec::with_capacity(variants.len());
+        let mut labels = Vec::with_capacity(variants.len());
+        for variant in variants {
+            let cfg = variant.apply(base);
+            let gi = match groups.iter().position(|g| g.metric == cfg.hop_metric) {
+                Some(gi) => gi,
+                None => {
+                    groups.push(MetricGroup {
+                        metric: cfg.hop_metric,
+                        cost: variant_cost_model(&world, &cfg),
+                        members: Vec::new(),
+                        collect_sources: false,
+                    });
+                    groups.len() - 1
+                }
+            };
+            let handoff = make_accounting(&cfg);
+            let bank = ObserverBank::new(cfg, &world, &world_obs, handoff);
+            groups[gi].members.push(banks.len());
+            groups[gi].collect_sources |= bank.wants_bfs_sources();
+            group_of.push(gi);
+            banks.push(bank);
+            labels.push(variant.label.clone());
+        }
+        MultiplexSim {
+            world,
+            world_obs,
+            groups,
+            group_of,
+            banks,
+            labels,
+            sources_scratch: Vec::new(),
+        }
+    }
+
+    /// The base configuration the shared world runs under.
+    pub fn config(&self) -> &SimConfig {
+        self.world.cfg()
+    }
+
+    /// Variant labels, in variant (= report) order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of variants fanned out.
+    pub fn variant_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Invariant violations found so far for one variant (empty unless the
+    /// base config sets `audit`).
+    pub fn audit_violations(&self, variant: usize) -> &[AuditViolation] {
+        self.banks[variant].violations()
+    }
+
+    /// Attach an extra observer to one variant's bank — the multiplexed
+    /// counterpart of [`crate::Simulation::add_observer`], used by the
+    /// trace-identity tests to digest what each bank sees.
+    pub fn add_observer(&mut self, variant: usize, obs: Box<dyn crate::observe::Observer>) {
+        self.banks[variant].add_observer(obs);
+    }
+
+    /// Advance the shared world one tick and drive every bank over the
+    /// completed `TickCtx`, one metric group at a time.
+    pub fn step(&mut self) {
+        let world_obs = &mut self.world_obs;
+        let groups = &mut self.groups;
+        let banks = &mut self.banks;
+        let sources = &mut self.sources_scratch;
+        self.world.step_with(&mut |ctx| {
+            // The scheme-independent accumulators: once per tick, for all
+            // banks.
+            world_obs.on_tick(ctx);
+            for group in groups.iter_mut() {
+                sources.clear();
+                if group.collect_sources {
+                    collect_chlm_bfs_sources(ctx, sources);
+                }
+                let inputs = CostInputs {
+                    graph: ctx.graph,
+                    positions: ctx.positions,
+                    hierarchy: ctx.new_hierarchy,
+                    rtx: ctx.rtx,
+                    sources: sources.as_slice(),
+                };
+                let MetricGroup { cost, members, .. } = group;
+                cost.with_pricer(&inputs, &mut |pricer| {
+                    for &bank in members.iter() {
+                        banks[bank].observe(ctx, pricer);
+                    }
+                });
+            }
+            for bank in banks.iter_mut() {
+                bank.audit(ctx, world_obs);
+            }
+        });
+    }
+
+    /// Run the configured number of ticks and finish.
+    pub fn run(mut self) -> Vec<SimReport> {
+        let ticks = self.config().tick_count();
+        for _ in 0..ticks {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Produce one report per variant (variant order) from whatever has
+    /// been simulated so far.
+    pub fn finish(self) -> Vec<SimReport> {
+        let MultiplexSim {
+            world,
+            world_obs,
+            mut groups,
+            group_of,
+            banks,
+            ..
+        } = self;
+        banks
+            .into_iter()
+            .zip(group_of)
+            .map(|(bank, gi)| bank.finish(&world, &world_obs, &mut *groups[gi].cost))
+            .collect()
+    }
+}
+
+/// Run every variant against one shared world and return their reports in
+/// variant order — the multiplexed counterpart of
+/// [`crate::run_simulation`].
+pub fn run_multiplexed(base: &SimConfig, variants: &[VariantSpec]) -> Vec<SimReport> {
+    MultiplexSim::new(base, variants).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_simulation;
+
+    fn base_cfg(n: usize, seed: u64) -> SimConfig {
+        SimConfig::builder(n)
+            .duration(1.5)
+            .warmup(0.3)
+            .seed(seed)
+            .query_samples(8)
+            .threads(1)
+            .build()
+    }
+
+    #[test]
+    fn single_variant_matches_run_simulation() {
+        let cfg = base_cfg(90, 21);
+        let solo = run_simulation(&cfg);
+        let multi = run_multiplexed(&cfg, &[VariantSpec::from_config("only", &cfg)]);
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0], solo);
+    }
+
+    #[test]
+    fn three_schemes_share_one_world() {
+        let cfg = base_cfg(90, 22);
+        let variants: Vec<VariantSpec> = [LmScheme::Chlm, LmScheme::Gls, LmScheme::HomeAgent]
+            .into_iter()
+            .map(|s| VariantSpec::new(format!("{s:?}"), s, cfg.hop_metric, cfg.backend))
+            .collect();
+        let multi = run_multiplexed(&cfg, &variants);
+        for (report, variant) in multi.iter().zip(&variants) {
+            let solo = run_simulation(&variant.apply(&cfg));
+            assert_eq!(report, &solo, "variant {} diverged", variant.label);
+        }
+    }
+
+    #[test]
+    fn mixed_metrics_group_correctly() {
+        let cfg = base_cfg(80, 23);
+        let variants = vec![
+            VariantSpec::new(
+                "eucl",
+                LmScheme::Chlm,
+                HopMetric::EuclideanCalibrated,
+                cfg.backend,
+            ),
+            VariantSpec::new("hier", LmScheme::Chlm, HopMetric::HierRouting, cfg.backend),
+            VariantSpec::new(
+                "eucl2",
+                LmScheme::Gls,
+                HopMetric::EuclideanCalibrated,
+                cfg.backend,
+            ),
+        ];
+        let mx = MultiplexSim::new(&cfg, &variants);
+        // Two distinct metrics → two groups; the shared one has 2 members.
+        assert_eq!(mx.groups.len(), 2);
+        assert_eq!(mx.groups[0].members, vec![0, 2]);
+        assert_eq!(mx.groups[1].members, vec![1]);
+        let multi = mx.run();
+        for (report, variant) in multi.iter().zip(&variants) {
+            let solo = run_simulation(&variant.apply(&cfg));
+            assert_eq!(report, &solo, "variant {} diverged", variant.label);
+        }
+    }
+
+    #[test]
+    fn fixed_euclidean_calibrations_do_not_share_a_group() {
+        let cfg = base_cfg(60, 24);
+        let variants = vec![
+            VariantSpec::new("c1", LmScheme::Chlm, HopMetric::Euclidean(1.0), cfg.backend),
+            VariantSpec::new(
+                "c2",
+                LmScheme::Chlm,
+                HopMetric::Euclidean(50.0),
+                cfg.backend,
+            ),
+        ];
+        let mx = MultiplexSim::new(&cfg, &variants);
+        assert_eq!(mx.groups.len(), 2);
+        let multi = mx.run();
+        let total =
+            |r: &SimReport| -> f64 { r.ledger.per_level.iter().map(|l| l.total_packets()).sum() };
+        let t1 = total(&multi[0]);
+        let t2 = total(&multi[1]);
+        assert!(t1 > 0.0);
+        assert!(t2 > 10.0 * t1, "t1 {t1} t2 {t2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_variant_list_rejected() {
+        let cfg = base_cfg(16, 1);
+        let _ = MultiplexSim::new(&cfg, &[]);
+    }
+}

@@ -9,11 +9,21 @@
 //! canonical order and lets callers append extras, so a new metric is one
 //! struct away and never touches the tick loop.
 //!
+//! The set is split along the variant seam: [`WorldObservers`] holds
+//! every accumulator that is a pure function of the world's tick stream
+//! (no scheme, no pricer), [`Observers`] holds one variant's own
+//! accounting (handoff, GLS, extras). A standalone run drives one of
+//! each; a multiplexed fan-out drives **one** `WorldObservers` for all of
+//! its variant banks — the per-variant recomputation the shared-world
+//! multiplexer exists to remove.
+//!
 //! Bit-reproducibility contract: each observer owns a disjoint
 //! accumulator and performs the identical arithmetic, in the identical
-//! order, that the pre-pipeline monolithic `step` performed — the
-//! equivalence suite pins the resulting [`crate::SimReport`]s
-//! bit-identical across the refactor.
+//! per-observer order, that the pre-pipeline monolithic `step` performed —
+//! the equivalence suite pins the resulting [`crate::SimReport`]s
+//! bit-identical across the refactor (and across the world/variant
+//! split: accumulators are disjoint and pricers are pure, so driving the
+//! world set before the variant sets changes no value).
 //!
 //! The handoff slot is also the location-management *scheme* seam:
 //! [`crate::scheme::make_accounting`] fills it per
@@ -335,40 +345,60 @@ impl Observer for DegreeObserver {
     }
 }
 
-/// The engine's observer set: the built-in accounting in canonical order,
-/// plus caller-appended extras. The handoff slot is a trait object so the
-/// packet engine can swap in packet-executed accounting.
-pub struct Observers {
+/// Pricer handed to observers that never price packets. Every observer in
+/// [`WorldObservers`] ignores its pricer argument; this stub makes that
+/// contract executable (debug-asserted) instead of implicit.
+struct InertPricer;
+
+impl HopPricer for InertPricer {
+    fn hops(&mut self, _a: NodeIdx, _b: NodeIdx) -> f64 {
+        debug_assert!(false, "world observers never price packets");
+        0.0
+    }
+}
+
+/// The scheme-independent observer set: every accumulator that is a pure
+/// function of the world's tick stream — link rate, address churn, level
+/// churn, taxonomy, ALCA states, degree. None of these consult the LM
+/// scheme, the backend, or the pricer, so a
+/// [`crate::multiplex::MultiplexSim`] drives **one** instance for all of
+/// its variant banks (each bank reads its report fields from the shared
+/// set), while a standalone [`crate::Simulation`] owns its own.
+pub struct WorldObservers {
     pub link: LinkRateObserver,
     pub addr: AddressChurnObserver,
-    pub handoff: Box<dyn HandoffAccounting>,
     pub churn: LevelChurnObserver,
     pub taxonomy: EventTaxonomyObserver,
     pub alca: AlcaStateObserver,
-    pub gls: Option<GlsObserver>,
     pub degree: DegreeObserver,
-    pub extra: Vec<Box<dyn Observer>>,
 }
 
-impl Observers {
-    /// Drive every observer over one tick, in the canonical order (link
-    /// rate, address churn, handoff, level churn, taxonomy, ALCA, GLS,
-    /// degree, extras). All observers share one pricer, so BFS pricing
-    /// shares its per-source cache across them within the tick.
-    pub fn on_tick(&mut self, ctx: &TickCtx<'_>, pricer: &mut dyn HopPricer) {
-        self.link.on_tick(ctx, pricer);
-        self.addr.on_tick(ctx, pricer);
-        self.handoff.on_tick(ctx, pricer);
-        self.churn.on_tick(ctx, pricer);
-        self.taxonomy.on_tick(ctx, pricer);
-        self.alca.on_tick(ctx, pricer);
-        if let Some(gls) = &mut self.gls {
-            gls.on_tick(ctx, pricer);
+impl WorldObservers {
+    /// Seed every accumulator from the world's initial hierarchy, exactly
+    /// as the run's first snapshot.
+    pub fn new(initial: &Hierarchy) -> Self {
+        WorldObservers {
+            link: LinkRateObserver::default(),
+            addr: AddressChurnObserver::default(),
+            churn: LevelChurnObserver::new(initial),
+            taxonomy: EventTaxonomyObserver::new(initial.depth()),
+            alca: AlcaStateObserver::new(initial),
+            degree: DegreeObserver::new(initial.depth()),
         }
-        self.degree.on_tick(ctx, pricer);
-        for obs in &mut self.extra {
-            obs.on_tick(ctx, pricer);
-        }
+    }
+
+    /// Drive the set over one tick, in the canonical order (link rate,
+    /// address churn, level churn, taxonomy, ALCA, degree). Accumulators
+    /// are disjoint and pricer-free, so the values are identical whether
+    /// this runs per variant or once for a whole multiplexed fan-out.
+    pub fn on_tick(&mut self, ctx: &TickCtx<'_>) {
+        let mut inert = InertPricer;
+        self.link.on_tick(ctx, &mut inert);
+        self.addr.on_tick(ctx, &mut inert);
+        self.churn.on_tick(ctx, &mut inert);
+        self.taxonomy.on_tick(ctx, &mut inert);
+        self.alca.on_tick(ctx, &mut inert);
+        self.degree.on_tick(ctx, &mut inert);
     }
 
     /// The full [`LevelRates`] view: address churn merged with link churn
@@ -379,5 +409,31 @@ impl Observers {
         let mut rates = self.addr.rates.clone();
         rates.merge(&self.churn.rates);
         rates
+    }
+}
+
+/// One variant's own observer set: the handoff slot (scheme × backend ×
+/// pricing), the optional GLS tracker (prices hops, so it is per cost
+/// model), and caller-appended extras. Everything scheme-independent
+/// lives in [`WorldObservers`]. The handoff slot is a trait object so the
+/// packet engine can swap in packet-executed accounting.
+pub struct Observers {
+    pub handoff: Box<dyn HandoffAccounting>,
+    pub gls: Option<GlsObserver>,
+    pub extra: Vec<Box<dyn Observer>>,
+}
+
+impl Observers {
+    /// Drive the variant's observers over one tick, in the canonical
+    /// order (handoff, GLS, extras). All of them share one pricer, so BFS
+    /// pricing shares its per-source cache across them within the tick.
+    pub fn on_tick(&mut self, ctx: &TickCtx<'_>, pricer: &mut dyn HopPricer) {
+        self.handoff.on_tick(ctx, pricer);
+        if let Some(gls) = &mut self.gls {
+            gls.on_tick(ctx, pricer);
+        }
+        for obs in &mut self.extra {
+            obs.on_tick(ctx, pricer);
+        }
     }
 }

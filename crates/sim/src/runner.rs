@@ -1,74 +1,117 @@
-//! Parallel multi-seed replication.
+//! Parallel multi-seed replication and the sweep orchestrator.
 //!
 //! Experiments report means and confidence intervals over independent
-//! replications (different seeds, same configuration). Replications are
-//! embarrassingly parallel; we fan them out over OS threads with
-//! `crossbeam::scope` and collect reports in seed order so results are
-//! deterministic regardless of scheduling.
+//! replications (different seeds, same configuration). Replications — and
+//! since PR 7, whole multiplexed world-runs ([`run_sweep`]) — are
+//! embarrassingly parallel; both fan out through
+//! [`chlm_par::WorkerPool::run_indexed`], whose lock-free ticket counter
+//! plus index-addressed scatter makes the results byte-identical at any
+//! thread count and under `CHLM_SHUFFLE_MERGE` schedule fuzzing.
+//!
+//! Thread budgeting: BENCH_PR4 measured intra-tick parallelism flat
+//! (~0.96x) on the reference box, so the proven scaling axis is the
+//! job level. [`budget_split`] therefore gives the whole budget to the
+//! outer fan-out (`outer = threads`, inner pool = 1) unless
+//! `CHLM_THREADS_INNER` explicitly reserves an inner width — reports are
+//! bit-identical either way, only wall-clock changes.
 
 use crate::config::SimConfig;
+use crate::multiplex::{run_multiplexed, VariantSpec};
 use crate::report::SimReport;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use chlm_par::WorkerPool;
+
+/// Environment variable reserving an intra-tick (inner-pool) width inside
+/// each parallel job. Unset (the default), the whole thread budget drives
+/// the job-level fan-out because intra-tick scaling is flat on the
+/// reference hardware (BENCH_PR4).
+pub const THREADS_INNER_ENV: &str = "CHLM_THREADS_INNER";
+
+/// The inner-pool width `CHLM_THREADS_INNER` requests, if set to a
+/// positive integer.
+fn inner_override() -> Option<usize> {
+    std::env::var(THREADS_INNER_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+}
+
+/// Split a total thread budget between the job-level fan-out (`outer`)
+/// and each job's intra-tick pool (`inner`), for `jobs` parallel jobs.
+///
+/// * `inner_hint = None` (the default path): replication-level split —
+///   `outer = min(threads, jobs)`, `inner = 1`. Intra-tick parallelism is
+///   flat on the reference box (BENCH_PR4), so every thread goes where
+///   scaling is proven.
+/// * `inner_hint = Some(w)`: honor the explicit request — `inner = w`,
+///   `outer = max(threads / w, 1)` (clamped to `jobs`), so nesting never
+///   oversubscribes beyond the requested inner width.
+///
+/// Reports are bit-identical for every split (the thread-invariance
+/// contract); only wall-clock differs.
+pub fn budget_split(threads: usize, jobs: usize, inner_hint: Option<usize>) -> (usize, usize) {
+    assert!(threads >= 1);
+    let jobs = jobs.max(1);
+    match inner_hint {
+        Some(inner) => {
+            let inner = inner.max(1);
+            let outer = (threads / inner).max(1).min(jobs);
+            (outer, inner)
+        }
+        None => (threads.min(jobs), 1),
+    }
+}
 
 /// Run `seeds.len()` replications of `cfg` (seed overridden per
-/// replication), at most `threads` at a time. Reports come back in seed
-/// order. Respects `cfg.backend` — replications run on whichever engine
-/// the config selects.
+/// replication), at most `outer` at a time per [`budget_split`]. Reports
+/// come back in seed order. Respects `cfg.backend` — replications run on
+/// whichever engine the config selects.
 ///
-/// Work distribution is a lock-free ticket counter: each worker claims the
-/// next seed index with a single `fetch_add`. Each worker keeps its own
-/// `(index, report)` list and the joined lists are scattered into place at
-/// the end — no shared results vector, no mutex anywhere.
-///
-/// `threads` is a *total* budget shared with the replications' intra-tick
-/// pools: the fan-out runs `min(threads, seeds.len())` replications at a
-/// time and each replication's `SimConfig::threads` is overridden to the
-/// budget divided by that width, so nesting never oversubscribes the
-/// machine. (A report is bit-identical for every `SimConfig::threads`, so
-/// the override cannot change results.)
+/// Work distribution is [`WorkerPool::run_indexed`]: workers claim seed
+/// indices off a lock-free ticket counter and results are scattered into
+/// index-addressed slots, so the output is identical for every thread
+/// count (and under `CHLM_SHUFFLE_MERGE` claim-order fuzzing).
 pub fn run_replications(cfg: &SimConfig, seeds: &[u64], threads: usize) -> Vec<SimReport> {
-    assert!(threads >= 1);
-    let outer = threads.min(seeds.len()).max(1);
-    let inner = (threads / outer).max(1);
-    let next = AtomicUsize::new(0);
-    let finished = crossbeam::scope(|scope| {
-        let workers: Vec<_> = (0..outer)
-            .map(|_| {
-                scope.spawn(|_| {
-                    let mut mine: Vec<(usize, SimReport)> = Vec::new();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= seeds.len() {
-                            break;
-                        }
-                        let mut c = cfg.clone();
-                        c.seed = seeds[idx];
-                        c.threads = inner;
-                        mine.push((idx, crate::run_simulation(&c)));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            // audit: infallible because join() only errs on a worker panic, already fatal here
-            .flat_map(|w| w.join().expect("replication thread panicked"))
-            .collect::<Vec<_>>()
+    let (outer, inner) = budget_split(threads, seeds.len(), inner_override());
+    WorkerPool::new(outer).run_indexed(seeds.len(), |idx| {
+        let mut c = cfg.clone();
+        c.seed = seeds[idx];
+        c.threads = inner;
+        crate::run_simulation(&c)
     })
-    // audit: infallible because scope() only errs on a worker panic, already fatal here
-    .expect("replication thread panicked");
+}
 
-    let mut results: Vec<Option<SimReport>> = (0..seeds.len()).map(|_| None).collect();
-    for (idx, report) in finished {
-        debug_assert!(results[idx].is_none(), "seed index claimed twice");
-        results[idx] = Some(report);
-    }
-    results
-        .into_iter()
-        // audit: infallible because the ticket counter covers every index exactly once
-        .map(|r| r.expect("missing replication result"))
-        .collect()
+/// One node of the sweep job graph: a world (config + seed) and the
+/// variants to fan out against it. The job is the unit workers claim —
+/// one claimed ticket is one full multiplexed world-run.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Base configuration; its scheme/metric/backend axes are ignored in
+    /// favor of `variants`.
+    pub cfg: SimConfig,
+    /// Seed overriding `cfg.seed` for this world.
+    pub seed: u64,
+    /// The variants priced against this world, in report order.
+    pub variants: Vec<VariantSpec>,
+}
+
+/// The work-stealing sweep orchestrator: run every job's world once and
+/// fan its tick stream out to the job's variants
+/// ([`crate::multiplex::run_multiplexed`]), with whole world-runs claimed
+/// off the [`WorkerPool`] ticket counter. Returns one `Vec<SimReport>`
+/// per job (job order), each in the job's variant order — byte-identical
+/// at any thread count and under `CHLM_SHUFFLE_MERGE`.
+///
+/// The thread budget follows [`budget_split`]: all of it drives the
+/// job-level fan-out unless `CHLM_THREADS_INNER` reserves an inner width.
+pub fn run_sweep(jobs: &[SweepJob], threads: usize) -> Vec<Vec<SimReport>> {
+    let (outer, inner) = budget_split(threads, jobs.len(), inner_override());
+    WorkerPool::new(outer).run_indexed(jobs.len(), |idx| {
+        let job = &jobs[idx];
+        let mut base = job.cfg.clone();
+        base.seed = job.seed;
+        base.threads = inner;
+        run_multiplexed(&base, &job.variants)
+    })
 }
 
 /// Default seed list `base..base + count`.
@@ -79,7 +122,7 @@ pub fn seed_range(base: u64, count: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Backend;
+    use crate::config::{Backend, LmScheme};
 
     #[test]
     fn parallel_matches_sequential() {
@@ -123,6 +166,55 @@ mod tests {
         for (p, a) in packet.iter().zip(&analytic) {
             assert_eq!(p.seed, a.seed);
             assert_eq!(p.events, a.events);
+        }
+    }
+
+    #[test]
+    fn budget_split_defaults_to_replication_level() {
+        // The PR 7 contract: without an explicit inner hint, the whole
+        // budget drives the outer fan-out and inner pools stay serial.
+        assert_eq!(budget_split(8, 16, None), (8, 1));
+        assert_eq!(budget_split(8, 4, None), (4, 1));
+        assert_eq!(budget_split(1, 5, None), (1, 1));
+        assert_eq!(budget_split(3, 1, None), (1, 1));
+    }
+
+    #[test]
+    fn budget_split_honors_inner_hint() {
+        assert_eq!(budget_split(8, 16, Some(2)), (4, 2));
+        assert_eq!(budget_split(8, 2, Some(2)), (2, 2));
+        // A hint wider than the budget still wins; outer degrades to 1.
+        assert_eq!(budget_split(2, 16, Some(4)), (1, 4));
+        assert_eq!(budget_split(4, 16, Some(1)), (4, 1));
+    }
+
+    #[test]
+    fn sweep_matches_independent_runs() {
+        let cfg = SimConfig::builder(50).duration(1.0).warmup(0.2).build();
+        let variants = vec![
+            VariantSpec::from_config("chlm", &cfg),
+            VariantSpec::new("home", LmScheme::HomeAgent, cfg.hop_metric, cfg.backend),
+        ];
+        let jobs: Vec<SweepJob> = seed_range(31, 3)
+            .into_iter()
+            .map(|seed| SweepJob {
+                cfg: cfg.clone(),
+                seed,
+                variants: variants.clone(),
+            })
+            .collect();
+        for threads in [1, 4] {
+            let grid = run_sweep(&jobs, threads);
+            assert_eq!(grid.len(), jobs.len());
+            for (job, reports) in jobs.iter().zip(&grid) {
+                assert_eq!(reports.len(), variants.len());
+                for (variant, report) in variants.iter().zip(reports) {
+                    let mut c = variant.apply(&cfg);
+                    c.seed = job.seed;
+                    c.threads = 1;
+                    assert_eq!(report, &crate::run_simulation(&c), "threads {threads}");
+                }
+            }
         }
     }
 

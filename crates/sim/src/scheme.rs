@@ -42,7 +42,7 @@ use crate::stage::TickCtx;
 use chlm_cluster::address::AddrChangeKind;
 use chlm_geom::{Disk, Point, Rect};
 use chlm_graph::NodeIdx;
-use chlm_lm::gls::{GlsAssignment, GlsSelect, GridHierarchy, NO_SERVER};
+use chlm_lm::gls::{GlsIncremental, GlsSelect, GridHierarchy, NO_SERVER};
 use chlm_lm::handoff::HandoffLedger;
 use chlm_lm::hash::hrw_select;
 use chlm_par::{split_ranges, WorkerPool};
@@ -102,7 +102,9 @@ pub trait SchemeWorkload {
 /// whose cluster diameter it roughly matches.
 pub struct GlsSchemeWorkload {
     grid: GridHierarchy,
-    prev: Option<GlsAssignment>,
+    /// Incrementally maintained server table (exact: same table and diff
+    /// a full per-tick recompute would produce, without the full rescan).
+    inc: GlsIncremental,
     /// Positions at the previous tick (grid-cell comparison for the
     /// migration/reorganization attribution).
     prev_pos: Vec<Point>,
@@ -121,7 +123,7 @@ impl GlsSchemeWorkload {
         };
         GlsSchemeWorkload {
             grid: GridHierarchy::covering(Rect::new(lo, hi), cfg.rtx()),
-            prev: None,
+            inc: GlsIncremental::new(GlsSelect::Hrw),
             prev_pos: Vec::new(),
             last_update_pos: Vec::new(),
         }
@@ -145,39 +147,37 @@ impl SchemeWorkload for GlsSchemeWorkload {
                 }
             }
         }
-        let assignment =
-            GlsAssignment::compute_with(&self.grid, ctx.positions, ctx.ids, GlsSelect::Hrw);
+        let (assignment, diff) = self.inc.update(&self.grid, ctx.positions, ctx.ids);
         // Transfers from server-table churn, subjects ascending (diff
-        // order), bands ascending within a subject.
-        if let Some(prev) = &self.prev {
-            for (subject, band, old, new) in prev.diff(&assignment) {
-                let order = band + 1;
-                let moved = self.grid.cell(self.prev_pos[subject as usize], order)
-                    != self.grid.cell(ctx.positions[subject as usize], order);
-                let class = if moved {
-                    AddrChangeKind::Migration
-                } else {
-                    AddrChangeKind::Reorganization
-                };
-                let level = (band + 2) as u16;
-                match (old == NO_SERVER, new == NO_SERVER) {
-                    (false, false) => out.push(SchemeMsg {
-                        src: old,
-                        dst: new,
-                        level,
-                        class,
-                        update: false,
-                    }),
-                    (true, false) => out.push(SchemeMsg {
-                        src: subject,
-                        dst: new,
-                        level,
-                        class,
-                        update: true,
-                    }),
-                    // Entries expire silently (GLS timeout behavior).
-                    _ => {}
-                }
+        // order), bands ascending within a subject. The diff is empty on
+        // the first tick, matching the old no-previous-table behavior.
+        for &(subject, band, old, new) in diff {
+            let order = band + 1;
+            let moved = self.grid.cell(self.prev_pos[subject as usize], order)
+                != self.grid.cell(ctx.positions[subject as usize], order);
+            let class = if moved {
+                AddrChangeKind::Migration
+            } else {
+                AddrChangeKind::Reorganization
+            };
+            let level = (band + 2) as u16;
+            match (old == NO_SERVER, new == NO_SERVER) {
+                (false, false) => out.push(SchemeMsg {
+                    src: old,
+                    dst: new,
+                    level,
+                    class,
+                    update: false,
+                }),
+                (true, false) => out.push(SchemeMsg {
+                    src: subject,
+                    dst: new,
+                    level,
+                    class,
+                    update: true,
+                }),
+                // Entries expire silently (GLS timeout behavior).
+                _ => {}
             }
         }
         // Distance-triggered updates, nodes ascending, bands ascending.
@@ -204,7 +204,6 @@ impl SchemeWorkload for GlsSchemeWorkload {
         }
         self.prev_pos.clear();
         self.prev_pos.extend_from_slice(ctx.positions);
-        self.prev = Some(assignment);
     }
 }
 

@@ -16,8 +16,8 @@ use chlm_cluster::address::AddrChangeKind;
 use chlm_cluster::digest::{hierarchy_digest, Digest};
 use chlm_sim::cost::HopPricer;
 use chlm_sim::{
-    Backend, Engine, LmScheme, MobilityKind, Observer, PacketEngine, SimConfig, SimReport,
-    Simulation, TickCtx,
+    Backend, Engine, LmScheme, MobilityKind, MultiplexSim, Observer, PacketEngine, SimConfig,
+    SimReport, Simulation, TickCtx, VariantSpec,
 };
 
 const SCHEMES: [LmScheme; 3] = [LmScheme::Chlm, LmScheme::Gls, LmScheme::HomeAgent];
@@ -141,6 +141,39 @@ fn schemes_share_the_trace_packet() {
         assert_trace_identical(96, seed, MobilityKind::Walk, true);
     }
     assert_trace_identical(96, 13, MobilityKind::Waypoint, true);
+}
+
+#[test]
+fn multiplexed_banks_see_the_standalone_trace() {
+    // PR 7: a digest observer attached to every bank of one MultiplexSim
+    // must record the exact per-tick stream a standalone run records —
+    // the fan-out hands each bank the same `TickCtx` the solo engine
+    // would have built.
+    let base = cfg(96, 11, MobilityKind::Walk, LmScheme::Chlm, false);
+    let (solo_digests, _) = traced_run(base.clone());
+    let variants: Vec<VariantSpec> = SCHEMES
+        .iter()
+        .map(|&s| VariantSpec::new(format!("{s:?}"), s, base.hop_metric, base.backend))
+        .collect();
+    let mut mx = MultiplexSim::new(&base, &variants);
+    let outs: Vec<Rc<RefCell<Vec<u64>>>> = (0..variants.len())
+        .map(|i| {
+            let out = Rc::new(RefCell::new(Vec::new()));
+            mx.add_observer(i, Box::new(TraceDigest { out: out.clone() }));
+            out
+        })
+        .collect();
+    for _ in 0..base.tick_count() {
+        mx.step();
+    }
+    let _ = mx.finish();
+    for (i, out) in outs.iter().enumerate() {
+        assert_eq!(
+            &*out.borrow(),
+            &solo_digests,
+            "multiplexed bank {i} saw a different trace"
+        );
+    }
 }
 
 #[test]

@@ -11,6 +11,7 @@ use chlm_par::WorkerPool;
 use chlm_sim::oracle::DistanceOracle;
 use chlm_sim::{
     Backend, Engine, HopMetric, LmScheme, LossSpec, MobilityKind, PacketEngine, SimConfig,
+    VariantSpec,
 };
 use proptest::prelude::*;
 
@@ -177,6 +178,47 @@ fn alternate_schemes_thread_invariant_lossy_packet() {
             cfg
         });
         assert_all_equal(&reports, &format!("{scheme:?}/lossy"));
+    }
+}
+
+#[test]
+fn multiplexed_fan_out_thread_invariant() {
+    // PR 7: the shared-world multiplexer inherits the invariance
+    // contract — one fan-out (mixed schemes, backends, and a lossy
+    // stream) must produce identical report lists at every pool width.
+    let variants = vec![
+        VariantSpec::new("chlm", LmScheme::Chlm, HopMetric::Bfs, Backend::Analytic),
+        VariantSpec::new("gls-pkt", LmScheme::Gls, HopMetric::Bfs, Backend::packet()),
+        VariantSpec::new(
+            "home-lossy",
+            LmScheme::HomeAgent,
+            HopMetric::Bfs,
+            Backend::Packet {
+                hop_delay: Backend::DEFAULT_HOP_DELAY,
+                loss: Some(LossSpec {
+                    prob: 0.25,
+                    max_retries: 6,
+                    seed: 99,
+                }),
+            },
+        ),
+    ];
+    let runs: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let mut cfg = base_cfg(110, 42);
+            cfg.hop_metric = HopMetric::Bfs;
+            cfg.threads = t;
+            chlm_sim::run_multiplexed(&cfg, &variants)
+        })
+        .collect();
+    assert!(runs[0].iter().all(|r| r.total_overhead() > 0.0));
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &runs[0], run,
+            "multiplexed fan-out: threads {} vs {} diverged",
+            THREAD_COUNTS[0], THREAD_COUNTS[i]
+        );
     }
 }
 

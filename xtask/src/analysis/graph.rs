@@ -8,7 +8,8 @@
 //! *might* be on the per-tick step path is held to step-path rules.
 //!
 //! Roots are the engine entry points (`Simulation::step`,
-//! `PacketEngine::step`), every impl of the stage/observer/cost/scheme
+//! `PacketEngine::step`, and the PR 7 multiplexer fan-out
+//! `MultiplexSim::step`), every impl of the stage/observer/cost/scheme
 //! traits, and the `chlm-par` pool internals (its closures run inside
 //! worker threads on the step path).
 
@@ -34,7 +35,11 @@ pub const ROOT_TRAITS: [&str; 10] = [
 ];
 
 /// `Type::method` pairs that root the reachability walk directly.
-pub const ROOT_FNS: [(&str, &str); 2] = [("Simulation", "step"), ("PacketEngine", "step")];
+pub const ROOT_FNS: [(&str, &str); 3] = [
+    ("Simulation", "step"),
+    ("PacketEngine", "step"),
+    ("MultiplexSim", "step"),
+];
 
 /// Files whose non-test functions are roots wholesale (the worker-pool
 /// crate: everything it runs happens on worker threads mid-tick).

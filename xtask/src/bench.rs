@@ -4,10 +4,16 @@
 //! reports per-tick wall time plus allocator traffic (the xtask binary
 //! installs [`CountingAlloc`] as the global allocator, so every heap
 //! allocation the engine makes during the measured window is counted).
-//! Results are written to `BENCH_PR4.json` in the workspace root so the
+//! Results are written to `BENCH_PR7.json` in the workspace root so the
 //! perf trajectory is machine-readable and future PRs can regress
-//! against it; the file also embeds the frozen pre-PR2 baseline numbers
-//! the incremental tick pipeline was measured against.
+//! against it (BENCH_PR4.json stays committed as the PR 4 snapshot); the
+//! file also embeds the frozen pre-PR2 baseline numbers the incremental
+//! tick pipeline was measured against.
+//!
+//! Since PR 7 a run also measures the shared-world multiplexer A/B
+//! ([`bench_sweep_multiplex`]): the E24 3-scheme × 2-cost-model grid
+//! priced once per variant (legacy) vs once per world with observer-bank
+//! fan-out, reported as ns per path, speedup, and variants/sec.
 //!
 //! Since the intra-tick pools landed, every measurement records its
 //! worker-thread count and a full run appends a *thread-scaling curve*:
@@ -21,7 +27,7 @@
 //! end to end and the JSON it writes parses.
 
 use crate::json;
-use chlm_sim::{SimConfig, Simulation};
+use chlm_sim::{run_multiplexed, HopMetric, LmScheme, SimConfig, Simulation, VariantSpec};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -210,12 +216,112 @@ pub fn scaling_size(smoke: bool) -> (usize, usize, usize, usize) {
     }
 }
 
-/// A full bench run: the sizes matrix at the default thread budget plus
-/// the thread-scaling curve at one size.
+/// The shared-world multiplexer measurement: the E24-style 3-scheme ×
+/// 2-cost-model grid run once per variant (legacy) vs once per world
+/// with observer-bank fan-out (PR 7).
+#[derive(Debug, Clone)]
+pub struct MultiplexResult {
+    pub n: usize,
+    pub variants: usize,
+    pub windows: usize,
+    /// Legacy path: one full simulation per variant (min-of-windows ns).
+    pub world_per_variant_ns: f64,
+    /// Multiplexed path: one world, all variants as banks (min ns).
+    pub world_once_ns: f64,
+    /// `world_per_variant_ns / world_once_ns` — the redundancy removed.
+    pub speedup: f64,
+    /// Variant reports per second on the multiplexed path.
+    pub variants_per_sec: f64,
+}
+
+/// The E24 comparison grid the multiplex bench measures: every LM scheme
+/// under both headline cost models (calibrated Euclidean and the E25
+/// hierarchical-routing pricing).
+pub fn e24_grid_variants() -> Vec<VariantSpec> {
+    let schemes = [
+        ("chlm", LmScheme::Chlm),
+        ("gls", LmScheme::Gls),
+        ("home", LmScheme::HomeAgent),
+    ];
+    let metrics = [
+        ("eucl", HopMetric::EuclideanCalibrated),
+        ("hier", HopMetric::HierRouting),
+    ];
+    let mut variants = Vec::new();
+    for (sname, scheme) in schemes {
+        for (mname, metric) in metrics {
+            variants.push(VariantSpec::new(
+                format!("{sname}/{mname}"),
+                scheme,
+                metric,
+                chlm_sim::Backend::Analytic,
+            ));
+        }
+    }
+    variants
+}
+
+/// Measure the multiplexer against the legacy per-variant path on the
+/// E24 grid. Both paths produce byte-identical reports (pinned by
+/// `chlm-sim`'s `tests/multiplex_equivalence.rs`), so this is a pure
+/// wall-clock A/B; min-of-windows on each side for the same
+/// interference-noise reasons as [`bench_size`].
+pub fn bench_sweep_multiplex(smoke: bool) -> MultiplexResult {
+    // Full mode measures at the committed E24 results scale (n = 1024,
+    // the CHLM_MAX_N the tables in results/ are generated at); smoke just
+    // proves both paths run.
+    let (n, duration, windows) = if smoke { (96, 0.6, 1) } else { (1024, 1.5, 3) };
+    bench_sweep_multiplex_at(n, duration, windows)
+}
+
+/// [`bench_sweep_multiplex`] at explicit `(n, duration, windows)`.
+pub fn bench_sweep_multiplex_at(n: usize, duration: f64, windows: usize) -> MultiplexResult {
+    let cfg = SimConfig::builder(n)
+        .duration(duration)
+        .warmup(0.4)
+        .seed(7_000)
+        .query_samples(0)
+        .threads(1)
+        .build();
+    let variants = e24_grid_variants();
+    let mut best_legacy = f64::INFINITY;
+    let mut best_multi = f64::INFINITY;
+    for _ in 0..windows.max(1) {
+        let t0 = Instant::now();
+        for v in &variants {
+            std::hint::black_box(chlm_sim::run_simulation(&v.apply(&cfg)));
+        }
+        best_legacy = best_legacy.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        std::hint::black_box(run_multiplexed(&cfg, &variants));
+        best_multi = best_multi.min(t1.elapsed().as_secs_f64());
+    }
+    MultiplexResult {
+        n,
+        variants: variants.len(),
+        windows: windows.max(1),
+        world_per_variant_ns: best_legacy * 1e9,
+        world_once_ns: best_multi * 1e9,
+        speedup: if best_multi > 0.0 {
+            best_legacy / best_multi
+        } else {
+            0.0
+        },
+        variants_per_sec: if best_multi > 0.0 {
+            variants.len() as f64 / best_multi
+        } else {
+            0.0
+        },
+    }
+}
+
+/// A full bench run: the sizes matrix at the default thread budget, the
+/// thread-scaling curve at one size, and the sweep-multiplex A/B.
 #[derive(Debug, Clone)]
 pub struct BenchRun {
     pub sizes: Vec<SizeResult>,
     pub scaling: Vec<SizeResult>,
+    pub multiplex: MultiplexResult,
 }
 
 /// Run the whole suite.
@@ -230,7 +336,12 @@ pub fn run(smoke: bool) -> BenchRun {
         .into_iter()
         .map(|t| bench_size(n, warm, ticks, windows, t))
         .collect();
-    BenchRun { sizes, scaling }
+    let multiplex = bench_sweep_multiplex(smoke);
+    BenchRun {
+        sizes,
+        scaling,
+        multiplex,
+    }
 }
 
 fn size_json(r: &SizeResult) -> String {
@@ -280,7 +391,19 @@ pub fn parallel_speedup(scaling: &[SizeResult]) -> Option<f64> {
     Some(single.ns_per_tick / best)
 }
 
-/// Render the full BENCH_PR4.json document.
+fn multiplex_json(m: &MultiplexResult) -> String {
+    let mut o = json::Object::new();
+    o.num_field("n", m.n as u64)
+        .num_field("variants", m.variants as u64)
+        .num_field("windows", m.windows as u64)
+        .float_field("world_per_variant_ns", m.world_per_variant_ns)
+        .float_field("world_once_ns", m.world_once_ns)
+        .float_field("speedup", m.speedup)
+        .float_field("variants_per_sec", m.variants_per_sec);
+    o.finish()
+}
+
+/// Render the full BENCH_PR7.json document.
 pub fn render_report(run: &BenchRun, smoke: bool) -> String {
     let mut o = json::Object::new();
     o.str_field("schema", "chlm-bench-v2")
@@ -290,6 +413,7 @@ pub fn render_report(run: &BenchRun, smoke: bool) -> String {
             "thread_scaling",
             &json::array(run.scaling.iter().map(size_json)),
         )
+        .raw_field("sweep_multiplex", &multiplex_json(&run.multiplex))
         .raw_field(
             "baseline_pre_pr2",
             &json::array(PRE_PR2_BASELINE.iter().map(baseline_json)),
@@ -333,17 +457,111 @@ mod tests {
         assert!(r.ticks_per_sec > 0.0);
     }
 
+    fn mpoint() -> MultiplexResult {
+        MultiplexResult {
+            n: 96,
+            variants: 6,
+            windows: 1,
+            world_per_variant_ns: 6_000.0,
+            world_once_ns: 1_500.0,
+            speedup: 4.0,
+            variants_per_sec: 4_000_000.0,
+        }
+    }
+
     #[test]
     fn report_is_valid_json() {
         let run = BenchRun {
             sizes: vec![point(256, 1, 1234.5)],
             scaling: vec![point(256, 1, 1234.5), point(256, 2, 700.0)],
+            multiplex: mpoint(),
         };
         let doc = render_report(&run, true);
         assert!(json::validate(&doc), "invalid JSON: {doc}");
         assert!(doc.contains("\"schema\":\"chlm-bench-v2\""), "{doc}");
         assert!(doc.contains("\"thread_scaling\":["), "{doc}");
         assert!(doc.contains("\"threads\":"), "{doc}");
+        assert!(doc.contains("\"sweep_multiplex\":{"), "{doc}");
+        assert!(doc.contains("\"world_once_ns\":"), "{doc}");
+    }
+
+    #[test]
+    fn e24_grid_covers_schemes_times_metrics() {
+        let variants = e24_grid_variants();
+        assert_eq!(variants.len(), 6);
+        let hier = variants
+            .iter()
+            .filter(|v| v.hop_metric == HopMetric::HierRouting)
+            .count();
+        assert_eq!(hier, 3);
+    }
+
+    /// Manual probe for picking the full-mode measurement point: run with
+    /// `cargo test --release -p xtask sweep_multiplex_probe -- --ignored
+    /// --nocapture` on an otherwise idle machine.
+    #[test]
+    #[ignore = "manual wall-clock probe, not a correctness test"]
+    fn sweep_multiplex_probe() {
+        for n in [1024usize, 2048] {
+            let m = bench_sweep_multiplex_at(n, 1.5, 2);
+            println!(
+                "probe n={n}: legacy {:.0} ns, multiplexed {:.0} ns, speedup {:.2}x",
+                m.world_per_variant_ns, m.world_once_ns, m.speedup
+            );
+        }
+    }
+
+    /// Per-variant cost decomposition: each E24 variant run solo through
+    /// the multiplexer, so the marginal bank cost of every (scheme,
+    /// metric) pair is visible.
+    #[test]
+    #[ignore = "manual wall-clock probe, not a correctness test"]
+    fn sweep_multiplex_variant_breakdown() {
+        let n = 2048;
+        let cfg = SimConfig::builder(n)
+            .duration(1.5)
+            .warmup(0.4)
+            .seed(7_000)
+            .query_samples(0)
+            .threads(1)
+            .build();
+        let min2 = |set: &[VariantSpec]| {
+            (0..2)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(run_multiplexed(&cfg, set));
+                    t0.elapsed().as_secs_f64() * 1e9
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        for v in e24_grid_variants() {
+            let ns = min2(std::slice::from_ref(&v));
+            println!("solo {:12} {:.0} ns", v.label, ns);
+        }
+        let all = e24_grid_variants();
+        let hier: Vec<VariantSpec> = all
+            .iter()
+            .filter(|v| v.hop_metric == HopMetric::HierRouting)
+            .cloned()
+            .collect();
+        let eucl: Vec<VariantSpec> = all
+            .iter()
+            .filter(|v| v.hop_metric == HopMetric::EuclideanCalibrated)
+            .cloned()
+            .collect();
+        for (name, set) in [("hier3", &hier), ("eucl3", &eucl), ("all6", &all)] {
+            println!("multi {:12} {:.0} ns", name, min2(set));
+        }
+    }
+
+    #[test]
+    fn sweep_multiplex_smoke_measures_both_paths() {
+        let m = bench_sweep_multiplex(true);
+        assert_eq!(m.variants, 6);
+        assert!(m.world_per_variant_ns > 0.0);
+        assert!(m.world_once_ns > 0.0);
+        assert!(m.speedup > 0.0);
+        assert!(m.variants_per_sec > 0.0);
     }
 
     #[test]

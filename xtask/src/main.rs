@@ -14,9 +14,10 @@
 //!   digests (see `xtask::determinism`). Exit 1 on any divergence.
 //! * `bench [--smoke] [--json] [--out FILE]` — measure steady-state
 //!   `Simulation::step` throughput and allocator traffic per network size
-//!   (up to n=16384) plus a thread-scaling curve, and write
-//!   `BENCH_PR4.json` (see `xtask::bench`). `--smoke` runs a single
-//!   small size and a two-point curve for CI and writes to
+//!   (up to n=16384), a thread-scaling curve, and the shared-world
+//!   multiplexer A/B (world-once vs world-per-variant on the E24 grid),
+//!   and write `BENCH_PR7.json` (see `xtask::bench`). `--smoke` runs a
+//!   single small size and a two-point curve for CI and writes to
 //!   `target/BENCH_SMOKE.json` instead, so it never clobbers the
 //!   committed full-mode artifact; the written file is re-read and
 //!   checked for JSON well-formedness before the command reports
@@ -224,7 +225,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         if smoke {
             workspace_root().join("target/BENCH_SMOKE.json")
         } else {
-            workspace_root().join("BENCH_PR4.json")
+            workspace_root().join("BENCH_PR7.json")
         }
     });
     let run = bench::run(smoke);
@@ -252,6 +253,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 r.n, r.threads, r.ns_per_tick, r.ticks_per_sec
             );
         }
+        let m = &run.multiplex;
+        println!(
+            "sweep_multiplex n={:<5} {} variants  {:>12.1} ns legacy  {:>12.1} ns multiplexed  {:.2}x  {:.1} variants/s",
+            m.n, m.variants, m.world_per_variant_ns, m.world_once_ns, m.speedup, m.variants_per_sec
+        );
         if let Some(s) = bench::speedup_at(&run.sizes, 2048) {
             println!("speedup vs pre-PR2 baseline at n=2048: {s:.2}x");
         }

@@ -1,0 +1,24 @@
+//! Fixture: an observer bank that iterates a hash container inside its
+//! fan-out — the PR 7 multiplexer surface `no-iteration-order-escape`
+//! must scope. Per-variant accumulators keyed by node are tempting, but
+//! folding them in hasher order leaks nondeterminism into the report.
+
+use std::collections::HashMap;
+
+pub struct BankFixture {
+    per_node: HashMap<u32, f64>,
+}
+
+impl BankFixture {
+    pub fn observe(&mut self) -> f64 {
+        let mut phi = 0.0;
+        for (_, v) in &self.per_node {
+            phi += v;
+        }
+        phi
+    }
+
+    pub fn finish_labels(&self) -> Vec<u32> {
+        self.per_node.keys().copied().collect()
+    }
+}

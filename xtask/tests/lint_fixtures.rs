@@ -111,6 +111,27 @@ fn iter_escape_fixture_fails() {
 }
 
 #[test]
+fn bank_iter_fixture_fails() {
+    // PR 7 surface: an observer bank folding a HashMap in hasher order
+    // inside its fan-out. The for-loop escape and the unsorted key
+    // collect must both fire, at their exact lines.
+    let fs = findings_for("bank_iter.rs");
+    let escape: Vec<usize> = fs
+        .iter()
+        .filter(|f| f.lint == LINT_ITER_ESCAPE)
+        .map(|f| f.line)
+        .collect();
+    let unordered: Vec<usize> = fs
+        .iter()
+        .filter(|f| f.lint == LINT_UNORDERED)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(escape, vec![15], "{fs:?}");
+    assert_eq!(unordered, vec![22], "{fs:?}");
+    assert_eq!(fs.len(), 2, "only those two may fire: {fs:?}");
+}
+
+#[test]
 fn iter_escape_ok_fixture_is_clean() {
     let fs = findings_for("iter_escape_ok.rs");
     assert!(fs.is_empty(), "{fs:?}");
@@ -195,6 +216,7 @@ fn binary_exits_nonzero_on_each_fixture_with_json() {
         "iter_escape.rs",
         "rng_stream.rs",
         "interior_mut.rs",
+        "bank_iter.rs",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
             .args(["lint", "--json", "--path"])
