@@ -57,6 +57,19 @@ CHLM_THREADS=1 cargo xtask audit-determinism
 step "cargo xtask audit-determinism (CHLM_THREADS=2)"
 CHLM_THREADS=2 cargo xtask audit-determinism
 
+# The PR 8 incremental-vs-oracle equivalence suite at both thread
+# counts and under the shuffle-merge fuzz: the incremental maintainer
+# must agree with the full-rebuild oracle per tick regardless of how
+# the walk's pool is sized or its merges ordered.
+step "hierarchy equivalence (CHLM_THREADS=1)"
+CHLM_THREADS=1 cargo test -q -p chlm-sim --test hierarchy_equivalence
+
+step "hierarchy equivalence (CHLM_THREADS=2)"
+CHLM_THREADS=2 cargo test -q -p chlm-sim --test hierarchy_equivalence
+
+step "hierarchy equivalence (CHLM_SHUFFLE_MERGE=1)"
+CHLM_SHUFFLE_MERGE=1 cargo test -q -p chlm-sim --test hierarchy_equivalence
+
 step "cargo xtask bench --smoke (CHLM_THREADS=1)"
 CHLM_THREADS=1 cargo xtask bench --smoke
 

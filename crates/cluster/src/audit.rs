@@ -160,10 +160,12 @@ pub fn audit_hierarchy(h: &Hierarchy) -> Vec<ClusterViolation> {
     let mut out = Vec::new();
     for (k, level) in h.levels.iter().enumerate() {
         let m = level.nodes.len();
+        let live_slots = level.slots.iter().filter(|&&s| s != crate::NO_SLOT).count();
         let shape_ok = level.vote.len() == m
             && level.is_head.len() == m
             && level.elector_count.len() == m
-            && level.index_of.len() == m
+            && level.slots.len() == h.ids.len()
+            && live_slots == m
             && level.graph.node_count() == m
             && level.vote.iter().all(|&t| (t as usize) < m)
             && level.nodes.iter().all(|&p| (p as usize) < h.ids.len());
@@ -171,11 +173,12 @@ pub fn audit_hierarchy(h: &Hierarchy) -> Vec<ClusterViolation> {
             out.push(ClusterViolation::LevelShape {
                 level: k,
                 detail: format!(
-                    "nodes {m}, vote {}, is_head {}, elector_count {}, index_of {}, graph {}",
+                    "nodes {m}, vote {}, is_head {}, elector_count {}, slots {} ({} live), graph {}",
                     level.vote.len(),
                     level.is_head.len(),
                     level.elector_count.len(),
-                    level.index_of.len(),
+                    level.slots.len(),
+                    live_slots,
                     level.graph.node_count()
                 ),
             });
@@ -184,7 +187,7 @@ pub fn audit_hierarchy(h: &Hierarchy) -> Vec<ClusterViolation> {
         let mut votes_received = vec![0u32; m];
         let mut voted_for = vec![false; m];
         for (i, &phys) in level.nodes.iter().enumerate() {
-            if level.index_of.get(&phys) != Some(&(i as u32)) {
+            if level.local(phys) != Some(i as u32) {
                 out.push(ClusterViolation::IndexDesync {
                     level: k,
                     node: phys,

@@ -193,35 +193,6 @@ fn phys_nodes(h: &Hierarchy, k: usize) -> &[NodeIdx] {
     nodes
 }
 
-/// Vote pairs at level k — `(physical node, physical vote target)` —
-/// ascending by node.
-fn phys_votes(h: &Hierarchy, k: usize) -> Vec<(NodeIdx, NodeIdx)> {
-    match h.levels.get(k) {
-        None => Vec::new(),
-        Some(level) => level
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, level.nodes[level.vote[i] as usize]))
-            .collect(),
-    }
-}
-
-/// Membership test on an ascending slice.
-#[inline]
-fn has<T: Ord>(sorted: &[T], x: &T) -> bool {
-    sorted.binary_search(x).is_ok()
-}
-
-/// Vote target of `u` in an ascending `(node, target)` list.
-#[inline]
-fn vote_of(votes: &[(NodeIdx, NodeIdx)], u: NodeIdx) -> Option<NodeIdx> {
-    votes
-        .binary_search_by_key(&u, |&(n, _)| n)
-        .ok()
-        .map(|i| votes[i].1)
-}
-
 /// Elements of ascending `a` absent from ascending `b`, in ascending order
 /// (the order `BTreeSet::difference` yielded).
 fn sorted_difference<'a, T: Ord>(a: &'a [T], b: &'a [T]) -> impl Iterator<Item = &'a T> {
@@ -239,13 +210,19 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
     let mut events = Vec::new();
     let mut counts = EventCounts::with_levels(max_depth);
 
+    // O(1) presence and vote lookups through the per-level physical->local
+    // slot maps, replacing binary searches over the sorted node lists.
+    let present = |h: &Hierarchy, k: usize, phys: NodeIdx| -> bool {
+        h.levels.get(k).is_some_and(|l| l.local(phys).is_some())
+    };
+    let vote_target = |h: &Hierarchy, k: usize, phys: NodeIdx| -> Option<NodeIdx> {
+        let l = h.levels.get(k)?;
+        Some(l.head_of(l.local(phys)?))
+    };
+
     for k in 1..max_depth {
         let old_nodes = phys_nodes(old, k);
         let new_nodes = phys_nodes(new, k);
-        let old_prev_nodes = phys_nodes(old, k - 1);
-        let new_prev_nodes = phys_nodes(new, k - 1);
-        let old_votes_prev = phys_votes(old, k - 1);
-        let new_votes_prev = phys_votes(new, k - 1);
 
         // --- (i)/(ii): level-k link churn with a level-(k+1) endpoint ---
         // Endpoints must exist at level k in both snapshots (births/deaths
@@ -255,11 +232,11 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         let upper_old = phys_nodes(old, k + 1);
         let upper_new = phys_nodes(new, k + 1);
         for &(u, v) in sorted_difference(&new_edges, &old_edges) {
-            if has(old_nodes, &u)
-                && has(old_nodes, &v)
-                && has(new_nodes, &u)
-                && has(new_nodes, &v)
-                && (has(upper_new, &u) || has(upper_new, &v))
+            if present(old, k, u)
+                && present(old, k, v)
+                && present(new, k, u)
+                && present(new, k, v)
+                && (present(new, k + 1, u) || present(new, k + 1, v))
             {
                 let ev = ReorgEvent::LinkFormed {
                     level: k as u16,
@@ -271,11 +248,11 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
             }
         }
         for &(u, v) in sorted_difference(&old_edges, &new_edges) {
-            if has(old_nodes, &u)
-                && has(old_nodes, &v)
-                && has(new_nodes, &u)
-                && has(new_nodes, &v)
-                && (has(upper_old, &u) || has(upper_old, &v))
+            if present(old, k, u)
+                && present(old, k, v)
+                && present(new, k, u)
+                && present(new, k, v)
+                && (present(old, k + 1, u) || present(old, k + 1, v))
             {
                 let ev = ReorgEvent::LinkBroken {
                     level: k as u16,
@@ -288,13 +265,16 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         }
 
         // --- (iii)/(v): level-k node births ---
-        for &head in sorted_difference(new_nodes, old_nodes) {
-            // Electors of `head` among new level-(k-1) nodes.
-            let electors: Vec<NodeIdx> = new_votes_prev
-                .iter()
-                .filter(|&&(u, t)| t == head && u != head)
-                .map(|&(u, _)| u)
-                .collect();
+        for &head in new_nodes.iter().filter(|&&x| !present(old, k, x)) {
+            // Electors of `head` among new level-(k-1) nodes: exactly its
+            // cluster members one level down, minus the self-vote — read
+            // straight off the member CSR instead of scanning the whole
+            // level's vote list per birth.
+            let lvl = &new.levels[k - 1];
+            // audit: infallible because every level-k node is the head of a
+            // level-(k-1) cluster in the same snapshot by construction.
+            let t = lvl.local(head).expect("level-k head present at level k-1");
+            let electors = lvl.members_of(t);
             // An elector that existed at level k-1 before and voted
             // elsewhere means migration-driven election (iii); an elector
             // that is itself brand new means recursive election (v).
@@ -302,7 +282,9 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
             // not depend on container iteration order (determinism).
             let migrating = electors
                 .iter()
-                .filter(|&&u| has(old_prev_nodes, &u) && vote_of(&old_votes_prev, u) != Some(head))
+                .filter(|&&u| {
+                    u != head && present(old, k - 1, u) && vote_target(old, k - 1, u) != Some(head)
+                })
                 .min();
             let ev = if let Some(&u) = migrating {
                 ReorgEvent::ElectedByMigration {
@@ -310,7 +292,11 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
                     head,
                     elector: u,
                 }
-            } else if let Some(&u) = electors.iter().filter(|&&u| !has(old_prev_nodes, &u)).min() {
+            } else if let Some(&u) = electors
+                .iter()
+                .filter(|&&u| u != head && !present(old, k - 1, u))
+                .min()
+            {
                 ReorgEvent::ElectedRecursive {
                     level: k as u16,
                     head,
@@ -331,15 +317,15 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         }
 
         // --- (iv)/(vi): level-k node deaths ---
-        for &head in sorted_difference(old_nodes, new_nodes) {
-            let old_electors: Vec<NodeIdx> = old_votes_prev
-                .iter()
-                .filter(|&&(u, t)| t == head && u != head)
-                .map(|&(u, _)| u)
-                .collect();
+        for &head in old_nodes.iter().filter(|&&x| !present(new, k, x)) {
+            let lvl = &old.levels[k - 1];
+            // audit: infallible because every level-k node is the head of a
+            // level-(k-1) cluster in the same snapshot by construction.
+            let t = lvl.local(head).expect("level-k head present at level k-1");
+            let old_electors = lvl.members_of(t);
             let surviving = old_electors
                 .iter()
-                .filter(|&&u| has(new_prev_nodes, &u))
+                .filter(|&&u| u != head && present(new, k - 1, u))
                 .min();
             let ev = if let Some(&u) = surviving {
                 ReorgEvent::RejectedByMigration {
@@ -347,7 +333,7 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
                     head,
                     elector: u,
                 }
-            } else if let Some(&u) = old_electors.iter().min() {
+            } else if let Some(&u) = old_electors.iter().filter(|&&u| u != head).min() {
                 ReorgEvent::RejectedRecursive {
                     level: k as u16,
                     head,
@@ -368,14 +354,14 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
 
         // --- (vii): neighbor promoted to level-(k+1) ---
         if let Some(new_level) = new.levels.get(k) {
-            for &promoted in sorted_difference(upper_new, upper_old) {
+            for &promoted in upper_new.iter().filter(|&&x| !present(old, k + 1, x)) {
                 // `promoted` is a level-(k+1) node now; each of its level-k
                 // neighbors that also existed before does handoff with the
                 // new cluster.
                 if let Some(local) = new_level.local(promoted) {
                     for &nb in new_level.graph.neighbors(local) {
                         let nb_phys = new_level.nodes[nb as usize];
-                        if has(old_nodes, &nb_phys) {
+                        if present(old, k, nb_phys) {
                             let ev = ReorgEvent::NeighborPromoted {
                                 level: k as u16,
                                 new_head: promoted,
@@ -390,7 +376,10 @@ pub fn classify_events(old: &Hierarchy, new: &Hierarchy) -> (Vec<ReorgEvent>, Ev
         }
 
         // --- converse of (vii): upper-level cluster death (no handoff) ---
-        counts.converse_vii[k] += sorted_difference(upper_old, upper_new).count() as u64;
+        counts.converse_vii[k] += upper_old
+            .iter()
+            .filter(|&&x| !present(new, k + 1, x))
+            .count() as u64;
     }
     (events, counts)
 }

@@ -48,7 +48,7 @@
 //! let ids = rng.permutation(150);
 //! let h = Hierarchy::build(&ids, &graph, HierarchyOptions::default());
 //! // Every node has a hierarchical address up the clusterhead chain.
-//! let addr = h.address(0);
+//! let addr: Vec<u32> = h.address(0).collect();
 //! assert_eq!(addr[0], 0);
 //! assert_eq!(addr.len(), h.depth());
 //! ```
@@ -57,6 +57,7 @@ pub mod address;
 pub mod audit;
 pub mod digest;
 pub mod events;
+pub mod incremental;
 pub mod maintenance;
 pub mod maxmin;
 pub mod metrics;
@@ -67,11 +68,14 @@ pub use address::{AddrChangeKind, AddressBook};
 pub use audit::{audit_address_book, audit_hierarchy, ClusterViolation};
 pub use digest::hierarchy_digest;
 pub use events::{classify_events, EventCounts, ReorgEvent};
+pub use incremental::{ArenaStamps, ClusterArena, ClusterHandle, HierarchyMaintainer};
 pub use metrics::LevelStats;
 pub use state::StateTracker;
 
 use chlm_graph::{Graph, NodeIdx};
-use std::collections::HashMap;
+
+/// Sentinel in a level's physical→local slot table: "not at this level".
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Stable election identity of a physical node. The LCA elects the largest.
 /// IDs are assigned as a random permutation so they are independent of
@@ -81,13 +85,24 @@ pub type ElectionId = u64;
 /// One level of the clustered hierarchy.
 ///
 /// `nodes[i]` is the *physical* index of the i-th level-k node; all other
-/// per-node vectors are indexed by this local index `i`.
-#[derive(Debug, Clone)]
+/// per-node vectors are indexed by this local index `i`. Node lists ascend
+/// by physical index at every level (level 0 is `0..n`; each next level
+/// collects heads in ascending local — hence physical — order), which the
+/// event classifier and the member arena rely on.
+///
+/// Storage is struct-of-arrays: the former physical→local `HashMap` is a
+/// dense slot table (`slots`, sized to the physical population, `NO_SLOT`
+/// sentinel), and cluster membership lives in a CSR arena (`member_start`
+/// / `member_arena`) grouped by vote target, so [`Hierarchy::members`]
+/// returns a borrowed slice instead of filtering the vote vector into a
+/// fresh `Vec` per call.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Level {
-    /// Physical indices of the level-k nodes, in discovery order.
+    /// Physical indices of the level-k nodes, ascending.
     pub nodes: Vec<NodeIdx>,
-    /// Physical index -> local index.
-    pub index_of: HashMap<NodeIdx, u32>,
+    /// Physical index → local index slot table (`NO_SLOT` = absent);
+    /// length is the *physical* node count at every level.
+    pub(crate) slots: Vec<u32>,
     /// Level-k topology over local indices.
     pub graph: Graph,
     /// Vote of each level-k node: the local index of the largest-ID node in
@@ -100,6 +115,11 @@ pub struct Level {
     /// Whether each node received at least one vote (i.e. is a level-(k+1)
     /// node).
     pub is_head: Vec<bool>,
+    /// Membership CSR over vote targets: `member_arena[member_start[t] ..
+    /// member_start[t + 1]]` are the physical indices of this level's nodes
+    /// whose vote target is local index `t`, ascending.
+    pub(crate) member_start: Vec<u32>,
+    pub(crate) member_arena: Vec<NodeIdx>,
 }
 
 impl Level {
@@ -113,13 +133,28 @@ impl Level {
     }
 
     /// Local index of the given physical node at this level, if present.
+    #[inline]
     pub fn local(&self, phys: NodeIdx) -> Option<u32> {
-        self.index_of.get(&phys).copied()
+        match self.slots.get(phys as usize) {
+            Some(&s) if s != NO_SLOT => Some(s),
+            _ => None,
+        }
     }
 
     /// Physical index of the head this node votes for.
+    #[inline]
     pub fn head_of(&self, local: u32) -> NodeIdx {
         self.nodes[self.vote[local as usize] as usize]
+    }
+
+    /// Physical indices of this level's nodes whose vote target is the
+    /// node at local index `t` (its level-(k+1) cluster members),
+    /// ascending. Borrowed from the member arena — no allocation.
+    #[inline]
+    pub fn members_of(&self, t: u32) -> &[NodeIdx] {
+        let lo = self.member_start[t as usize] as usize;
+        let hi = self.member_start[t as usize + 1] as usize;
+        &self.member_arena[lo..hi]
     }
 
     /// Iterate `(local, physical)` pairs of the heads elected at this level.
@@ -129,6 +164,74 @@ impl Level {
             .enumerate()
             .filter(|(_, &h)| h)
             .map(|(i, _)| (i as u32, self.nodes[i]))
+    }
+
+    /// A level with no nodes and no allocations (snapshot carcass filler).
+    pub(crate) fn empty() -> Level {
+        Level {
+            nodes: Vec::new(),
+            slots: Vec::new(),
+            graph: Graph::default(),
+            vote: Vec::new(),
+            elector_count: Vec::new(),
+            is_head: Vec::new(),
+            member_start: Vec::new(),
+            member_arena: Vec::new(),
+        }
+    }
+
+    /// Overwrite `self` with `src`, reusing this level's allocations
+    /// (the snapshot-materialization analogue of `Graph::copy_from`).
+    pub(crate) fn copy_from(&mut self, src: &Level) {
+        fn cp<T: Copy>(dst: &mut Vec<T>, src: &[T]) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        cp(&mut self.nodes, &src.nodes);
+        cp(&mut self.slots, &src.slots);
+        cp(&mut self.vote, &src.vote);
+        cp(&mut self.elector_count, &src.elector_count);
+        cp(&mut self.is_head, &src.is_head);
+        cp(&mut self.member_start, &src.member_start);
+        cp(&mut self.member_arena, &src.member_arena);
+        self.graph.copy_from(&src.graph);
+    }
+
+    /// Rebuild the physical→local slot table and membership CSR from
+    /// `nodes` and `vote` (counting sort by vote target; ascending node
+    /// order within each group falls out of the ascending node list).
+    pub(crate) fn rebuild_derived(&mut self, n_phys: usize) {
+        let m = self.nodes.len();
+        self.slots.clear();
+        self.slots.resize(n_phys, NO_SLOT);
+        for (i, &p) in self.nodes.iter().enumerate() {
+            self.slots[p as usize] = i as u32;
+        }
+        self.member_start.clear();
+        self.member_start.resize(m + 1, 0);
+        for &t in &self.vote {
+            self.member_start[t as usize + 1] += 1;
+        }
+        for t in 0..m {
+            self.member_start[t + 1] += self.member_start[t];
+        }
+        self.member_arena.clear();
+        self.member_arena.resize(m, 0);
+        // Fill the arena using `member_start` itself as the cursor array
+        // (avoids a per-rebuild scratch allocation), then shift the starts
+        // back into place: after the fill, slot `t` holds the original
+        // `member_start[t + 1]`.
+        for (i, &t) in self.vote.iter().enumerate() {
+            let c = self.member_start[t as usize];
+            self.member_arena[c as usize] = self.nodes[i];
+            self.member_start[t as usize] = c + 1;
+        }
+        for t in (1..m).rev() {
+            self.member_start[t] = self.member_start[t - 1];
+        }
+        if m > 0 {
+            self.member_start[0] = 0;
+        }
     }
 }
 
@@ -161,7 +264,7 @@ impl Default for HierarchyOptions {
 }
 
 /// The full clustered hierarchy over a physical topology.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hierarchy {
     /// `levels[0]` is the physical level; `levels[k].nodes` are the level-k
     /// nodes (the heads elected at level k-1).
@@ -200,7 +303,7 @@ impl Hierarchy {
         let mut cur_nodes: Vec<NodeIdx> = (0..n as NodeIdx).collect();
         let mut cur_graph = graph0;
         loop {
-            let level = elect(cur_nodes, cur_graph, ids);
+            let level = elect(n, cur_nodes, cur_graph, ids);
             let heads: Vec<u32> = (0..level.len() as u32)
                 .filter(|&i| level.is_head[i as usize])
                 .collect();
@@ -237,62 +340,73 @@ impl Hierarchy {
         self.levels[0].len()
     }
 
-    /// The hierarchical address of physical node `v`: `addr[k]` is the
-    /// physical index of the head of the level-k cluster containing `v`
-    /// (`addr[0] == v`). Length equals `depth()`.
-    pub fn address(&self, v: NodeIdx) -> Vec<NodeIdx> {
-        let mut addr = Vec::with_capacity(self.depth());
-        addr.push(v);
-        let mut cur = v;
-        for level in &self.levels {
-            if addr.len() == self.depth() {
-                break;
-            }
-            // audit: infallible because build() inserts every head into the next level
-            let local = level.local(cur).expect("address chain broken");
-            cur = level.head_of(local);
-            addr.push(cur);
+    /// The hierarchical address of physical node `v`: the k-th yielded item
+    /// is the physical index of the head of the level-k cluster containing
+    /// `v` (the first is `v` itself). Yields exactly `depth()` items,
+    /// walking the clusterhead chain lazily — no allocation per call.
+    pub fn address(&self, v: NodeIdx) -> AddressIter<'_> {
+        AddressIter {
+            h: self,
+            cur: v,
+            k: 0,
         }
-        addr
     }
 
-    /// All addresses, as an `n × depth()` row-major matrix.
+    /// All addresses, as an `n × depth()` row-major matrix (test/analysis
+    /// convenience; step paths should iterate [`Hierarchy::address`]).
     pub fn addresses(&self) -> Vec<Vec<NodeIdx>> {
         (0..self.node_count() as NodeIdx)
-            .map(|v| self.address(v))
+            .map(|v| self.address(v).collect())
             .collect()
     }
 
     /// The level-(k-1) member clusters of the level-k cluster headed by
     /// physical node `head`. For `k == 0` this is just the node itself.
     ///
-    /// Returns physical indices of the level-(k-1) nodes whose vote target
-    /// is `head`.
-    pub fn members(&self, k: usize, head: NodeIdx) -> Vec<NodeIdx> {
+    /// Returns the physical indices of the level-(k-1) nodes whose vote
+    /// target is `head`, ascending — a slice borrowed from the level's
+    /// member arena (no allocation).
+    pub fn members(&self, k: usize, head: NodeIdx) -> &[NodeIdx] {
         assert!(k >= 1 && k < self.depth() + 1, "level out of range");
         let level = &self.levels[k - 1];
         let head_local = level
             .local(head)
             .unwrap_or_else(|| panic!("{head} is not a level-{} node", k - 1));
-        level
-            .vote
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t == head_local)
-            .map(|(i, _)| level.nodes[i])
-            .collect()
+        level.members_of(head_local)
     }
 
     /// Check internal invariants (test helper): every vote targets the
     /// largest-ID closed neighbor, head flags match vote image, every
-    /// non-final level's heads equal the next level's node set.
+    /// non-final level's heads equal the next level's node set, and the
+    /// derived slot table / member arena agree with the vote vector.
     pub fn check_invariants(&self) {
+        let n = self.node_count();
         for (k, level) in self.levels.iter().enumerate() {
             level.graph.check_invariants();
             assert_eq!(level.nodes.len(), level.vote.len());
             assert_eq!(level.nodes.len(), level.is_head.len());
+            assert_eq!(level.slots.len(), n, "slot table sized to population");
+            assert_eq!(
+                level.slots.iter().filter(|&&s| s != NO_SLOT).count(),
+                level.nodes.len(),
+                "slot table has stale entries at level {k}"
+            );
+            assert_eq!(level.member_start.len(), level.nodes.len() + 1);
+            assert_eq!(level.member_arena.len(), level.nodes.len());
+            {
+                let mut expect = level.clone();
+                expect.rebuild_derived(n);
+                assert_eq!(
+                    expect.member_start, level.member_start,
+                    "member arena desync at level {k}"
+                );
+                assert_eq!(
+                    expect.member_arena, level.member_arena,
+                    "member arena desync at level {k}"
+                );
+            }
             for (i, &phys) in level.nodes.iter().enumerate() {
-                assert_eq!(level.index_of[&phys], i as u32);
+                assert_eq!(level.slots[phys as usize], i as u32);
                 // Vote is the max-ID closed neighbor.
                 let mut best = i as u32;
                 let mut best_id = self.ids[phys as usize];
@@ -328,10 +442,45 @@ impl Hierarchy {
     }
 }
 
+/// Lazily walks a node's clusterhead chain; see [`Hierarchy::address`].
+#[derive(Clone)]
+pub struct AddressIter<'a> {
+    h: &'a Hierarchy,
+    cur: NodeIdx,
+    k: usize,
+}
+
+impl Iterator for AddressIter<'_> {
+    type Item = NodeIdx;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeIdx> {
+        if self.k >= self.h.depth() {
+            return None;
+        }
+        if self.k > 0 {
+            let level = &self.h.levels[self.k - 1];
+            // audit: infallible because build() inserts every head into the next level
+            let local = level.local(self.cur).expect("address chain broken");
+            self.cur = level.head_of(local);
+        }
+        self.k += 1;
+        Some(self.cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.h.depth() - self.k;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for AddressIter<'_> {}
+
 /// Run one LCA election round over the given level topology. Takes the
 /// node list and graph by value: they are moved into the returned [`Level`]
-/// unchanged, so the recursion never copies a graph.
-fn elect(nodes: Vec<NodeIdx>, graph: Graph, ids: &[ElectionId]) -> Level {
+/// unchanged, so the recursion never copies a graph. `n_phys` is the
+/// physical population (sizes the slot table).
+pub(crate) fn elect(n_phys: usize, nodes: Vec<NodeIdx>, graph: Graph, ids: &[ElectionId]) -> Level {
     let m = nodes.len();
     assert_eq!(graph.node_count(), m);
     let mut vote = vec![0u32; m];
@@ -359,30 +508,33 @@ fn elect(nodes: Vec<NodeIdx>, graph: Graph, ids: &[ElectionId]) -> Level {
             is_head[t as usize] = true;
         }
     }
-    let index_of = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i as u32))
-        .collect();
-    Level {
+    let mut level = Level {
         nodes,
-        index_of,
+        slots: Vec::new(),
         graph,
         vote,
         elector_count,
         is_head,
-    }
+        member_start: Vec::new(),
+        member_arena: Vec::new(),
+    };
+    level.rebuild_derived(n_phys);
+    level
 }
 
 /// Build the node list and cluster-adjacency graph of the next level from
-/// an elected level.
-fn build_next_level(level: &Level, heads: &[u32]) -> (Vec<NodeIdx>, Graph) {
-    // Map: local index at this level -> local index of its head in `heads`.
-    let mut head_rank = HashMap::with_capacity(heads.len());
+/// an elected level. The elected level's member CSR doubles as the
+/// head-rank map: vote target `t` has rank = its position among the heads,
+/// recoverable from the slot table of the *next* level — here we derive it
+/// directly from `heads` (ascending local indices).
+pub(crate) fn build_next_level(level: &Level, heads: &[u32]) -> (Vec<NodeIdx>, Graph) {
+    // Map: local index at this level -> rank of its head in `heads`.
+    // `heads` ascends, so a dense table over local indices is exact.
+    let mut head_rank = vec![NO_SLOT; level.len()];
     for (r, &h) in heads.iter().enumerate() {
-        head_rank.insert(h, r as u32);
+        head_rank[h as usize] = r as u32;
     }
-    let cluster_of: Vec<u32> = level.vote.iter().map(|&t| head_rank[&t]).collect();
+    let cluster_of: Vec<u32> = level.vote.iter().map(|&t| head_rank[t as usize]).collect();
     let mut g = Graph::with_nodes(heads.len());
     for (u, v) in level.graph.edges() {
         let (cu, cv) = (cluster_of[u as usize], cluster_of[v as usize]);
@@ -411,7 +563,7 @@ mod tests {
         let hy = h(1, &[]);
         assert_eq!(hy.depth(), 1);
         assert!(hy.levels[0].is_head[0]); // self-vote
-        assert_eq!(hy.address(0), vec![0]);
+        assert_eq!(hy.address(0).collect::<Vec<_>>(), vec![0]);
         hy.check_invariants();
     }
 
@@ -421,8 +573,8 @@ mod tests {
         // Everyone votes for 2; single head; depth 2.
         assert_eq!(hy.depth(), 2);
         assert_eq!(hy.levels[1].nodes, vec![2]);
-        assert_eq!(hy.address(0), vec![0, 2]);
-        assert_eq!(hy.address(2), vec![2, 2]);
+        assert_eq!(hy.address(0).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(hy.address(2).collect::<Vec<_>>(), vec![2, 2]);
         hy.check_invariants();
     }
 
@@ -455,8 +607,9 @@ mod tests {
         // All addresses end at the same top head.
         let top = hy.levels.last().unwrap().nodes[0];
         for v in 0..10 {
-            let a = hy.address(v);
+            let a: Vec<_> = hy.address(v).collect();
             assert_eq!(a.len(), hy.depth());
+            assert_eq!(hy.address(v).len(), hy.depth());
             assert_eq!(*a.last().unwrap(), top);
         }
     }

@@ -34,8 +34,7 @@ fn render_cluster(
     if level == 0 {
         return;
     }
-    let mut members = h.members(level, head);
-    members.sort_unstable();
+    let members = h.members(level, head); // already ascending
     if level == 1 {
         // Leaves: print compactly on one line.
         let shown: Vec<String> = members
@@ -54,7 +53,7 @@ fn render_cluster(
         };
         let _ = writeln!(out, "{pad}  members: [{}]{}", shown.join(", "), suffix);
     } else {
-        for m in members {
+        for &m in members {
             render_cluster(h, level - 1, m, indent + 1, max_nodes, out);
         }
     }

@@ -55,7 +55,8 @@ proptest! {
     fn addresses_follow_vote_chain(g in arb_graph(40), seed in 0u64..1000) {
         let h = build(&g, seed);
         for v in 0..g.node_count() as NodeIdx {
-            let addr = h.address(v);
+            prop_assert_eq!(h.address(v).len(), h.depth());
+            let addr: Vec<NodeIdx> = h.address(v).collect();
             prop_assert_eq!(addr.len(), h.depth());
             prop_assert_eq!(addr[0], v);
             for k in 1..addr.len() {
@@ -76,7 +77,7 @@ proptest! {
             let mut all: Vec<NodeIdx> = h.levels[k]
                 .nodes
                 .iter()
-                .flat_map(|&head| h.members(k, head))
+                .flat_map(|&head| h.members(k, head).iter().copied())
                 .collect();
             all.sort_unstable();
             let mut expect = h.levels[k - 1].nodes.clone();

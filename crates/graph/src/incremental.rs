@@ -36,6 +36,18 @@ use chlm_par::{split_ranges, WorkerPool};
 /// outweighs the scan it saves; stay on the serial paths.
 const PAR_MIN_NODES: usize = 1024;
 
+/// One link-state change: the undirected edge `(u, v)` appeared
+/// (`add == true`) or disappeared. These are the level-0 link-state change
+/// events of eq. (4), emitted in the exact order the maintainer applied
+/// them to its graph (ascending `(u, candidate-index)`), so replaying a
+/// tick's flips onto the previous snapshot reproduces the new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeFlip {
+    pub u: NodeIdx,
+    pub v: NodeIdx,
+    pub add: bool,
+}
+
 /// Maintains the unit-disk graph of a moving point set across ticks.
 #[derive(Debug)]
 pub struct UnitDiskMaintainer {
@@ -58,6 +70,10 @@ pub struct UnitDiskMaintainer {
     graph: Graph,
     grid: SpatialGrid,
     nbr_scratch: Vec<NodeIdx>,
+    /// Link flips applied by the most recent `advance`, valid only on
+    /// patch ticks (a rebuild discards the old graph without diffing).
+    diff: Vec<EdgeFlip>,
+    diff_valid: bool,
     rebuilds: u64,
     patches: u64,
     workers: WorkerPool,
@@ -85,6 +101,8 @@ impl UnitDiskMaintainer {
             graph: Graph::with_nodes(positions.len()),
             grid: SpatialGrid::build(&[], rtx),
             nbr_scratch: Vec::new(),
+            diff: Vec::new(),
+            diff_valid: false,
             rebuilds: 0,
             patches: 0,
             workers: WorkerPool::new(1),
@@ -125,6 +143,18 @@ impl UnitDiskMaintainer {
         self.patches
     }
 
+    /// The link flips the most recent [`advance`](Self::advance) applied,
+    /// in application order — or `None` if that tick fell back to a full
+    /// rebuild (no diff exists; consumers must resynchronize from
+    /// [`graph`](Self::graph)).
+    pub fn last_diff(&self) -> Option<&[EdgeFlip]> {
+        if self.diff_valid {
+            Some(&self.diff)
+        } else {
+            None
+        }
+    }
+
     /// Advance to a new position snapshot, patching incrementally when the
     /// displacement budget allows and rebuilding from scratch otherwise.
     /// Returns `true` if this tick performed a full rebuild.
@@ -156,6 +186,8 @@ impl UnitDiskMaintainer {
     pub fn rebuild(&mut self, positions: &[Point]) {
         assert_eq!(positions.len(), self.n, "population size changed");
         self.rebuilds += 1;
+        self.diff.clear();
+        self.diff_valid = false;
         self.ref_positions.clear();
         self.ref_positions.extend_from_slice(positions);
         self.graph.reset(self.n);
@@ -253,6 +285,8 @@ impl UnitDiskMaintainer {
     /// `advance` enforces that.
     fn patch(&mut self, positions: &[Point]) {
         self.patches += 1;
+        self.diff.clear();
+        self.diff_valid = true;
         if self.workers.is_serial() || self.n < self.par_floor {
             for u in 0..self.n as NodeIdx {
                 let pu = positions[u as usize];
@@ -263,6 +297,7 @@ impl UnitDiskMaintainer {
                     let is_edge = pu.dist_sq(positions[v as usize]) <= self.r_sq;
                     if is_edge != self.cedge[i] {
                         self.cedge[i] = is_edge;
+                        self.diff.push(EdgeFlip { u, v, add: is_edge });
                         if is_edge {
                             self.graph.add_edge(u, v);
                         } else {
@@ -305,6 +340,7 @@ impl UnitDiskMaintainer {
                 let is_edge = !self.cedge[i];
                 self.cedge[i] = is_edge;
                 let v = self.cand[i];
+                self.diff.push(EdgeFlip { u, v, add: is_edge });
                 if is_edge {
                     self.graph.add_edge(u, v);
                 } else {
@@ -351,6 +387,41 @@ mod tests {
             assert!(m.patch_count() > 0, "budget never exercised");
             assert!(m.rebuild_count() > 1, "fallback never exercised");
         }
+    }
+
+    /// Replaying a patch tick's flips onto the previous snapshot must
+    /// reproduce the new graph exactly; rebuild ticks publish no diff.
+    #[test]
+    fn last_diff_replays_to_new_graph() {
+        let disk = Disk::centered(10.0);
+        let rtx = 1.4;
+        let mut rng = SimRng::seed_from(5);
+        let mut pts = deploy_uniform(&disk, 250, &mut rng);
+        let mut m = UnitDiskMaintainer::new(&pts, rtx);
+        assert!(m.last_diff().is_none(), "initial build has no diff");
+        let mut prev = m.graph().clone();
+        let mut patched = 0;
+        for _ in 0..40 {
+            jiggle(&mut pts, rtx / 10.0, &mut rng);
+            let rebuilt = m.advance(&pts);
+            match m.last_diff() {
+                None => assert!(rebuilt, "diff missing on a patch tick"),
+                Some(flips) => {
+                    assert!(!rebuilt, "diff published on a rebuild tick");
+                    patched += 1;
+                    for f in flips {
+                        if f.add {
+                            assert!(prev.add_edge(f.u, f.v), "stale add flip");
+                        } else {
+                            assert!(prev.remove_edge(f.u, f.v), "stale remove flip");
+                        }
+                    }
+                    assert_eq!(&prev, m.graph());
+                }
+            }
+            prev.copy_from(m.graph());
+        }
+        assert!(patched > 0, "patch path never exercised");
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod union_find;
 pub mod unit_disk;
 
 pub use dynamics::LinkDiff;
-pub use incremental::UnitDiskMaintainer;
+pub use incremental::{EdgeFlip, UnitDiskMaintainer};
 pub use union_find::UnionFind;
 
 /// Node index type. Graphs in this workspace are dense and index nodes by

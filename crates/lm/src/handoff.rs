@@ -105,32 +105,35 @@ impl HandoffLedger {
     ) {
         // Address-change lookups run straight off the diff slice: the diff
         // walks nodes then levels, so `addr_changes` ascends by
-        // `(node, level)` and `(node, exact level) -> kind` is a binary
-        // search. Node -> lowest changed level (for host-side attribution)
-        // is the first entry of each node-run, collected in one pass.
+        // `(node, level)` and one counting pass yields a CSR index of each
+        // node's run. Exact-level lookups scan the run (at most `depth`
+        // entries); the host-side "lowest changed level" is its first entry.
         debug_assert!(addr_changes
             .windows(2)
             .all(|w| (w[0].node, w[0].level) < (w[1].node, w[1].level)));
-        let exact_kind = |node: NodeIdx, k: u16| -> Option<AddrChangeKind> {
-            addr_changes
-                .binary_search_by_key(&(node, k), |c| (c.node, c.level))
-                .ok()
-                .map(|i| addr_changes[i].kind)
-        };
-        let mut lowest: Vec<(NodeIdx, u16, AddrChangeKind)> = Vec::new();
+        let top = addr_changes.last().map_or(0, |c| c.node as usize + 1);
+        let mut run_start = vec![0u32; top + 1];
         for c in addr_changes {
-            if lowest.last().is_none_or(|&(node, _, _)| node != c.node) {
-                lowest.push((c.node, c.level, c.kind));
-            }
+            run_start[c.node as usize + 1] += 1;
         }
+        for i in 0..top {
+            run_start[i + 1] += run_start[i];
+        }
+        let run = |node: NodeIdx| -> &[AddrChange] {
+            if (node as usize) < top {
+                &addr_changes
+                    [run_start[node as usize] as usize..run_start[node as usize + 1] as usize]
+            } else {
+                &[]
+            }
+        };
+        let exact_kind = |node: NodeIdx, k: u16| -> Option<AddrChangeKind> {
+            run(node).iter().find(|c| c.level == k).map(|c| c.kind)
+        };
         let host_kind = |node: NodeIdx, k: u16| -> Option<AddrChangeKind> {
-            lowest
-                .binary_search_by_key(&node, |&(node, _, _)| node)
-                .ok()
-                .and_then(|i| {
-                    let (_, lvl, kind) = lowest[i];
-                    (lvl <= k).then_some(kind)
-                })
+            run(node)
+                .first()
+                .and_then(|c| (c.level <= k).then_some(c.kind))
         };
 
         for hc in host_changes {

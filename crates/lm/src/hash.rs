@@ -31,7 +31,15 @@ pub fn hrw_weight(subject: ElectionId, candidate: ElectionId, salt: u64) -> u64 
 /// lexicographically.
 #[inline]
 pub fn hrw_key_weighted(subject: ElectionId, candidate: ElectionId, salt: u64, w: f64) -> f64 {
-    let raw = hrw_weight(subject, candidate, salt);
+    hrw_key_from_raw(hrw_weight(subject, candidate, salt), w)
+}
+
+/// The weighted-rendezvous key computed from an already-hashed raw draw —
+/// the tail of [`hrw_key_weighted`], split out so callers that memoize the
+/// inner hash (`splitmix64(candidate ^ salt)`) can finish the scoring with
+/// bit-identical arithmetic.
+#[inline]
+pub fn hrw_key_from_raw(raw: u64, w: f64) -> f64 {
     // Map to (0, 1) exclusive on both ends.
     let u = (raw as f64 + 0.5) / (u64::MAX as f64 + 1.0);
     -w / u.ln()

@@ -35,10 +35,12 @@ pub fn resolve<H: FnMut(NodeIdx, NodeIdx) -> f64>(
     target: NodeIdx,
     mut hop: H,
 ) -> Option<QueryOutcome> {
-    let addr_s = h.address(requester);
-    let addr_t = h.address(target);
-    // Lowest level whose cluster contains both.
-    let common = (0..h.depth()).find(|&k| addr_s[k] == addr_t[k])?;
+    // Lowest level whose cluster contains both: walk both clusterhead
+    // chains in lockstep (no address materialization).
+    let common = h
+        .address(requester)
+        .zip(h.address(target))
+        .position(|(a, b)| a == b)?;
     if common <= 1 {
         // Same node, or same level-1 cluster: complete intra-cluster
         // knowledge, answer is free; the session itself costs hop(s, t).
@@ -51,7 +53,11 @@ pub fn resolve<H: FnMut(NodeIdx, NodeIdx) -> f64>(
     // Ask the level-`common` server of the target. If the assignment does
     // not cover that level (degenerate hierarchies), fall back to the
     // target's level-`common` clusterhead, which always knows its members.
-    let server = assignment.host(target, common).unwrap_or(addr_t[common]);
+    let server = assignment
+        .host(target, common)
+        // audit: infallible because `common` came from position() over
+        // zipped address iterators, so both addresses have > common levels.
+        .unwrap_or_else(|| h.address(target).nth(common).expect("level in range"));
     let packets = hop(requester, server) + hop(server, requester);
     Some(QueryOutcome {
         common_level: common,

@@ -11,9 +11,16 @@
 //! Level 1 needs no server (complete intra-cluster topology knowledge),
 //! and level 0 is the node itself.
 
-use crate::hash::{hrw_key_weighted, hrw_weight, mod_successor_select};
-use chlm_cluster::{AddressBook, Hierarchy};
+use crate::hash::{hrw_key_from_raw, mod_successor_select};
+use chlm_cluster::{AddressBook, ArenaStamps, Hierarchy};
+use chlm_geom::rng::splitmix64;
 use chlm_graph::NodeIdx;
+use chlm_par::{split_ranges, WorkerPool};
+use std::sync::OnceLock;
+
+/// Below this population the walk stays serial: thread spawn overhead
+/// (~tens of µs per tick) beats the parallel win on small walks.
+const WALK_PAR_MIN_N: usize = 2048;
 
 /// Local-index sentinel for "this physical node is not at this level".
 const NO_SLOT: u32 = u32::MAX;
@@ -74,27 +81,40 @@ struct LevelClusters {
     member_wbits: Vec<u64>,
     /// Subtree weight (level-0 descendant count) per local node.
     weight: Vec<f64>,
+    /// Per local head `t`: do all of the cluster's members carry the same
+    /// weight bits? Gates the raw-`u64` HRW fast path.
+    uniform: Vec<bool>,
+    /// Memoized inner HRW hashes `splitmix64(member_id ^ salt)`, one run of
+    /// `len` entries per entry-level `k` the walk can arrive from (`k` in
+    /// `max(2, j+1)..depth`, lowest first). Halves the per-candidate hash
+    /// work on misses: `hrw_weight = splitmix64(subject ^ inner)`.
+    inner: Vec<u64>,
     /// Physical node → local index at this level (`NO_SLOT` when absent);
     /// length is the full population `n` for O(1) lookups on the hot path.
     slot_of_phys: Vec<u32>,
-    /// Per-cluster CSR over the delta arrays below: the members of cluster
-    /// `t` that are new or re-weighted/re-keyed versus the previous tick
-    /// occupy `delta_start[t]..delta_start[t + 1]`. Empty for clean clusters.
-    delta_start: Vec<u32>,
-    delta_phys: Vec<NodeIdx>,
-    delta_id: Vec<u64>,
-    delta_wbits: Vec<u64>,
+}
+
+/// Least entry level the walk can reach level `j` from (`k > j` and
+/// `k ≥ 2`); the `inner` run for entry level `k` starts at
+/// `(k - k_min(j)) * len`.
+#[inline]
+fn k_min(j: usize) -> usize {
+    (j + 1).max(2)
 }
 
 impl LevelClusters {
     /// Rebuild this snapshot from `level`, with `below` being the already
-    /// built snapshot one level down (None at level 0).
+    /// built snapshot one level down (None at level 0). `depth` sizes the
+    /// `inner` memo, computed only when `hash_inner` (the HRW rule) is on.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         h: &Hierarchy,
         j: usize,
         below: Option<&LevelClusters>,
         n: usize,
+        depth: usize,
+        hash_inner: bool,
         cursor: &mut Vec<u32>,
     ) {
         let level = &h.levels[j];
@@ -142,6 +162,24 @@ impl LevelClusters {
             self.member_id[pos] = h.ids[phys as usize];
             self.member_wbits[pos] = self.weight[i].to_bits();
         }
+        self.uniform.clear();
+        self.uniform.resize(len, true);
+        for t in 0..len {
+            let (lo, hi) = (self.start[t] as usize, self.start[t + 1] as usize);
+            if hi > lo {
+                let w0 = self.member_wbits[lo];
+                self.uniform[t] = self.member_wbits[lo + 1..hi].iter().all(|&w| w == w0);
+            }
+        }
+        self.inner.clear();
+        if hash_inner {
+            let kmin = k_min(j);
+            for k in kmin..depth {
+                let salt = ((k as u64) << 32) | j as u64;
+                self.inner
+                    .extend(self.member_id.iter().map(|&id| splitmix64(id ^ salt)));
+            }
+        }
         self.slot_of_phys.clear();
         self.slot_of_phys.resize(n, NO_SLOT);
         for (i, &phys) in level.nodes.iter().enumerate() {
@@ -172,83 +210,62 @@ impl LevelClusters {
             && self.member_id[clo..chi] == prev.member_id[plo..phi]
             && self.member_wbits[clo..chi] == prev.member_wbits[plo..phi]
     }
-
-    /// Append the members of cluster `t` (physical head `phys`) that are
-    /// absent from, or carry a different id/weight than, its previous-tick
-    /// incarnation. Both member lists ascend by physical index (level-0
-    /// locals are `0..n` and every higher level is an ascending-order subset
-    /// of the level below), so one linear merge aligns them; plain removals
-    /// produce no entry — deleting a non-maximal candidate cannot change an
-    /// argmax.
-    fn push_delta(&mut self, t: u32, phys: NodeIdx, prev: &LevelClusters) {
-        let (clo, chi) = (
-            self.start[t as usize] as usize,
-            self.start[t as usize + 1] as usize,
-        );
-        debug_assert!(self.member_phys[clo..chi].windows(2).all(|w| w[0] < w[1]));
-        let pt = prev
-            .slot_of_phys
-            .get(phys as usize)
-            .copied()
-            .unwrap_or(NO_SLOT);
-        let (mut p, phi) = if pt == NO_SLOT {
-            (0, 0)
-        } else {
-            (
-                prev.start[pt as usize] as usize,
-                prev.start[pt as usize + 1] as usize,
-            )
-        };
-        for i in clo..chi {
-            let cp = self.member_phys[i];
-            while p < phi && prev.member_phys[p] < cp {
-                p += 1;
-            }
-            let fresh = if p < phi && prev.member_phys[p] == cp {
-                let changed = prev.member_id[p] != self.member_id[i]
-                    || prev.member_wbits[p] != self.member_wbits[i];
-                p += 1;
-                changed
-            } else {
-                true
-            };
-            if fresh {
-                self.delta_phys.push(cp);
-                self.delta_id.push(self.member_id[i]);
-                self.delta_wbits.push(self.member_wbits[i]);
-            }
-        }
-    }
 }
 
 /// One memoized hash-walk step: from cluster head `head` (at the level the
-/// entry is indexed under), the selected member was `next`, computed or last
-/// revalidated at cache tick `tick`. For the HRW rule the winner's full
-/// score is kept alongside (`best_key`/`best_id`, plus its weight bits) so a
-/// one-tick cluster delta can be scored against the cached winner instead of
-/// re-hashing every member. (A variant that additionally memoized the
-/// exact runner-up — to take the delta path even when the winner itself
-/// churned — measured slower: it grows the entry from 40 to 64 bytes, and
-/// the dominant miss cause is the walk arriving from a *different* head,
-/// which no amount of per-head score caching helps.)
+/// entry is indexed under), the selected member was `next`, computed at
+/// cache tick `tick`. The step is reusable while the cluster's contents
+/// have not been stamped past `tick` — no score state is carried, which
+/// keeps the entry at 12 bytes so the whole memo table stays cache-
+/// resident. (Earlier revisions stored the winner's exact score to re-
+/// validate changed clusters against a member delta; with the raw/interval
+/// fast paths below a full re-scan of a changed cluster is cheaper than
+/// the 40-byte entries made the *hits*.)
 #[derive(Debug, Clone, Copy)]
 struct PickEntry {
     head: NodeIdx,
     next: NodeIdx,
     tick: u32,
-    best_key: f64,
-    best_id: u64,
-    winner_wbits: u64,
 }
 
 const EMPTY_PICK: PickEntry = PickEntry {
     head: NO_SLOT,
     next: 0,
     tick: 0,
-    best_key: 0.0,
-    best_id: 0,
-    winner_wbits: 0,
 };
+
+/// Certified brackets of `hrw_key_from_raw(raw, 1.0)` by the top 16 bits
+/// of `raw`. The unweighted key is monotone increasing in `raw`, so the
+/// f64 values it takes over a bucket lie between the bucket-endpoint
+/// evaluations up to libm rounding; a relative widening of `1e-6` (ten
+/// orders of magnitude above the ≤1-ulp error of `ln` and the division)
+/// makes the bracket safe. A candidate's weighted key then lies in
+/// `[w·lo, w·hi]`, which lets a scan certify a strict winner without
+/// evaluating `ln` at all — see the interval path in the walk.
+fn inv_ln_brackets() -> &'static [(f64, f64)] {
+    // AUDIT: write-once cache of a pure function of the bucket index;
+    // every initializer computes the same table, so whichever thread wins
+    // the race publishes identical values and reads are deterministic.
+    static TABLE: OnceLock<Vec<(f64, f64)>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0u64..1 << 8)
+            .map(|b| {
+                let lo = hrw_key_from_raw(b << 56, 1.0);
+                let hi = hrw_key_from_raw((b << 56) | ((1u64 << 56) - 1), 1.0);
+                if !hi.is_finite() {
+                    // Top bucket only: raws whose `u` rounds to exactly 1.0
+                    // evaluate to `-w / 0 = -inf`, so the computed key is
+                    // not monotone there — it spikes to ~2^53 just below
+                    // the rounding cliff, then collapses. No finite bracket
+                    // holds; an unbounded one forces the exact scan.
+                    (f64::NEG_INFINITY, f64::INFINITY)
+                } else {
+                    (lo * (1.0 - 1e-6), hi * (1.0 + 1e-6))
+                }
+            })
+            .collect()
+    })
+}
 
 /// Persistent cross-tick memoization state for
 /// [`LmAssignment::compute_cached`].
@@ -260,15 +277,22 @@ const EMPTY_PICK: PickEntry = PickEntry {
 /// when it starts from the same cluster head and that cluster has not been
 /// stamped since the step was computed — the HRW/mod-successor winner
 /// depends only on the subject, the salt, and the candidate `(id, weight)`
-/// multiset, all of which are then unchanged. Under the HRW rule a step
-/// whose cluster *did* change this tick can still avoid a full re-hash: the
-/// cached winner's exact `(key, id)` score is stored in the entry, and when
-/// the winner survives with an unchanged id and weight, only the cluster's
-/// added or re-weighted members are scored against it (a one-tick delta the
-/// snapshot pass records per cluster). Anything else (including a depth,
-/// population, or rule change, which resets the cache wholesale) is
-/// recomputed through the exact same selection code, so results are
-/// byte-identical to a from-scratch [`LmAssignment::compute`].
+/// multiset, all of which are then unchanged.
+///
+/// Change detection has two implementations. The content path compares
+/// every cluster's member/weight arrays against the previous tick's
+/// snapshot. When the hierarchy comes from a
+/// [`chlm_cluster::HierarchyMaintainer`], the caller can instead pass the
+/// maintainer's [`ArenaStamps`] (via
+/// [`LmAssignment::compute_cached_stamped`]): a cluster is then dirty iff
+/// its arena record's *subtree* stamp advanced this maintainer tick, an
+/// O(changed) test instead of O(total members). The stamp path requires
+/// lockstep observation (one `observe` per maintainer tick) and fixed
+/// election IDs — both guaranteed by the maintainer, and checked by a
+/// tick-continuity guard that falls back to the content path on any gap.
+/// Anything else (a depth, population, or rule change) resets the cache
+/// wholesale, so results are byte-identical to a from-scratch
+/// [`LmAssignment::compute`].
 #[derive(Debug, Default)]
 pub struct LmCache {
     valid: bool,
@@ -277,20 +301,29 @@ pub struct LmCache {
     rule: Option<SelectionRule>,
     /// Monotone per-call counter; stamps cluster changes and pick entries.
     tick: u32,
+    /// Maintainer tick of the last `ArenaStamps` observed, for the
+    /// lockstep guard of the stamp path.
+    last_arena_tick: Option<u64>,
     prev: Vec<LevelClusters>,
     cur: Vec<LevelClusters>,
     /// Per level `j`, indexed by head physical node: the most recent tick at
     /// which that head's cluster contents differed from the tick before
     /// (or the head reappeared after an absence).
     changed_at: Vec<Vec<u32>>,
-    /// Memoized walk steps, indexed `(v * depth + k) * depth + j`.
+    /// Memoized walk steps, indexed `v * pairs + pair_off(k, j)` where
+    /// `pair_off` packs the walk's `(k, j)` pairs (`2 ≤ k < depth`,
+    /// `j < k`) densely: `k(k-1)/2 - 1 + j`.
     picks: Vec<PickEntry>,
+    /// Dense `(k, j)` pair count per subject.
+    pairs: usize,
     cursor: Vec<u32>,
     spare_hosts: Vec<NodeIdx>,
-    cand_ids: Vec<u64>,
     hits: u64,
-    delta_hits: u64,
     misses: u64,
+    /// Worker pool for the walk (`None` = serial). Subjects are split into
+    /// fixed contiguous ranges with per-subject-disjoint writes, so the
+    /// assignment is bit-identical for every thread count.
+    workers: Option<WorkerPool>,
 }
 
 impl LmCache {
@@ -298,19 +331,19 @@ impl LmCache {
         Self::default()
     }
 
+    /// Run the walk on `workers` (population permitting); the result stays
+    /// bit-identical to the serial walk for every pool width.
+    pub fn with_workers(mut self, workers: WorkerPool) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Walk steps answered from the memo without re-hashing (lifetime total).
     pub fn hit_count(&self) -> u64 {
         self.hits
     }
 
-    /// Walk steps resolved by scoring only a cluster's one-tick member delta
-    /// against the cached winner, rather than re-hashing every member
-    /// (lifetime total; HRW rule only).
-    pub fn delta_hit_count(&self) -> u64 {
-        self.delta_hits
-    }
-
-    /// Walk steps that re-ran the selection hash over the full candidate set
+    /// Walk steps that re-ran the selection over the full candidate set
     /// (lifetime total).
     pub fn miss_count(&self) -> u64 {
         self.misses
@@ -327,44 +360,155 @@ impl LmCache {
         self.depth = depth;
         self.rule = Some(rule);
         self.tick = 0;
+        self.last_arena_tick = None;
         self.prev.clear();
         self.prev.resize_with(depth, LevelClusters::default);
         self.cur.clear();
         self.cur.resize_with(depth, LevelClusters::default);
         self.changed_at.clear();
         self.changed_at.resize(depth, Vec::new());
+        self.pairs = (depth * depth.saturating_sub(1) / 2).saturating_sub(1);
         self.picks.clear();
-        self.picks.resize(n * depth * depth, EMPTY_PICK);
+        self.picks.resize(n * self.pairs, EMPTY_PICK);
         self.valid = true;
     }
 
     /// Snapshot the hierarchy's clusters for this tick and stamp the changed
-    /// ones. The previous tick's snapshot rotates into `prev`.
-    fn observe(&mut self, h: &Hierarchy) {
+    /// ones — via the maintainer's arena stamps when fresh ones are supplied,
+    /// by content comparison otherwise. The previous tick's snapshot rotates
+    /// into `prev`.
+    fn observe(&mut self, h: &Hierarchy, stamps: Option<ArenaStamps<'_>>) {
         let n = self.n;
         let tick = self.tick;
+        let hash_inner = matches!(self.rule, Some(SelectionRule::Hrw));
+        // The stamp path is only sound when every maintainer tick since the
+        // last observation was observed (stamps for skipped ticks are
+        // overwritten); on a gap the content path below self-heals, since
+        // `prev` always holds the last *observed* snapshot.
+        let fresh = stamps.is_some_and(|s| self.last_arena_tick == Some(s.tick.wrapping_sub(1)));
         std::mem::swap(&mut self.prev, &mut self.cur);
         for j in 0..self.depth {
             let (done, rest) = self.cur.split_at_mut(j);
             let lc = &mut rest[0];
-            lc.build(h, j, done.last(), n, &mut self.cursor);
+            lc.build(
+                h,
+                j,
+                done.last(),
+                n,
+                self.depth,
+                hash_inner,
+                &mut self.cursor,
+            );
             let ca = &mut self.changed_at[j];
             ca.resize(n, 0);
-            let prev = &self.prev[j];
-            lc.delta_start.clear();
-            lc.delta_start.push(0);
-            lc.delta_phys.clear();
-            lc.delta_id.clear();
-            lc.delta_wbits.clear();
-            for (t, &phys) in h.levels[j].nodes.iter().enumerate() {
-                if !lc.same_cluster(t as u32, phys, prev) {
-                    ca[phys as usize] = tick;
-                    lc.push_delta(t as u32, phys, prev);
+            match stamps {
+                Some(s) if fresh => {
+                    // Only heads matter: a walk step always starts at a
+                    // cluster head, and a head reappearing after an absence
+                    // is a newborn arena record, stamped at birth.
+                    for (_, head) in h.levels[j].heads() {
+                        let dirty = match s.arena.lookup(j + 1, head) {
+                            Some(hd) => s.arena.subtree_changed_at(hd.slot) == s.tick,
+                            None => true,
+                        };
+                        if dirty {
+                            ca[head as usize] = tick;
+                        }
+                    }
                 }
-                lc.delta_start.push(lc.delta_phys.len() as u32);
+                _ => {
+                    let prev = &self.prev[j];
+                    for (t, &phys) in h.levels[j].nodes.iter().enumerate() {
+                        if !lc.same_cluster(t as u32, phys, prev) {
+                            ca[phys as usize] = tick;
+                        }
+                    }
+                }
             }
         }
+        self.last_arena_tick = stamps.map(|s| s.tick);
     }
+}
+
+/// One walk pass over the subject range `vs`, memoized through `picks`.
+/// `picks` and `hosts` are the chunk-local slices for exactly `vs`
+/// (`vs.len() * pairs` and `vs.len() * depth` entries); all other inputs
+/// are shared and read-only, which is what lets
+/// [`LmAssignment::compute_cached_stamped`] fan ranges out across a
+/// [`WorkerPool`] without changing a single pick. Returns `(hits, misses)`.
+#[allow(clippy::too_many_arguments)]
+fn walk_range(
+    h: &Hierarchy,
+    book: &AddressBook,
+    rule: SelectionRule,
+    cur: &[LevelClusters],
+    changed_at: &[Vec<u32>],
+    tick: u32,
+    depth: usize,
+    pairs: usize,
+    vs: std::ops::Range<usize>,
+    picks: &mut [PickEntry],
+    hosts: &mut [NodeIdx],
+) -> (u64, u64) {
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let base = vs.start;
+    for v in vs {
+        let row = book.row(v as NodeIdx);
+        let subject_id = h.ids[v];
+        let pick_base = (v - base) * pairs;
+        let host_base = (v - base) * depth;
+        for k in 0..depth {
+            if k < 2 {
+                hosts[host_base + k] = v as NodeIdx;
+                continue;
+            }
+            // Walk from v's level-k cluster head down to a level-0 node.
+            let mut head = row[k];
+            let koff = pick_base + k * (k - 1) / 2 - 1;
+            for j in (0..k).rev() {
+                let idx = koff + j;
+                let e = picks[idx];
+                if e.head == head && e.tick >= changed_at[j][head as usize] {
+                    // Cluster contents unchanged since this step was
+                    // computed: the hash winner is necessarily the same.
+                    hits += 1;
+                    head = e.next;
+                    continue;
+                }
+                misses += 1;
+                let lvl = &cur[j];
+                // The walk descends through vote targets, all present one
+                // level down, so the head always has a slot here.
+                let t = lvl.slot_of_phys[head as usize] as usize;
+                debug_assert_ne!(t as u32, NO_SLOT, "cluster head missing at its own level");
+                let lo = lvl.start[t] as usize;
+                let hi = lvl.start[t + 1] as usize;
+                debug_assert!(hi > lo, "head with no electors");
+                let next = match rule {
+                    SelectionRule::Hrw => {
+                        let seg = (k - k_min(j)) * lvl.member_id.len();
+                        let inner = &lvl.inner[seg + lo..seg + hi];
+                        LmAssignment::hrw_pick(lvl, subject_id, lo, t, inner)
+                    }
+                    SelectionRule::ModSuccessor { id_space } => {
+                        let salt = ((k as u64) << 32) | j as u64;
+                        // Salt the subject so distinct (k, j) steps don't
+                        // always chase the same successor.
+                        let pick = mod_successor_select(
+                            subject_id.wrapping_add(salt),
+                            &lvl.member_id[lo..hi],
+                            id_space,
+                        );
+                        lvl.member_phys[lo + pick]
+                    }
+                };
+                picks[idx] = PickEntry { head, next, tick };
+                head = next;
+            }
+            hosts[host_base + k] = head;
+        }
+    }
+    (hits, misses)
 }
 
 impl LmAssignment {
@@ -374,15 +518,28 @@ impl LmAssignment {
     }
 
     /// Compute the assignment, reusing `cache` from the previous tick so
-    /// that only walk steps through changed clusters re-hash. `book` must be
-    /// captured from `h`. The result is byte-identical to
-    /// [`LmAssignment::compute`] — the cache only skips recomputation whose
-    /// inputs provably did not change.
+    /// that only walk steps through changed clusters re-hash, with change
+    /// detection by content comparison. `book` must be captured from `h`.
+    /// The result is byte-identical to [`LmAssignment::compute`] — the
+    /// cache only skips recomputation whose inputs provably did not change.
     pub fn compute_cached(
         h: &Hierarchy,
         book: &AddressBook,
         rule: SelectionRule,
         cache: &mut LmCache,
+    ) -> Self {
+        Self::compute_cached_stamped(h, book, rule, cache, None)
+    }
+
+    /// [`LmAssignment::compute_cached`] with the maintainer's arena stamps
+    /// as the change detector (see [`LmCache`] for the soundness
+    /// conditions; `None` or stale stamps fall back to content comparison).
+    pub fn compute_cached_stamped(
+        h: &Hierarchy,
+        book: &AddressBook,
+        rule: SelectionRule,
+        cache: &mut LmCache,
+        stamps: Option<ArenaStamps<'_>>,
     ) -> Self {
         let n = h.node_count();
         let depth = h.depth();
@@ -400,183 +557,163 @@ impl LmAssignment {
             cache.reinit(n, depth, rule);
         }
         cache.tick += 1;
-        cache.observe(h);
+        cache.observe(h, stamps);
+        let pairs = cache.pairs;
+        let tick = cache.tick;
         let mut hosts = std::mem::take(&mut cache.spare_hosts);
         hosts.clear();
-        hosts.reserve(n * depth);
-        for v in 0..n as NodeIdx {
-            let row = book.row(v);
-            let subject_id = h.ids[v as usize];
-            let base = v as usize * depth;
-            for k in 0..depth {
-                if k < 2 {
-                    hosts.push(v);
-                    continue;
-                }
-                // Walk from v's level-k cluster head down to a level-0 node.
-                let mut head = row[k];
-                for j in (0..k).rev() {
-                    let idx = (base + k) * depth + j;
-                    let e = cache.picks[idx];
-                    if e.head == head && e.tick >= cache.changed_at[j][head as usize] {
-                        // Cluster contents unchanged since this step was
-                        // computed: the hash winner is necessarily the same.
-                        // Refreshing the stamp keeps the entry one-tick-fresh
-                        // so later change ticks can take the delta path.
-                        cache.hits += 1;
-                        cache.picks[idx].tick = cache.tick;
-                        head = e.next;
-                        continue;
-                    }
-                    let lvl = &cache.cur[j];
-                    // The walk descends through vote targets, all present one
-                    // level down, so the head always has a slot here.
-                    let t = lvl.slot_of_phys[head as usize] as usize;
-                    debug_assert_ne!(t as u32, NO_SLOT, "cluster head missing at its own level");
-                    let lo = lvl.start[t] as usize;
-                    let hi = lvl.start[t + 1] as usize;
-                    debug_assert!(hi > lo, "head with no electors");
-                    let salt = ((k as u64) << 32) | j as u64;
-                    // Delta fast path (HRW only): the entry reflects this
-                    // cluster as of last tick, the cached winner is still a
-                    // member with unchanged id and weight, and `(key, id)` is
-                    // a strict total order independent of candidate order —
-                    // so the argmax over the union of {cached winner} and the
-                    // changed/added members equals the full-scan argmax
-                    // (removing a non-maximal candidate cannot change it).
-                    if matches!(rule, SelectionRule::Hrw)
-                        && e.head == head
-                        && e.tick + 1 == cache.tick
-                    {
-                        if let Ok(p) = lvl.member_phys[lo..hi].binary_search(&e.next) {
-                            let i = lo + p;
-                            if lvl.member_id[i] == e.best_id
-                                && lvl.member_wbits[i] == e.winner_wbits
-                            {
-                                let (mut bk, mut bi) = (e.best_key, e.best_id);
-                                let (mut bp, mut bw) = (e.next, e.winner_wbits);
-                                let dlo = lvl.delta_start[t] as usize;
-                                let dhi = lvl.delta_start[t + 1] as usize;
-                                for d in dlo..dhi {
-                                    let id = lvl.delta_id[d];
-                                    let w = f64::from_bits(lvl.delta_wbits[d]);
-                                    let key = hrw_key_weighted(subject_id, id, salt, w);
-                                    if key > bk || (key == bk && id > bi) {
-                                        bk = key;
-                                        bi = id;
-                                        bp = lvl.delta_phys[d];
-                                        bw = lvl.delta_wbits[d];
-                                    }
-                                }
-                                cache.delta_hits += 1;
-                                cache.picks[idx] = PickEntry {
-                                    head,
-                                    next: bp,
-                                    tick: cache.tick,
-                                    best_key: bk,
-                                    best_id: bi,
-                                    winner_wbits: bw,
-                                };
-                                head = bp;
-                                continue;
-                            }
-                        }
-                    }
-                    cache.misses += 1;
-                    let entry = match rule {
-                        SelectionRule::Hrw => {
-                            // Equal-weight clusters (every level-0 walk step,
-                            // where all weights are 1.0): `-w / ln(u)` is a
-                            // monotone map of the raw hash up to float
-                            // rounding, so the raw-`u64` argmax wins outright
-                            // whenever the runner-up trails by more than the
-                            // widest rounding plateau. 2^20 exceeds the
-                            // worst-case combined rounding slack of the
-                            // u-mapping, `ln`, and the division by ~2^9;
-                            // closer calls (probability ~2^-40 per cluster)
-                            // take the exact full scan below.
-                            let mut fast = None;
-                            if lvl.member_wbits[lo + 1..hi]
-                                .iter()
-                                .all(|&w| w == lvl.member_wbits[lo])
-                            {
-                                let (mut r1, mut r2, mut arg) = (0u64, 0u64, lo);
-                                for i in lo..hi {
-                                    let raw = hrw_weight(subject_id, lvl.member_id[i], salt);
-                                    if raw > r1 {
-                                        r2 = r1;
-                                        r1 = raw;
-                                        arg = i;
-                                    } else if raw > r2 {
-                                        r2 = raw;
-                                    }
-                                }
-                                if r1 - r2 > (1 << 20) {
-                                    fast = Some((
-                                        arg,
-                                        hrw_key_weighted(
-                                            subject_id,
-                                            lvl.member_id[arg],
-                                            salt,
-                                            f64::from_bits(lvl.member_wbits[arg]),
-                                        ),
-                                    ));
-                                }
-                            }
-                            // Full scan, inlined over the CSR arrays with the
-                            // exact operation order and `(key, id)` tie-break
-                            // of `hrw_select_weighted` (no candidate copy).
-                            let (i, bk) = fast.unwrap_or_else(|| {
-                                let mut best = lo;
-                                let mut bk = f64::NEG_INFINITY;
-                                let mut bi = 0u64;
-                                for i in lo..hi {
-                                    let id = lvl.member_id[i];
-                                    let w = f64::from_bits(lvl.member_wbits[i]);
-                                    debug_assert!(w > 0.0 && w.is_finite());
-                                    let key = hrw_key_weighted(subject_id, id, salt, w);
-                                    if key > bk || (key == bk && id > bi) {
-                                        bk = key;
-                                        bi = id;
-                                        best = i;
-                                    }
-                                }
-                                (best, bk)
-                            });
-                            PickEntry {
-                                head,
-                                next: lvl.member_phys[i],
-                                tick: cache.tick,
-                                best_key: bk,
-                                best_id: lvl.member_id[i],
-                                winner_wbits: lvl.member_wbits[i],
-                            }
-                        }
-                        SelectionRule::ModSuccessor { id_space } => {
-                            cache.cand_ids.clear();
-                            cache.cand_ids.extend_from_slice(&lvl.member_id[lo..hi]);
-                            // Salt the subject so distinct (k, j) steps don't
-                            // always chase the same successor.
-                            let pick = mod_successor_select(
-                                subject_id.wrapping_add(salt),
-                                &cache.cand_ids,
-                                id_space,
-                            );
-                            PickEntry {
-                                head,
-                                next: lvl.member_phys[lo + pick],
-                                tick: cache.tick,
-                                ..EMPTY_PICK
-                            }
-                        }
-                    };
-                    head = entry.next;
-                    cache.picks[idx] = entry;
-                }
-                hosts.push(head);
+        hosts.resize(n * depth, 0);
+        let parts = match cache.workers {
+            Some(pool) if n >= WALK_PAR_MIN_N => pool.threads(),
+            _ => 1,
+        };
+        if parts <= 1 {
+            let tally = walk_range(
+                h,
+                book,
+                rule,
+                &cache.cur,
+                &cache.changed_at,
+                tick,
+                depth,
+                pairs,
+                0..n,
+                &mut cache.picks,
+                &mut hosts,
+            );
+            cache.hits += tally.0;
+            cache.misses += tally.1;
+        } else {
+            // Subjects split into contiguous ranges; each job owns the
+            // matching disjoint slices of the memo and host tables, so the
+            // walk output cannot depend on pool width or schedule.
+            struct Job<'a> {
+                vs: std::ops::Range<usize>,
+                picks: &'a mut [PickEntry],
+                hosts: &'a mut [NodeIdx],
+                tally: (u64, u64),
+            }
+            let mut jobs = Vec::with_capacity(parts);
+            let mut picks_rest: &mut [PickEntry] = &mut cache.picks;
+            let mut hosts_rest: &mut [NodeIdx] = &mut hosts;
+            for vs in split_ranges(n, parts) {
+                let (p, pr) = picks_rest.split_at_mut(vs.len() * pairs);
+                let (ho, hr) = hosts_rest.split_at_mut(vs.len() * depth);
+                picks_rest = pr;
+                hosts_rest = hr;
+                jobs.push(Job {
+                    vs,
+                    picks: p,
+                    hosts: ho,
+                    tally: (0, 0),
+                });
+            }
+            let (cur, changed_at) = (&cache.cur, &cache.changed_at);
+            // audit: infallible because parts > 1 only when the pool is Some
+            let pool = cache.workers.expect("parallel walk without a pool");
+            pool.for_each_mut(&mut jobs, |job| {
+                job.tally = walk_range(
+                    h,
+                    book,
+                    rule,
+                    cur,
+                    changed_at,
+                    tick,
+                    depth,
+                    pairs,
+                    job.vs.start..job.vs.end,
+                    job.picks,
+                    job.hosts,
+                );
+            });
+            for job in &jobs {
+                cache.hits += job.tally.0;
+                cache.misses += job.tally.1;
             }
         }
         LmAssignment { n, depth, hosts }
+    }
+
+    /// One full HRW selection over cluster `t`'s members (`lo..hi`), with
+    /// `inner` their memoized inner hashes for this walk step's salt.
+    /// Always returns the exact `hrw_select_weighted` winner — the two fast
+    /// paths fire only when they can *certify* the same strict argmax:
+    ///
+    /// * equal weights: `-w / ln(u)` is monotone in the raw hash up to
+    ///   float rounding, so the raw-`u64` argmax wins outright whenever the
+    ///   runner-up trails by more than the widest rounding plateau (`2^20`
+    ///   exceeds the combined slack of the u-mapping, `ln`, and the
+    ///   division by ~2^9; closer calls have probability ~2^-40 per
+    ///   cluster);
+    /// * mixed weights: bracket every candidate's key through the
+    ///   [`inv_ln_brackets`] table and certify when the best lower bound
+    ///   strictly beats every other upper bound (ties then being
+    ///   impossible, the `(key, id)` tie-break is vacuous).
+    ///
+    /// Anything uncertified falls through to the exact `ln` scan with the
+    /// operation order and tie-break of `hrw_select_weighted`.
+    #[inline]
+    fn hrw_pick(
+        lvl: &LevelClusters,
+        subject_id: u64,
+        lo: usize,
+        t: usize,
+        inner: &[u64],
+    ) -> NodeIdx {
+        if lvl.uniform[t] {
+            let (mut r1, mut r2, mut arg) = (0u64, 0u64, 0usize);
+            for (i, &inn) in inner.iter().enumerate() {
+                let raw = splitmix64(subject_id ^ inn);
+                if raw > r1 {
+                    r2 = r1;
+                    r1 = raw;
+                    arg = i;
+                } else if raw > r2 {
+                    r2 = raw;
+                }
+            }
+            if r1 - r2 > (1 << 20) {
+                return lvl.member_phys[lo + arg];
+            }
+        } else {
+            let brackets = inv_ln_brackets();
+            let (mut b1_hi, mut b1_lo, mut b1) = (f64::NEG_INFINITY, f64::NEG_INFINITY, 0usize);
+            let mut b2_hi = f64::NEG_INFINITY;
+            for (i, &inn) in inner.iter().enumerate() {
+                let raw = splitmix64(subject_id ^ inn);
+                let w = f64::from_bits(lvl.member_wbits[lo + i]);
+                let (glo, ghi) = brackets[(raw >> 56) as usize];
+                let khi = w * ghi;
+                if khi > b1_hi {
+                    b2_hi = b1_hi;
+                    b1_hi = khi;
+                    b1_lo = w * glo;
+                    b1 = i;
+                } else if khi > b2_hi {
+                    b2_hi = khi;
+                }
+            }
+            if b1_lo > b2_hi {
+                return lvl.member_phys[lo + b1];
+            }
+        }
+        // Exact scan, inlined over the CSR arrays with the exact operation
+        // order and `(key, id)` tie-break of `hrw_select_weighted`.
+        let mut best = lo;
+        let mut bk = f64::NEG_INFINITY;
+        let mut bi = 0u64;
+        for (i, &inn) in inner.iter().enumerate() {
+            let id = lvl.member_id[lo + i];
+            let w = f64::from_bits(lvl.member_wbits[lo + i]);
+            debug_assert!(w > 0.0 && w.is_finite());
+            let key = hrw_key_from_raw(splitmix64(subject_id ^ inn), w);
+            if key > bk || (key == bk && id > bi) {
+                bk = key;
+                bi = id;
+                best = lo + i;
+            }
+        }
+        lvl.member_phys[best]
     }
 
     pub fn node_count(&self) -> usize {
@@ -658,9 +795,47 @@ impl LmAssignment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::hrw_select_weighted;
     use chlm_cluster::HierarchyOptions;
     use chlm_geom::SimRng;
     use chlm_graph::unit_disk::build_unit_disk;
+
+    /// Fuzz `hrw_pick` (both fast paths plus the exact fallthrough)
+    /// against the reference selector on synthetic single-cluster levels.
+    #[test]
+    fn hrw_pick_matches_reference_fuzz() {
+        let mut state = 0xfeed_beef_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            splitmix64(state)
+        };
+        for iter in 0..500_000u32 {
+            let m = 2 + (next() % 14) as usize;
+            let ids: Vec<u64> = (0..m).map(|_| next()).collect();
+            let weights: Vec<f64> = (0..m).map(|_| (1 + next() % 50) as f64).collect();
+            let salt = next() % 1024;
+            let inner: Vec<u64> = ids.iter().map(|&id| splitmix64(id ^ salt)).collect();
+            let subject = next();
+            let uniform = weights.windows(2).all(|w| w[0].to_bits() == w[1].to_bits());
+            let lvl = LevelClusters {
+                start: vec![0, m as u32],
+                member_phys: (0..m as u32).collect(),
+                member_id: ids.clone(),
+                member_wbits: weights.iter().map(|w| w.to_bits()).collect(),
+                weight: Vec::new(),
+                uniform: vec![uniform],
+                inner: inner.clone(),
+                slot_of_phys: Vec::new(),
+            };
+            let got = LmAssignment::hrw_pick(&lvl, subject, 0, 0, &inner);
+            let cands: Vec<(u64, f64)> = ids.iter().zip(&weights).map(|(&i, &w)| (i, w)).collect();
+            let expect = hrw_select_weighted(subject, &cands, salt) as u32;
+            assert_eq!(
+                got, expect,
+                "iter={iter} m={m} subject={subject} salt={salt} ids={ids:?} weights={weights:?}"
+            );
+        }
+    }
 
     fn random_hierarchy(n: usize, seed: u64) -> Hierarchy {
         let mut rng = SimRng::seed_from(seed);
@@ -706,6 +881,57 @@ mod tests {
         let total: u64 = a.entries_hosted().iter().map(|&c| c as u64).sum();
         assert_eq!(total as usize, a.entry_count());
         assert_eq!(a.entry_count(), 150 * (h.depth() - 2));
+    }
+
+    /// The fast paths (raw margin, interval certification) must reproduce
+    /// the reference selector's winner at every walk step: compare the full
+    /// assignment against one computed by `hrw_select_weighted` directly.
+    #[test]
+    fn walk_matches_reference_selector() {
+        use crate::hash::hrw_select_weighted;
+        for seed in [31u64, 32, 33] {
+            let h = random_hierarchy(300, seed);
+            let a = LmAssignment::compute(&h, SelectionRule::Hrw);
+            let addrs = h.addresses();
+            // Reference subtree weights, summed in the same (ascending
+            // member local index) order the cache's snapshot uses.
+            let mut weights: Vec<Vec<f64>> = vec![vec![1.0; h.levels[0].len()]];
+            for j in 1..h.depth() {
+                let below = &h.levels[j - 1];
+                let mut w = Vec::new();
+                for &phys in &h.levels[j].nodes {
+                    let head_local = below.local(phys).unwrap();
+                    let mut s = 0.0;
+                    for (i, &t) in below.vote.iter().enumerate() {
+                        if t == head_local {
+                            s += weights[j - 1][i];
+                        }
+                    }
+                    w.push(s);
+                }
+                weights.push(w);
+            }
+            for v in 0..300u32 {
+                for k in 2..h.depth() {
+                    let mut head = addrs[v as usize][k];
+                    for j in (0..k).rev() {
+                        let level = &h.levels[j];
+                        let salt = ((k as u64) << 32) | j as u64;
+                        let mut cands: Vec<(u64, f64)> = Vec::new();
+                        let mut phys: Vec<NodeIdx> = Vec::new();
+                        for (i, &p) in level.nodes.iter().enumerate() {
+                            if level.nodes[level.vote[i] as usize] == head {
+                                cands.push((h.ids[p as usize], weights[j][i]));
+                                phys.push(p);
+                            }
+                        }
+                        let pick = hrw_select_weighted(h.ids[v as usize], &cands, salt);
+                        head = phys[pick];
+                    }
+                    assert_eq!(a.host(v, k), Some(head), "v={v} k={k} seed={seed}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -770,9 +996,6 @@ mod tests {
         }
         assert!(cache.hit_count() > 0, "cache never hit");
         assert!(cache.miss_count() > 0, "cache never missed");
-        if rule == SelectionRule::Hrw {
-            assert!(cache.delta_hit_count() > 0, "delta path never taken");
-        }
     }
 
     #[test]
@@ -790,6 +1013,93 @@ mod tests {
     #[test]
     fn cached_matches_fresh_mod_successor() {
         evolving_equivalence(SelectionRule::ModSuccessor { id_space: 300 }, 0.25, 13);
+    }
+
+    /// Arena-stamped invalidation against a live maintainer: cached
+    /// assignments must stay byte-identical to fresh ones under heavy
+    /// churn, with the stamp path actually engaged (hits accrue).
+    #[test]
+    fn arena_stamped_matches_fresh() {
+        use chlm_cluster::HierarchyMaintainer;
+        let n = 300;
+        let mut rng = SimRng::seed_from(14);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let mut pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let rtx = chlm_geom::rtx_for_degree(9.0, 1.0);
+        let ids = rng.permutation(n);
+        let g = build_unit_disk(&pts, rtx);
+        let mut maintainer = HierarchyMaintainer::new(&ids, &g, HierarchyOptions::default());
+        let mut cache = LmCache::new();
+        for step in 0..25 {
+            for p in pts.iter_mut() {
+                let ang = rng.range_f64(0.0, std::f64::consts::TAU);
+                p.x += rtx * 0.5 * ang.cos();
+                p.y += rtx * 0.5 * ang.sin();
+            }
+            let g = build_unit_disk(&pts, rtx);
+            maintainer.advance(&g, None);
+            let h = maintainer.hierarchy();
+            let book = chlm_cluster::AddressBook::capture(h);
+            let cached = LmAssignment::compute_cached_stamped(
+                h,
+                &book,
+                SelectionRule::Hrw,
+                &mut cache,
+                Some(maintainer.stamps()),
+            );
+            assert_eq!(
+                cached,
+                LmAssignment::compute(h, SelectionRule::Hrw),
+                "step {step}"
+            );
+            cache.recycle(cached);
+        }
+        assert!(cache.hit_count() > 0, "stamp path never hit");
+    }
+
+    /// A gap in the stamp stream (skipped maintainer tick) must drop the
+    /// cache back to content comparison, not serve stale picks.
+    #[test]
+    fn arena_stamp_gap_falls_back() {
+        use chlm_cluster::HierarchyMaintainer;
+        let n = 250;
+        let mut rng = SimRng::seed_from(15);
+        let radius = chlm_geom::disk_radius_for_density(n, 1.0);
+        let region = chlm_geom::Disk::centered(radius);
+        let mut pts = chlm_geom::region::deploy_uniform(&region, n, &mut rng);
+        let rtx = chlm_geom::rtx_for_degree(9.0, 1.0);
+        let ids = rng.permutation(n);
+        let g = build_unit_disk(&pts, rtx);
+        let mut maintainer = HierarchyMaintainer::new(&ids, &g, HierarchyOptions::default());
+        let mut cache = LmCache::new();
+        for step in 0..12 {
+            for p in pts.iter_mut() {
+                let ang = rng.range_f64(0.0, std::f64::consts::TAU);
+                p.x += rtx * 0.25 * ang.cos();
+                p.y += rtx * 0.25 * ang.sin();
+            }
+            let g = build_unit_disk(&pts, rtx);
+            maintainer.advance(&g, None);
+            if step % 3 == 1 {
+                continue; // skip observing this tick: next stamps are stale
+            }
+            let h = maintainer.hierarchy();
+            let book = chlm_cluster::AddressBook::capture(h);
+            let cached = LmAssignment::compute_cached_stamped(
+                h,
+                &book,
+                SelectionRule::Hrw,
+                &mut cache,
+                Some(maintainer.stamps()),
+            );
+            assert_eq!(
+                cached,
+                LmAssignment::compute(h, SelectionRule::Hrw),
+                "step {step}"
+            );
+            cache.recycle(cached);
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub struct PathOutcome {
 /// Returns `None` if `s` and `t` are disconnected.
 pub fn hierarchical_path(h: &Hierarchy, s: NodeIdx, t: NodeIdx) -> Option<PathOutcome> {
     let g0 = &h.levels[0].graph;
-    let addr_t = h.address(t);
+    let addr_t: Vec<NodeIdx> = h.address(t).collect();
     let shortest_len = {
         if s == t {
             0
@@ -50,10 +50,11 @@ pub fn hierarchical_path(h: &Hierarchy, s: NodeIdx, t: NodeIdx) -> Option<PathOu
     // Strictly decreasing shared-level guard; also a hard iteration cap.
     let mut prev_common = usize::MAX;
     while cur != t {
-        let addr_c = h.address(cur);
         // audit: infallible because the caller established s, t connected, so their chains meet
-        let common = (0..h.depth())
-            .find(|&k| addr_c[k] == addr_t[k])
+        let common = h
+            .address(cur)
+            .zip(addr_t.iter().copied())
+            .position(|(a, b)| a == b)
             .expect("connected nodes share the top cluster");
         assert!(
             common < prev_common,
@@ -99,7 +100,7 @@ fn bfs_to_cluster(
     if level == 0 {
         return shortest_path(g0, src, head);
     }
-    let in_target = |v: NodeIdx| h.address(v).get(level).copied() == Some(head);
+    let in_target = |v: NodeIdx| h.address(v).nth(level) == Some(head);
     if in_target(src) {
         return Some(vec![src]);
     }

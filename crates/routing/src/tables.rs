@@ -63,7 +63,7 @@ pub fn hierarchical_table_sizes(h: &Hierarchy) -> Vec<usize> {
     }
     let mut sizes = vec![0usize; n];
     for v in 0..n as NodeIdx {
-        let addr = h.address(v);
+        let addr: Vec<NodeIdx> = h.address(v).collect();
         let mut total = 0usize;
         for k in 1..depth {
             // Members of v's level-k cluster (they live at level k-1).

@@ -46,7 +46,7 @@ use chlm_cluster::address::AddressBook;
 use chlm_cluster::metrics::level_stats;
 use chlm_cluster::Hierarchy;
 use chlm_geom::{Disk, Point, SimRng};
-use chlm_graph::{Graph, NodeIdx};
+use chlm_graph::NodeIdx;
 use chlm_lm::gls::{GlsTracker, GridHierarchy};
 use chlm_lm::query::mean_query_cost;
 use chlm_lm::server::LmAssignment;
@@ -114,7 +114,7 @@ pub(crate) struct World {
     // Persistent tick workspaces.
     book_next: AddressBook,
     addr_scratch: Vec<NodeIdx>,
-    g0_spare: Graph,
+    h_spare: Option<Hierarchy>,
     ticks_done: usize,
 }
 
@@ -168,10 +168,10 @@ impl World {
             }
         }
 
-        let (mobility, topology, hier_stage, mut assign_stage) = default_stages(&cfg, mobility);
-        let hierarchy = hier_stage_initial(&*topology, &ids, &cfg);
+        let (mobility, topology, mut hier_stage, mut assign_stage) = default_stages(&cfg, mobility);
+        let hierarchy = hier_stage.init(&ids, topology.graph());
         let book = AddressBook::capture(&hierarchy);
-        let assignment = assign_stage.assign(&hierarchy, &book);
+        let assignment = assign_stage.assign(&hierarchy, &book, hier_stage.stamps());
         // Every metric that can hit an estimate path (Euclidean pricing,
         // BFS disconnected-pair fallback, unroutable hierarchical pairs)
         // gets the startup-measured detour ratio; a fixed `Euclidean(c)`
@@ -201,7 +201,7 @@ impl World {
             assignment,
             book_next,
             addr_scratch: Vec::new(),
-            g0_spare: Graph::default(),
+            h_spare: None,
             ticks_done: 0,
         }
     }
@@ -243,8 +243,8 @@ impl World {
     /// snapshots, hand the completed `TickCtx` to `observe`, then rotate.
     ///
     /// Allocation discipline: mobility positions are *borrowed* (never
-    /// copied), topology is patched in place by the maintainer, the level-0
-    /// graph handed to the hierarchy stage recycles last tick's buffers,
+    /// copied), topology is patched in place by the maintainer, the
+    /// hierarchy stage rewrites the retired snapshot's buffers in place,
     /// address books double-buffer, and the assignment stage reuses both
     /// its memo cache and the retired `hosts` buffer.
     pub(crate) fn step_with(&mut self, observe: &mut dyn FnMut(&TickCtx<'_>)) {
@@ -254,11 +254,15 @@ impl World {
         let positions = self.mobility.positions();
         self.topology.update(positions);
         let graph = self.topology.graph();
-        let recycle = std::mem::take(&mut self.g0_spare);
-        let hierarchy = self.hier_stage.rebuild(&self.ids, graph, recycle);
+        let carcass = self.h_spare.take();
+        let hierarchy =
+            self.hier_stage
+                .rebuild(&self.ids, graph, self.topology.last_diff(), carcass);
         self.book_next
             .capture_into(&hierarchy, &mut self.addr_scratch);
-        let assignment = self.assign_stage.assign(&hierarchy, &self.book_next);
+        let assignment =
+            self.assign_stage
+                .assign(&hierarchy, &self.book_next, self.hier_stage.stamps());
 
         // Diff streams against the previous tick.
         let addr_changes = self.book.diff(&self.book_next);
@@ -283,26 +287,15 @@ impl World {
         };
         observe(&ctx);
 
-        // Rotate snapshots; retired buffers feed the next tick.
+        // Rotate snapshots; the retired hierarchy feeds the next tick's
+        // rebuild as a buffer carcass.
         let old_h = std::mem::replace(&mut self.hierarchy, hierarchy);
-        if let Some(l0) = old_h.levels.into_iter().next() {
-            self.g0_spare = l0.graph;
-        }
+        self.h_spare = Some(old_h);
         std::mem::swap(&mut self.book, &mut self.book_next);
         let old_assignment = std::mem::replace(&mut self.assignment, assignment);
         self.assign_stage.retire(old_assignment);
         self.ticks_done += 1;
     }
-}
-
-/// Initial hierarchy build (construction time): same construction the
-/// per-tick stage performs, from-scratch.
-fn hier_stage_initial(topology: &dyn TopologyStage, ids: &[u64], cfg: &SimConfig) -> Hierarchy {
-    let opts = chlm_cluster::HierarchyOptions {
-        max_levels: cfg.max_levels,
-        min_reduction: cfg.min_reduction,
-    };
-    Hierarchy::build(ids, topology.graph(), opts)
 }
 
 /// The cost model one variant config prices with, fed by the world's

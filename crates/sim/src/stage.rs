@@ -6,10 +6,13 @@
 //! previous tick's snapshots and packages everything into a [`TickCtx`],
 //! the read-only view every [`crate::observe::Observer`] consumes.
 //!
-//! The default implementations wrap the incremental machinery from PR 2
-//! (Verlet-list unit-disk maintenance, the memoized HRW walk); a config
-//! with `full_rebuild` set swaps in their from-scratch counterparts so
-//! the equivalence suite can diff entire reports.
+//! The default implementations are the incremental fast paths:
+//! Verlet-list unit-disk maintenance, diff-driven hierarchy repair
+//! ([`IncrementalHierarchy`] over [`chlm_cluster::HierarchyMaintainer`]),
+//! and the memoized HRW walk. A config with `full_rebuild` set swaps in
+//! their from-scratch counterparts ([`LcaHierarchy`], per-tick topology
+//! rebuild, uncached selection) so the equivalence suite can diff entire
+//! reports byte for byte.
 //!
 //! Stages are scheme-independent by design: the [`TickCtx`] they produce
 //! is the shared *world trace* every [`crate::config::LmScheme`] accounts
@@ -18,9 +21,9 @@
 
 use crate::config::SimConfig;
 use chlm_cluster::address::{AddrChange, AddressBook};
-use chlm_cluster::{Hierarchy, HierarchyOptions};
+use chlm_cluster::{ArenaStamps, Hierarchy, HierarchyMaintainer, HierarchyOptions};
 use chlm_geom::Point;
-use chlm_graph::{Graph, UnitDiskMaintainer};
+use chlm_graph::{EdgeFlip, Graph, UnitDiskMaintainer};
 use chlm_lm::server::{HostChange, LmAssignment, LmCache, SelectionRule};
 use chlm_mobility::MobilityModel;
 
@@ -70,19 +73,49 @@ pub trait MobilityStage {
 pub trait TopologyStage {
     fn update(&mut self, positions: &[Point]);
     fn graph(&self) -> &Graph;
+    /// Edge flips applied by the last `update`, when the stage tracked
+    /// them incrementally. `None` means "diff unavailable" (full rebuild
+    /// or a non-tracking implementation) — consumers must resync.
+    fn last_diff(&self) -> Option<&[EdgeFlip]> {
+        None
+    }
 }
 
-/// Stage 3: rebuild the cluster hierarchy from the tick's topology.
-/// `recycle` donates the previous tick's retired level-0 graph buffers.
+/// Stage 3: produce the tick's cluster hierarchy.
+///
+/// `init` builds the t=0 hierarchy (called once, before any tick).
+/// `rebuild` runs every tick: `diff` is the topology stage's edge delta
+/// since the previous tick (`None` forces a resync against `graph`), and
+/// `carcass` donates the previous tick's retired snapshot so its buffers
+/// can be rewritten in place.
 pub trait HierarchyStage {
-    fn rebuild(&mut self, ids: &[u64], graph: &Graph, recycle: Graph) -> Hierarchy;
+    fn init(&mut self, ids: &[u64], graph: &Graph) -> Hierarchy;
+    fn rebuild(
+        &mut self,
+        ids: &[u64],
+        graph: &Graph,
+        diff: Option<&[EdgeFlip]>,
+        carcass: Option<Hierarchy>,
+    ) -> Hierarchy;
+    /// Arena invalidation stamps for the hierarchy most recently produced,
+    /// when the stage maintains them incrementally. `None` means downstream
+    /// caches must detect changes by content comparison.
+    fn stamps(&self) -> Option<ArenaStamps<'_>> {
+        None
+    }
 }
 
 /// Stage 4: compute the LM server assignment for the tick's hierarchy.
-/// `retire` hands back the previous assignment so caches can recycle its
-/// buffers.
+/// `stamps` is the hierarchy stage's change oracle for the same tick
+/// (`None` → content-based invalidation). `retire` hands back the previous
+/// assignment so caches can recycle its buffers.
 pub trait AssignmentStage {
-    fn assign(&mut self, hierarchy: &Hierarchy, book: &AddressBook) -> LmAssignment;
+    fn assign(
+        &mut self,
+        hierarchy: &Hierarchy,
+        book: &AddressBook,
+        stamps: Option<ArenaStamps<'_>>,
+    ) -> LmAssignment;
     fn retire(&mut self, old: LmAssignment);
 }
 
@@ -136,10 +169,15 @@ impl TopologyStage for UnitDiskTopology {
     fn graph(&self) -> &Graph {
         self.maintainer.graph()
     }
+    fn last_diff(&self) -> Option<&[EdgeFlip]> {
+        self.maintainer.last_diff()
+    }
 }
 
-/// Default hierarchy stage: the LCA fixpoint construction, recycling the
-/// donated graph buffers for its level-0 copy.
+/// Oracle hierarchy stage: the LCA fixpoint construction from scratch
+/// every tick, recycling the donated carcass's level-0 graph buffers.
+/// Selected by `full_rebuild`; [`IncrementalHierarchy`] must match it
+/// byte for byte.
 pub struct LcaHierarchy {
     opts: HierarchyOptions,
 }
@@ -151,10 +189,73 @@ impl LcaHierarchy {
 }
 
 impl HierarchyStage for LcaHierarchy {
-    fn rebuild(&mut self, ids: &[u64], graph: &Graph, recycle: Graph) -> Hierarchy {
-        let mut g0 = recycle;
+    fn init(&mut self, ids: &[u64], graph: &Graph) -> Hierarchy {
+        Hierarchy::build(ids, graph, self.opts)
+    }
+    fn rebuild(
+        &mut self,
+        ids: &[u64],
+        graph: &Graph,
+        _diff: Option<&[EdgeFlip]>,
+        carcass: Option<Hierarchy>,
+    ) -> Hierarchy {
+        let mut g0 = carcass
+            .and_then(|h| h.levels.into_iter().next())
+            .map(|l| l.graph)
+            .unwrap_or_default();
         g0.copy_from(graph);
         Hierarchy::build_owned(ids, g0, self.opts)
+    }
+}
+
+/// Default hierarchy stage: event-driven incremental maintenance. The
+/// [`HierarchyMaintainer`] repairs level 0 around the tick's edge flips
+/// and escalates upward only where the change's closure reaches; the
+/// snapshot handed to the pipeline reuses the retired carcass's buffers.
+pub struct IncrementalHierarchy {
+    opts: HierarchyOptions,
+    maintainer: Option<HierarchyMaintainer>,
+}
+
+impl IncrementalHierarchy {
+    pub fn new(opts: HierarchyOptions) -> Self {
+        IncrementalHierarchy {
+            opts,
+            maintainer: None,
+        }
+    }
+
+    /// The live maintainer (present after `init`), for arena audits.
+    pub fn maintainer(&self) -> Option<&HierarchyMaintainer> {
+        self.maintainer.as_ref()
+    }
+}
+
+impl HierarchyStage for IncrementalHierarchy {
+    fn init(&mut self, ids: &[u64], graph: &Graph) -> Hierarchy {
+        let m = self
+            .maintainer
+            .insert(HierarchyMaintainer::new(ids, graph, self.opts));
+        m.snapshot_into(None)
+    }
+    fn rebuild(
+        &mut self,
+        _ids: &[u64],
+        graph: &Graph,
+        diff: Option<&[EdgeFlip]>,
+        carcass: Option<Hierarchy>,
+    ) -> Hierarchy {
+        let m = self
+            .maintainer
+            .as_mut()
+            // audit: infallible because the engine calls `init` exactly once
+            // before the first `rebuild` (HierarchyBuilder contract).
+            .expect("IncrementalHierarchy::rebuild before init");
+        m.advance(graph, diff);
+        m.snapshot_into(carcass)
+    }
+    fn stamps(&self) -> Option<ArenaStamps<'_>> {
+        self.maintainer.as_ref().map(|m| m.stamps())
     }
 }
 
@@ -167,21 +268,34 @@ pub struct LmSelection {
 }
 
 impl LmSelection {
-    pub fn new(rule: SelectionRule, full_rebuild: bool) -> Self {
+    /// `threads` sizes the walk's worker pool; the assignment is
+    /// bit-identical for every thread count.
+    pub fn new(rule: SelectionRule, full_rebuild: bool, threads: usize) -> Self {
         LmSelection {
             rule,
-            cache: LmCache::new(),
+            cache: LmCache::new().with_workers(chlm_par::WorkerPool::new(threads)),
             full_rebuild,
         }
     }
 }
 
 impl AssignmentStage for LmSelection {
-    fn assign(&mut self, hierarchy: &Hierarchy, book: &AddressBook) -> LmAssignment {
+    fn assign(
+        &mut self,
+        hierarchy: &Hierarchy,
+        book: &AddressBook,
+        stamps: Option<ArenaStamps<'_>>,
+    ) -> LmAssignment {
         if self.full_rebuild {
             LmAssignment::compute(hierarchy, self.rule)
         } else {
-            LmAssignment::compute_cached(hierarchy, book, self.rule, &mut self.cache)
+            LmAssignment::compute_cached_stamped(
+                hierarchy,
+                book,
+                self.rule,
+                &mut self.cache,
+                stamps,
+            )
         }
     }
     fn retire(&mut self, old: LmAssignment) {
@@ -210,10 +324,19 @@ pub fn default_stages(cfg: &SimConfig, mobility: Box<dyn MobilityModel>) -> Stag
         max_levels: cfg.max_levels,
         min_reduction: cfg.min_reduction,
     };
+    let hier: Box<dyn HierarchyStage> = if cfg.full_rebuild {
+        Box::new(LcaHierarchy::new(opts))
+    } else {
+        Box::new(IncrementalHierarchy::new(opts))
+    };
     (
         Box::new(ModelMobility::new(mobility)),
         Box::new(topology),
-        Box::new(LcaHierarchy::new(opts)),
-        Box::new(LmSelection::new(cfg.selection_rule, cfg.full_rebuild)),
+        hier,
+        Box::new(LmSelection::new(
+            cfg.selection_rule,
+            cfg.full_rebuild,
+            cfg.threads,
+        )),
     )
 }

@@ -37,12 +37,12 @@ fn main() {
     // Pick a subject node and display its address + server chain, like the
     // paper's node-63 walkthrough.
     let subject: u32 = 63 % n as u32;
-    let addr = hierarchy.address(subject);
+    let addr: Vec<u32> = hierarchy.address(subject).collect();
     println!("\n== node {subject} (id {}) ==", ids[subject as usize]);
-    for (k, head) in addr.iter().enumerate() {
+    for (k, &head) in addr.iter().enumerate() {
         println!(
             "level-{k} cluster head: node {head} (id {})",
-            ids[*head as usize]
+            ids[head as usize]
         );
     }
     for k in 2..hierarchy.depth() {

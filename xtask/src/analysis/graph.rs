@@ -34,11 +34,17 @@ pub const ROOT_TRAITS: [&str; 10] = [
     "Engine",
 ];
 
-/// `Type::method` pairs that root the reachability walk directly.
-pub const ROOT_FNS: [(&str, &str); 3] = [
+/// `Type::method` pairs that root the reachability walk directly. The
+/// PR 8 incremental-maintenance entry points are listed explicitly so
+/// the walk still covers them if a stage stops calling one (e.g. the
+/// full-rebuild oracle path bypasses `advance`).
+pub const ROOT_FNS: [(&str, &str); 6] = [
     ("Simulation", "step"),
     ("PacketEngine", "step"),
     ("MultiplexSim", "step"),
+    ("HierarchyMaintainer", "advance"),
+    ("HierarchyMaintainer", "snapshot_into"),
+    ("UnitDiskMaintainer", "advance"),
 ];
 
 /// Files whose non-test functions are roots wholesale (the worker-pool

